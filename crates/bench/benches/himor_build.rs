@@ -1,0 +1,45 @@
+//! Criterion companion to Table II: HIMOR index construction time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cod_core::recluster::build_hierarchy;
+use cod_core::{CodConfig, HimorIndex};
+use cod_hierarchy::LcaIndex;
+use rand::prelude::*;
+
+fn bench_build(c: &mut Criterion) {
+    let cfg = CodConfig::default();
+    let mut group = c.benchmark_group("himor_build");
+    group.sample_size(10);
+
+    for (name, data) in [
+        ("cora", cod_datasets::cora_like(1)),
+        ("citeseer", cod_datasets::citeseer_like(2)),
+    ] {
+        let g = data.graph.csr().clone();
+        let dendro = build_hierarchy(&g, cfg.linkage);
+        let lca = LcaIndex::new(&dendro);
+        group.bench_function(name, |b| {
+            let mut rng = SmallRng::seed_from_u64(30);
+            b.iter(|| {
+                black_box(
+                    HimorIndex::build(&g, cfg.model, &dendro, &lca, cfg.theta, &mut rng)
+                        .memory_bytes(),
+                )
+            })
+        });
+        group.bench_function(format!("{name}_parallel4"), |b| {
+            b.iter(|| {
+                black_box(
+                    HimorIndex::build_parallel(&g, cfg.model, &dendro, &lca, cfg.theta, 30, 4)
+                        .memory_bytes(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation: agglomerative vs divisive hierarchy construction (DESIGN.md §4).
+//!
+//! Usage: cargo run -p cod-bench --release --bin ablation_hgc -- [--queries N] [--datasets a,b]
+
+fn main() {
+    let opts = cod_bench::util::CliOpts::parse(20);
+    cod_bench::experiments::ablation_hgc(&opts);
+}

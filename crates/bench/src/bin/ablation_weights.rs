@@ -1,0 +1,8 @@
+//! Ablation: the g_l attribute-weight transform (DESIGN.md §4).
+//!
+//! Usage: cargo run -p cod-bench --release --bin ablation_weights -- [--queries N] [--datasets NAME]
+
+fn main() {
+    let opts = cod_bench::util::CliOpts::parse(20);
+    cod_bench::experiments::ablation_weights(&opts);
+}

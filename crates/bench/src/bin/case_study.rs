@@ -1,0 +1,8 @@
+//! Regenerates the paper's case study (see DESIGN.md §4).
+//!
+//! Usage: cargo run -p cod-bench --release --bin case_study -- [--queries N] [--seed N] [--theta N] [--datasets a,b] [--scale N]
+
+fn main() {
+    let opts = cod_bench::util::CliOpts::parse(1);
+    cod_bench::experiments::case_study(&opts);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig4 (see DESIGN.md §4).
+//!
+//! Usage: cargo run -p cod-bench --release --bin fig4 -- [--queries N] [--seed N] [--theta N] [--datasets a,b] [--scale N]
+
+fn main() {
+    let opts = cod_bench::util::CliOpts::parse(60);
+    cod_bench::experiments::fig4(&opts);
+}

@@ -1,0 +1,16 @@
+//! Runs the entire experiment suite (every table and figure) in sequence.
+//!
+//! Usage: cargo run -p cod-bench --release --bin run_all -- [--queries N] [--seed N]
+
+fn main() {
+    let opts = cod_bench::util::CliOpts::parse(20);
+    cod_bench::experiments::table1(&opts);
+    cod_bench::experiments::fig4(&opts);
+    cod_bench::experiments::fig7(&opts);
+    cod_bench::experiments::fig8(&cod_bench::util::CliOpts { queries: opts.queries.min(10), ..opts.clone() });
+    cod_bench::experiments::fig9(&cod_bench::util::CliOpts { queries: opts.queries.min(8), ..opts.clone() });
+    cod_bench::experiments::table2(&opts);
+    cod_bench::experiments::case_study(&opts);
+    cod_bench::experiments::ablation_hgc(&opts);
+    cod_bench::experiments::ablation_weights(&opts);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table1 (see DESIGN.md §4).
+//!
+//! Usage: cargo run -p cod-bench --release --bin table1 -- [--queries N] [--seed N] [--theta N] [--datasets a,b] [--scale N]
+
+fn main() {
+    let opts = cod_bench::util::CliOpts::parse(20);
+    cod_bench::experiments::table1(&opts);
+}

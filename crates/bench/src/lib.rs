@@ -1,0 +1,16 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§V). See `DESIGN.md` §4 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! The harness is a library so that both the `src/bin/*` experiment
+//! binaries and the criterion benches reuse the same code paths:
+//!
+//! * [`multik`] — evaluate one query for *all* `k = 1..=k_max`
+//!   simultaneously (one compressed evaluation yields every k's verdict,
+//!   which is how the Fig. 7 sweeps stay affordable);
+//! * [`experiments`] — one function per table/figure;
+//! * [`util`] — timing and table formatting.
+
+pub mod experiments;
+pub mod multik;
+pub mod util;

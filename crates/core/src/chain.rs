@@ -1,0 +1,429 @@
+//! The hierarchical-community chain `H(q)` that COD evaluation runs over.
+//!
+//! The paper's Algorithm 1 is agnostic to where the nested communities come
+//! from; this module provides the three concrete shapes used by the method
+//! variants:
+//!
+//! * [`DendroChain`] — the root path of `q` in a dendrogram over the whole
+//!   graph (CODU on `T`, CODR on the reweighted `T_ℓ`);
+//! * [`SubgraphChain`] — the root path of `q` in a dendrogram over an
+//!   induced subgraph, mapped back to global node ids (the reclustered part
+//!   `H_ℓ(q | C_ℓ)` that HIMOR-based CODL evaluates, Algorithm 3 line 3);
+//! * [`ComposedChain`] — LORE's `H_ℓ(q) = Ancestors(q, T_ℓ) ∪
+//!   Ancestors(C_ℓ, T)` (Algorithm 2 line 4), used by CODL⁻.
+//!
+//! Chains list communities from the deepest (`C_0`, index 0) to the largest.
+
+use cod_graph::subgraph::Subgraph;
+use cod_graph::NodeId;
+use cod_hierarchy::{Dendrogram, LcaIndex, VertexId};
+
+/// A chain of strictly nested communities containing the query node,
+/// ordered from deepest (smallest, index 0) upward.
+///
+/// `level_of` is the workhorse of HFS (§III-A): for any node `u` it returns
+/// the index of the *deepest* chain community containing `u`, or `None` if
+/// `u` lies outside the whole chain.
+pub trait Chain {
+    /// Number of communities `|H(q)|`.
+    fn len(&self) -> usize;
+
+    /// Whether the chain is empty (single-node graphs).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size `|C_h|` of the `h`-th community.
+    fn size(&self, h: usize) -> usize;
+
+    /// Index of the deepest chain community containing `u`, if any.
+    fn level_of(&self, u: NodeId) -> Option<usize>;
+
+    /// Members of `C_h`, sorted ascending by node id.
+    fn members(&self, h: usize) -> Vec<NodeId>;
+
+    /// The nodes eligible as RR-graph sources (the largest community's
+    /// members), sorted ascending. Sampling is restricted here: induced RR
+    /// graphs of chain communities never leave it (Definition 3).
+    fn universe(&self) -> Vec<NodeId>;
+
+    /// A short label for community `h` (diagnostics).
+    fn label(&self, h: usize) -> String {
+        format!("C_{h}")
+    }
+}
+
+/// `H(q)`: the full root path of `q` in a dendrogram over the whole graph.
+pub struct DendroChain<'a> {
+    dendro: &'a Dendrogram,
+    lca: &'a LcaIndex,
+    q: NodeId,
+    path: Vec<VertexId>,
+    /// `depth(leaf(q)) - 1`, so `path[i]` has depth `base - i`.
+    base: u32,
+}
+
+impl<'a> DendroChain<'a> {
+    /// Builds the chain for query node `q`.
+    pub fn new(dendro: &'a Dendrogram, lca: &'a LcaIndex, q: NodeId) -> Self {
+        let path = dendro.root_path(q);
+        let base = dendro.depth(dendro.leaf(q)) - 1;
+        debug_assert_eq!(path.len(), base as usize);
+        Self {
+            dendro,
+            lca,
+            q,
+            path,
+            base,
+        }
+    }
+
+    /// The dendrogram vertex of community `h`.
+    pub fn vertex(&self, h: usize) -> VertexId {
+        self.path[h]
+    }
+
+    /// The query node.
+    pub fn query(&self) -> NodeId {
+        self.q
+    }
+}
+
+impl Chain for DendroChain<'_> {
+    fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    fn size(&self, h: usize) -> usize {
+        self.dendro.size(self.path[h])
+    }
+
+    fn level_of(&self, u: NodeId) -> Option<usize> {
+        if u == self.q {
+            return if self.path.is_empty() { None } else { Some(0) };
+        }
+        let d = self.dendro.depth(self.lca.lca(self.dendro.leaf(self.q), self.dendro.leaf(u)));
+        Some((self.base - d) as usize)
+    }
+
+    fn members(&self, h: usize) -> Vec<NodeId> {
+        self.dendro.members_sorted(self.path[h])
+    }
+
+    fn universe(&self) -> Vec<NodeId> {
+        match self.path.last() {
+            Some(&root) => self.dendro.members_sorted(root),
+            None => vec![self.q],
+        }
+    }
+
+    fn label(&self, h: usize) -> String {
+        format!("T:{}", self.path[h])
+    }
+}
+
+/// The root path of `q` inside a reclustered *subgraph*, expressed in
+/// global node ids. Excludes the subgraph's root community (`C_ℓ` itself),
+/// which the HIMOR index answers directly.
+pub struct SubgraphChain<'a> {
+    sub: &'a Subgraph,
+    dendro: &'a Dendrogram,
+    lca: &'a LcaIndex,
+    q_local: NodeId,
+    /// Path of `q_local` in the subgraph dendrogram, root excluded.
+    path: Vec<VertexId>,
+    base: u32,
+    include_root: bool,
+}
+
+impl<'a> SubgraphChain<'a> {
+    /// Builds the chain for global query node `q`, which must be a member
+    /// of `sub`. When `include_root` is false the subgraph's root community
+    /// is dropped from the chain (Algorithm 3 queries it from the index).
+    pub fn new(
+        sub: &'a Subgraph,
+        dendro: &'a Dendrogram,
+        lca: &'a LcaIndex,
+        q: NodeId,
+        include_root: bool,
+    ) -> Self {
+        let q_local = sub.local(q).expect("query node must be in the subgraph");
+        let mut path = dendro.root_path(q_local);
+        if !include_root {
+            path.pop();
+        }
+        let base = dendro.depth(dendro.leaf(q_local)) - 1;
+        Self {
+            sub,
+            dendro,
+            lca,
+            q_local,
+            path,
+            base,
+            include_root,
+        }
+    }
+
+    /// Whether the subgraph root is part of the chain.
+    pub fn includes_root(&self) -> bool {
+        self.include_root
+    }
+}
+
+impl Chain for SubgraphChain<'_> {
+    fn len(&self) -> usize {
+        self.path.len()
+    }
+
+    fn size(&self, h: usize) -> usize {
+        self.dendro.size(self.path[h])
+    }
+
+    fn level_of(&self, u: NodeId) -> Option<usize> {
+        let lu = self.sub.local(u)?;
+        let h = if lu == self.q_local {
+            0usize
+        } else {
+            let d = self
+                .dendro
+                .depth(self.lca.lca(self.dendro.leaf(self.q_local), self.dendro.leaf(lu)));
+            (self.base - d) as usize
+        };
+        if h < self.path.len() {
+            Some(h)
+        } else {
+            None // only in the excluded subgraph root
+        }
+    }
+
+    fn members(&self, h: usize) -> Vec<NodeId> {
+        let mut m: Vec<NodeId> = self
+            .dendro
+            .members(self.path[h])
+            .iter()
+            .map(|&l| self.sub.parent(l))
+            .collect();
+        m.sort_unstable();
+        m
+    }
+
+    fn universe(&self) -> Vec<NodeId> {
+        // Sources come from the whole subgraph (the reclustered community);
+        // sources outside every chain community contribute nothing and are
+        // skipped by HFS.
+        self.sub.members.clone()
+    }
+
+    fn label(&self, h: usize) -> String {
+        format!("Tl:{}", self.path[h])
+    }
+}
+
+/// LORE's attribute-aware chain `H_ℓ(q)`: the subgraph path inside `C_ℓ`
+/// (including `C_ℓ` as the subgraph root) followed by the ancestors of
+/// `C_ℓ` in the non-attributed hierarchy `T` (Algorithm 2, line 4).
+pub struct ComposedChain<'a> {
+    /// Lower, reclustered part (with the subgraph root = `C_ℓ` included).
+    lower: SubgraphChain<'a>,
+    /// The full-graph hierarchy `T`.
+    dendro: &'a Dendrogram,
+    lca: &'a LcaIndex,
+    /// Strict ancestors of `C_ℓ` in `T`, deepest first.
+    upper: Vec<VertexId>,
+    /// The reclustered community `C_ℓ` as a vertex of `T`.
+    c_ell: VertexId,
+}
+
+impl<'a> ComposedChain<'a> {
+    /// Composes the chain: `lower` must be built with `include_root =
+    /// true`, and its subgraph must be induced by the members of `c_ell`.
+    pub fn new(
+        lower: SubgraphChain<'a>,
+        dendro: &'a Dendrogram,
+        lca: &'a LcaIndex,
+        c_ell: VertexId,
+    ) -> Self {
+        assert!(lower.includes_root(), "lower chain must include C_ell");
+        assert_eq!(lower.sub.len(), dendro.size(c_ell));
+        let mut upper = Vec::new();
+        let mut v = dendro.parent(c_ell);
+        while v != cod_hierarchy::NO_VERTEX {
+            upper.push(v);
+            v = dendro.parent(v);
+        }
+        Self {
+            lower,
+            dendro,
+            lca,
+            upper,
+            c_ell,
+        }
+    }
+}
+
+impl Chain for ComposedChain<'_> {
+    fn len(&self) -> usize {
+        self.lower.len() + self.upper.len()
+    }
+
+    fn size(&self, h: usize) -> usize {
+        if h < self.lower.len() {
+            self.lower.size(h)
+        } else {
+            self.dendro.size(self.upper[h - self.lower.len()])
+        }
+    }
+
+    fn level_of(&self, u: NodeId) -> Option<usize> {
+        if self.dendro.contains(self.c_ell, u) {
+            // Inside C_ℓ: the subgraph chain decides (it includes its root,
+            // so this is always Some).
+            return self.lower.level_of(u);
+        }
+        // Outside C_ℓ: the deepest ancestor of C_ℓ in T containing u is
+        // lca(u, C_ℓ).
+        let a = self.lca.lca(self.dendro.leaf(u), self.c_ell);
+        let d = self.dendro.depth(a);
+        let j = (self.dendro.depth(self.c_ell) - 1 - d) as usize;
+        Some(self.lower.len() + j)
+    }
+
+    fn members(&self, h: usize) -> Vec<NodeId> {
+        if h < self.lower.len() {
+            self.lower.members(h)
+        } else {
+            self.dendro.members_sorted(self.upper[h - self.lower.len()])
+        }
+    }
+
+    fn universe(&self) -> Vec<NodeId> {
+        match self.upper.last() {
+            Some(&root) => self.dendro.members_sorted(root),
+            None => self.lower.universe(),
+        }
+    }
+
+    fn label(&self, h: usize) -> String {
+        if h < self.lower.len() {
+            self.lower.label(h)
+        } else {
+            format!("T:{}", self.upper[h - self.lower.len()])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cod_graph::{Csr, GraphBuilder};
+    use cod_hierarchy::{cluster_unweighted, Linkage};
+
+    fn line(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n - 1 {
+            b.add_edge(v as NodeId, v as NodeId + 1);
+        }
+        b.build()
+    }
+
+    fn dendro(g: &Csr) -> Dendrogram {
+        Dendrogram::from_merges(g.num_nodes(), &cluster_unweighted(g, Linkage::Average))
+    }
+
+    #[test]
+    fn dendro_chain_is_nested_and_ends_at_root() {
+        let g = line(8);
+        let d = dendro(&g);
+        let lca = LcaIndex::new(&d);
+        let chain = DendroChain::new(&d, &lca, 3);
+        assert!(chain.len() >= 3);
+        let mut prev = 0usize;
+        for h in 0..chain.len() {
+            assert!(chain.size(h) > prev, "sizes strictly increase");
+            prev = chain.size(h);
+            assert!(chain.members(h).contains(&3));
+        }
+        assert_eq!(chain.size(chain.len() - 1), 8);
+        assert_eq!(chain.universe().len(), 8);
+    }
+
+    #[test]
+    fn level_of_is_deepest_containing_community() {
+        let g = line(8);
+        let d = dendro(&g);
+        let lca = LcaIndex::new(&d);
+        let chain = DendroChain::new(&d, &lca, 3);
+        assert_eq!(chain.level_of(3), Some(0));
+        for u in 0..8 {
+            let h = chain.level_of(u).unwrap();
+            assert!(chain.members(h).contains(&u), "u={u} level {h}");
+            if h > 0 {
+                assert!(
+                    !chain.members(h - 1).contains(&u),
+                    "u={u} should not be one level deeper"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subgraph_chain_maps_to_global_ids() {
+        let g = line(8);
+        let members: Vec<NodeId> = vec![2, 3, 4, 5];
+        let sub = Subgraph::induced(&g, &members);
+        let sd = dendro(&sub.csr);
+        let lca = LcaIndex::new(&sd);
+        let chain = SubgraphChain::new(&sub, &sd, &lca, 3, true);
+        // Top community is the whole subgraph, in global ids.
+        assert_eq!(chain.members(chain.len() - 1), members);
+        assert!(chain.level_of(0).is_none(), "node outside subgraph");
+        assert_eq!(chain.level_of(3), Some(0));
+    }
+
+    #[test]
+    fn subgraph_chain_can_exclude_root() {
+        let g = line(8);
+        let members: Vec<NodeId> = vec![2, 3, 4, 5];
+        let sub = Subgraph::induced(&g, &members);
+        let sd = dendro(&sub.csr);
+        let lca = LcaIndex::new(&sd);
+        let with_root = SubgraphChain::new(&sub, &sd, &lca, 3, true);
+        let without = SubgraphChain::new(&sub, &sd, &lca, 3, false);
+        assert_eq!(without.len() + 1, with_root.len());
+    }
+
+    #[test]
+    fn composed_chain_stitches_lower_and_upper() {
+        let g = line(8);
+        let d = dendro(&g);
+        let lca = LcaIndex::new(&d);
+        // Pick C_ℓ = the deepest ancestor of node 3 with size >= 3.
+        let path = d.root_path(3);
+        let c_ell = *path
+            .iter()
+            .find(|&&v| d.size(v) >= 3)
+            .expect("some ancestor has size >= 3");
+        let members = d.members_sorted(c_ell);
+        let sub = Subgraph::induced(&g, &members);
+        let sd = dendro(&sub.csr);
+        let slca = LcaIndex::new(&sd);
+        let lower = SubgraphChain::new(&sub, &sd, &slca, 3, true);
+        let chain = ComposedChain::new(lower, &d, &lca, c_ell);
+        // Chain sizes strictly increase and the top is the whole graph.
+        let mut prev = 0usize;
+        for h in 0..chain.len() {
+            let s = chain.size(h);
+            assert!(s > prev);
+            prev = s;
+        }
+        assert_eq!(chain.size(chain.len() - 1), 8);
+        // level_of stays consistent with membership across the seam.
+        for u in 0..8 {
+            let h = chain.level_of(u).unwrap();
+            assert!(chain.members(h).contains(&u), "u={u} at level {h}");
+            if h > 0 {
+                assert!(!chain.members(h - 1).contains(&u));
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! COD over evolving graphs (the paper's §IV-B / §VI future-work
+//! direction).
+//!
+//! The paper observes that "updates to graphs have an impact on the
+//! structure of hierarchical communities and the process of influence
+//! propagation" and that the compressed hierarchy computation "cannot be
+//! updated efficiently". [`DynamicCod`] therefore takes the pragmatic
+//! middle road the paper's discussion suggests:
+//!
+//! * **influence is always fresh** — RR sampling runs on the current
+//!   topology, so ranks inside any evaluated community reflect all edits;
+//! * **the hierarchy and HIMOR index are versioned** — edits accumulate
+//!   against the cached hierarchy; once more than `rebuild_threshold`
+//!   edits (relative to `|E|`) pile up, both are rebuilt lazily on the
+//!   next query;
+//! * between rebuilds, queries run compressed evaluation over the cached
+//!   (slightly stale) hierarchy but on the **current** graph, and the
+//!   HIMOR fast path is disabled for any query node incident to an edit
+//!   (its local structure may have changed) — edits elsewhere cannot
+//!   change the node's own chain membership, only its estimates, which
+//!   are re-sampled anyway.
+
+use cod_graph::{AttrId, AttrInterner, AttrTable, AttributedGraph, FxHashSet, GraphBuilder, NodeId};
+use cod_hierarchy::LcaIndex;
+use rand::prelude::*;
+
+use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
+use crate::compressed::compressed_cod;
+use crate::himor::HimorIndex;
+use crate::lore::select_recluster_community;
+use crate::pipeline::{AnswerSource, CodAnswer, CodConfig};
+use crate::recluster::{build_hierarchy, local_recluster};
+
+/// A COD engine over a mutable attributed graph.
+pub struct DynamicCod {
+    num_nodes: usize,
+    edges: FxHashSet<(NodeId, NodeId)>,
+    attrs: Vec<Vec<AttrId>>,
+    interner: AttrInterner,
+    cfg: CodConfig,
+    /// Fraction of `|E|` worth of edits that triggers a full rebuild.
+    rebuild_threshold: f64,
+    cache: Option<Cache>,
+    edits_since_build: usize,
+    /// Nodes touched by edits since the last rebuild.
+    dirty: FxHashSet<NodeId>,
+}
+
+struct Cache {
+    graph: AttributedGraph,
+    dendro: cod_hierarchy::Dendrogram,
+    lca: LcaIndex,
+    index: HimorIndex,
+    /// Graph edits newer than `graph` (CSR needs refresh before queries).
+    csr_stale: bool,
+}
+
+impl DynamicCod {
+    /// Starts from an existing attributed graph.
+    pub fn new<R: Rng>(g: &AttributedGraph, cfg: CodConfig, rng: &mut R) -> Self {
+        let mut edges = FxHashSet::default();
+        for (u, v) in g.edges() {
+            edges.insert((u, v));
+        }
+        let attrs = (0..g.num_nodes() as NodeId)
+            .map(|v| g.node_attrs(v).to_vec())
+            .collect();
+        let mut me = Self {
+            num_nodes: g.num_nodes(),
+            edges,
+            attrs,
+            interner: g.interner().clone(),
+            cfg,
+            rebuild_threshold: 0.02,
+            cache: None,
+            edits_since_build: 0,
+            dirty: FxHashSet::default(),
+        };
+        me.rebuild(rng);
+        me
+    }
+
+    /// Sets the edit fraction that forces a hierarchy + index rebuild
+    /// (default 2% of `|E|`).
+    pub fn set_rebuild_threshold(&mut self, fraction: f64) {
+        self.rebuild_threshold = fraction.max(0.0);
+    }
+
+    /// Current number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Current number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of edits applied since the hierarchy was last rebuilt.
+    pub fn pending_edits(&self) -> usize {
+        self.edits_since_build
+    }
+
+    /// Inserts an undirected edge (growing the node range if needed).
+    /// Returns false if it already existed.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = (u.min(v), u.max(v));
+        let grew = key.1 as usize >= self.num_nodes;
+        if grew {
+            self.num_nodes = key.1 as usize + 1;
+            self.attrs.resize(self.num_nodes, Vec::new());
+            // New nodes invalidate the hierarchy wholesale.
+            self.cache = None;
+        }
+        if self.edges.insert(key) {
+            self.note_edit(u, v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes an undirected edge. Returns false if absent.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let key = (u.min(v), u.max(v));
+        if self.edges.remove(&key) {
+            self.note_edit(u, v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replaces the attribute set of a node.
+    pub fn set_attrs(&mut self, v: NodeId, attrs: Vec<AttrId>) {
+        assert!((v as usize) < self.num_nodes);
+        self.attrs[v as usize] = attrs;
+        // Attributes only affect LORE's choice and the g_ℓ weights — no
+        // hierarchy invalidation needed, but the node's queries should not
+        // take the index fast path blindly.
+        self.dirty.insert(v);
+        if let Some(c) = &mut self.cache {
+            c.csr_stale = true; // attribute table lives in the cached graph
+        }
+    }
+
+    /// Interns an attribute name.
+    pub fn intern_attr(&mut self, name: &str) -> AttrId {
+        self.interner.intern(name)
+    }
+
+    fn note_edit(&mut self, u: NodeId, v: NodeId) {
+        self.edits_since_build += 1;
+        self.dirty.insert(u);
+        self.dirty.insert(v);
+        if let Some(c) = &mut self.cache {
+            c.csr_stale = true;
+        }
+        let limit = (self.edges.len() as f64 * self.rebuild_threshold) as usize;
+        if self.edits_since_build > limit {
+            self.cache = None;
+        }
+    }
+
+    fn materialize_graph(&self) -> AttributedGraph {
+        let mut b = GraphBuilder::with_capacity(self.num_nodes, self.edges.len());
+        for &(u, v) in &self.edges {
+            b.add_edge(u, v);
+        }
+        AttributedGraph::from_parts(
+            b.build(),
+            AttrTable::from_lists(self.attrs.clone()),
+            self.interner.clone(),
+        )
+    }
+
+    /// Forces an immediate hierarchy + index rebuild.
+    pub fn rebuild<R: Rng>(&mut self, rng: &mut R) {
+        let graph = self.materialize_graph();
+        let dendro = build_hierarchy(graph.csr(), self.cfg.linkage);
+        let lca = LcaIndex::new(&dendro);
+        let index =
+            HimorIndex::build(graph.csr(), self.cfg.model, &dendro, &lca, self.cfg.theta, rng);
+        self.cache = Some(Cache {
+            graph,
+            dendro,
+            lca,
+            index,
+            csr_stale: false,
+        });
+        self.edits_since_build = 0;
+        self.dirty.clear();
+    }
+
+    fn ensure_cache<R: Rng>(&mut self, rng: &mut R) {
+        if self.cache.is_none() {
+            self.rebuild(rng);
+            return;
+        }
+        if self.cache.as_ref().is_some_and(|c| c.csr_stale) {
+            // Refresh the topology without rebuilding hierarchy/index: the
+            // influence process must see current edges.
+            let graph = self.materialize_graph();
+            let c = self.cache.as_mut().unwrap();
+            c.graph = graph;
+            c.csr_stale = false;
+        }
+    }
+
+    /// Whether the next query for `q` may answer from the HIMOR fast path
+    /// (false while `q` or the hierarchy is dirty).
+    pub fn index_usable_for(&self, q: NodeId) -> bool {
+        self.edits_since_build == 0 && !self.dirty.contains(&q)
+    }
+
+    /// Answers a COD query on the *current* graph. Equivalent to
+    /// [`crate::pipeline::Codl::query`] when no edits are pending; with
+    /// pending edits the hierarchy is up to `rebuild_threshold·|E|` edits
+    /// stale, but all influence estimates are fresh.
+    pub fn query<R: Rng>(&mut self, q: NodeId, attr: AttrId, rng: &mut R) -> Option<CodAnswer> {
+        assert!((q as usize) < self.num_nodes, "query node out of range");
+        self.ensure_cache(rng);
+        let use_index = self.index_usable_for(q);
+        let c = self.cache.as_ref().unwrap();
+        let g = &c.graph;
+        let choice = select_recluster_community(g, &c.dendro, &c.lca, q, attr);
+        if use_index {
+            let floor = choice.map(|x| x.vertex);
+            if let Some(v) = c.index.largest_top_k(&c.dendro, q, floor, self.cfg.k) {
+                let path = c.dendro.root_path(q);
+                let j = path.iter().position(|&x| x == v).expect("on path");
+                return Some(CodAnswer {
+                    members: c.dendro.members_sorted(v),
+                    rank: c.index.ranks_of(q)[j] as usize,
+                    source: AnswerSource::Index,
+                });
+            }
+        }
+        // Compressed evaluation over the (possibly stale) chain with fresh
+        // influence sampling.
+        let outcome_chain: Option<CodAnswer> = match choice {
+            None => {
+                let chain = DendroChain::new(&c.dendro, &c.lca, q);
+                if chain.is_empty() {
+                    return None;
+                }
+                let out =
+                    compressed_cod(g.csr(), self.cfg.model, &chain, q, self.cfg.k, self.cfg.theta, rng);
+                out.best_level.map(|h| CodAnswer {
+                    members: chain.members(h),
+                    rank: out.ranks[h],
+                    source: AnswerSource::Compressed,
+                })
+            }
+            Some(choice) => {
+                let members = c.dendro.members_sorted(choice.vertex);
+                let (sub, sd) =
+                    local_recluster(g, &members, attr, self.cfg.beta, self.cfg.linkage);
+                let slca = LcaIndex::new(&sd);
+                let lower = SubgraphChain::new(&sub, &sd, &slca, q, true);
+                let chain = ComposedChain::new(lower, &c.dendro, &c.lca, choice.vertex);
+                let out =
+                    compressed_cod(g.csr(), self.cfg.model, &chain, q, self.cfg.k, self.cfg.theta, rng);
+                out.best_level.map(|h| CodAnswer {
+                    members: chain.members(h),
+                    rank: out.ranks[h],
+                    source: AnswerSource::Compressed,
+                })
+            }
+        };
+        outcome_chain
+    }
+
+    /// The current graph (rebuilding the CSR if edits are pending).
+    pub fn graph<R: Rng>(&mut self, rng: &mut R) -> &AttributedGraph {
+        self.ensure_cache(rng);
+        &self.cache.as_ref().unwrap().graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cod_graph::GraphBuilder;
+    use cod_influence::Model;
+
+    fn star_graph() -> AttributedGraph {
+        let mut b = GraphBuilder::new(8);
+        for v in 1..6 {
+            b.add_edge(0, v);
+        }
+        b.add_edge(5, 6);
+        b.add_edge(6, 7);
+        let attrs = AttrTable::from_lists(vec![vec![0]; 8]);
+        AttributedGraph::from_parts(b.build(), attrs, AttrInterner::new())
+    }
+
+    fn cfg() -> CodConfig {
+        CodConfig {
+            k: 2,
+            theta: 100,
+            model: Model::WeightedCascade,
+            ..CodConfig::default()
+        }
+    }
+
+    #[test]
+    fn behaves_like_codl_without_edits() {
+        let g = star_graph();
+        let mut rng = SmallRng::seed_from_u64(61);
+        let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
+        assert!(dyn_cod.index_usable_for(0));
+        let ans = dyn_cod.query(0, 0, &mut rng).expect("hub answered");
+        assert!(ans.members.contains(&0));
+    }
+
+    #[test]
+    fn edits_disable_the_fast_path_until_rebuild() {
+        let g = star_graph();
+        let mut rng = SmallRng::seed_from_u64(62);
+        let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
+        dyn_cod.set_rebuild_threshold(10.0); // avoid auto-rebuild
+        assert!(dyn_cod.insert_edge(1, 2));
+        assert!(!dyn_cod.index_usable_for(1));
+        assert!(!dyn_cod.index_usable_for(4) || dyn_cod.pending_edits() == 0);
+        let _ = dyn_cod.query(1, 0, &mut rng);
+        dyn_cod.rebuild(&mut rng);
+        assert!(dyn_cod.index_usable_for(1));
+        assert_eq!(dyn_cod.pending_edits(), 0);
+    }
+
+    #[test]
+    fn influence_sees_fresh_edges_immediately() {
+        // Node 7 starts as a path tail; attaching five new leaves to it
+        // makes it a hub whose RR counts must reflect the new star even
+        // before any rebuild.
+        let g = star_graph();
+        let mut rng = SmallRng::seed_from_u64(63);
+        let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
+        dyn_cod.set_rebuild_threshold(10.0);
+        for v in 8..13 {
+            assert!(dyn_cod.insert_edge(7, v));
+        }
+        let graph = dyn_cod.graph(&mut rng);
+        assert_eq!(graph.degree(7), 6);
+        assert_eq!(graph.num_nodes(), 13);
+    }
+
+    #[test]
+    fn duplicate_and_missing_edits_are_rejected() {
+        let g = star_graph();
+        let mut rng = SmallRng::seed_from_u64(64);
+        let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
+        assert!(!dyn_cod.insert_edge(0, 1), "edge already present");
+        assert!(!dyn_cod.insert_edge(3, 3), "self loop");
+        assert!(!dyn_cod.remove_edge(0, 7), "edge absent");
+        assert!(dyn_cod.remove_edge(1, 0), "reverse orientation works");
+        assert_eq!(dyn_cod.num_edges(), 6);
+    }
+
+    #[test]
+    fn threshold_triggers_automatic_rebuild() {
+        let g = star_graph();
+        let mut rng = SmallRng::seed_from_u64(65);
+        let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
+        dyn_cod.set_rebuild_threshold(0.0); // every edit invalidates
+        dyn_cod.insert_edge(2, 3);
+        // Cache dropped; next query rebuilds and the fast path returns.
+        let _ = dyn_cod.query(0, 0, &mut rng);
+        assert_eq!(dyn_cod.pending_edits(), 0);
+        assert!(dyn_cod.index_usable_for(2));
+    }
+
+    #[test]
+    fn attribute_edits_steer_lore() {
+        let g = star_graph();
+        let mut rng = SmallRng::seed_from_u64(66);
+        let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
+        let b = dyn_cod.intern_attr("B");
+        dyn_cod.set_attrs(6, vec![b]);
+        dyn_cod.set_attrs(7, vec![b]);
+        // Query on the new attribute works (and returns fresh attributes).
+        let _ = dyn_cod.query(6, b, &mut rng);
+        let graph = dyn_cod.graph(&mut rng);
+        assert!(graph.has_attr(6, b));
+    }
+}

@@ -1,0 +1,43 @@
+//! Characteristic community discovery (COD) — the paper's core algorithms.
+//!
+//! Given an attributed graph `g`, a query node `q`, a query attribute `ℓ_q`
+//! and a rank threshold `k`, COD finds the *largest* community of a
+//! hierarchy in which `q` is top-`k` influential (Definition 1). This crate
+//! implements:
+//!
+//! * [`chain`] — the hierarchical-community chain `H(q)` abstraction that
+//!   evaluation runs over (a dendrogram root path, a reclustered-subgraph
+//!   path, or the LORE composition of both);
+//! * [`compressed`] — **Algorithm 1**: compressed COD evaluation with shared
+//!   sample generation, hierarchical-first search and incremental top-k
+//!   evaluation (§III);
+//! * [`independent`] — the naïve per-community baseline (§V-C's
+//!   `Independent`);
+//! * [`lore`] — **Algorithm 2**: the LORE reclustering score and community
+//!   selection (§IV-A);
+//! * [`recluster`] — attribute-aware edge weighting and global/local
+//!   re-clustering (the `g_ℓ` transform, §IV);
+//! * [`himor`] — the **HIMOR index**: compressed construction over the tree
+//!   of buckets and **Algorithm 3** query processing (§IV-B);
+//! * [`pipeline`] — the method facades evaluated in §V: `CODU`, `CODR`,
+//!   `CODL⁻` and `CODL`;
+//! * [`measures`] — answer-quality measures (size, `ρ`, `φ`, top-k
+//!   precision) shared by the experiment harness.
+
+pub mod chain;
+pub mod compressed;
+pub mod dynamic;
+pub mod himor;
+pub mod independent;
+pub mod lore;
+pub mod measures;
+pub mod persist;
+pub mod pipeline;
+pub mod recluster;
+
+pub use chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
+pub use compressed::{compressed_cod, compressed_cod_adaptive, CodOutcome};
+pub use dynamic::DynamicCod;
+pub use himor::HimorIndex;
+pub use lore::{select_recluster_community, ReclusterChoice};
+pub use pipeline::{CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu};

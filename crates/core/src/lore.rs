@@ -1,0 +1,262 @@
+//! Algorithm 2 (`QueryAttrRelated`): the LORE reclustering score (§IV-A).
+//!
+//! For each community `C_i(q)` on the query node's root path, the
+//! reclustering score is
+//!
+//! ```text
+//! r(C_i) · |C_i| = Σ_{j = 1..i} Δ(C_j) · dep(C_j)          (Eq. 3/4)
+//! ```
+//!
+//! where `Δ(C)` counts the query-attributed edges whose lowest common
+//! ancestor is exactly `C` (the edges `C` "divides" into different
+//! children). LORE reclusters the community with the maximum score;
+//! on ties the deepest maximum wins (Algorithm 2 keeps the first strict
+//! improvement).
+
+use cod_graph::{AttrId, AttributedGraph, NodeId};
+use cod_hierarchy::{Dendrogram, LcaIndex, VertexId};
+
+/// The community LORE chose for reclustering.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReclusterChoice {
+    /// The chosen community `C_ℓ` as a vertex of the non-attributed
+    /// hierarchy `T`.
+    pub vertex: VertexId,
+    /// Its index on the query node's root path (0 = deepest).
+    pub chain_index: usize,
+    /// Its reclustering score `r(C_ℓ)`.
+    pub score: f64,
+}
+
+/// Computes the reclustering scores of all communities on `q`'s root path
+/// and returns the maximizer (Algorithm 2, `QueryAttrRelated`).
+///
+/// Returns `None` when no query-attributed edge is split on the path (all
+/// scores zero) — CODL then skips reclustering and answers from the
+/// non-attributed hierarchy alone.
+pub fn select_recluster_community(
+    g: &AttributedGraph,
+    dendro: &Dendrogram,
+    lca: &LcaIndex,
+    q: NodeId,
+    attr: AttrId,
+) -> Option<ReclusterChoice> {
+    let scores = recluster_scores(g, dendro, lca, q, attr)?;
+    let path = dendro.root_path(q);
+    let mut best: Option<ReclusterChoice> = None;
+    for (i, &score) in scores.iter().enumerate() {
+        let improves = match best {
+            None => score > 0.0,
+            Some(b) => score > b.score,
+        };
+        if improves {
+            best = Some(ReclusterChoice {
+                vertex: path[i],
+                chain_index: i,
+                score,
+            });
+        }
+    }
+    best
+}
+
+/// The raw reclustering scores `r(C_i(q))` for every community on `q`'s
+/// root path (index 0 = deepest). `r(C_0) = 0` by definition (no chain
+/// descendant can divide an edge). Returns `None` for an empty path.
+pub fn recluster_scores(
+    g: &AttributedGraph,
+    dendro: &Dendrogram,
+    lca: &LcaIndex,
+    q: NodeId,
+    attr: AttrId,
+) -> Option<Vec<f64>> {
+    let path = dendro.root_path(q);
+    if path.is_empty() {
+        return None;
+    }
+    let m = path.len();
+    // depth(path[i]) = base - i.
+    let base = dendro.depth(dendro.leaf(q)) - 1;
+
+    // Δ[i] = number of query-attributed edges whose lca is path[i].
+    let mut delta = vec![0u64; m];
+    for (u, v) in g.edges() {
+        if !g.edge_is_attributed(u, v, attr) {
+            continue;
+        }
+        let c = lca.lca(dendro.leaf(u), dendro.leaf(v));
+        // "if q ∈ lca(u, v)" — only communities on q's path count.
+        if !dendro.contains(c, q) {
+            continue;
+        }
+        let d = dendro.depth(c);
+        debug_assert!(d <= base, "an lca of two distinct leaves is internal");
+        let i = (base - d) as usize;
+        delta[i] += 1;
+    }
+
+    // Prefix sums of Δ(C_j)·dep(C_j) over j = 1..i, divided by |C_i|.
+    let mut scores = vec![0.0; m];
+    let mut s = 0u64;
+    for i in 1..m {
+        s += delta[i] * u64::from(base - i as u32);
+        scores[i] = s as f64 / dendro.size(path[i]) as f64;
+    }
+    Some(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cod_graph::{AttrInterner, AttrTable, GraphBuilder};
+    use cod_hierarchy::Merge;
+
+    /// The paper's running example: Fig. 2 graph + Fig. 5 attributes.
+    ///
+    /// Hierarchy: C_0 = {0,1,2,3}, C_1 = {4,5}, C_2 = {6,7},
+    /// C_3 = C_0 ∪ C_2, C_4 = C_3 ∪ C_1, C_5 = {8,9}, C_6 = root.
+    /// Edges (Fig. 2): within C_0: (0,1),(0,2),(0,3),(1,2),(2,3);
+    /// (2,4),(3,5),(4,5),(3,7),(3,6),(6,7),(5,6),(6,8),(8,9),(6,9).
+    /// DB attribute (Fig. 5) on: v0, v2, v3, v4, v5, v7 — chosen so that
+    /// δ(v0, C_4) = {(2,4),(3,5),(3,7)} as in Example 5.
+    fn paper_example() -> (AttributedGraph, Dendrogram, LcaIndex) {
+        let mut b = GraphBuilder::new(10);
+        for (u, v) in [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 2),
+            (2, 3),
+            (2, 4),
+            (3, 5),
+            (4, 5),
+            (3, 7),
+            (3, 6),
+            (6, 7),
+            (5, 6),
+            (6, 8),
+            (8, 9),
+            (6, 9),
+        ] {
+            b.add_edge(u, v);
+        }
+        let csr = b.build();
+        let mut interner = AttrInterner::new();
+        let db = interner.intern("DB");
+        assert_eq!(db, 0);
+        let ml = interner.intern("ML");
+        let attr_of = |v: NodeId| -> Vec<AttrId> {
+            match v {
+                0 | 2 | 3 | 4 | 5 | 7 => vec![db],
+                _ => vec![ml],
+            }
+        };
+        let attrs = AttrTable::from_lists((0..10).map(attr_of).collect());
+        let g = AttributedGraph::from_parts(csr, attrs, interner);
+
+        let merges = vec![
+            Merge { a: 0, b: 1 },   // 10
+            Merge { a: 10, b: 2 },  // 11
+            Merge { a: 11, b: 3 },  // 12 = C_0
+            Merge { a: 4, b: 5 },   // 13 = C_1
+            Merge { a: 6, b: 7 },   // 14 = C_2
+            Merge { a: 12, b: 14 }, // 15 = C_3
+            Merge { a: 15, b: 13 }, // 16 = C_4
+            Merge { a: 8, b: 9 },   // 17 = C_5
+            Merge { a: 16, b: 17 }, // 18 = C_6 (root)
+        ];
+        let d = Dendrogram::from_merges(10, &merges);
+        let lca = LcaIndex::new(&d);
+        (g, d, lca)
+    }
+
+    /// Hand-computed scores on the *binary* refinement of the paper's tree.
+    ///
+    /// The path of `v_0` is `[10, 11, 12=C_0, 15=C_3, 16=C_4, 18=C_6]` with
+    /// depths `6..1`. Query-attributed (DB) edge lcas on the path:
+    /// `(0,2)→11`, `(0,3),(2,3)→12`, `(3,7)→15`, `(2,4),(3,5)→16`
+    /// (`(4,5)→13` is off-path and ignored, as in Example 5). Hence
+    /// `Δ = [0, 1, 2, 1, 2, 0]` and the Eq.-3 prefix recursion gives
+    /// `r = [0, 5/3, 13/4, 16/6, 20/8, 20/10]`.
+    ///
+    /// Note the paper's own Example 6 numbers (`r(C_3) = 1/2`,
+    /// `r(C_4) = 7/8`) assume the illustrated 4-ary tree where `C_0` has no
+    /// internal structure; with `C_0` refined, its internal DB edges count
+    /// toward every ancestor, exactly as Definition 4 prescribes.
+    #[test]
+    fn scores_follow_eq3_recursion_on_binary_fig2() {
+        let (g, d, lca) = paper_example();
+        let scores = recluster_scores(&g, &d, &lca, 0, 0).unwrap();
+        let expect = [0.0, 5.0 / 3.0, 13.0 / 4.0, 16.0 / 6.0, 20.0 / 8.0, 2.0];
+        assert_eq!(scores.len(), expect.len());
+        for (i, (&got, &want)) in scores.iter().zip(expect.iter()).enumerate() {
+            assert!((got - want).abs() < 1e-12, "i={i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn selects_the_score_maximizer() {
+        let (g, d, lca) = paper_example();
+        let choice = select_recluster_community(&g, &d, &lca, 0, 0).unwrap();
+        assert_eq!(choice.vertex, 12, "C_0 maximizes the score on the binary tree");
+        assert_eq!(choice.chain_index, 2);
+        assert!((choice.score - 13.0 / 4.0).abs() < 1e-12);
+    }
+
+    /// The exact Example 5/6 arithmetic, checked on the sub-expression the
+    /// paper isolates: the contributions of the edges divided *above* C_0.
+    #[test]
+    fn example_6_arithmetic_above_c0() {
+        let (g, d, lca) = paper_example();
+        let path = d.root_path(0);
+        let base = d.depth(d.leaf(0)) - 1;
+        // Δ(C_3)·dep(C_3) = 1·3 and Δ(C_4)·dep(C_4) = 2·2, as in Example 6.
+        let mut above_c0 = std::collections::BTreeMap::new();
+        for (u, v) in g.edges() {
+            if !g.edge_is_attributed(u, v, 0) {
+                continue;
+            }
+            let c = lca.lca(d.leaf(u), d.leaf(v));
+            if d.contains(c, 0) && d.depth(c) <= 3 {
+                *above_c0.entry(c).or_insert(0u64) += 1;
+            }
+        }
+        assert_eq!(above_c0.get(&15), Some(&1)); // C_3 divides (3,7)
+        assert_eq!(above_c0.get(&16), Some(&2)); // C_4 divides (2,4),(3,5)
+        // Reconstruct the paper's r(C_3), r(C_4) over the named communities:
+        let r_c3: f64 = 3.0 / 6.0;
+        let r_c4 = (3 + 2 * 2) as f64 / 8.0;
+        assert!((r_c3 - 0.5).abs() < 1e-12);
+        assert!((r_c4 - 7.0 / 8.0).abs() < 1e-12);
+        let _ = (path, base);
+    }
+
+    #[test]
+    fn deepest_community_scores_zero() {
+        let (g, d, lca) = paper_example();
+        let scores = recluster_scores(&g, &d, &lca, 0, 0).unwrap();
+        assert_eq!(scores[0], 0.0);
+    }
+
+    #[test]
+    fn no_attributed_edges_yields_none() {
+        let (g, d, lca) = paper_example();
+        // Attribute id 1 = ML: only v1, v6, v8, v9 carry it; the edges
+        // among them on v0's path: (6,8),(6,9),(8,9) have lcas C_6/C_6/C_5.
+        // C_5 does not contain v0, so only Δ(root) grows — root score is
+        // positive. Use a fresh attribute id with no nodes instead.
+        assert!(select_recluster_community(&g, &d, &lca, 0, 99).is_none());
+    }
+
+    #[test]
+    fn ml_edges_divided_only_at_root_give_root_score() {
+        let (g, d, lca) = paper_example();
+        let scores = recluster_scores(&g, &d, &lca, 0, 1).unwrap();
+        let path = d.root_path(0);
+        let root_idx = path.len() - 1;
+        // (6,8) and (6,9) have lca = root (depth 1): r(root) = 2·1/10.
+        assert!((scores[root_idx] - 0.2).abs() < 1e-12, "{scores:?}");
+        let choice = select_recluster_community(&g, &d, &lca, 0, 1).unwrap();
+        assert_eq!(choice.chain_index, root_idx);
+    }
+}

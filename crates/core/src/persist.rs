@@ -1,0 +1,228 @@
+//! On-disk persistence for the hierarchy and the HIMOR index.
+//!
+//! The HIMOR index is built once per graph (Θ = θ·|V| RR graphs, Table II
+//! reports minutes on the large datasets) and reused across queries and
+//! sessions — so a deployment wants it on disk. The format is a simple
+//! versioned little-endian binary:
+//!
+//! ```text
+//! magic "CODX" | version u32 | num_leaves u64
+//! | merges: (a u32, b u32) × (num_leaves - 1)
+//! | theta u64
+//! | per node: len u32, ranks u32 × len
+//! ```
+//!
+//! No external serialization crate is needed (see `DESIGN.md` §6).
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use cod_hierarchy::{Dendrogram, Merge};
+
+use crate::himor::HimorIndex;
+
+const MAGIC: &[u8; 4] = b"CODX";
+const VERSION: u32 = 1;
+
+/// Errors from index persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying file error.
+    Io(std::io::Error),
+    /// Not a COD index file, or an unsupported version.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes the hierarchy and its HIMOR index to `path`.
+pub fn save_index(
+    path: &Path,
+    dendro: &Dendrogram,
+    index: &HimorIndex,
+) -> Result<(), PersistError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let n = dendro.num_leaves();
+    if index.num_nodes() != n {
+        return Err(PersistError::Format(format!(
+            "index covers {} nodes but the hierarchy has {n} leaves",
+            index.num_nodes()
+        )));
+    }
+    w.write_all(&(n as u64).to_le_bytes())?;
+    for m in dendro.merges() {
+        w.write_all(&m.a.to_le_bytes())?;
+        w.write_all(&m.b.to_le_bytes())?;
+    }
+    w.write_all(&(index.theta() as u64).to_le_bytes())?;
+    for v in 0..n as u32 {
+        let ranks = index.ranks_of(v);
+        w.write_all(&(ranks.len() as u32).to_le_bytes())?;
+        for &r in ranks {
+            w.write_all(&r.to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a hierarchy + HIMOR index pair written by [`save_index`].
+pub fn load_index(path: &Path) -> Result<(Dendrogram, HimorIndex), PersistError> {
+    let f = std::fs::File::open(path)?;
+    let mut r = BufReader::new(f);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::Format("bad magic; not a COD index file".into()));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(PersistError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let n = read_u64(&mut r)? as usize;
+    if n == 0 {
+        return Err(PersistError::Format("empty hierarchy".into()));
+    }
+    let mut merges = Vec::with_capacity(n - 1);
+    for _ in 0..n - 1 {
+        let a = read_u32(&mut r)?;
+        let b = read_u32(&mut r)?;
+        merges.push(Merge { a, b });
+    }
+    // from_merges validates tree structure (panics on malformed input);
+    // guard against absurd ids first so corrupt files error out instead.
+    for (i, m) in merges.iter().enumerate() {
+        let limit = (n + i) as u32;
+        if m.a >= limit || m.b >= limit {
+            return Err(PersistError::Format(format!("merge {i} references future vertex")));
+        }
+    }
+    let dendro = Dendrogram::from_merges(n, &merges);
+    let theta = read_u64(&mut r)? as usize;
+    let mut ranks = Vec::with_capacity(n);
+    for v in 0..n as u32 {
+        let len = read_u32(&mut r)? as usize;
+        let expected = dendro.root_path(v).len();
+        if len != expected {
+            return Err(PersistError::Format(format!(
+                "node {v}: {len} ranks stored but the path has {expected} communities"
+            )));
+        }
+        let mut row = Vec::with_capacity(len);
+        for _ in 0..len {
+            row.push(read_u32(&mut r)?);
+        }
+        ranks.push(row);
+    }
+    Ok((dendro, HimorIndex::from_raw(ranks, theta)))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, PersistError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recluster::build_hierarchy;
+    use cod_graph::GraphBuilder;
+    use cod_hierarchy::{LcaIndex, Linkage};
+    use cod_influence::Model;
+    use rand::prelude::*;
+
+    fn setup() -> (cod_graph::Csr, Dendrogram, HimorIndex) {
+        let mut b = GraphBuilder::new(10);
+        for v in 1..6u32 {
+            b.add_edge(0, v);
+        }
+        for v in 7..10u32 {
+            b.add_edge(6, v);
+        }
+        b.add_edge(5, 6);
+        let g = b.build();
+        let dendro = build_hierarchy(&g, Linkage::Average);
+        let lca = LcaIndex::new(&dendro);
+        let mut rng = SmallRng::seed_from_u64(50);
+        let index = HimorIndex::build(&g, Model::WeightedCascade, &dendro, &lca, 50, &mut rng);
+        (g, dendro, index)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (_, dendro, index) = setup();
+        let path = std::env::temp_dir().join("cod_persist_round_trip.codx");
+        save_index(&path, &dendro, &index).unwrap();
+        let (d2, i2) = load_index(&path).unwrap();
+        assert_eq!(d2.num_leaves(), dendro.num_leaves());
+        assert_eq!(i2.theta(), index.theta());
+        for v in 0..10u32 {
+            assert_eq!(d2.root_path(v), dendro.root_path(v));
+            assert_eq!(i2.ranks_of(v), index.ranks_of(v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn queries_work_after_reload() {
+        let (_, dendro, index) = setup();
+        let path = std::env::temp_dir().join("cod_persist_query.codx");
+        save_index(&path, &dendro, &index).unwrap();
+        let (d2, i2) = load_index(&path).unwrap();
+        assert_eq!(
+            i2.largest_top_k(&d2, 0, None, 1),
+            index.largest_top_k(&dendro, 0, None, 1)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = std::env::temp_dir().join("cod_persist_bad.codx");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        match load_index(&path) {
+            Err(PersistError::Format(m)) => assert!(m.contains("magic")),
+            Err(other) => panic!("expected format error, got {other:?}"),
+            Ok(_) => panic!("expected format error, got success"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let (_, dendro, index) = setup();
+        let path = std::env::temp_dir().join("cod_persist_trunc.codx");
+        save_index(&path, &dendro, &index).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(load_index(&path), Err(PersistError::Io(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

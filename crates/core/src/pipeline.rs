@@ -1,0 +1,385 @@
+//! Method facades: the COD variants evaluated in the paper's §V.
+//!
+//! * [`Codu`] — non-attributed hierarchy + compressed evaluation;
+//! * [`Codr`] — global reclustering of `g_ℓ` per query + compressed
+//!   evaluation;
+//! * [`CodlMinus`] — LORE local reclustering + compressed evaluation over
+//!   the composed chain (no index);
+//! * [`Codl`] — LORE + HIMOR index (Algorithm 3), the fully optimized
+//!   method.
+//!
+//! All variants share one [`CodConfig`] and return [`CodAnswer`]s carrying
+//! the characteristic community's members plus diagnostics.
+
+use cod_graph::{AttrId, AttributedGraph, NodeId};
+use cod_hierarchy::{Dendrogram, LcaIndex, Linkage, VertexId};
+use cod_influence::Model;
+use rand::prelude::*;
+
+use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
+use crate::compressed::compressed_cod;
+use crate::himor::HimorIndex;
+use crate::lore::select_recluster_community;
+use crate::recluster::{build_hierarchy, global_recluster, local_recluster};
+
+/// Shared configuration for all COD variants (paper §V-A defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct CodConfig {
+    /// Required influence rank `k` (default 5).
+    pub k: usize,
+    /// RR graphs per node `θ` (default 10).
+    pub theta: usize,
+    /// Extra weight `β` on query-attributed edges in `g_ℓ` (default 1).
+    pub beta: f64,
+    /// Linkage function for hierarchical clustering.
+    pub linkage: Linkage,
+    /// Diffusion model (default weighted cascade).
+    pub model: Model,
+}
+
+impl Default for CodConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            theta: 10,
+            beta: 1.0,
+            linkage: Linkage::Average,
+            model: Model::WeightedCascade,
+        }
+    }
+}
+
+/// How a query was answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnswerSource {
+    /// Straight from the HIMOR index (Algorithm 3, lines 1–2).
+    Index,
+    /// By compressed COD evaluation (Algorithm 1).
+    Compressed,
+}
+
+/// A characteristic community answer.
+#[derive(Clone, Debug)]
+pub struct CodAnswer {
+    /// Members of `C*(q)`, sorted ascending.
+    pub members: Vec<NodeId>,
+    /// Estimated 1-based influence rank of `q` in `C*(q)`.
+    pub rank: usize,
+    /// Where the answer came from.
+    pub source: AnswerSource,
+}
+
+impl CodAnswer {
+    /// `|C*|`.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// CODU: compressed evaluation over the non-attributed hierarchy `T`.
+pub struct Codu<'g> {
+    g: &'g AttributedGraph,
+    cfg: CodConfig,
+    dendro: Dendrogram,
+    lca: LcaIndex,
+}
+
+impl<'g> Codu<'g> {
+    /// Builds `T` once; queries reuse it.
+    pub fn new(g: &'g AttributedGraph, cfg: CodConfig) -> Self {
+        let dendro = build_hierarchy(g.csr(), cfg.linkage);
+        let lca = LcaIndex::new(&dendro);
+        Self {
+            g,
+            cfg,
+            dendro,
+            lca,
+        }
+    }
+
+    /// The shared non-attributed hierarchy.
+    pub fn hierarchy(&self) -> (&Dendrogram, &LcaIndex) {
+        (&self.dendro, &self.lca)
+    }
+
+    /// Answers a COD query (the query attribute is ignored by CODU).
+    pub fn query<R: Rng>(&self, q: NodeId, rng: &mut R) -> Option<CodAnswer> {
+        let chain = DendroChain::new(&self.dendro, &self.lca, q);
+        answer_from_chain(self.g, self.cfg, &chain, q, rng)
+    }
+}
+
+/// CODR: per-query global reclustering of the attribute-weighted `g_ℓ`.
+pub struct Codr<'g> {
+    g: &'g AttributedGraph,
+    cfg: CodConfig,
+}
+
+impl<'g> Codr<'g> {
+    /// A CODR instance (no precomputation — reclustering is per query).
+    pub fn new(g: &'g AttributedGraph, cfg: CodConfig) -> Self {
+        Self { g, cfg }
+    }
+
+    /// Answers a COD query for `(q, attr)`.
+    pub fn query<R: Rng>(&self, q: NodeId, attr: AttrId, rng: &mut R) -> Option<CodAnswer> {
+        let dendro = global_recluster(self.g, attr, self.cfg.beta, self.cfg.linkage);
+        let lca = LcaIndex::new(&dendro);
+        let chain = DendroChain::new(&dendro, &lca, q);
+        answer_from_chain(self.g, self.cfg, &chain, q, rng)
+    }
+
+    /// The attribute-aware hierarchy CODR would use for `attr` (exposed for
+    /// the Fig. 4 skew analysis).
+    pub fn hierarchy_for(&self, attr: AttrId) -> Dendrogram {
+        global_recluster(self.g, attr, self.cfg.beta, self.cfg.linkage)
+    }
+}
+
+/// CODL⁻: LORE local reclustering + compressed evaluation, no HIMOR index.
+pub struct CodlMinus<'g> {
+    g: &'g AttributedGraph,
+    cfg: CodConfig,
+    dendro: Dendrogram,
+    lca: LcaIndex,
+}
+
+impl<'g> CodlMinus<'g> {
+    /// Builds the reference hierarchy `T` once.
+    pub fn new(g: &'g AttributedGraph, cfg: CodConfig) -> Self {
+        let dendro = build_hierarchy(g.csr(), cfg.linkage);
+        let lca = LcaIndex::new(&dendro);
+        Self {
+            g,
+            cfg,
+            dendro,
+            lca,
+        }
+    }
+
+    /// Answers a COD query for `(q, attr)` over the composed chain
+    /// `H_ℓ(q)`.
+    pub fn query<R: Rng>(&self, q: NodeId, attr: AttrId, rng: &mut R) -> Option<CodAnswer> {
+        match select_recluster_community(self.g, &self.dendro, &self.lca, q, attr) {
+            None => {
+                // No attribute signal on the path: evaluate T directly.
+                let chain = DendroChain::new(&self.dendro, &self.lca, q);
+                answer_from_chain(self.g, self.cfg, &chain, q, rng)
+            }
+            Some(choice) => {
+                let members = self.dendro.members_sorted(choice.vertex);
+                let (sub, sd) =
+                    local_recluster(self.g, &members, attr, self.cfg.beta, self.cfg.linkage);
+                let slca = LcaIndex::new(&sd);
+                let lower = SubgraphChain::new(&sub, &sd, &slca, q, true);
+                let chain = ComposedChain::new(lower, &self.dendro, &self.lca, choice.vertex);
+                answer_from_chain(self.g, self.cfg, &chain, q, rng)
+            }
+        }
+    }
+}
+
+/// CODL: LORE + the HIMOR index (the paper's fully optimized method).
+pub struct Codl<'g> {
+    g: &'g AttributedGraph,
+    cfg: CodConfig,
+    dendro: Dendrogram,
+    lca: LcaIndex,
+    index: HimorIndex,
+}
+
+impl<'g> Codl<'g> {
+    /// Builds `T` and the HIMOR index (`Θ = θ·|V|` RR graphs).
+    pub fn new<R: Rng>(g: &'g AttributedGraph, cfg: CodConfig, rng: &mut R) -> Self {
+        let dendro = build_hierarchy(g.csr(), cfg.linkage);
+        let lca = LcaIndex::new(&dendro);
+        let index = HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, rng);
+        Self {
+            g,
+            cfg,
+            dendro,
+            lca,
+            index,
+        }
+    }
+
+    /// Reuses a prebuilt hierarchy and index (for benchmarks that amortize
+    /// construction).
+    pub fn from_parts(
+        g: &'g AttributedGraph,
+        cfg: CodConfig,
+        dendro: Dendrogram,
+        lca: LcaIndex,
+        index: HimorIndex,
+    ) -> Self {
+        Self {
+            g,
+            cfg,
+            dendro,
+            lca,
+            index,
+        }
+    }
+
+    /// The HIMOR index.
+    pub fn index(&self) -> &HimorIndex {
+        &self.index
+    }
+
+    /// The reference hierarchy.
+    pub fn hierarchy(&self) -> (&Dendrogram, &LcaIndex) {
+        (&self.dendro, &self.lca)
+    }
+
+    /// Answers a COD query for `(q, attr)` — Algorithm 3.
+    pub fn query<R: Rng>(&self, q: NodeId, attr: AttrId, rng: &mut R) -> Option<CodAnswer> {
+        let choice = select_recluster_community(self.g, &self.dendro, &self.lca, q, attr);
+        let floor: Option<VertexId> = choice.map(|c| c.vertex);
+        // Lines 1–2: answer from the index if an ancestor of C_ℓ qualifies.
+        if let Some(c) = self.index.largest_top_k(&self.dendro, q, floor, self.cfg.k) {
+            let path = self.dendro.root_path(q);
+            let j = path.iter().position(|&v| v == c).expect("on path");
+            return Some(CodAnswer {
+                members: self.dendro.members_sorted(c),
+                rank: self.index.ranks_of(q)[j] as usize,
+                source: AnswerSource::Index,
+            });
+        }
+        // Line 3: compressed evaluation inside the reclustered C_ℓ.
+        let choice = choice?;
+        let members = self.dendro.members_sorted(choice.vertex);
+        let (sub, sd) = local_recluster(self.g, &members, attr, self.cfg.beta, self.cfg.linkage);
+        let slca = LcaIndex::new(&sd);
+        // The subgraph root (C_ℓ itself) is excluded: the index already
+        // ruled it out.
+        let chain = SubgraphChain::new(&sub, &sd, &slca, q, false);
+        answer_from_chain(self.g, self.cfg, &chain, q, rng)
+    }
+}
+
+/// Runs compressed evaluation over `chain` and packages the answer.
+fn answer_from_chain<R: Rng>(
+    g: &AttributedGraph,
+    cfg: CodConfig,
+    chain: &impl Chain,
+    q: NodeId,
+    rng: &mut R,
+) -> Option<CodAnswer> {
+    if chain.is_empty() {
+        return None;
+    }
+    let out = compressed_cod(g.csr(), cfg.model, chain, q, cfg.k, cfg.theta, rng);
+    let level = out.best_level?;
+    Some(CodAnswer {
+        members: chain.members(level),
+        rank: out.ranks[level],
+        source: AnswerSource::Compressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cod_graph::{AttrInterner, AttrTable, GraphBuilder};
+
+    /// Two attribute-homogeneous triangles bridged; hubs 0 and 3.
+    fn toy() -> AttributedGraph {
+        let mut b = GraphBuilder::new(8);
+        for (u, v) in [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (2, 3),
+            (0, 6),
+            (0, 7),
+            (6, 7),
+        ] {
+            b.add_edge(u, v);
+        }
+        let mut i = AttrInterner::new();
+        let a = i.intern("A");
+        let c = i.intern("B");
+        let lists = vec![
+            vec![a],
+            vec![a],
+            vec![a],
+            vec![c],
+            vec![c],
+            vec![c],
+            vec![a],
+            vec![a],
+        ];
+        AttributedGraph::from_parts(b.build(), AttrTable::from_lists(lists), i)
+    }
+
+    fn cfg() -> CodConfig {
+        CodConfig {
+            k: 2,
+            theta: 120,
+            ..CodConfig::default()
+        }
+    }
+
+    #[test]
+    fn codu_finds_some_community_for_a_hub() {
+        let g = toy();
+        let codu = Codu::new(&g, cfg());
+        let mut rng = SmallRng::seed_from_u64(31);
+        let ans = codu.query(0, &mut rng).expect("hub has a community");
+        assert!(ans.members.contains(&0));
+        assert!(ans.rank <= 2);
+        assert_eq!(ans.source, AnswerSource::Compressed);
+    }
+
+    #[test]
+    fn codr_and_codl_minus_accept_attributes() {
+        let g = toy();
+        let mut rng = SmallRng::seed_from_u64(32);
+        let codr = Codr::new(&g, cfg());
+        let a = codr.query(0, 0, &mut rng);
+        assert!(a.is_some());
+        let cm = CodlMinus::new(&g, cfg());
+        let b = cm.query(0, 0, &mut rng);
+        assert!(b.is_some());
+    }
+
+    #[test]
+    fn codl_index_answers_hub_queries() {
+        let g = toy();
+        let mut rng = SmallRng::seed_from_u64(33);
+        let codl = Codl::new(&g, cfg(), &mut rng);
+        let ans = codl.query(0, 0, &mut rng).expect("hub answered");
+        assert!(ans.members.contains(&0));
+        // The hub is globally influential, so the index should answer.
+        assert_eq!(ans.source, AnswerSource::Index);
+    }
+
+    #[test]
+    fn all_variants_return_communities_containing_q() {
+        let g = toy();
+        let c = cfg();
+        let mut rng = SmallRng::seed_from_u64(34);
+        let codu = Codu::new(&g, c);
+        let codr = Codr::new(&g, c);
+        let cm = CodlMinus::new(&g, c);
+        let codl = Codl::new(&g, c, &mut rng);
+        for q in 0..8u32 {
+            let attr = g.node_attrs(q)[0];
+            for ans in [
+                codu.query(q, &mut rng),
+                codr.query(q, attr, &mut rng),
+                cm.query(q, attr, &mut rng),
+                codl.query(q, attr, &mut rng),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                assert!(ans.members.contains(&q), "q={q} missing from C*");
+                assert!(ans.members.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Categorical node attributes: dense id interning and per-node storage.
+
+use crate::fxhash::FxHashMap;
+use crate::{AttrId, NodeId};
+
+/// Maps attribute names (e.g. `"DB"`, `"ML"`) to dense [`AttrId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct AttrInterner {
+    names: Vec<String>,
+    ids: FxHashMap<String, AttrId>,
+}
+
+impl AttrInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as AttrId;
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up the id of `name`, if interned.
+    pub fn get(&self, name: &str) -> Option<AttrId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of `id`, if in range.
+    pub fn name(&self, id: AttrId) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no attribute has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Per-node attribute sets in CSR-like flattened storage.
+///
+/// Each node's attribute list is sorted ascending, enabling binary-search
+/// membership tests.
+#[derive(Clone, Debug, Default)]
+pub struct AttrTable {
+    offsets: Vec<usize>,
+    values: Vec<AttrId>,
+}
+
+impl AttrTable {
+    /// A table with no attributes for `num_nodes` nodes.
+    pub fn empty(num_nodes: usize) -> Self {
+        Self {
+            offsets: vec![0; num_nodes + 1],
+            values: Vec::new(),
+        }
+    }
+
+    /// Builds from per-node attribute lists (deduplicated and sorted here).
+    pub fn from_lists(lists: Vec<Vec<AttrId>>) -> Self {
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        let mut values = Vec::new();
+        offsets.push(0);
+        for mut list in lists {
+            list.sort_unstable();
+            list.dedup();
+            values.extend_from_slice(&list);
+            offsets.push(values.len());
+        }
+        Self { offsets, values }
+    }
+
+    /// Builds a table where every node has exactly one attribute.
+    pub fn single_per_node(labels: &[AttrId]) -> Self {
+        let mut offsets = Vec::with_capacity(labels.len() + 1);
+        offsets.push(0);
+        for i in 1..=labels.len() {
+            offsets.push(i);
+        }
+        Self {
+            offsets,
+            values: labels.to_vec(),
+        }
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Sorted attribute list of node `v`.
+    #[inline]
+    pub fn of(&self, v: NodeId) -> &[AttrId] {
+        let v = v as usize;
+        &self.values[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether node `v` carries attribute `a`.
+    #[inline]
+    pub fn has(&self, v: NodeId, a: AttrId) -> bool {
+        self.of(v).binary_search(&a).is_ok()
+    }
+
+    /// Total number of (node, attribute) pairs.
+    #[inline]
+    pub fn total_pairs(&self) -> usize {
+        self.values.len()
+    }
+
+    /// One more than the largest attribute id present, or 0 if none.
+    pub fn max_attr_plus_one(&self) -> usize {
+        self.values.iter().max().map_or(0, |&a| a as usize + 1)
+    }
+
+    /// All nodes carrying attribute `a` (linear scan).
+    pub fn nodes_with(&self, a: AttrId) -> Vec<NodeId> {
+        (0..self.num_nodes() as NodeId)
+            .filter(|&v| self.has(v, a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_round_trip() {
+        let mut i = AttrInterner::new();
+        let db = i.intern("DB");
+        let ml = i.intern("ML");
+        assert_ne!(db, ml);
+        assert_eq!(i.intern("DB"), db);
+        assert_eq!(i.get("ML"), Some(ml));
+        assert_eq!(i.name(db), Some("DB"));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn table_from_lists_sorts_and_dedups() {
+        let t = AttrTable::from_lists(vec![vec![2, 0, 2], vec![], vec![1]]);
+        assert_eq!(t.of(0), &[0, 2]);
+        assert_eq!(t.of(1), &[] as &[AttrId]);
+        assert!(t.has(2, 1));
+        assert!(!t.has(2, 0));
+        assert_eq!(t.total_pairs(), 3);
+        assert_eq!(t.max_attr_plus_one(), 3);
+    }
+
+    #[test]
+    fn single_per_node_assigns_one_label() {
+        let t = AttrTable::single_per_node(&[5, 3, 5]);
+        assert_eq!(t.of(0), &[5]);
+        assert_eq!(t.of(1), &[3]);
+        assert_eq!(t.nodes_with(5), vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = AttrTable::empty(3);
+        assert_eq!(t.num_nodes(), 3);
+        assert!(t.of(1).is_empty());
+        assert_eq!(t.max_attr_plus_one(), 0);
+    }
+}

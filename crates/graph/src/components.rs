@@ -1,0 +1,138 @@
+//! Connected-component utilities.
+
+use crate::csr::Csr;
+use crate::NodeId;
+
+/// Labels each node with a component id in `0..num_components` (BFS order).
+pub fn connected_components(g: &Csr) -> (usize, Vec<u32>) {
+    let n = g.num_nodes();
+    let mut label = vec![u32::MAX; n];
+    let mut queue = Vec::new();
+    let mut next = 0u32;
+    for start in 0..n as NodeId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = next;
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = next;
+                    queue.push(u);
+                }
+            }
+        }
+        next += 1;
+    }
+    (next as usize, label)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Csr) -> bool {
+    g.num_nodes() == 0 || connected_components(g).0 == 1
+}
+
+/// Nodes of the largest connected component, sorted ascending.
+pub fn largest_component(g: &Csr) -> Vec<NodeId> {
+    let (k, label) = connected_components(g);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in &label {
+        sizes[l as usize] += 1;
+    }
+    // First-seen component wins ties (max_by_key would pick the last).
+    let mut best = 0u32;
+    for (i, &s) in sizes.iter().enumerate() {
+        if s > sizes[best as usize] {
+            best = i as u32;
+        }
+    }
+    (0..g.num_nodes() as NodeId)
+        .filter(|&v| label[v as usize] == best)
+        .collect()
+}
+
+/// Nodes reachable from `start` while staying inside the `keep` mask
+/// (`keep[v]` true means `v` may be visited). Sorted ascending.
+pub fn component_of_within(g: &Csr, start: NodeId, keep: &[bool]) -> Vec<NodeId> {
+    if !keep[start as usize] {
+        return Vec::new();
+    }
+    let mut seen = vec![false; g.num_nodes()];
+    seen[start as usize] = true;
+    let mut stack = vec![start];
+    let mut out = vec![start];
+    while let Some(v) = stack.pop() {
+        for &u in g.neighbors(v) {
+            if keep[u as usize] && !seen[u as usize] {
+                seen[u as usize] = true;
+                stack.push(u);
+                out.push(u);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn two_triangles() -> Csr {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn counts_components() {
+        let g = two_triangles();
+        let (k, label) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(label[0], label[2]);
+        assert_ne!(label[0], label[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn largest_component_breaks_ties_deterministically() {
+        let g = two_triangles();
+        let c = largest_component(&g);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c, vec![0, 1, 2]); // first-seen component wins ties
+    }
+
+    #[test]
+    fn largest_component_prefers_bigger() {
+        let mut b = GraphBuilder::new(7);
+        for (u, v) in [(0, 1), (2, 3), (3, 4), (4, 5), (5, 6)] {
+            b.add_edge(u, v);
+        }
+        let c = largest_component(&b.build());
+        assert_eq!(c, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn component_within_mask() {
+        let g = two_triangles();
+        let mut keep = vec![true; 6];
+        keep[1] = false;
+        let c = component_of_within(&g, 0, &keep);
+        assert_eq!(c, vec![0, 2]);
+        assert!(component_of_within(&g, 1, &keep).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = GraphBuilder::new(0).build();
+        assert!(is_connected(&g));
+        assert!(largest_component(&g).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Compressed sparse-row adjacency storage for undirected graphs.
+
+use crate::NodeId;
+
+/// An immutable undirected graph in compressed sparse-row form.
+///
+/// Each undirected edge `{u, v}` is stored twice (once in each endpoint's
+/// neighbor list); neighbor lists are sorted ascending, enabling binary-search
+/// adjacency tests and deterministic iteration.
+#[derive(Clone, Debug, Default)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated, per-node-sorted neighbor lists.
+    neighbors: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from per-node sorted adjacency data.
+    ///
+    /// `offsets` must have length `n + 1`, start at 0, end at
+    /// `neighbors.len()`, and be non-decreasing; each node's slice must be
+    /// sorted and free of duplicates and self-loops. These invariants are
+    /// checked with debug assertions (the [`crate::builder::GraphBuilder`]
+    /// establishes them by construction).
+    pub fn from_raw(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.first().unwrap(), 0);
+        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        #[cfg(debug_assertions)]
+        for v in 0..offsets.len() - 1 {
+            let s = &neighbors[offsets[v]..offsets[v + 1]];
+            debug_assert!(s.windows(2).all(|w| w[0] < w[1]), "unsorted/dup neighbors");
+            debug_assert!(!s.contains(&(v as NodeId)), "self-loop");
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether `{u, v}` is an edge (binary search; `O(log deg(u))`).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over every undirected edge once, as `(u, v)` with `u < v`,
+    /// in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The half-edge index range of node `v` (for parallel arrays aligned
+    /// with the neighbor storage, e.g. per-directed-edge weights).
+    #[inline]
+    pub fn neighbor_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// Total length of the neighbor array (`2 |E|`).
+    #[inline]
+    pub fn num_half_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path4() -> Csr {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = path4();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = path4();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_zero_degree() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 4);
+        let g = b.build();
+        assert_eq!(g.degree(2), 0);
+        assert_eq!(g.neighbors(2), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn neighbor_range_aligns_with_neighbors() {
+        let g = path4();
+        let r = g.neighbor_range(1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(g.num_half_edges(), 6);
+    }
+}

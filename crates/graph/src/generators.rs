@@ -1,0 +1,530 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on six real networks. Those datasets are not shipped
+//! here, so the [`cod-datasets`](../../datasets) crate emulates them with
+//! these generators (substitution table in `DESIGN.md` §5):
+//!
+//! * [`planted_partition`] — ER blocks (communities) over a sparse ER
+//!   background; models citation-like and ground-truth-community networks;
+//! * [`barabasi_albert`] — preferential attachment; models the hub-skewed
+//!   Retweet network;
+//! * [`erdos_renyi`] — plain `G(n, p)` background / null model;
+//! * [`power_law_sizes`] — community-size sampling for Amazon/DBLP-like
+//!   presets;
+//! * attribute assignment helpers implementing the paper's augmentation rule
+//!   (one random attribute from `A` per ground-truth community) and a noisy
+//!   class-label scheme for citation-like graphs.
+//!
+//! All generators take a caller-supplied RNG so datasets are reproducible
+//! from a seed.
+
+use rand::prelude::*;
+
+use crate::attr::AttrTable;
+use crate::builder::GraphBuilder;
+use crate::components::connected_components;
+use crate::csr::Csr;
+use crate::{AttrId, NodeId};
+
+/// Samples `G(n, p)` edges into `builder` over the node id range
+/// `nodes[0..]`, using geometric skipping so the cost is `O(|E|)`.
+fn sample_er_into<R: Rng>(builder: &mut GraphBuilder, nodes: &[NodeId], p: f64, rng: &mut R) {
+    let n = nodes.len() as u64;
+    if n < 2 || p <= 0.0 {
+        return;
+    }
+    let total = n * (n - 1) / 2;
+    if p >= 1.0 {
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                builder.add_edge(nodes[i], nodes[j]);
+            }
+        }
+        return;
+    }
+    let log1p = (1.0 - p).ln();
+    let mut t: u64 = 0;
+    loop {
+        // Geometric skip: number of misses before the next edge.
+        let u: f64 = rng.random();
+        let skip = (u.max(f64::MIN_POSITIVE).ln() / log1p).floor() as u64;
+        t = match t.checked_add(skip) {
+            Some(x) => x,
+            None => break,
+        };
+        if t >= total {
+            break;
+        }
+        let (i, j) = decode_pair(t, n);
+        builder.add_edge(nodes[i as usize], nodes[j as usize]);
+        t += 1;
+        if t >= total {
+            break;
+        }
+    }
+}
+
+/// Decodes linear pair index `t` into `(i, j)` with `i < j < n`, where pairs
+/// are ordered lexicographically by `i` then `j`.
+fn decode_pair(t: u64, n: u64) -> (u64, u64) {
+    // Pairs with first element < i: S(i) = i*n - i*(i+1)/2.
+    // Find largest i with S(i) <= t via a float guess, then adjust.
+    let tn = t as f64;
+    let nf = n as f64;
+    let mut i = ((2.0 * nf - 1.0 - ((2.0 * nf - 1.0).powi(2) - 8.0 * tn).max(0.0).sqrt()) / 2.0)
+        .floor() as u64;
+    i = i.min(n - 2);
+    let s = |i: u64| i * n - i * (i + 1) / 2;
+    while i > 0 && s(i) > t {
+        i -= 1;
+    }
+    while s(i + 1) <= t {
+        i += 1;
+    }
+    let j = i + 1 + (t - s(i));
+    debug_assert!(j < n);
+    (i, j)
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    sample_er_into(&mut b, &nodes, p, rng);
+    b.build()
+}
+
+/// Planted-partition graph: each community is an ER block with edge
+/// probability `p_in`, over a global ER background with probability `p_out`.
+///
+/// `communities` partitions `0..n`; nodes not covered get only background
+/// edges. Returns the topology; pair it with
+/// [`assign_community_attrs`] / [`assign_class_labels`] for attributes.
+pub fn planted_partition<R: Rng>(
+    n: usize,
+    communities: &[Vec<NodeId>],
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    let all: Vec<NodeId> = (0..n as NodeId).collect();
+    sample_er_into(&mut b, &all, p_out, rng);
+    for c in communities {
+        sample_er_into(&mut b, c, p_in, rng);
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from an `m`-clique and
+/// attaches each new node to `m` existing nodes chosen proportionally to
+/// degree. Produces the hub-dominated topology the paper's Retweet dataset
+/// exhibits.
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Csr {
+    assert!(m >= 1, "m must be positive");
+    assert!(n > m, "need more nodes than attachment count");
+    let mut b = GraphBuilder::new(n);
+    // Repeated-node list: node v appears deg(v) times.
+    let mut urn: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+    for i in 0..m as NodeId {
+        for j in i + 1..m as NodeId {
+            b.add_edge(i, j);
+            urn.push(i);
+            urn.push(j);
+        }
+    }
+    if m == 1 {
+        // Degenerate seed: a single node with no edges; seed the urn so the
+        // first attachment has a target.
+        urn.push(0);
+    }
+    let mut targets = Vec::with_capacity(m);
+    for v in m as NodeId..n as NodeId {
+        targets.clear();
+        let mut guard = 0;
+        while targets.len() < m && guard < 50 * m {
+            let t = urn[rng.random_range(0..urn.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+        }
+        // Fallback for pathological urns: attach to lowest-id nodes.
+        let mut fill = 0 as NodeId;
+        while targets.len() < m {
+            if fill != v && !targets.contains(&fill) {
+                targets.push(fill);
+            }
+            fill += 1;
+        }
+        for &t in &targets {
+            b.add_edge(v, t);
+            urn.push(v);
+            urn.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Samples community sizes from a bounded discrete power law
+/// `P(s) ∝ s^{-tau}` for `s ∈ [min_size, max_size]` until they cover `n`
+/// nodes; the last size is clamped so the total is exactly `n`.
+pub fn power_law_sizes<R: Rng>(
+    n: usize,
+    min_size: usize,
+    max_size: usize,
+    tau: f64,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(min_size >= 1 && max_size >= min_size);
+    let weights: Vec<f64> = (min_size..=max_size)
+        .map(|s| (s as f64).powf(-tau))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut sizes = Vec::new();
+    let mut covered = 0usize;
+    while covered < n {
+        let mut x = rng.random::<f64>() * total_w;
+        let mut s = max_size;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                s = min_size + i;
+                break;
+            }
+        }
+        let s = s.min(n - covered).max(1);
+        sizes.push(s);
+        covered += s;
+    }
+    sizes
+}
+
+/// Splits `0..n` into consecutive blocks of the given sizes.
+pub fn blocks_from_sizes(sizes: &[usize]) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut next = 0 as NodeId;
+    for &s in sizes {
+        out.push((next..next + s as NodeId).collect());
+        next += s as NodeId;
+    }
+    out
+}
+
+/// The paper's attribute augmentation for Amazon/DBLP/LiveJournal (§V-A):
+/// draw `|A| = num_attrs` distinct attributes and assign the *same* random
+/// attribute to every node of each ground-truth community.
+pub fn assign_community_attrs<R: Rng>(
+    n: usize,
+    communities: &[Vec<NodeId>],
+    num_attrs: usize,
+    rng: &mut R,
+) -> AttrTable {
+    assert!(num_attrs >= 1);
+    let mut labels = vec![Vec::new(); n];
+    for c in communities {
+        let a = rng.random_range(0..num_attrs) as AttrId;
+        for &v in c {
+            labels[v as usize].push(a);
+        }
+    }
+    AttrTable::from_lists(labels)
+}
+
+/// Noisy class labels for citation-like graphs: each community is assigned a
+/// class, and each node takes that class with probability `1 - noise`,
+/// otherwise a uniformly random class. Every node gets exactly one label.
+pub fn assign_class_labels<R: Rng>(
+    n: usize,
+    communities: &[Vec<NodeId>],
+    num_classes: usize,
+    noise: f64,
+    rng: &mut R,
+) -> AttrTable {
+    assert!(num_classes >= 1);
+    let mut labels = vec![0 as AttrId; n];
+    for c in communities {
+        let class = rng.random_range(0..num_classes) as AttrId;
+        for &v in c {
+            labels[v as usize] = if rng.random_bool(noise) {
+                rng.random_range(0..num_classes) as AttrId
+            } else {
+                class
+            };
+        }
+    }
+    AttrTable::single_per_node(&labels)
+}
+
+/// LFR-style benchmark graph: power-law node degrees (Chung–Lu sampling)
+/// with a *mixing parameter* `mu` — the expected fraction of each node's
+/// edges that leave its community.
+///
+/// `communities` partitions `0..n`. Degrees are drawn from a bounded
+/// power law `P(d) ∝ d^{-gamma}` on `[d_min, d_max]`; each node then gets
+/// `(1-mu)·d` intra-community and `mu·d` inter-community edge stubs, and
+/// edges are sampled stub-proportionally (multi-edges collapse, so
+/// realized degrees are approximate). Lower `mu` ⇒ cleaner communities.
+#[allow(clippy::too_many_arguments)] // mirrors the LFR benchmark's parameter set
+pub fn lfr_like<R: Rng>(
+    n: usize,
+    communities: &[Vec<NodeId>],
+    d_min: usize,
+    d_max: usize,
+    gamma: f64,
+    mu: f64,
+    rng: &mut R,
+) -> Csr {
+    assert!((0.0..=1.0).contains(&mu), "mu is a fraction");
+    assert!(d_min >= 1 && d_max >= d_min && d_max < n);
+    // Power-law degrees via inverse-CDF table.
+    let weights: Vec<f64> = (d_min..=d_max).map(|d| (d as f64).powf(-gamma)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut degree = vec![0f64; n];
+    for d in degree.iter_mut() {
+        let mut x = rng.random::<f64>() * wsum;
+        let mut val = d_max;
+        for (i, w) in weights.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                val = d_min + i;
+                break;
+            }
+        }
+        *d = val as f64;
+    }
+
+    let mut b = GraphBuilder::new(n);
+    // Intra-community edges: Chung–Lu within each block.
+    for c in communities {
+        if c.len() < 2 {
+            continue;
+        }
+        let stubs: Vec<f64> = c.iter().map(|&v| degree[v as usize] * (1.0 - mu)).collect();
+        sample_chung_lu_into(&mut b, c, &stubs, rng);
+    }
+    // Inter-community edges: Chung–Lu over all nodes on the mu-stubs.
+    let all: Vec<NodeId> = (0..n as NodeId).collect();
+    let stubs: Vec<f64> = (0..n).map(|v| degree[v] * mu).collect();
+    sample_chung_lu_into(&mut b, &all, &stubs, rng);
+    b.build()
+}
+
+/// Samples `Σ stubs / 2` edges with both endpoints drawn proportionally to
+/// `stubs` (Chung–Lu); self-pairs are skipped, duplicates collapse later.
+fn sample_chung_lu_into<R: Rng>(
+    builder: &mut GraphBuilder,
+    nodes: &[NodeId],
+    stubs: &[f64],
+    rng: &mut R,
+) {
+    debug_assert_eq!(nodes.len(), stubs.len());
+    let total: f64 = stubs.iter().sum();
+    if total <= 0.0 {
+        return;
+    }
+    let mut cum = Vec::with_capacity(stubs.len());
+    let mut acc = 0.0;
+    for &s in stubs {
+        acc += s;
+        cum.push(acc);
+    }
+    let draws = (total / 2.0).round() as usize;
+    let pick = |rng: &mut R, cum: &[f64]| -> usize {
+        let x = rng.random::<f64>() * acc;
+        cum.partition_point(|&c| c < x).min(cum.len() - 1)
+    };
+    for _ in 0..draws {
+        let i = pick(rng, &cum);
+        let j = pick(rng, &cum);
+        if i != j {
+            builder.add_edge(nodes[i], nodes[j]);
+        }
+    }
+}
+
+/// Adds one bridging edge per extra component (random endpoint in each) so
+/// the result is connected. Returns the original graph if already connected.
+pub fn make_connected<R: Rng>(g: &Csr, rng: &mut R) -> Csr {
+    let (k, label) = connected_components(g);
+    if k <= 1 {
+        return g.clone();
+    }
+    let n = g.num_nodes();
+    let mut reps: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for v in 0..n as NodeId {
+        reps[label[v as usize] as usize].push(v);
+    }
+    let mut b = GraphBuilder::with_capacity(n, g.num_edges() + k);
+    for (u, v) in g.edges() {
+        b.add_edge(u, v);
+    }
+    for i in 1..k {
+        let u = reps[i - 1][rng.random_range(0..reps[i - 1].len())];
+        let v = reps[i][rng.random_range(0..reps[i].len())];
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::is_connected;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn decode_pair_enumerates_all_pairs() {
+        let n = 7u64;
+        let mut seen = Vec::new();
+        for t in 0..n * (n - 1) / 2 {
+            seen.push(decode_pair(t, n));
+        }
+        let mut expect = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                expect.push((i, j));
+            }
+        }
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let mut r = rng();
+        let n = 500;
+        let p = 0.02;
+        let g = erdos_renyi(n, p, &mut r);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 5.0 * expected.sqrt() + 10.0,
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn er_extreme_probabilities() {
+        let mut r = rng();
+        assert_eq!(erdos_renyi(10, 0.0, &mut r).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, &mut r).num_edges(), 45);
+    }
+
+    #[test]
+    fn planted_partition_is_assortative() {
+        let mut r = rng();
+        let sizes = vec![50; 8];
+        let blocks = blocks_from_sizes(&sizes);
+        let g = planted_partition(400, &blocks, 0.3, 0.002, &mut r);
+        let mut intra = 0;
+        let mut inter = 0;
+        for (u, v) in g.edges() {
+            if u / 50 == v / 50 {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn ba_has_right_edge_count_and_hubs() {
+        let mut r = rng();
+        let g = barabasi_albert(300, 3, &mut r);
+        // m-clique (3 edges) + 297 * 3 new edges (some may dedupe: <=).
+        assert!(g.num_edges() <= 3 + 297 * 3);
+        assert!(g.num_edges() >= 297 * 3 - 30);
+        let max_deg = (0..300).map(|v| g.degree(v)).max().unwrap();
+        assert!(max_deg > 20, "expected hubs, max degree {max_deg}");
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn power_law_sizes_cover_exactly_n() {
+        let mut r = rng();
+        let sizes = power_law_sizes(1000, 5, 100, 2.5, &mut r);
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        assert!(sizes.iter().all(|&s| (1..=100).contains(&s)));
+        // Power law: small communities dominate.
+        let small = sizes.iter().filter(|&&s| s <= 20).count();
+        assert!(small * 2 > sizes.len());
+    }
+
+    #[test]
+    fn community_attrs_shared_within_block() {
+        let mut r = rng();
+        let blocks = blocks_from_sizes(&[10, 10]);
+        let t = assign_community_attrs(20, &blocks, 5, &mut r);
+        let a0 = t.of(0)[0];
+        for v in 0..10 {
+            assert_eq!(t.of(v), &[a0]);
+        }
+    }
+
+    #[test]
+    fn class_labels_mostly_match_community_class() {
+        let mut r = rng();
+        let blocks = blocks_from_sizes(&[100]);
+        let t = assign_class_labels(100, &blocks, 4, 0.1, &mut r);
+        let mut counts = [0usize; 4];
+        for v in 0..100 {
+            counts[t.of(v)[0] as usize] += 1;
+        }
+        assert!(*counts.iter().max().unwrap() >= 80);
+    }
+
+    #[test]
+    fn lfr_like_mixing_controls_assortativity() {
+        let mut r = rng();
+        let blocks = blocks_from_sizes(&[40; 10]);
+        let count_mix = |g: &Csr| -> (usize, usize) {
+            let mut intra = 0;
+            let mut inter = 0;
+            for (u, v) in g.edges() {
+                if u / 40 == v / 40 {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+            (intra, inter)
+        };
+        let clean = lfr_like(400, &blocks, 3, 20, 2.5, 0.1, &mut r);
+        let (ci, cx) = count_mix(&clean);
+        assert!(ci > 5 * cx, "mu=0.1: intra {ci} inter {cx}");
+        let noisy = lfr_like(400, &blocks, 3, 20, 2.5, 0.6, &mut r);
+        let (ni, nx) = count_mix(&noisy);
+        assert!(
+            (nx as f64) / (ni + nx) as f64 > 0.3,
+            "mu=0.6: intra {ni} inter {nx}"
+        );
+    }
+
+    #[test]
+    fn lfr_like_degrees_follow_power_law_shape() {
+        let mut r = rng();
+        let blocks = blocks_from_sizes(&[100; 5]);
+        let g = lfr_like(500, &blocks, 3, 40, 2.2, 0.2, &mut r);
+        let degs: Vec<usize> = (0..500).map(|v| g.degree(v)).collect();
+        let small = degs.iter().filter(|&&d| d <= 6).count();
+        let big = degs.iter().filter(|&&d| d >= 20).count();
+        assert!(small > big * 3, "heavy tail: {small} small vs {big} big");
+        assert!(*degs.iter().max().unwrap() >= 15, "hubs exist");
+    }
+
+    #[test]
+    fn make_connected_connects() {
+        let mut r = rng();
+        let mut b = GraphBuilder::new(9);
+        for (u, v) in [(0, 1), (2, 3), (4, 5), (6, 7)] {
+            b.add_edge(u, v);
+        }
+        let g = make_connected(&b.build(), &mut r);
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 4 + 4); // 5 components -> 4 bridges
+    }
+}

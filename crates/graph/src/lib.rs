@@ -1,0 +1,208 @@
+//! Attributed-graph substrate for characteristic community discovery (COD).
+//!
+//! This crate provides the data structures every other crate in the workspace
+//! builds on:
+//!
+//! * [`Csr`] — a compact sparse-row adjacency structure for undirected graphs;
+//! * [`AttributedGraph`] — a CSR graph whose nodes carry sets of categorical
+//!   attributes, with an [`attr::AttrInterner`] mapping attribute names to
+//!   dense ids;
+//! * [`builder::GraphBuilder`] — a mutable edge-list accumulator that
+//!   deduplicates and produces a sorted CSR;
+//! * [`generators`] — synthetic graph generators (planted partition,
+//!   Barabási–Albert, Erdős–Rényi) used to emulate the paper's datasets;
+//! * [`measures`] — the quality measures of the paper's §V (topology density
+//!   `ρ`, attribute density `φ`, conductance);
+//! * [`subgraph`] — induced-subgraph extraction with node remapping;
+//! * [`fxhash`] — a fast non-cryptographic hasher (in-tree FxHash) used for
+//!   all hot hash maps, per the workspace performance guidelines.
+//!
+//! Nodes are identified by dense `u32` ids ([`NodeId`]), attributes by `u32`
+//! ids ([`AttrId`]).
+
+pub mod attr;
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod fxhash;
+pub mod generators;
+pub mod io;
+pub mod measures;
+pub mod partition;
+pub mod stats;
+pub mod subgraph;
+
+pub use attr::{AttrInterner, AttrTable};
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use fxhash::{FxHashMap, FxHashSet};
+
+/// Dense node identifier. Nodes of a graph with `n` nodes are `0..n`.
+pub type NodeId = u32;
+
+/// Dense categorical-attribute identifier.
+pub type AttrId = u32;
+
+/// An undirected graph with categorical node attributes.
+///
+/// This is the paper's attributed graph `g = (V, E)` with attribute sets
+/// `A(v)` per node (§II-A). The topology is stored in a [`Csr`]; attributes in
+/// an [`AttrTable`] plus an [`AttrInterner`] for human-readable names.
+#[derive(Clone, Debug)]
+pub struct AttributedGraph {
+    csr: Csr,
+    attrs: AttrTable,
+    interner: AttrInterner,
+}
+
+impl AttributedGraph {
+    /// Assembles a graph from parts. Panics if `attrs` covers a different
+    /// number of nodes than `csr`.
+    pub fn from_parts(csr: Csr, attrs: AttrTable, interner: AttrInterner) -> Self {
+        assert_eq!(
+            csr.num_nodes(),
+            attrs.num_nodes(),
+            "attribute table must cover every node"
+        );
+        Self { csr, attrs, interner }
+    }
+
+    /// A graph with no attributes on any node.
+    pub fn unattributed(csr: Csr) -> Self {
+        let n = csr.num_nodes();
+        Self {
+            csr,
+            attrs: AttrTable::empty(n),
+            interner: AttrInterner::new(),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.csr.num_nodes()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.csr.degree(v)
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.csr.neighbors(v)
+    }
+
+    /// The underlying CSR topology.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The attribute table.
+    #[inline]
+    pub fn attrs(&self) -> &AttrTable {
+        &self.attrs
+    }
+
+    /// The attribute-name interner.
+    #[inline]
+    pub fn interner(&self) -> &AttrInterner {
+        &self.interner
+    }
+
+    /// Attributes of node `v`, sorted ascending.
+    #[inline]
+    pub fn node_attrs(&self, v: NodeId) -> &[AttrId] {
+        self.attrs.of(v)
+    }
+
+    /// Whether node `v` carries attribute `a`.
+    #[inline]
+    pub fn has_attr(&self, v: NodeId, a: AttrId) -> bool {
+        self.attrs.has(v, a)
+    }
+
+    /// Whether both endpoints of the edge carry `a` — the paper's
+    /// "query-attributed edge" predicate (§IV, Definition 4).
+    #[inline]
+    pub fn edge_is_attributed(&self, u: NodeId, v: NodeId, a: AttrId) -> bool {
+        self.has_attr(u, a) && self.has_attr(v, a)
+    }
+
+    /// Number of distinct attributes `|A|` in use.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.interner.len().max(self.attrs.max_attr_plus_one())
+    }
+
+    /// Iterates over every undirected edge `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.csr.edges()
+    }
+
+    /// The weighted-cascade influence probability `p(u, v) = 1 / deg(v)` of
+    /// the directed edge `u → v` (paper §V-A, after \[38\]).
+    #[inline]
+    pub fn weighted_cascade_prob(&self, v: NodeId) -> f64 {
+        let d = self.degree(v);
+        if d == 0 {
+            0.0
+        } else {
+            1.0 / d as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> AttributedGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        AttributedGraph::unattributed(b.build())
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn weighted_cascade_probability_is_inverse_degree() {
+        let g = triangle();
+        assert!((g.weighted_cascade_prob(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_iteration_yields_each_edge_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute table")]
+    fn mismatched_attr_table_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        let csr = b.build();
+        let attrs = AttrTable::empty(5);
+        let _ = AttributedGraph::from_parts(csr, attrs, AttrInterner::new());
+    }
+}

@@ -1,0 +1,131 @@
+//! Community quality measures used in the paper's evaluation (§V-A).
+
+use crate::{AttrId, AttributedGraph, Csr, NodeId};
+
+/// Topology density `ρ(C)`: internal edges over node pairs (§V-A).
+///
+/// `ρ(C) = |E_C| / (|C| choose 2)`; 0 for communities with fewer than two
+/// nodes. `members` must be sorted ascending.
+pub fn topology_density(g: &Csr, members: &[NodeId]) -> f64 {
+    let n = members.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let internal = internal_edges(g, members);
+    let pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+    internal as f64 / pairs
+}
+
+/// Number of edges with both endpoints in the (sorted) member list.
+pub fn internal_edges(g: &Csr, members: &[NodeId]) -> usize {
+    let mut count = 0usize;
+    for &v in members {
+        for &u in g.neighbors(v) {
+            if u > v && members.binary_search(&u).is_ok() {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Attribute density `φ(C)`: fraction of members carrying the query
+/// attribute (§V-A: "the number of query attributes in `C*` divided by the
+/// number of nodes").
+pub fn attribute_density(g: &AttributedGraph, members: &[NodeId], attr: AttrId) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    let with = members.iter().filter(|&&v| g.has_attr(v, attr)).count();
+    with as f64 / members.len() as f64
+}
+
+/// Conductance of the cut around `members` (§V-E case study).
+///
+/// `cond(C) = cut(C, V\C) / min(vol(C), vol(V\C))`; 0 when either side has
+/// zero volume. `members` must be sorted ascending.
+pub fn conductance(g: &Csr, members: &[NodeId]) -> f64 {
+    let mut cut = 0usize;
+    let mut vol = 0usize;
+    for &v in members {
+        vol += g.degree(v);
+        for &u in g.neighbors(v) {
+            if members.binary_search(&u).is_err() {
+                cut += 1;
+            }
+        }
+    }
+    let total_vol = 2 * g.num_edges();
+    let other = total_vol.saturating_sub(vol);
+    let denom = vol.min(other);
+    if denom == 0 {
+        0.0
+    } else {
+        cut as f64 / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::{AttrInterner, AttrTable};
+
+    fn barbell() -> Csr {
+        // Triangle 0-1-2 and triangle 3-4-5 joined by bridge 2-3.
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn density_of_triangle_is_one() {
+        let g = barbell();
+        assert!((topology_density(&g, &[0, 1, 2]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_counts_only_internal_edges() {
+        let g = barbell();
+        // {0,1,2,3}: edges 0-1,1-2,0-2,2-3 = 4 of 6 pairs.
+        assert!((topology_density(&g, &[0, 1, 2, 3]) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_degenerate_cases() {
+        let g = barbell();
+        assert_eq!(topology_density(&g, &[]), 0.0);
+        assert_eq!(topology_density(&g, &[0]), 0.0);
+    }
+
+    #[test]
+    fn attribute_density_fraction() {
+        let csr = barbell();
+        let attrs = AttrTable::from_lists(vec![
+            vec![0],
+            vec![0],
+            vec![1],
+            vec![0],
+            vec![],
+            vec![],
+        ]);
+        let g = AttributedGraph::from_parts(csr, attrs, AttrInterner::new());
+        assert!((attribute_density(&g, &[0, 1, 2], 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(attribute_density(&g, &[], 0), 0.0);
+    }
+
+    #[test]
+    fn conductance_of_one_triangle_side() {
+        let g = barbell();
+        // Cut({0,1,2}) = 1 (edge 2-3); vol = 2+2+3 = 7; other side vol = 7.
+        assert!((conductance(&g, &[0, 1, 2]) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_of_everything_is_zero() {
+        let g = barbell();
+        assert_eq!(conductance(&g, &[0, 1, 2, 3, 4, 5]), 0.0);
+    }
+}

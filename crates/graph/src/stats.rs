@@ -1,0 +1,206 @@
+//! Whole-graph structural statistics (dataset validation, CLI `stats`).
+
+use crate::csr::Csr;
+use crate::NodeId;
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree `2|E|/|V|`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Fraction of degree-1 nodes (the pendant fringe that drives
+    /// hierarchy skew; see `cod-datasets`).
+    pub pendant_fraction: f64,
+}
+
+/// Computes [`DegreeStats`]; all-zero for the empty graph.
+pub fn degree_stats(g: &Csr) -> DegreeStats {
+    let n = g.num_nodes();
+    if n == 0 {
+        return DegreeStats::default();
+    }
+    let mut degrees: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    let pendants = degrees.iter().filter(|&&d| d == 1).count();
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean: 2.0 * g.num_edges() as f64 / n as f64,
+        median: degrees[n / 2],
+        pendant_fraction: pendants as f64 / n as f64,
+    }
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 · #triangles / #wedges`. Returns 0 for wedge-free graphs.
+pub fn global_clustering_coefficient(g: &Csr) -> f64 {
+    let mut triangles = 0u64; // counted once per triangle
+    let mut wedges = 0u64;
+    for v in 0..g.num_nodes() as NodeId {
+        let d = g.degree(v) as u64;
+        wedges += d * d.saturating_sub(1) / 2;
+        // Count triangles with v as the smallest vertex.
+        let neigh = g.neighbors(v);
+        for (i, &a) in neigh.iter().enumerate() {
+            if a < v {
+                continue;
+            }
+            for &b in &neigh[i + 1..] {
+                if b > a && g.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        3.0 * triangles as f64 / wedges as f64
+    }
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges). Returns 0 when undefined (degree-regular or empty graphs).
+pub fn degree_assortativity(g: &Csr) -> f64 {
+    let m = g.num_edges();
+    if m == 0 {
+        return 0.0;
+    }
+    // Accumulate over both orientations for symmetry.
+    let (mut sx, mut sxx, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
+    let cnt = (2 * m) as f64;
+    for (u, v) in g.edges() {
+        let du = g.degree(u) as f64;
+        let dv = g.degree(v) as f64;
+        sx += du + dv;
+        sxx += du * du + dv * dv;
+        sxy += 2.0 * du * dv;
+    }
+    let mean = sx / cnt;
+    let var = sxx / cnt - mean * mean;
+    if var <= 1e-12 {
+        return 0.0;
+    }
+    (sxy / cnt - mean * mean) / var
+}
+
+/// Approximate diameter: the eccentricity found by a double BFS sweep
+/// (exact on trees, a lower bound in general). Returns 0 for graphs with
+/// fewer than 2 nodes; disconnected graphs report the sweep within the
+/// start node's component.
+pub fn pseudo_diameter(g: &Csr) -> usize {
+    if g.num_nodes() < 2 {
+        return 0;
+    }
+    let (far, _) = bfs_far(g, 0);
+    let (_, dist) = bfs_far(g, far);
+    dist
+}
+
+fn bfs_far(g: &Csr, start: NodeId) -> (NodeId, usize) {
+    let n = g.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    dist[start as usize] = 0;
+    let mut queue = vec![start];
+    let mut head = 0;
+    let mut far = (start, 0usize);
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == usize::MAX {
+                dist[u as usize] = dist[v as usize] + 1;
+                if dist[u as usize] > far.1 {
+                    far = (u, dist[u as usize]);
+                }
+                queue.push(u);
+            }
+        }
+    }
+    far
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle_with_tail() -> Csr {
+        let mut b = GraphBuilder::new(5);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn degree_stats_basics() {
+        let g = triangle_with_tail();
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.pendant_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_triangle_is_one() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        assert!((global_clustering_coefficient(&b.build()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_star_is_zero() {
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5 {
+            b.add_edge(0, v);
+        }
+        assert_eq!(global_clustering_coefficient(&b.build()), 0.0);
+    }
+
+    #[test]
+    fn clustering_coefficient_mixed() {
+        // Triangle + tail: 1 triangle; wedges: deg 2,2,3,2,1 ->
+        // 1 + 1 + 3 + 1 + 0 = 6; c = 3/6.
+        let g = triangle_with_tail();
+        assert!((global_clustering_coefficient(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let mut b = GraphBuilder::new(6);
+        for v in 1..6 {
+            b.add_edge(0, v);
+        }
+        let r = degree_assortativity(&b.build());
+        assert!(r < -0.99, "star assortativity {r}");
+    }
+
+    #[test]
+    fn regular_graph_assortativity_is_defined_as_zero() {
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            b.add_edge(u, v);
+        }
+        assert_eq!(degree_assortativity(&b.build()), 0.0);
+    }
+
+    #[test]
+    fn pseudo_diameter_of_path() {
+        let mut b = GraphBuilder::new(6);
+        for v in 0..5 {
+            b.add_edge(v, v + 1);
+        }
+        assert_eq!(pseudo_diameter(&b.build()), 5);
+        assert_eq!(pseudo_diameter(&GraphBuilder::new(1).build()), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Induced-subgraph extraction with node remapping.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Csr;
+use crate::{AttrTable, AttributedGraph, NodeId};
+
+/// An induced subgraph together with the mapping between its local dense ids
+/// and the parent graph's ids.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// Topology over local ids `0..members.len()`.
+    pub csr: Csr,
+    /// `members[local] = parent id`; sorted ascending.
+    pub members: Vec<NodeId>,
+    /// Sparse inverse map: `local_of[parent] = local + 1`, 0 if absent.
+    local_of: Vec<u32>,
+}
+
+impl Subgraph {
+    /// Extracts the subgraph of `g` induced by `members`.
+    ///
+    /// `members` must be sorted ascending and duplicate-free (checked with a
+    /// debug assertion).
+    pub fn induced(g: &Csr, members: &[NodeId]) -> Self {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "members unsorted");
+        let mut local_of = vec![0u32; g.num_nodes()];
+        for (i, &v) in members.iter().enumerate() {
+            local_of[v as usize] = i as u32 + 1;
+        }
+        let mut b = GraphBuilder::new(members.len());
+        for (i, &v) in members.iter().enumerate() {
+            for &u in g.neighbors(v) {
+                let lu = local_of[u as usize];
+                if lu != 0 && (lu - 1) as usize > i {
+                    b.add_edge(i as NodeId, lu - 1);
+                }
+            }
+        }
+        Self {
+            csr: b.build(),
+            members: members.to_vec(),
+            local_of,
+        }
+    }
+
+    /// Local id of parent node `v`, if a member.
+    #[inline]
+    pub fn local(&self, v: NodeId) -> Option<NodeId> {
+        match self.local_of.get(v as usize) {
+            Some(&x) if x != 0 => Some(x - 1),
+            _ => None,
+        }
+    }
+
+    /// Parent id of local node `l`.
+    #[inline]
+    pub fn parent(&self, l: NodeId) -> NodeId {
+        self.members[l as usize]
+    }
+
+    /// Number of member nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the subgraph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Re-attaches the parent graph's attributes, producing a standalone
+    /// [`AttributedGraph`] over local ids.
+    pub fn to_attributed(&self, parent: &AttributedGraph) -> AttributedGraph {
+        let lists: Vec<Vec<_>> = self
+            .members
+            .iter()
+            .map(|&v| parent.node_attrs(v).to_vec())
+            .collect();
+        AttributedGraph::from_parts(
+            self.csr.clone(),
+            AttrTable::from_lists(lists),
+            parent.interner().clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn house() -> Csr {
+        // 0-1-2-3-4 path plus chord 1-3.
+        let mut b = GraphBuilder::new(5);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (1, 3)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn induces_only_internal_edges() {
+        let g = house();
+        let s = Subgraph::induced(&g, &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.csr.num_edges(), 3); // 1-2, 2-3, 1-3
+        assert_eq!(s.local(1), Some(0));
+        assert_eq!(s.local(0), None);
+        assert_eq!(s.parent(2), 3);
+    }
+
+    #[test]
+    fn empty_members() {
+        let g = house();
+        let s = Subgraph::induced(&g, &[]);
+        assert!(s.is_empty());
+        assert_eq!(s.csr.num_nodes(), 0);
+    }
+
+    #[test]
+    fn attributes_follow_members() {
+        let g = house();
+        let attrs = AttrTable::from_lists(vec![vec![0], vec![1], vec![0, 1], vec![], vec![0]]);
+        let ag = AttributedGraph::from_parts(g, attrs, crate::AttrInterner::new());
+        let s = Subgraph::induced(ag.csr(), &[2, 4]);
+        let sub = s.to_attributed(&ag);
+        assert_eq!(sub.node_attrs(0), &[0, 1]); // parent node 2
+        assert_eq!(sub.node_attrs(1), &[0]); // parent node 4
+    }
+}

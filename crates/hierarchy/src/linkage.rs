@@ -1,0 +1,126 @@
+//! Linkage functions for agglomerative graph clustering.
+//!
+//! Clusters of a graph are scored by similarity (higher = merge earlier).
+//! For two clusters `A`, `B` with total cross-edge weight `W(A, B)`:
+//!
+//! * **unweighted average** (UPGMA, the paper's §V-A choice, after \[45\]):
+//!   `sim = W(A, B) / (|A| · |B|)`;
+//! * **single**: `sim = max` cross-edge weight;
+//! * **complete**: `sim = min` cross-edge weight over adjacent pairs
+//!   (non-adjacent pairs are never merged before connectivity forces it).
+//!
+//! All three are *reducible* in the similarity sense
+//! (`sim(A ∪ B, C) ≤ max(sim(A, C), sim(B, C))`), which the
+//! nearest-neighbour chain algorithm requires for exactness.
+
+/// Linkage function selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum Linkage {
+    /// Unweighted-average linkage (UPGMA on graphs) — the paper's default.
+    #[default]
+    Average,
+    /// Single linkage (maximum cross-edge weight).
+    Single,
+    /// Complete linkage (minimum cross-edge weight).
+    Complete,
+}
+
+
+/// Cross-cluster edge statistics maintained by the clustering algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CrossStats {
+    /// Sum of cross-edge weights `W(A, B)`.
+    pub total: f64,
+    /// Maximum cross-edge weight.
+    pub max: f64,
+    /// Minimum cross-edge weight.
+    pub min: f64,
+}
+
+impl CrossStats {
+    /// Stats of a single edge of weight `w`.
+    #[inline]
+    pub fn edge(w: f64) -> Self {
+        Self {
+            total: w,
+            max: w,
+            min: w,
+        }
+    }
+
+    /// Accumulates another parallel edge between the same cluster pair.
+    #[inline]
+    pub fn add_edge(&mut self, w: f64) {
+        self.total += w;
+        self.max = self.max.max(w);
+        self.min = self.min.min(w);
+    }
+
+    /// Combines the stats of `(A, C)` and `(B, C)` into `(A ∪ B, C)`.
+    #[inline]
+    pub fn merge(&self, other: &CrossStats) -> CrossStats {
+        CrossStats {
+            total: self.total + other.total,
+            max: self.max.max(other.max),
+            min: self.min.min(other.min),
+        }
+    }
+}
+
+impl Linkage {
+    /// Similarity of two adjacent clusters of the given sizes.
+    #[inline]
+    pub fn similarity(self, stats: &CrossStats, size_a: usize, size_b: usize) -> f64 {
+        match self {
+            Linkage::Average => stats.total / (size_a as f64 * size_b as f64),
+            Linkage::Single => stats.max,
+            Linkage::Complete => stats.min,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_normalizes_by_size_product() {
+        let s = CrossStats::edge(3.0);
+        assert!((Linkage::Average.similarity(&s, 2, 3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_and_complete_track_extremes() {
+        let mut s = CrossStats::edge(1.0);
+        s.add_edge(4.0);
+        s.add_edge(2.0);
+        assert_eq!(Linkage::Single.similarity(&s, 1, 1), 4.0);
+        assert_eq!(Linkage::Complete.similarity(&s, 1, 1), 1.0);
+        assert_eq!(s.total, 7.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let a = CrossStats::edge(1.0);
+        let b = CrossStats::edge(5.0);
+        let m = a.merge(&b);
+        assert_eq!(m.total, 6.0);
+        assert_eq!(m.max, 5.0);
+        assert_eq!(m.min, 1.0);
+    }
+
+    #[test]
+    fn average_linkage_is_reducible() {
+        // sim(A∪B, C) <= max(sim(A,C), sim(B,C)) — mediant inequality.
+        let ac = CrossStats::edge(3.0);
+        let bc = CrossStats::edge(1.0);
+        let (sa, sb, sc) = (2usize, 5usize, 3usize);
+        let merged = ac.merge(&bc);
+        let lhs = Linkage::Average.similarity(&merged, sa + sb, sc);
+        let rhs = Linkage::Average
+            .similarity(&ac, sa, sc)
+            .max(Linkage::Average.similarity(&bc, sb, sc));
+        assert!(lhs <= rhs + 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! Influence models and reverse-reachable (RR) estimation for COD.
+//!
+//! Implements the paper's §II-A influence machinery:
+//!
+//! * [`model::Model`] — the independent cascade model under the *weighted
+//!   cascade* parametrization (`p(u, v) = 1/deg(v)`, the paper's §V-A
+//!   default), a uniform-probability IC variant, and the linear threshold
+//!   model (the paper's claimed extension, §II-A);
+//! * [`rrgraph::RrGraph`] — an RR set *plus its activated edges*
+//!   (Definition 2), supporting induced restriction to a community
+//!   (Definition 3) and the possible-world coupling of Theorem 2;
+//! * [`sampler::RrSampler`] — RR-graph generation with reusable scratch
+//!   space, including community-restricted sampling for the Independent
+//!   baseline;
+//! * [`montecarlo`] — forward IC/LT simulation for ground-truth influence
+//!   `σ_C(q)` (used for the paper's top-k precision measure, §V-C);
+//! * [`estimate`] — RR-based influence and rank estimation on a whole graph
+//!   or a single community.
+//!
+//! Influence of `q` in community `C` keeps the *original* edge probabilities
+//! of `g` (Theorem 2 couples the community process to possible worlds of
+//! `g`); only traversal is restricted to `C`.
+
+pub mod estimate;
+pub mod im;
+pub mod model;
+pub mod montecarlo;
+pub mod rrgraph;
+pub mod sampler;
+
+pub use estimate::{rank_in_members, InfluenceEstimate};
+pub use im::RrPool;
+pub use model::Model;
+pub use rrgraph::RrGraph;
+pub use sampler::RrSampler;

@@ -1,0 +1,163 @@
+//! Reverse-reachable graphs (paper Definitions 2 and 3).
+
+use cod_graph::NodeId;
+
+/// An RR set together with the edges activated while generating it
+/// (Definition 2). Nodes are stored with local indices `0..len`, node `0`
+/// being the source; `targets` holds *directed* traversal edges `v ⇒ u`
+/// (meaning `u` reverse-activated from `v`, i.e. influence flows `u → v`).
+///
+/// Restricting traversal to a community yields the induced RR graph of
+/// Definition 3; by Theorem 2 the probability that a node is reachable from
+/// the source inside the restriction estimates its influence in that
+/// community.
+#[derive(Clone, Debug)]
+pub struct RrGraph {
+    /// Global node ids, in exploration (BFS) order; `nodes[0]` is the source.
+    nodes: Vec<NodeId>,
+    /// CSR offsets into `targets`, per local node.
+    offsets: Vec<u32>,
+    /// Out-neighbors (local indices) following activated edges away from the
+    /// source.
+    targets: Vec<u32>,
+}
+
+impl RrGraph {
+    /// Assembles an RR graph from exploration results. `edges` holds local
+    /// `(from, to)` pairs; both endpoints must be in range.
+    pub(crate) fn from_parts(nodes: Vec<NodeId>, edges: &[(u32, u32)]) -> Self {
+        let n = nodes.len();
+        let mut counts = vec![0u32; n + 1];
+        for &(f, _) in edges {
+            counts[f as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0u32; edges.len()];
+        for &(f, t) in edges {
+            debug_assert!((t as usize) < n);
+            targets[cursor[f as usize] as usize] = t;
+            cursor[f as usize] += 1;
+        }
+        Self {
+            nodes,
+            offsets,
+            targets,
+        }
+    }
+
+    /// The source node (global id).
+    #[inline]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Number of nodes in the RR set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the RR graph holds only the source (it never holds zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of activated (directed traversal) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Global ids of the RR set, in exploration order.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Global id of local node `l`.
+    #[inline]
+    pub fn node(&self, l: u32) -> NodeId {
+        self.nodes[l as usize]
+    }
+
+    /// Out-neighbors (local indices) of local node `l`.
+    #[inline]
+    pub fn out_neighbors(&self, l: u32) -> &[u32] {
+        let l = l as usize;
+        &self.targets[self.offsets[l] as usize..self.offsets[l + 1] as usize]
+    }
+
+    /// Nodes reachable from the source when traversal is restricted to
+    /// nodes satisfying `keep` — the reachable set of the induced RR graph
+    /// `R_g(C)` of Definition 3. Returns global ids; empty if the source
+    /// itself is excluded.
+    pub fn reachable_within(&self, keep: impl Fn(NodeId) -> bool) -> Vec<NodeId> {
+        if !keep(self.source()) {
+            return Vec::new();
+        }
+        let n = self.len();
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        let mut stack = vec![0u32];
+        let mut out = vec![self.source()];
+        while let Some(v) = stack.pop() {
+            for &u in self.out_neighbors(v) {
+                if !seen[u as usize] && keep(self.nodes[u as usize]) {
+                    seen[u as usize] = true;
+                    stack.push(u);
+                    out.push(self.nodes[u as usize]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// source 7 ⇒ 3 ⇒ 5, and 7 ⇒ 9 (local: 0⇒1⇒2, 0⇒3).
+    fn sample() -> RrGraph {
+        RrGraph::from_parts(vec![7, 3, 5, 9], &[(0, 1), (1, 2), (0, 3)])
+    }
+
+    #[test]
+    fn structure_round_trip() {
+        let r = sample();
+        assert_eq!(r.source(), 7);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.num_edges(), 3);
+        assert_eq!(r.out_neighbors(0), &[1, 3]);
+        assert_eq!(r.out_neighbors(1), &[2]);
+        assert_eq!(r.out_neighbors(2), &[] as &[u32]);
+    }
+
+    #[test]
+    fn unrestricted_reachability_is_everything() {
+        let r = sample();
+        let mut got = r.reachable_within(|_| true);
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn restriction_cuts_paths() {
+        let r = sample();
+        // Without node 3, node 5 is unreachable.
+        let mut got = r.reachable_within(|v| v != 3);
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 9]);
+    }
+
+    #[test]
+    fn excluded_source_gives_empty_induced_set() {
+        let r = sample();
+        assert!(r.reachable_within(|v| v != 7).is_empty());
+    }
+}

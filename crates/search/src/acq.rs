@@ -1,0 +1,118 @@
+//! ACQ \[2\]: attributed community search with a k-core model.
+//!
+//! Given `(q, ℓ_q, k)`, ACQ returns the maximal connected k-core containing
+//! `q` in which *every* node carries the query attribute (the paper's §V-A
+//! description: "a k-core containing the query node such that all nodes in
+//! the k-core share the query attribute").
+
+use cod_graph::{AttrId, AttributedGraph, NodeId};
+
+use crate::kcore::kcore_component;
+
+/// Runs an ACQ query. Returns the sorted members of the community, or
+/// `None` when `q` lacks the attribute or no qualifying k-core exists.
+///
+/// ```
+/// use cod_graph::{AttrInterner, AttrTable, AttributedGraph, GraphBuilder};
+/// use cod_search::acq_query;
+///
+/// // Triangle {0,1,2} sharing attribute 0, pendant node 3 without it.
+/// let mut b = GraphBuilder::new(4);
+/// for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+///     b.add_edge(u, v);
+/// }
+/// let attrs = AttrTable::from_lists(vec![vec![0], vec![0], vec![0], vec![]]);
+/// let g = AttributedGraph::from_parts(b.build(), attrs, AttrInterner::new());
+/// assert_eq!(acq_query(&g, 0, 0, 2), Some(vec![0, 1, 2]));
+/// assert_eq!(acq_query(&g, 3, 0, 1), None); // node 3 lacks the attribute
+/// ```
+pub fn acq_query(
+    g: &AttributedGraph,
+    q: NodeId,
+    attr: AttrId,
+    k: u32,
+) -> Option<Vec<NodeId>> {
+    if !g.has_attr(q, attr) {
+        return None;
+    }
+    let community = kcore_component(g.csr(), q, k, |v| g.has_attr(v, attr))?;
+    // A community of just the query node is not a community.
+    if community.len() <= 1 {
+        None
+    } else {
+        Some(community)
+    }
+}
+
+/// The largest `k` for which [`acq_query`] succeeds, with its community.
+pub fn acq_query_max_k(
+    g: &AttributedGraph,
+    q: NodeId,
+    attr: AttrId,
+) -> Option<(u32, Vec<NodeId>)> {
+    let mut best = None;
+    let mut k = 1u32;
+    while let Some(c) = acq_query(g, q, attr, k) {
+        best = Some((k, c));
+        k += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cod_graph::{AttrInterner, AttrTable, GraphBuilder};
+
+    /// Triangle {0,1,2} with attr A; node 3 (attr B) tied to all of them;
+    /// pendant 4 with attr A hanging off node 0.
+    fn fixture() -> AttributedGraph {
+        let mut b = GraphBuilder::new(5);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (0, 3), (1, 3), (2, 3), (0, 4)] {
+            b.add_edge(u, v);
+        }
+        let mut i = AttrInterner::new();
+        let a = i.intern("A");
+        let bb = i.intern("B");
+        let attrs = AttrTable::from_lists(vec![
+            vec![a],
+            vec![a],
+            vec![a],
+            vec![bb],
+            vec![a],
+        ]);
+        AttributedGraph::from_parts(b.build(), attrs, i)
+    }
+
+    #[test]
+    fn finds_attribute_homogeneous_core() {
+        let g = fixture();
+        // 2-core within attr A: the triangle (node 3 excluded, node 4
+        // peeled away).
+        let c = acq_query(&g, 0, 0, 2).unwrap();
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn query_without_attribute_fails() {
+        let g = fixture();
+        assert!(acq_query(&g, 3, 0, 1).is_none());
+    }
+
+    #[test]
+    fn too_high_k_fails() {
+        let g = fixture();
+        assert!(acq_query(&g, 0, 0, 3).is_none());
+    }
+
+    #[test]
+    fn max_k_search() {
+        let g = fixture();
+        let (k, c) = acq_query_max_k(&g, 0, 0).unwrap();
+        assert_eq!(k, 2);
+        assert_eq!(c, vec![0, 1, 2]);
+        let (k4, c4) = acq_query_max_k(&g, 4, 0).unwrap();
+        assert_eq!(k4, 1);
+        assert_eq!(c4, vec![0, 1, 2, 4]);
+    }
+}

@@ -1,0 +1,180 @@
+//! k-core decomposition and maximal-k-core extraction.
+
+use cod_graph::{Csr, NodeId};
+
+/// Core numbers of every node (bucket-based peeling, `O(|E|)`).
+pub fn core_numbers(g: &Csr) -> Vec<u32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<u32> = (0..n as NodeId).map(|v| g.degree(v) as u32).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0) as usize;
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 1..bin.len() {
+        bin[i] += bin[i - 1];
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as NodeId; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            let d = degree[v] as usize;
+            pos[v] = cursor[d];
+            vert[pos[v]] = v as NodeId;
+            cursor[d] += 1;
+        }
+    }
+    // bin[d] = start index of degree-d nodes in `vert`.
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = degree[v as usize];
+        for &u in g.neighbors(v) {
+            if degree[u as usize] > degree[v as usize] {
+                // Move u one bucket down.
+                let du = degree[u as usize] as usize;
+                let pu = pos[u as usize];
+                let pw = bin[du];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bin[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The maximal connected k-core containing `q`, restricted to nodes
+/// accepted by `keep`. Returns sorted members, or `None` if `q` does not
+/// survive the peeling.
+pub fn kcore_component(
+    g: &Csr,
+    q: NodeId,
+    k: u32,
+    keep: impl Fn(NodeId) -> bool,
+) -> Option<Vec<NodeId>> {
+    let n = g.num_nodes();
+    if !keep(q) {
+        return None;
+    }
+    // Peel nodes (inside the mask) with masked degree < k.
+    let mut alive: Vec<bool> = (0..n as NodeId).map(&keep).collect();
+    let mut deg = vec![0u32; n];
+    for v in 0..n as NodeId {
+        if alive[v as usize] {
+            deg[v as usize] = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| alive[u as usize])
+                .count() as u32;
+        }
+    }
+    let mut stack: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| alive[v as usize] && deg[v as usize] < k)
+        .collect();
+    while let Some(v) = stack.pop() {
+        if !alive[v as usize] {
+            continue;
+        }
+        alive[v as usize] = false;
+        for &u in g.neighbors(v) {
+            if alive[u as usize] {
+                deg[u as usize] -= 1;
+                if deg[u as usize] < k {
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    if !alive[q as usize] {
+        return None;
+    }
+    Some(cod_graph::components::component_of_within(g, q, &alive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cod_graph::GraphBuilder;
+
+    /// Triangle {0,1,2} with pendant 3 on node 2, plus a disjoint
+    /// triangle {4,5,6}.
+    fn fixture() -> Csr {
+        let mut b = GraphBuilder::new(7);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (2, 3), (4, 5), (5, 6), (4, 6)] {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn core_numbers_match_structure() {
+        let g = fixture();
+        let c = core_numbers(&g);
+        assert_eq!(c[0], 2);
+        assert_eq!(c[1], 2);
+        assert_eq!(c[2], 2);
+        assert_eq!(c[3], 1);
+        assert_eq!(c[4], 2);
+    }
+
+    #[test]
+    fn two_core_excludes_pendant() {
+        let g = fixture();
+        let c = kcore_component(&g, 0, 2, |_| true).unwrap();
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pendant_has_no_two_core() {
+        let g = fixture();
+        assert!(kcore_component(&g, 3, 2, |_| true).is_none());
+    }
+
+    #[test]
+    fn components_are_separated() {
+        let g = fixture();
+        let c = kcore_component(&g, 4, 2, |_| true).unwrap();
+        assert_eq!(c, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn mask_restricts_the_core() {
+        let g = fixture();
+        // Excluding node 1 destroys the triangle: no 2-core for node 0.
+        assert!(kcore_component(&g, 0, 2, |v| v != 1).is_none());
+        // 1-core still exists: {0, 2, 3}.
+        let c = kcore_component(&g, 0, 1, |v| v != 1).unwrap();
+        assert_eq!(c, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn zero_core_is_component() {
+        let g = fixture();
+        let c = kcore_component(&g, 3, 0, |_| true).unwrap();
+        assert_eq!(c, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn core_numbers_on_clique() {
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5 {
+            for v in u + 1..5 {
+                b.add_edge(u, v);
+            }
+        }
+        let g = b.build();
+        assert!(core_numbers(&g).iter().all(|&c| c == 4));
+    }
+}

@@ -1,0 +1,28 @@
+//! Attributed community-search baselines (paper §V-A).
+//!
+//! The paper compares COD against three attributed community search
+//! methods. This crate implements them over the same substrate:
+//!
+//! * [`acq::acq_query`] — **ACQ** \[2\]: the maximal connected k-core
+//!   containing the query node in which every node shares the query
+//!   attribute;
+//! * [`cac::cac_query`] — **CAC** \[3\]: the triangle-connected k-truss of
+//!   maximum trussness containing the query node, all of whose nodes share
+//!   the query attribute;
+//! * [`atc::atc_query`] — **ATC** \[1\], simplified LocATC flavour: the
+//!   (k,d)-truss around the query node, greedily peeled to maximize the
+//!   attribute score (see `DESIGN.md` §5 for the documented
+//!   simplification);
+//!
+//! plus the structural machinery: [`kcore`] decomposition and
+//! [`truss`] decomposition with triangle connectivity.
+
+pub mod acq;
+pub mod atc;
+pub mod cac;
+pub mod kcore;
+pub mod truss;
+
+pub use acq::acq_query;
+pub use atc::atc_query;
+pub use cac::cac_query;

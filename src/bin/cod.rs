@@ -1,0 +1,374 @@
+//! `cod` — command-line characteristic community discovery.
+//!
+//! Operates on plain-text edge-list + attribute-list files (see
+//! `cod_graph::io` for the formats) or on the built-in dataset presets.
+//!
+//! ```text
+//! cod stats     --edges g.txt [--attrs a.txt] | --preset cora
+//! cod query     (graph opts) --node 17 [--attr DB] [--k 5] [--theta 10] [--method codl]
+//! cod hierarchy (graph opts) --node 17 [--levels 12]
+//! cod baseline  (graph opts) --node 17 --attr DB --method acq|atc|cac
+//! cod generate  --preset cora --out-edges g.txt --out-attrs a.txt
+//! ```
+//!
+//! Run `cod help` for the full option list.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pcod::cod::chain::Chain;
+use pcod::cod::compressed::compressed_cod;
+use pcod::cod::recluster::build_hierarchy;
+use pcod::graph::io;
+use pcod::graph::measures;
+use pcod::prelude::*;
+use rand::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "stats" => cmd_stats(&opts),
+        "query" => cmd_query(&opts),
+        "hierarchy" => cmd_hierarchy(&opts),
+        "baseline" => cmd_baseline(&opts),
+        "im" => cmd_im(&opts),
+        "generate" => cmd_generate(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cod — characteristic community discovery (ICDE 2024)
+
+USAGE:
+  cod <command> [options]
+
+COMMANDS:
+  stats      print graph statistics
+  query      find the characteristic community of a node
+  hierarchy  print a node's hierarchical communities and influence ranks
+  baseline   run a community-search baseline (acq / atc / cac)
+  im         greedy influence-maximization seeds (optionally inside the
+             characteristic community of --node)
+  generate   write a dataset preset to edge/attribute files
+  help       show this text
+
+GRAPH SOURCE (choose one):
+  --edges FILE [--attrs FILE]   load from plain-text files
+  --preset NAME                 built-in preset (cora, citeseer, pubmed,
+                                retweet, amazon, dblp, livejournal)
+
+OPTIONS:
+  --node N        query node id
+  --attr NAME     query attribute (name or numeric id; default: the node's
+                  first attribute)
+  --k N           required influence rank (default 5)
+  --theta N       RR graphs per node (default 10)
+  --seed N        RNG seed (default 42)
+  --method M      query: codu|codr|codl-|codl (default codl)
+                  baseline: acq|atc|cac
+  --levels N      hierarchy: number of levels to print (default 15)
+  --out-edges F   generate: output edge-list path
+  --out-attrs F   generate: output attribute-list path";
+
+#[derive(Default)]
+struct Opts {
+    edges: Option<PathBuf>,
+    attrs: Option<PathBuf>,
+    preset: Option<String>,
+    node: Option<NodeId>,
+    attr: Option<String>,
+    k: usize,
+    theta: usize,
+    seed: u64,
+    method: Option<String>,
+    levels: usize,
+    out_edges: Option<PathBuf>,
+    out_attrs: Option<PathBuf>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut o = Opts {
+            k: 5,
+            theta: 10,
+            seed: 42,
+            levels: 15,
+            ..Opts::default()
+        };
+        let mut i = 0;
+        let value = |args: &[String], i: usize| -> Result<String, String> {
+            args.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--edges" => o.edges = Some(PathBuf::from(value(args, i)?)),
+                "--attrs" => o.attrs = Some(PathBuf::from(value(args, i)?)),
+                "--preset" => o.preset = Some(value(args, i)?),
+                "--node" => {
+                    o.node = Some(value(args, i)?.parse().map_err(|_| "--node wants an id")?)
+                }
+                "--attr" => o.attr = Some(value(args, i)?),
+                "--k" => o.k = value(args, i)?.parse().map_err(|_| "--k wants a number")?,
+                "--theta" => {
+                    o.theta = value(args, i)?.parse().map_err(|_| "--theta wants a number")?
+                }
+                "--seed" => o.seed = value(args, i)?.parse().map_err(|_| "--seed wants a number")?,
+                "--method" => o.method = Some(value(args, i)?),
+                "--levels" => {
+                    o.levels = value(args, i)?.parse().map_err(|_| "--levels wants a number")?
+                }
+                "--out-edges" => o.out_edges = Some(PathBuf::from(value(args, i)?)),
+                "--out-attrs" => o.out_attrs = Some(PathBuf::from(value(args, i)?)),
+                other => return Err(format!("unknown option {other:?}")),
+            }
+            i += 2;
+        }
+        Ok(o)
+    }
+
+    fn load_graph(&self) -> Result<AttributedGraph, String> {
+        match (&self.edges, &self.preset) {
+            (Some(edges), None) => io::load_attributed(edges, self.attrs.as_deref())
+                .map_err(|e| format!("loading graph: {e}")),
+            (None, Some(name)) => pcod::datasets::by_name(name, self.seed)
+                .map(|d| d.graph)
+                .ok_or_else(|| format!("unknown preset {name:?}")),
+            (Some(_), Some(_)) => Err("--edges and --preset are mutually exclusive".into()),
+            (None, None) => Err("need --edges FILE or --preset NAME".into()),
+        }
+    }
+
+    fn resolve_attr(&self, g: &AttributedGraph, q: NodeId) -> Result<AttrId, String> {
+        match &self.attr {
+            Some(name) => {
+                if let Some(id) = g.interner().get(name) {
+                    return Ok(id);
+                }
+                name.parse()
+                    .map_err(|_| format!("unknown attribute {name:?}"))
+            }
+            None => g
+                .node_attrs(q)
+                .first()
+                .copied()
+                .ok_or_else(|| format!("node {q} has no attributes; pass --attr")),
+        }
+    }
+
+    fn cod_config(&self) -> CodConfig {
+        CodConfig {
+            k: self.k,
+            theta: self.theta,
+            ..CodConfig::default()
+        }
+    }
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let g = opts.load_graph()?;
+    let csr = g.csr();
+    let (ncomp, _) = pcod::graph::components::connected_components(csr);
+    let max_deg = (0..g.num_nodes() as NodeId).map(|v| g.degree(v)).max().unwrap_or(0);
+    println!("nodes:       {}", g.num_nodes());
+    println!("edges:       {}", g.num_edges());
+    println!("attributes:  {}", g.num_attrs());
+    println!("components:  {ncomp}");
+    println!("max degree:  {max_deg}");
+    println!(
+        "avg degree:  {:.2}",
+        2.0 * g.num_edges() as f64 / g.num_nodes().max(1) as f64
+    );
+    let ds = pcod::graph::stats::degree_stats(csr);
+    println!("median deg:  {}", ds.median);
+    println!("pendants:    {:.1}%", ds.pendant_fraction * 100.0);
+    println!(
+        "clustering:  {:.4}",
+        pcod::graph::stats::global_clustering_coefficient(csr)
+    );
+    println!(
+        "assortativity: {:.4}",
+        pcod::graph::stats::degree_assortativity(csr)
+    );
+    println!("pseudo-diameter: {}", pcod::graph::stats::pseudo_diameter(csr));
+    let dendro = build_hierarchy(csr, Linkage::Average);
+    println!("hierarchy:   avg |H(q)| = {:.1}", dendro.avg_chain_len());
+    Ok(())
+}
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let g = opts.load_graph()?;
+    let q = opts.node.ok_or("query needs --node")?;
+    if q as usize >= g.num_nodes() {
+        return Err(format!("node {q} out of range (graph has {} nodes)", g.num_nodes()));
+    }
+    let cfg = opts.cod_config();
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let method = opts.method.as_deref().unwrap_or("codl");
+    let attr = opts.resolve_attr(&g, q);
+    let answer = match method {
+        "codu" => Codu::new(&g, cfg).query(q, &mut rng),
+        "codr" => Codr::new(&g, cfg).query(q, attr?, &mut rng),
+        "codl-" => CodlMinus::new(&g, cfg).query(q, attr?, &mut rng),
+        "codl" => Codl::new(&g, cfg, &mut rng).query(q, attr?, &mut rng),
+        other => return Err(format!("unknown method {other:?} (codu|codr|codl-|codl)")),
+    };
+    match answer {
+        None => println!("no community where node {q} is top-{}", cfg.k),
+        Some(ans) => {
+            println!(
+                "characteristic community of node {q}: {} members, rank {} (via {:?})",
+                ans.size(),
+                ans.rank,
+                ans.source
+            );
+            println!(
+                "topology density {:.4}, conductance {:.4}",
+                measures::topology_density(g.csr(), &ans.members),
+                measures::conductance(g.csr(), &ans.members),
+            );
+            let shown = ans.members.len().min(40);
+            println!("members[..{shown}]: {:?}", &ans.members[..shown]);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_hierarchy(opts: &Opts) -> Result<(), String> {
+    let g = opts.load_graph()?;
+    let q = opts.node.ok_or("hierarchy needs --node")?;
+    if q as usize >= g.num_nodes() {
+        return Err(format!("node {q} out of range"));
+    }
+    let cfg = opts.cod_config();
+    let dendro = build_hierarchy(g.csr(), cfg.linkage);
+    let lca = LcaIndex::new(&dendro);
+    let chain = DendroChain::new(&dendro, &lca, q);
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let out = compressed_cod(g.csr(), cfg.model, &chain, q, cfg.k, cfg.theta, &mut rng);
+    println!("node {q}: |H(q)| = {} communities", chain.len());
+    println!("level | size     | rank(q) | top-{}?", cfg.k);
+    for h in 0..chain.len().min(opts.levels) {
+        println!(
+            "{h:5} | {:8} | {:7} | {}",
+            chain.size(h),
+            out.ranks[h],
+            if out.ranks[h] <= cfg.k { "yes" } else { "no" }
+        );
+    }
+    if chain.len() > opts.levels {
+        println!("... ({} more levels; raise --levels)", chain.len() - opts.levels);
+    }
+    Ok(())
+}
+
+fn cmd_baseline(opts: &Opts) -> Result<(), String> {
+    let g = opts.load_graph()?;
+    let q = opts.node.ok_or("baseline needs --node")?;
+    let attr = opts.resolve_attr(&g, q)?;
+    let method = opts.method.as_deref().ok_or("baseline needs --method acq|atc|cac")?;
+    let community = match method {
+        "acq" => pcod::search::acq_query(&g, q, attr, 2),
+        "atc" => pcod::search::atc_query(&g, q, attr, Default::default()),
+        "cac" => pcod::search::cac_query(&g, q, attr),
+        other => return Err(format!("unknown baseline {other:?}")),
+    };
+    match community {
+        None => println!("{method}: no community for node {q}"),
+        Some(c) => {
+            println!("{method}: {} members", c.len());
+            println!(
+                "topology density {:.4}, attribute density {:.4}",
+                measures::topology_density(g.csr(), &c),
+                measures::attribute_density(&g, &c, attr),
+            );
+            let shown = c.len().min(40);
+            println!("members[..{shown}]: {:?}", &c[..shown]);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_im(opts: &Opts) -> Result<(), String> {
+    use pcod::influence::RrPool;
+    let g = opts.load_graph()?;
+    let cfg = opts.cod_config();
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    // Scope: whole graph, or the characteristic community of --node.
+    let members: Option<Vec<NodeId>> = match opts.node {
+        None => None,
+        Some(q) => {
+            let attr = opts.resolve_attr(&g, q)?;
+            let codl = Codl::new(&g, cfg, &mut rng);
+            match codl.query(q, attr, &mut rng) {
+                Some(ans) => {
+                    println!(
+                        "scoping to the characteristic community of node {q} ({} members)",
+                        ans.size()
+                    );
+                    Some(ans.members)
+                }
+                None => {
+                    return Err(format!(
+                        "node {q} has no characteristic community at k = {};                          drop --node for whole-graph seeds",
+                        cfg.k
+                    ))
+                }
+            }
+        }
+    };
+    let theta = cfg.theta.max(20) * members.as_ref().map_or(g.num_nodes(), Vec::len);
+    let pool = RrPool::sample(g.csr(), cfg.model, theta, &mut rng, members.as_deref());
+    let seeds = pool.greedy_seeds(cfg.k);
+    println!("greedy seeds (marginal estimated influence):");
+    for (i, (v, gain)) in seeds.iter().enumerate() {
+        println!("  {}. node {v:6}  +{gain:.2}", i + 1);
+    }
+    let total: Vec<NodeId> = seeds.iter().map(|&(v, _)| v).collect();
+    println!("joint estimated influence: {:.2}", pool.estimate(&total));
+    Ok(())
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let name = opts.preset.as_deref().ok_or("generate needs --preset")?;
+    let data = pcod::datasets::by_name(name, opts.seed)
+        .ok_or_else(|| format!("unknown preset {name:?}"))?;
+    let edges_path = opts.out_edges.as_ref().ok_or("generate needs --out-edges")?;
+    let f = std::fs::File::create(edges_path).map_err(|e| e.to_string())?;
+    io::write_edge_list(data.graph.csr(), f).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} edges to {}",
+        data.graph.num_edges(),
+        edges_path.display()
+    );
+    if let Some(attrs_path) = &opts.out_attrs {
+        let f = std::fs::File::create(attrs_path).map_err(|e| e.to_string())?;
+        io::write_attr_list(&data.graph, f).map_err(|e| e.to_string())?;
+        println!("wrote attributes to {}", attrs_path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # pcod — personalized characteristic community discovery
+//!
+//! A Rust implementation of *"Discovering Personalized Characteristic
+//! Communities in Attributed Graphs"* (ICDE 2024): given a query node `q`
+//! and a query attribute `ℓ_q` in an attributed graph, find the **largest
+//! community in which `q` is one of the top-`k` influential nodes** under
+//! the independent cascade model.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pcod::prelude::*;
+//! use rand::prelude::*;
+//!
+//! // The paper's running example (Fig. 2 graph + Fig. 5 attributes).
+//! let data = pcod::datasets::paper_example();
+//! let g = &data.graph;
+//! let db = g.interner().get("DB").unwrap();
+//!
+//! // Fully optimized CODL: LORE local reclustering + HIMOR index.
+//! let cfg = CodConfig { k: 1, theta: 200, ..CodConfig::default() };
+//! let mut rng = SmallRng::seed_from_u64(42);
+//! let codl = Codl::new(g, cfg, &mut rng);
+//!
+//! if let Some(answer) = codl.query(0, db, &mut rng) {
+//!     assert!(answer.members.contains(&0));
+//!     assert!(answer.rank <= 1);
+//! }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`graph`] | CSR attributed graphs, builders, generators, measures |
+//! | [`hierarchy`] | NN-chain agglomerative clustering, dendrograms, O(1) LCA |
+//! | [`influence`] | IC/LT models, RR graphs, estimators, Monte-Carlo truth |
+//! | [`cod`] | compressed COD evaluation, LORE, HIMOR, method pipelines |
+//! | [`search`] | ACQ / ATC / CAC community-search baselines |
+//! | [`datasets`] | Table-I dataset presets and query workloads |
+
+pub use cod_core as cod;
+pub use cod_datasets as datasets;
+pub use cod_graph as graph;
+pub use cod_hierarchy as hierarchy;
+pub use cod_influence as influence;
+pub use cod_search as search;
+
+/// The most common imports for COD applications.
+pub mod prelude {
+    pub use cod_core::{
+        Chain, CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu, ComposedChain, DendroChain,
+        HimorIndex,
+    };
+    pub use cod_graph::{AttrId, AttributedGraph, Csr, GraphBuilder, NodeId};
+    pub use cod_hierarchy::{Dendrogram, LcaIndex, Linkage};
+    pub use cod_influence::{Model, RrSampler};
+}

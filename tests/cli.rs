@@ -1,0 +1,127 @@
+//! Process-level tests of the `cod` CLI binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cod_bin() -> PathBuf {
+    // Integration tests live next to the binary under target/<profile>/.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // <profile>/
+    p.push(format!("cod{}", std::env::consts::EXE_SUFFIX));
+    p
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(cod_bin())
+        .args(args)
+        .output()
+        .expect("spawn cod binary")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let o = run(&["help"]);
+    assert!(o.status.success());
+    assert!(stdout(&o).contains("USAGE"));
+    assert!(stdout(&o).contains("characteristic community"));
+}
+
+#[test]
+fn missing_graph_source_fails_cleanly() {
+    let o = run(&["stats"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--edges") || stderr(&o).contains("--preset"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let o = run(&["frobnicate", "--preset", "cora"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("unknown command"));
+}
+
+#[test]
+fn stats_on_preset() {
+    let o = run(&["stats", "--preset", "citeseer"]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("nodes:       2110"));
+    assert!(out.contains("clustering:"));
+}
+
+#[test]
+fn generate_then_query_round_trip() {
+    let dir = std::env::temp_dir();
+    let edges = dir.join("cod_cli_test_edges.txt");
+    let attrs = dir.join("cod_cli_test_attrs.txt");
+    let o = run(&[
+        "generate",
+        "--preset",
+        "citeseer",
+        "--out-edges",
+        edges.to_str().unwrap(),
+        "--out-attrs",
+        attrs.to_str().unwrap(),
+    ]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+
+    let o = run(&[
+        "query",
+        "--edges",
+        edges.to_str().unwrap(),
+        "--attrs",
+        attrs.to_str().unwrap(),
+        "--node",
+        "17",
+        "--k",
+        "5",
+        "--theta",
+        "5",
+        "--method",
+        "codl",
+    ]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(
+        out.contains("characteristic community of node 17")
+            || out.contains("no community where node 17"),
+        "unexpected output: {out}"
+    );
+    std::fs::remove_file(&edges).ok();
+    std::fs::remove_file(&attrs).ok();
+}
+
+#[test]
+fn hierarchy_command_prints_levels() {
+    let o = run(&[
+        "hierarchy", "--preset", "cora", "--node", "3", "--levels", "4", "--theta", "5",
+    ]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("|H(q)|"));
+    assert!(out.contains("level | size"));
+}
+
+#[test]
+fn out_of_range_node_is_an_error() {
+    let o = run(&["query", "--preset", "cora", "--node", "999999"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("out of range"));
+}
+
+#[test]
+fn baseline_command_runs() {
+    let o = run(&[
+        "baseline", "--preset", "cora", "--node", "10", "--method", "acq",
+    ]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+}

@@ -1,0 +1,192 @@
+//! Cross-crate edge-case tests: tiny graphs, degenerate parameters, and
+//! behavioural contracts that unit tests don't cover.
+
+use pcod::cod::chain::Chain;
+use pcod::cod::compressed::compressed_cod;
+use pcod::cod::recluster::build_hierarchy;
+use pcod::graph::subgraph::Subgraph;
+use pcod::prelude::*;
+use rand::prelude::*;
+
+fn two_node_graph() -> AttributedGraph {
+    let mut b = GraphBuilder::new(2);
+    b.add_edge(0, 1);
+    AttributedGraph::unattributed(b.build())
+}
+
+#[test]
+fn cod_on_two_nodes() {
+    let g = two_node_graph();
+    let cfg = CodConfig {
+        k: 1,
+        theta: 100,
+        ..CodConfig::default()
+    };
+    let codu = Codu::new(&g, cfg);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let ans = codu.query(0, &mut rng).expect("a pair has one community");
+    assert_eq!(ans.members, vec![0, 1]);
+}
+
+#[test]
+fn k_at_least_community_size_accepts_every_level() {
+    let data = pcod::datasets::paper_example();
+    let g = &data.graph;
+    let dendro = build_hierarchy(g.csr(), Linkage::Average);
+    let lca = LcaIndex::new(&dendro);
+    let chain = DendroChain::new(&dendro, &lca, 0);
+    let mut rng = SmallRng::seed_from_u64(2);
+    // k = |V| dominates every rank: best level must be the chain top.
+    let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, 0, 10, 200, &mut rng);
+    assert_eq!(out.best_level, Some(chain.len() - 1));
+    for (h, &r) in out.ranks.iter().enumerate() {
+        assert!(r <= chain.size(h), "rank bounded by community size");
+    }
+}
+
+#[test]
+fn codr_with_unused_attribute_degenerates_to_codu_hierarchy() {
+    // An attribute carried by no node leaves g_ℓ unweighted, so CODR's
+    // hierarchy equals CODU's.
+    let data = pcod::datasets::paper_example();
+    let g = &data.graph;
+    let unused_attr = 77;
+    let r = pcod::cod::recluster::global_recluster(g, unused_attr, 1.0, Linkage::Average);
+    let u = build_hierarchy(g.csr(), Linkage::Average);
+    for v in 0..g.num_nodes() as NodeId {
+        assert_eq!(r.root_path(v).len(), u.root_path(v).len());
+    }
+    // Same community structure vertex by vertex.
+    for x in 0..r.num_vertices() as u32 {
+        assert_eq!(r.members_sorted(x), u.members_sorted(x));
+    }
+}
+
+#[test]
+fn identity_subgraph_round_trips() {
+    let data = pcod::datasets::paper_example();
+    let g = data.graph.csr();
+    let all: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+    let s = Subgraph::induced(g, &all);
+    assert_eq!(s.csr.num_edges(), g.num_edges());
+    for v in 0..g.num_nodes() as NodeId {
+        assert_eq!(s.local(v), Some(v));
+        assert_eq!(s.parent(v), v);
+    }
+}
+
+#[test]
+fn dendrogram_merges_round_trip() {
+    let data = pcod::datasets::cora_like(3);
+    let d = build_hierarchy(data.graph.csr(), Linkage::Average);
+    let d2 = Dendrogram::from_merges(d.num_leaves(), &d.merges());
+    assert_eq!(d.num_vertices(), d2.num_vertices());
+    for v in 0..d.num_vertices() as u32 {
+        assert_eq!(d.size(v), d2.size(v));
+        assert_eq!(d.depth(v), d2.depth(v));
+        assert_eq!(d.parent(v), d2.parent(v));
+    }
+}
+
+#[test]
+fn divisive_hierarchy_supports_cod_queries() {
+    // The COD machinery is hierarchy-agnostic (paper §II): run compressed
+    // evaluation over a divisive bisection hierarchy.
+    let data = pcod::datasets::citeseer_like(4);
+    let g = &data.graph;
+    let dendro = pcod::hierarchy::bisect(g.csr());
+    let lca = LcaIndex::new(&dendro);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let queries = pcod::datasets::gen_queries(g, 6, &mut rng);
+    for &(q, _) in &queries {
+        let chain = DendroChain::new(&dendro, &lca, q);
+        let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, 5, 10, &mut rng);
+        assert_eq!(out.ranks.len(), chain.len());
+        if let Some(h) = out.best_level {
+            assert!(chain.members(h).binary_search(&q).is_ok());
+        }
+    }
+}
+
+#[test]
+fn divisive_hierarchy_is_much_flatter_on_skewed_graphs() {
+    let data = pcod::datasets::retweet_like(6);
+    let g = data.graph.csr();
+    let agglomerative = build_hierarchy(g, Linkage::Average);
+    let divisive = pcod::hierarchy::bisect(g);
+    assert!(
+        divisive.avg_chain_len() * 3.0 < agglomerative.avg_chain_len(),
+        "divisive {:.1} vs agglomerative {:.1}",
+        divisive.avg_chain_len(),
+        agglomerative.avg_chain_len()
+    );
+}
+
+#[test]
+fn baselines_reject_out_of_attribute_queries() {
+    let data = pcod::datasets::paper_example();
+    let g = &data.graph;
+    let ml = g.interner().get("ML").unwrap();
+    // Node 0 carries DB only.
+    assert!(pcod::search::acq_query(g, 0, ml, 1).is_none());
+    assert!(pcod::search::cac_query(g, 0, ml).is_none());
+}
+
+#[test]
+fn lore_on_every_node_of_the_example_is_stable() {
+    let data = pcod::datasets::paper_example();
+    let g = &data.graph;
+    let dendro = build_hierarchy(g.csr(), Linkage::Average);
+    let lca = LcaIndex::new(&dendro);
+    for q in 0..10u32 {
+        for attr in 0..2u32 {
+            if let Some(choice) =
+                pcod::cod::lore::select_recluster_community(g, &dendro, &lca, q, attr)
+            {
+                // The chosen community must contain q and at least 2 nodes.
+                assert!(dendro.contains(choice.vertex, q));
+                assert!(dendro.size(choice.vertex) >= 2);
+                assert!(choice.score > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn quality_measures_on_whole_graph() {
+    let data = pcod::datasets::paper_example();
+    let g = &data.graph;
+    let all: Vec<NodeId> = (0..10).collect();
+    let rho = pcod::graph::measures::topology_density(g.csr(), &all);
+    assert!((rho - 15.0 / 45.0).abs() < 1e-12);
+    let db = g.interner().get("DB").unwrap();
+    let phi = pcod::graph::measures::attribute_density(g, &all, db);
+    assert!((phi - 0.6).abs() < 1e-12);
+    assert_eq!(pcod::graph::measures::conductance(g.csr(), &all), 0.0);
+}
+
+#[test]
+fn chain_universe_matches_top_community() {
+    let data = pcod::datasets::citeseer_like(7);
+    let g = &data.graph;
+    let dendro = build_hierarchy(g.csr(), Linkage::Average);
+    let lca = LcaIndex::new(&dendro);
+    let chain = DendroChain::new(&dendro, &lca, 42);
+    assert_eq!(chain.universe(), chain.members(chain.len() - 1));
+}
+
+#[test]
+fn himor_on_two_node_graph() {
+    let g = two_node_graph();
+    let dendro = build_hierarchy(g.csr(), Linkage::Average);
+    let lca = LcaIndex::new(&dendro);
+    let mut rng = SmallRng::seed_from_u64(8);
+    let index =
+        HimorIndex::build(g.csr(), Model::WeightedCascade, &dendro, &lca, 100, &mut rng);
+    // Both nodes have exactly one path community (the root) and rank <= 2.
+    for v in 0..2u32 {
+        assert_eq!(index.ranks_of(v).len(), 1);
+        assert!(index.ranks_of(v)[0] <= 2);
+    }
+    assert_eq!(index.largest_top_k(&dendro, 0, None, 2), Some(dendro.root()));
+}

@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) for the core invariants.
+
+use cod_graph::FxHashMap;
+use pcod::cod::compressed::incremental_top_k;
+use pcod::cod::recluster::build_hierarchy;
+use pcod::prelude::*;
+use proptest::prelude::*;
+use rand::prelude::*;
+
+/// A random connected graph from a seed and size.
+fn random_graph(n: usize, extra_edges: usize, seed: u64) -> Csr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Random spanning tree for connectivity.
+    for v in 1..n as NodeId {
+        let u = rng.random_range(0..v);
+        b.add_edge(u, v);
+    }
+    for _ in 0..extra_edges {
+        let u = rng.random_range(0..n as NodeId);
+        let v = rng.random_range(0..n as NodeId);
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dendrogram structural invariants on random connected graphs.
+    #[test]
+    fn dendrogram_invariants(n in 2usize..40, extra in 0usize..60, seed in 0u64..1000) {
+        let g = random_graph(n, extra, seed);
+        let d = build_hierarchy(&g, Linkage::Average);
+        prop_assert_eq!(d.num_leaves(), n);
+        prop_assert_eq!(d.num_vertices(), 2 * n - 1);
+        prop_assert_eq!(d.size(d.root()), n);
+        // Children partition their parent.
+        for v in n as u32..d.num_vertices() as u32 {
+            let [a, b] = d.children(v);
+            prop_assert_eq!(d.size(a) + d.size(b), d.size(v));
+            prop_assert_eq!(d.depth(a), d.depth(v) + 1);
+            let ma = d.members_sorted(a);
+            let mb = d.members_sorted(b);
+            let mut union: Vec<_> = ma.iter().chain(mb.iter()).copied().collect();
+            union.sort_unstable();
+            prop_assert_eq!(union, d.members_sorted(v));
+        }
+        // contains() agrees with membership lists.
+        for v in 0..d.num_vertices() as u32 {
+            let members = d.members_sorted(v);
+            for u in 0..n as NodeId {
+                prop_assert_eq!(d.contains(v, u), members.binary_search(&u).is_ok());
+            }
+        }
+    }
+
+    /// LCA index agrees with parent-pointer chasing.
+    #[test]
+    fn lca_matches_naive(n in 2usize..30, extra in 0usize..40, seed in 0u64..1000) {
+        let g = random_graph(n, extra, seed);
+        let d = build_hierarchy(&g, Linkage::Average);
+        let lca = LcaIndex::new(&d);
+        let naive = |a: u32, b: u32| -> u32 {
+            let mut anc = vec![a];
+            let mut v = a;
+            while d.parent(v) != pcod::hierarchy::NO_VERTEX {
+                v = d.parent(v);
+                anc.push(v);
+            }
+            let mut v = b;
+            loop {
+                if anc.contains(&v) {
+                    return v;
+                }
+                v = d.parent(v);
+            }
+        };
+        let nv = d.num_vertices() as u32;
+        for a in (0..nv).step_by(3) {
+            for b in (0..nv).step_by(4) {
+                prop_assert_eq!(lca.lca(a, b), naive(a, b));
+            }
+        }
+    }
+
+    /// Every RR-graph node is reachable from the source, and induced
+    /// restriction only keeps members.
+    #[test]
+    fn rr_graph_reachability(n in 2usize..30, extra in 0usize..50, seed in 0u64..1000) {
+        let g = random_graph(n, extra, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+        let mut sampler = RrSampler::new(&g, Model::WeightedCascade);
+        for _ in 0..10 {
+            let rr = sampler.sample_uniform(&mut rng);
+            let mut all = rr.reachable_within(|_| true);
+            all.sort_unstable();
+            let mut nodes = rr.nodes().to_vec();
+            nodes.sort_unstable();
+            prop_assert_eq!(all, nodes);
+            // Restriction to even nodes only yields even nodes (or nothing).
+            let within = rr.reachable_within(|v| v % 2 == 0);
+            prop_assert!(within.iter().all(|&v| v % 2 == 0));
+            if rr.source().is_multiple_of(2) {
+                prop_assert!(within.contains(&rr.source()));
+            } else {
+                prop_assert!(within.is_empty());
+            }
+        }
+    }
+
+    /// The incremental top-k scan (Theorem 3's pool rule) is *exactly*
+    /// equivalent to brute-force re-ranking of accumulated counts.
+    #[test]
+    fn incremental_top_k_is_exact(
+        levels in 1usize..8,
+        k in 1usize..6,
+        seed in 0u64..5000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let universe: u32 = 30;
+        // Random nested buckets: level h can contain any node id; counts
+        // small so ties are frequent (stressing the tie-inclusive pool).
+        let mut buckets: Vec<FxHashMap<NodeId, u32>> = Vec::new();
+        for _ in 0..levels {
+            let mut m = FxHashMap::default();
+            for v in 0..universe {
+                if rng.random_bool(0.4) {
+                    m.insert(v, rng.random_range(1..5u32));
+                }
+            }
+            buckets.push(m);
+        }
+        let q: NodeId = rng.random_range(0..universe);
+        let out = incremental_top_k(&buckets, q, k, 100, universe as usize);
+
+        // Brute force: accumulate counts level by level; q is top-k iff
+        // fewer than k nodes have a strictly larger count.
+        let mut acc: Vec<u32> = vec![0; universe as usize];
+        let mut best = None;
+        for (h, b) in buckets.iter().enumerate() {
+            for (&v, &c) in b {
+                acc[v as usize] += c;
+            }
+            let tq = acc[q as usize];
+            let higher = acc.iter().filter(|&&c| c > tq).count();
+            let is_top = higher < k;
+            prop_assert_eq!(
+                out.ranks[h] <= k,
+                is_top,
+                "level {}: incremental rank {} vs brute higher {}",
+                h, out.ranks[h], higher
+            );
+            if is_top {
+                best = Some(h);
+            }
+        }
+        prop_assert_eq!(out.best_level, best);
+    }
+
+    /// k-core members all have >= k neighbors inside the community.
+    #[test]
+    fn kcore_degree_invariant(n in 4usize..40, extra in 5usize..80, seed in 0u64..1000, k in 1u32..5) {
+        let g = random_graph(n, extra, seed);
+        if let Some(c) = cod_search::kcore::kcore_component(&g, 0, k, |_| true) {
+            prop_assert!(c.binary_search(&0).is_ok());
+            for &v in &c {
+                let internal = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&u| c.binary_search(&u).is_ok())
+                    .count();
+                prop_assert!(internal >= k as usize, "node {} has {} < {}", v, internal, k);
+            }
+        }
+    }
+
+    /// Triangle-connected truss community invariants: every community edge
+    /// has trussness >= k, shares a triangle with the community, and the
+    /// query node is an endpoint of at least one community edge.
+    #[test]
+    fn truss_community_invariants(n in 4usize..25, extra in 10usize..60, seed in 0u64..1000) {
+        let g = random_graph(n, extra, seed);
+        let t = cod_search::truss::TrussDecomposition::new(&g);
+        let q = 0;
+        if let Some(kq) = t.max_trussness_at(&g, q) {
+            if kq >= 3 {
+                let edges = t.triangle_connected_edges(&g, q, kq).unwrap();
+                prop_assert!(!edges.is_empty());
+                prop_assert!(
+                    edges.iter().any(|&(u, v)| u == q || v == q),
+                    "q touches the community"
+                );
+                let edge_set: std::collections::BTreeSet<(NodeId, NodeId)> =
+                    edges.iter().copied().collect();
+                for &(u, v) in &edges {
+                    prop_assert!(t.edge_trussness(u, v).unwrap() >= kq);
+                    // Some triangle through (u, v) lies fully inside the
+                    // community (triangle connectivity).
+                    let has_tri = g.neighbors(u).iter().any(|&w| {
+                        g.has_edge(v, w)
+                            && edge_set.contains(&(u.min(w), u.max(w)))
+                            && edge_set.contains(&(v.min(w), v.max(w)))
+                    });
+                    prop_assert!(has_tri, "edge ({u},{v}) has no in-community triangle");
+                }
+                // Node list agrees with the edge endpoints.
+                let c = t.triangle_connected_community(&g, q, kq).unwrap();
+                let mut endpoints: Vec<NodeId> =
+                    edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+                endpoints.sort_unstable();
+                endpoints.dedup();
+                prop_assert_eq!(c, endpoints);
+            }
+        }
+    }
+
+    /// Graph measures stay in bounds on arbitrary member subsets.
+    #[test]
+    fn measures_are_bounded(n in 3usize..30, extra in 0usize..50, seed in 0u64..1000) {
+        let g = random_graph(n, extra, seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+        let members: Vec<NodeId> = (0..n as NodeId).filter(|_| rng.random_bool(0.5)).collect();
+        let rho = pcod::graph::measures::topology_density(&g, &members);
+        prop_assert!((0.0..=1.0).contains(&rho));
+        let cond = pcod::graph::measures::conductance(&g, &members);
+        prop_assert!(cond >= 0.0);
+    }
+}
