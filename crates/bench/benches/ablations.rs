@@ -60,9 +60,10 @@ fn bench_ablations(c: &mut Criterion) {
             let mut rng = SmallRng::seed_from_u64(41);
             b.iter(|| {
                 for &(q, _) in &queries {
-                    let chain = DendroChain::new(&dendro, &lca, q);
+                    let chain = DendroChain::new(&dendro, &lca, q).expect("query node within hierarchy");
                     black_box(
                         compressed_cod(g.csr(), model, &chain, q, cfg.k, cfg.theta, &mut rng)
+                            .expect("valid query")
                             .best_level,
                     );
                 }

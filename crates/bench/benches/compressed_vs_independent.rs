@@ -37,9 +37,10 @@ fn bench_eval(c: &mut Criterion) {
             b.iter(|| {
                 for (q, dendro) in &prepared {
                     let lca = LcaIndex::new(dendro);
-                    let chain = DendroChain::new(dendro, &lca, *q);
+                    let chain = DendroChain::new(dendro, &lca, *q).expect("query node within hierarchy");
                     black_box(
                         compressed_cod(g.csr(), cfg.model, &chain, *q, cfg.k, theta, &mut rng)
+                            .expect("valid query")
                             .best_level,
                     );
                 }
@@ -50,7 +51,7 @@ fn bench_eval(c: &mut Criterion) {
             b.iter(|| {
                 for (q, dendro) in &prepared {
                     let lca = LcaIndex::new(dendro);
-                    let chain = DendroChain::new(dendro, &lca, *q);
+                    let chain = DendroChain::new(dendro, &lca, *q).expect("query node within hierarchy");
                     black_box(
                         independent_cod(g.csr(), cfg.model, &chain, *q, cfg.k, theta, &mut rng)
                             .best_level,

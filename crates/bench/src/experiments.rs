@@ -74,8 +74,11 @@ pub fn table1(opts: &CliOpts) {
                     let members = dendro.members_sorted(choice.vertex);
                     let (sub, sd) = local_recluster(g, &members, a, cfg.beta, cfg.linkage);
                     let slca = LcaIndex::new(&sd);
-                    let lower = SubgraphChain::new(&sub, &sd, &slca, q, true);
-                    ComposedChain::new(lower, &dendro, &lca, choice.vertex).len()
+                    let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)
+                        .expect("query node inside C_ell");
+                    ComposedChain::new(lower, &dendro, &lca, choice.vertex)
+                        .expect("lower chain includes C_ell")
+                        .len()
                 }
             };
         }
@@ -153,8 +156,10 @@ pub fn fig4(opts: &CliOpts) {
                     let members = dendro.members_sorted(choice.vertex);
                     let (sub, sd) = local_recluster(g, &members, a, cfg.beta, cfg.linkage);
                     let slca = LcaIndex::new(&sd);
-                    let lower = SubgraphChain::new(&sub, &sd, &slca, q, true);
-                    let chain = ComposedChain::new(lower, &dendro, &lca, choice.vertex);
+                    let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)
+                        .expect("query node inside C_ell");
+                    let chain = ComposedChain::new(lower, &dendro, &lca, choice.vertex)
+                        .expect("lower chain includes C_ell");
                     for h in 0..chain.len().min(5) {
                         codl_sizes.push(chain.size(h) as f64);
                     }
@@ -202,6 +207,7 @@ impl Fig7Acc {
                 members: members.clone(),
                 rank: 0,
                 source: cod_core::pipeline::AnswerSource::Compressed,
+                uncertain: false,
             });
             self.quality[i].push(answer_quality(g, attr, answer.as_ref()));
             if ans.is_some() {
@@ -347,12 +353,13 @@ pub fn fig8(opts: &CliOpts) {
                 // Both variants share CODR's attribute-aware hierarchy.
                 let dendro = global_recluster(g, a, cfg.beta, cfg.linkage);
                 let lca = LcaIndex::new(&dendro);
-                let chain = DendroChain::new(&dendro, &lca, q);
+                let chain = DendroChain::new(&dendro, &lca, q).expect("query node within hierarchy");
                 if chain.is_empty() {
                     continue;
                 }
                 let (comp, t_comp) = timed(|| {
                     compressed_cod(g.csr(), cfg.model, &chain, q, cfg.k, theta, &mut rng)
+                        .expect("valid query")
                 });
                 let (ind, t_ind) = timed(|| {
                     independent_cod(g.csr(), cfg.model, &chain, q, cfg.k, theta, &mut rng)
@@ -577,17 +584,20 @@ pub fn ablation_hgc(opts: &CliOpts) {
             let queries = gen_queries(g, opts.queries, &mut rng);
             let mut qualities = Vec::new();
             for &(q, a) in &queries {
-                let chain = DendroChain::new(&dendro, &lca, q);
+                let chain =
+                    DendroChain::new(&dendro, &lca, q).expect("query node within hierarchy");
                 let out = if chain.is_empty() {
                     None
                 } else {
                     compressed_cod(g.csr(), cfg.model, &chain, q, cfg.k, cfg.theta, &mut rng)
+                        .expect("valid query")
                         .best_level
                 };
                 let ans = out.map(|h| cod_core::CodAnswer {
                     members: chain.members(h),
                     rank: 0,
                     source: cod_core::pipeline::AnswerSource::Compressed,
+                    uncertain: false,
                 });
                 qualities.push(answer_quality(g, a, ans.as_ref()));
             }
@@ -650,17 +660,19 @@ pub fn ablation_weights(opts: &CliOpts) {
                 &cod_hierarchy::cluster(g.csr(), &w, cfg.linkage),
             );
             let lca = LcaIndex::new(&dendro);
-            let chain = DendroChain::new(&dendro, &lca, q);
+            let chain = DendroChain::new(&dendro, &lca, q).expect("query node within hierarchy");
             let best = if chain.is_empty() {
                 None
             } else {
                 compressed_cod(g.csr(), cfg.model, &chain, q, cfg.k, cfg.theta, &mut rng)
+                    .expect("valid query")
                     .best_level
             };
             let ans = best.map(|h| cod_core::CodAnswer {
                 members: chain.members(h),
                 rank: 0,
                 source: cod_core::pipeline::AnswerSource::Compressed,
+                uncertain: false,
             });
             qualities.push(answer_quality(g, a, ans.as_ref()));
         }
@@ -704,7 +716,7 @@ pub fn case_study(opts: &CliOpts) {
         if shown >= 2 {
             break;
         }
-        let Some(cod_ans) = codl.query(q, a, &mut rng) else {
+        let Some(cod_ans) = codl.query(q, a, &mut rng).expect("valid query") else {
             continue;
         };
         let atc = cod_search::atc_query(g, q, a, AtcParams::default());

@@ -46,13 +46,13 @@ pub fn codu_multi_k<R: Rng>(
     k_max: usize,
     rng: &mut R,
 ) -> MultiK {
-    let chain = DendroChain::new(dendro, lca, q);
+    let chain = DendroChain::new(dendro, lca, q).expect("query node within hierarchy");
     if chain.is_empty() {
         return MultiK {
             per_k: vec![None; k_max],
         };
     }
-    let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng);
+    let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query");
     MultiK::from_outcome(&chain, &out, k_max)
 }
 
@@ -67,13 +67,13 @@ pub fn codr_multi_k<R: Rng>(
 ) -> MultiK {
     let dendro = global_recluster(g, attr, cfg.beta, cfg.linkage);
     let lca = LcaIndex::new(&dendro);
-    let chain = DendroChain::new(&dendro, &lca, q);
+    let chain = DendroChain::new(&dendro, &lca, q).expect("query node within hierarchy");
     if chain.is_empty() {
         return MultiK {
             per_k: vec![None; k_max],
         };
     }
-    let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng);
+    let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query");
     MultiK::from_outcome(&chain, &out, k_max)
 }
 
@@ -95,14 +95,16 @@ pub fn codl_minus_multi_k<R: Rng>(
             let members = dendro.members_sorted(choice.vertex);
             let (sub, sd) = local_recluster(g, &members, attr, cfg.beta, cfg.linkage);
             let slca = LcaIndex::new(&sd);
-            let lower = SubgraphChain::new(&sub, &sd, &slca, q, true);
-            let chain = ComposedChain::new(lower, dendro, lca, choice.vertex);
+            let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)
+                .expect("query node inside C_ell");
+            let chain = ComposedChain::new(lower, dendro, lca, choice.vertex)
+                .expect("lower chain includes C_ell");
             if chain.is_empty() {
                 return MultiK {
                     per_k: vec![None; k_max],
                 };
             }
-            let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng);
+            let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query");
             MultiK::from_outcome(&chain, &out, k_max)
         }
     }
@@ -142,7 +144,8 @@ pub fn codl_multi_k<R: Rng>(
             let (sub, sd) = local_recluster(g, &members, attr, cfg.beta, cfg.linkage);
             let slca = LcaIndex::new(&sd);
             let out = {
-                let chain = SubgraphChain::new(&sub, &sd, &slca, q, false);
+                let chain = SubgraphChain::new(&sub, &sd, &slca, q, false)
+                    .expect("query node inside C_ell");
                 if chain.is_empty() {
                     CodOutcome {
                         best_level: None,
@@ -150,15 +153,17 @@ pub fn codl_multi_k<R: Rng>(
                         sigma_q: Vec::new(),
                         uncertain: Vec::new(),
                         theta: 0,
+                        truncated: false,
                     }
                 } else {
-                    compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng)
+                    compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query")
                 }
             };
             fallback = Some((SubgraphOwned { sub, sd, slca }, out));
         }
         let (owned, out) = fallback.as_ref().unwrap();
-        let chain = SubgraphChain::new(&owned.sub, &owned.sd, &owned.slca, q, false);
+        let chain = SubgraphChain::new(&owned.sub, &owned.sd, &owned.slca, q, false)
+            .expect("query node inside C_ell");
         let best = (0..chain.len()).rfind(|&h| out.ranks[h] <= k);
         per_k.push(best.map(|h| chain.members(h)));
     }

@@ -18,6 +18,8 @@ use cod_graph::subgraph::Subgraph;
 use cod_graph::NodeId;
 use cod_hierarchy::{Dendrogram, LcaIndex, VertexId};
 
+use crate::error::{CodError, CodResult};
+
 /// A chain of strictly nested communities containing the query node,
 /// ordered from deepest (smallest, index 0) upward.
 ///
@@ -64,18 +66,25 @@ pub struct DendroChain<'a> {
 }
 
 impl<'a> DendroChain<'a> {
-    /// Builds the chain for query node `q`.
-    pub fn new(dendro: &'a Dendrogram, lca: &'a LcaIndex, q: NodeId) -> Self {
+    /// Builds the chain for query node `q`. Fails with
+    /// [`CodError::InvalidQuery`] when `q` is not a leaf of the hierarchy.
+    pub fn new(dendro: &'a Dendrogram, lca: &'a LcaIndex, q: NodeId) -> CodResult<Self> {
+        if (q as usize) >= dendro.num_leaves() {
+            return Err(CodError::InvalidQuery(format!(
+                "node {q} out of range (hierarchy covers {} nodes)",
+                dendro.num_leaves()
+            )));
+        }
         let path = dendro.root_path(q);
         let base = dendro.depth(dendro.leaf(q)) - 1;
         debug_assert_eq!(path.len(), base as usize);
-        Self {
+        Ok(Self {
             dendro,
             lca,
             q,
             path,
             base,
-        }
+        })
     }
 
     /// The dendrogram vertex of community `h`.
@@ -138,22 +147,34 @@ pub struct SubgraphChain<'a> {
 
 impl<'a> SubgraphChain<'a> {
     /// Builds the chain for global query node `q`, which must be a member
-    /// of `sub`. When `include_root` is false the subgraph's root community
-    /// is dropped from the chain (Algorithm 3 queries it from the index).
+    /// of `sub` (otherwise [`CodError::InvalidQuery`]). When `include_root`
+    /// is false the subgraph's root community is dropped from the chain
+    /// (Algorithm 3 queries it from the index).
     pub fn new(
         sub: &'a Subgraph,
         dendro: &'a Dendrogram,
         lca: &'a LcaIndex,
         q: NodeId,
         include_root: bool,
-    ) -> Self {
-        let q_local = sub.local(q).expect("query node must be in the subgraph");
+    ) -> CodResult<Self> {
+        let Some(q_local) = sub.local(q) else {
+            return Err(CodError::InvalidQuery(format!(
+                "query node {q} is not a member of the reclustered subgraph"
+            )));
+        };
+        if dendro.num_leaves() != sub.len() {
+            return Err(CodError::GraphFormat(format!(
+                "subgraph hierarchy covers {} leaves but the subgraph has {} nodes",
+                dendro.num_leaves(),
+                sub.len()
+            )));
+        }
         let mut path = dendro.root_path(q_local);
         if !include_root {
             path.pop();
         }
         let base = dendro.depth(dendro.leaf(q_local)) - 1;
-        Self {
+        Ok(Self {
             sub,
             dendro,
             lca,
@@ -161,7 +182,7 @@ impl<'a> SubgraphChain<'a> {
             path,
             base,
             include_root,
-        }
+        })
     }
 
     /// Whether the subgraph root is part of the chain.
@@ -236,28 +257,45 @@ pub struct ComposedChain<'a> {
 
 impl<'a> ComposedChain<'a> {
     /// Composes the chain: `lower` must be built with `include_root =
-    /// true`, and its subgraph must be induced by the members of `c_ell`.
+    /// true`, and its subgraph must be induced by the members of `c_ell`
+    /// (otherwise [`CodError::GraphFormat`]).
     pub fn new(
         lower: SubgraphChain<'a>,
         dendro: &'a Dendrogram,
         lca: &'a LcaIndex,
         c_ell: VertexId,
-    ) -> Self {
-        assert!(lower.includes_root(), "lower chain must include C_ell");
-        assert_eq!(lower.sub.len(), dendro.size(c_ell));
+    ) -> CodResult<Self> {
+        if !lower.includes_root() {
+            return Err(CodError::GraphFormat(
+                "composed chain needs a lower chain that includes C_ell".into(),
+            ));
+        }
+        if (c_ell as usize) >= dendro.num_vertices() {
+            return Err(CodError::GraphFormat(format!(
+                "C_ell vertex {c_ell} out of range ({} hierarchy vertices)",
+                dendro.num_vertices()
+            )));
+        }
+        if lower.sub.len() != dendro.size(c_ell) {
+            return Err(CodError::GraphFormat(format!(
+                "lower chain spans {} nodes but C_ell has {}",
+                lower.sub.len(),
+                dendro.size(c_ell)
+            )));
+        }
         let mut upper = Vec::new();
         let mut v = dendro.parent(c_ell);
         while v != cod_hierarchy::NO_VERTEX {
             upper.push(v);
             v = dendro.parent(v);
         }
-        Self {
+        Ok(Self {
             lower,
             dendro,
             lca,
             upper,
             c_ell,
-        }
+        })
     }
 }
 
@@ -335,7 +373,7 @@ mod tests {
         let g = line(8);
         let d = dendro(&g);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 3);
+        let chain = DendroChain::new(&d, &lca, 3).unwrap();
         assert!(chain.len() >= 3);
         let mut prev = 0usize;
         for h in 0..chain.len() {
@@ -352,7 +390,7 @@ mod tests {
         let g = line(8);
         let d = dendro(&g);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 3);
+        let chain = DendroChain::new(&d, &lca, 3).unwrap();
         assert_eq!(chain.level_of(3), Some(0));
         for u in 0..8 {
             let h = chain.level_of(u).unwrap();
@@ -373,7 +411,7 @@ mod tests {
         let sub = Subgraph::induced(&g, &members);
         let sd = dendro(&sub.csr);
         let lca = LcaIndex::new(&sd);
-        let chain = SubgraphChain::new(&sub, &sd, &lca, 3, true);
+        let chain = SubgraphChain::new(&sub, &sd, &lca, 3, true).unwrap();
         // Top community is the whole subgraph, in global ids.
         assert_eq!(chain.members(chain.len() - 1), members);
         assert!(chain.level_of(0).is_none(), "node outside subgraph");
@@ -387,8 +425,8 @@ mod tests {
         let sub = Subgraph::induced(&g, &members);
         let sd = dendro(&sub.csr);
         let lca = LcaIndex::new(&sd);
-        let with_root = SubgraphChain::new(&sub, &sd, &lca, 3, true);
-        let without = SubgraphChain::new(&sub, &sd, &lca, 3, false);
+        let with_root = SubgraphChain::new(&sub, &sd, &lca, 3, true).unwrap();
+        let without = SubgraphChain::new(&sub, &sd, &lca, 3, false).unwrap();
         assert_eq!(without.len() + 1, with_root.len());
     }
 
@@ -407,8 +445,8 @@ mod tests {
         let sub = Subgraph::induced(&g, &members);
         let sd = dendro(&sub.csr);
         let slca = LcaIndex::new(&sd);
-        let lower = SubgraphChain::new(&sub, &sd, &slca, 3, true);
-        let chain = ComposedChain::new(lower, &d, &lca, c_ell);
+        let lower = SubgraphChain::new(&sub, &sd, &slca, 3, true).unwrap();
+        let chain = ComposedChain::new(lower, &d, &lca, c_ell).unwrap();
         // Chain sizes strictly increase and the top is the whole graph.
         let mut prev = 0usize;
         for h in 0..chain.len() {

@@ -21,6 +21,7 @@ use cod_influence::{Model, RrSampler};
 use rand::prelude::*;
 
 use crate::chain::Chain;
+use crate::error::{CodError, CodResult};
 
 /// The result of one compressed COD evaluation.
 #[derive(Clone, Debug)]
@@ -40,6 +41,22 @@ pub struct CodOutcome {
     pub uncertain: Vec<bool>,
     /// Number of RR graphs generated.
     pub theta: usize,
+    /// A sample budget cut the evaluation short of the requested `Θ`: the
+    /// answer is best-effort and should be flagged `uncertain` downstream.
+    pub truncated: bool,
+}
+
+impl CodOutcome {
+    fn empty() -> Self {
+        CodOutcome {
+            best_level: None,
+            ranks: Vec::new(),
+            sigma_q: Vec::new(),
+            uncertain: Vec::new(),
+            theta: 0,
+            truncated: false,
+        }
+    }
 }
 
 /// Runs compressed COD evaluation (Algorithm 1) for query `q` over `chain`.
@@ -48,6 +65,9 @@ pub struct CodOutcome {
 /// `Θ = θ · |universe|` where the universe is the chain's largest community.
 /// RR-graph sources are uniform over the universe and traversal is
 /// restricted to it (a no-op when the chain tops out at the whole graph).
+///
+/// Fails with [`CodError::InvalidQuery`] when `k == 0` or `q` is not in the
+/// chain's deepest community.
 pub fn compressed_cod<R: Rng>(
     g: &Csr,
     model: Model,
@@ -56,21 +76,54 @@ pub fn compressed_cod<R: Rng>(
     k: usize,
     theta_per_node: usize,
     rng: &mut R,
-) -> CodOutcome {
+) -> CodResult<CodOutcome> {
+    compressed_cod_budgeted(g, model, chain, q, k, theta_per_node, None, rng)
+}
+
+/// [`compressed_cod`] with an optional total-sample budget: when fewer than
+/// `Θ = θ·|universe|` samples are allowed, the evaluation runs on whatever
+/// the budget permits and marks the outcome [`CodOutcome::truncated`] so
+/// callers can flag the answer as uncertain instead of aborting under load.
+///
+/// Fails with [`CodError::BudgetExhausted`] when the budget permits no
+/// samples at all.
+#[allow(clippy::too_many_arguments)] // the paper's query signature plus the budget
+pub fn compressed_cod_budgeted<R: Rng>(
+    g: &Csr,
+    model: Model,
+    chain: &impl Chain,
+    q: NodeId,
+    k: usize,
+    theta_per_node: usize,
+    budget: Option<usize>,
+    rng: &mut R,
+) -> CodResult<CodOutcome> {
+    if k == 0 {
+        return Err(CodError::InvalidQuery("top-k requires k >= 1".into()));
+    }
     let m = chain.len();
     if m == 0 {
-        return CodOutcome {
-            best_level: None,
-            ranks: Vec::new(),
-            sigma_q: Vec::new(),
-            uncertain: Vec::new(),
-            theta: 0,
-        };
+        return Ok(CodOutcome::empty());
     }
-    debug_assert_eq!(chain.level_of(q), Some(0), "q must be in the deepest community");
+    if chain.level_of(q) != Some(0) {
+        return Err(CodError::InvalidQuery(format!(
+            "query node {q} is not in the chain's deepest community"
+        )));
+    }
     let universe = chain.universe();
     let restricted = universe.len() < g.num_nodes();
-    let theta = theta_per_node.max(1) * universe.len();
+    let full_theta = theta_per_node.max(1) * universe.len();
+    let theta = match budget {
+        Some(0) => {
+            return Err(CodError::BudgetExhausted {
+                budget: 0,
+                required: universe.len(),
+            })
+        }
+        Some(b) => full_theta.min(b),
+        None => full_theta,
+    };
+    let truncated = theta < full_theta;
 
     // --- Stage 1: shared sample generation + HFS ------------------------
     let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); m];
@@ -131,7 +184,9 @@ pub fn compressed_cod<R: Rng>(
     }
 
     // --- Stage 2: incremental top-k evaluation --------------------------
-    incremental_top_k(&buckets, q, k, theta, universe.len())
+    let mut out = incremental_top_k(&buckets, q, k, theta, universe.len());
+    out.truncated = truncated;
+    Ok(out)
 }
 
 /// Stage 2 of Algorithm 1, exposed for direct use and testing: scans
@@ -214,6 +269,7 @@ pub fn incremental_top_k(
         sigma_q,
         uncertain,
         theta,
+        truncated: false,
     }
 }
 
@@ -238,13 +294,13 @@ pub fn compressed_cod_adaptive<R: Rng>(
     theta_start: usize,
     theta_max: usize,
     rng: &mut R,
-) -> CodOutcome {
+) -> CodResult<CodOutcome> {
     let mut theta = theta_start.max(1);
     loop {
-        let out = compressed_cod(g, model, chain, q, k, theta, rng);
+        let out = compressed_cod(g, model, chain, q, k, theta, rng)?;
         let settled = !out.uncertain.iter().any(|&u| u);
         if settled || theta * 2 > theta_max {
-            return out;
+            return Ok(out);
         }
         theta *= 2;
     }
@@ -304,7 +360,9 @@ pub fn incremental_top_k_heap(
                 in_heap.insert(v);
                 // Shrink membership past k, skipping stale entries.
                 while in_heap.len() > k {
-                    let Reverse((c0, Reverse(v0))) = *heap.peek().unwrap();
+                    let Some(&Reverse((c0, Reverse(v0)))) = heap.peek() else {
+                        unreachable!("heap holds an entry per in_heap member");
+                    };
                     if tau.get(&v0).copied().unwrap_or(0) != c0 || !in_heap.contains(&v0) {
                         heap.pop(); // stale duplicate
                         continue;
@@ -346,6 +404,7 @@ pub fn incremental_top_k_heap(
         sigma_q,
         uncertain: vec![false; m_levels],
         theta,
+        truncated: false,
     }
 }
 
@@ -378,9 +437,9 @@ mod tests {
         let merges = cluster_unweighted(&g, Linkage::Average);
         let d = Dendrogram::from_merges(10, &merges);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 0);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(1);
-        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 1, 200, &mut rng);
+        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 1, 200, &mut rng).unwrap();
         // Node 0 dominates its star and the whole graph: the characteristic
         // community should be the top of the chain (or near it).
         let best = out.best_level.expect("hub must be top-1 somewhere");
@@ -393,9 +452,9 @@ mod tests {
         let merges = cluster_unweighted(&g, Linkage::Average);
         let d = Dendrogram::from_merges(10, &merges);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 9);
+        let chain = DendroChain::new(&d, &lca, 9).unwrap();
         let mut rng = SmallRng::seed_from_u64(2);
-        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 9, 1, 400, &mut rng);
+        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 9, 1, 400, &mut rng).unwrap();
         assert!(*out.ranks.last().unwrap() > 1, "a periphery leaf cannot be top-1 globally");
     }
 
@@ -411,9 +470,9 @@ mod tests {
         let merges = cluster_unweighted(&g, Linkage::Average);
         let d = Dendrogram::from_merges(6, &merges);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 0);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(3);
-        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 1, 300, &mut rng);
+        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 1, 300, &mut rng).unwrap();
         for (h, &r) in out.ranks.iter().enumerate() {
             assert_eq!(r, 1, "hub must rank 1 at level {h}");
         }
@@ -426,9 +485,9 @@ mod tests {
         let merges = cluster_unweighted(&g, Linkage::Average);
         let d = Dendrogram::from_merges(10, &merges);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 0);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(4);
-        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 1, 500, &mut rng);
+        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 1, 500, &mut rng).unwrap();
         // σ is monotone along the chain for a fixed node (more reachable
         // sources in larger communities).
         for w in out.sigma_q.windows(2) {
@@ -463,10 +522,10 @@ mod tests {
         let merges = cluster_unweighted(&g, Linkage::Average);
         let d = Dendrogram::from_merges(6, &merges);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 0);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(41);
         let out =
-            compressed_cod_adaptive(&g, Model::WeightedCascade, &chain, 0, 1, 200, 3200, &mut rng);
+            compressed_cod_adaptive(&g, Model::WeightedCascade, &chain, 0, 1, 200, 3200, &mut rng).unwrap();
         assert_eq!(out.theta, 200 * 6, "no escalation needed");
         assert_eq!(out.best_level, Some(chain.len() - 1));
     }
@@ -483,10 +542,10 @@ mod tests {
         let merges = cluster_unweighted(&g, Linkage::Average);
         let d = Dendrogram::from_merges(4, &merges);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 0);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(42);
         let out =
-            compressed_cod_adaptive(&g, Model::WeightedCascade, &chain, 0, 1, 2, 256, &mut rng);
+            compressed_cod_adaptive(&g, Model::WeightedCascade, &chain, 0, 1, 2, 256, &mut rng).unwrap();
         assert!(
             out.theta > 2 * 4,
             "ties must trigger escalation (theta {})",
@@ -575,13 +634,86 @@ mod tests {
     }
 
     #[test]
+    fn zero_k_is_rejected_not_panicking() {
+        let g = two_stars();
+        let merges = cluster_unweighted(&g, Linkage::Average);
+        let d = Dendrogram::from_merges(10, &merges);
+        let lca = LcaIndex::new(&d);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let err = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 0, 10, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, CodError::InvalidQuery(_)), "{err}");
+    }
+
+    #[test]
+    fn budget_truncates_and_flags() {
+        let g = two_stars();
+        let merges = cluster_unweighted(&g, Linkage::Average);
+        let d = Dendrogram::from_merges(10, &merges);
+        let lca = LcaIndex::new(&d);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        // θ=100 per node would mean 1000 samples; a budget of 40 truncates.
+        let out = compressed_cod_budgeted(
+            &g,
+            Model::WeightedCascade,
+            &chain,
+            0,
+            1,
+            100,
+            Some(40),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(out.truncated);
+        assert_eq!(out.theta, 40);
+        // A generous budget leaves the evaluation untouched.
+        let out = compressed_cod_budgeted(
+            &g,
+            Model::WeightedCascade,
+            &chain,
+            0,
+            1,
+            100,
+            Some(1_000_000),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(!out.truncated);
+        assert_eq!(out.theta, 1000);
+    }
+
+    #[test]
+    fn zero_budget_is_exhausted() {
+        let g = two_stars();
+        let merges = cluster_unweighted(&g, Linkage::Average);
+        let d = Dendrogram::from_merges(10, &merges);
+        let lca = LcaIndex::new(&d);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(10);
+        let err = compressed_cod_budgeted(
+            &g,
+            Model::WeightedCascade,
+            &chain,
+            0,
+            1,
+            100,
+            Some(0),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CodError::BudgetExhausted { budget: 0, .. }), "{err}");
+    }
+
+    #[test]
     fn empty_chain_yields_no_community() {
         let g = GraphBuilder::new(1).build();
         let d = Dendrogram::singleton();
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 0);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(6);
-        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 1, 10, &mut rng);
+        let out = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 1, 10, &mut rng).unwrap();
         assert!(out.best_level.is_none());
         assert!(out.ranks.is_empty());
     }

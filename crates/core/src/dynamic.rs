@@ -25,7 +25,8 @@ use cod_hierarchy::LcaIndex;
 use rand::prelude::*;
 
 use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
-use crate::compressed::compressed_cod;
+use crate::compressed::compressed_cod_budgeted;
+use crate::error::{CodError, CodResult};
 use crate::himor::HimorIndex;
 use crate::lore::select_recluster_community;
 use crate::pipeline::{AnswerSource, CodAnswer, CodConfig};
@@ -204,9 +205,10 @@ impl DynamicCod {
             // Refresh the topology without rebuilding hierarchy/index: the
             // influence process must see current edges.
             let graph = self.materialize_graph();
-            let c = self.cache.as_mut().unwrap();
-            c.graph = graph;
-            c.csr_stale = false;
+            if let Some(c) = self.cache.as_mut() {
+                c.graph = graph;
+                c.csr_stale = false;
+            }
         }
     }
 
@@ -220,64 +222,110 @@ impl DynamicCod {
     /// [`crate::pipeline::Codl::query`] when no edits are pending; with
     /// pending edits the hierarchy is up to `rebuild_threshold·|E|` edits
     /// stale, but all influence estimates are fresh.
-    pub fn query<R: Rng>(&mut self, q: NodeId, attr: AttrId, rng: &mut R) -> Option<CodAnswer> {
-        assert!((q as usize) < self.num_nodes, "query node out of range");
+    pub fn query<R: Rng>(
+        &mut self,
+        q: NodeId,
+        attr: AttrId,
+        rng: &mut R,
+    ) -> CodResult<Option<CodAnswer>> {
+        if (q as usize) >= self.num_nodes {
+            return Err(CodError::InvalidQuery(format!(
+                "query node {q} out of range (graph has {} nodes)",
+                self.num_nodes
+            )));
+        }
+        if (attr as usize) >= self.interner.len() {
+            return Err(CodError::InvalidQuery(format!(
+                "unknown attribute id {attr} ({} interned attributes)",
+                self.interner.len()
+            )));
+        }
+        if self.cfg.k == 0 {
+            return Err(CodError::InvalidQuery(
+                "top-k rank threshold k must be at least 1".into(),
+            ));
+        }
         self.ensure_cache(rng);
         let use_index = self.index_usable_for(q);
-        let c = self.cache.as_ref().unwrap();
+        let Some(c) = self.cache.as_ref() else {
+            unreachable!("ensure_cache populates the cache")
+        };
         let g = &c.graph;
         let choice = select_recluster_community(g, &c.dendro, &c.lca, q, attr);
         if use_index {
             let floor = choice.map(|x| x.vertex);
             if let Some(v) = c.index.largest_top_k(&c.dendro, q, floor, self.cfg.k) {
                 let path = c.dendro.root_path(q);
-                let j = path.iter().position(|&x| x == v).expect("on path");
-                return Some(CodAnswer {
+                let Some(j) = path.iter().position(|&x| x == v) else {
+                    unreachable!("largest_top_k only returns vertices on q's root path")
+                };
+                return Ok(Some(CodAnswer {
                     members: c.dendro.members_sorted(v),
                     rank: c.index.ranks_of(q)[j] as usize,
                     source: AnswerSource::Index,
-                });
+                    uncertain: false,
+                }));
             }
         }
         // Compressed evaluation over the (possibly stale) chain with fresh
         // influence sampling.
-        let outcome_chain: Option<CodAnswer> = match choice {
+        match choice {
             None => {
-                let chain = DendroChain::new(&c.dendro, &c.lca, q);
+                let chain = DendroChain::new(&c.dendro, &c.lca, q)?;
                 if chain.is_empty() {
-                    return None;
+                    return Ok(None);
                 }
-                let out =
-                    compressed_cod(g.csr(), self.cfg.model, &chain, q, self.cfg.k, self.cfg.theta, rng);
-                out.best_level.map(|h| CodAnswer {
+                let out = compressed_cod_budgeted(
+                    g.csr(),
+                    self.cfg.model,
+                    &chain,
+                    q,
+                    self.cfg.k,
+                    self.cfg.theta,
+                    self.cfg.budget,
+                    rng,
+                )?;
+                Ok(out.best_level.map(|h| CodAnswer {
                     members: chain.members(h),
                     rank: out.ranks[h],
                     source: AnswerSource::Compressed,
-                })
+                    uncertain: out.truncated || out.uncertain[h],
+                }))
             }
             Some(choice) => {
                 let members = c.dendro.members_sorted(choice.vertex);
                 let (sub, sd) =
                     local_recluster(g, &members, attr, self.cfg.beta, self.cfg.linkage);
                 let slca = LcaIndex::new(&sd);
-                let lower = SubgraphChain::new(&sub, &sd, &slca, q, true);
-                let chain = ComposedChain::new(lower, &c.dendro, &c.lca, choice.vertex);
-                let out =
-                    compressed_cod(g.csr(), self.cfg.model, &chain, q, self.cfg.k, self.cfg.theta, rng);
-                out.best_level.map(|h| CodAnswer {
+                let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)?;
+                let chain = ComposedChain::new(lower, &c.dendro, &c.lca, choice.vertex)?;
+                let out = compressed_cod_budgeted(
+                    g.csr(),
+                    self.cfg.model,
+                    &chain,
+                    q,
+                    self.cfg.k,
+                    self.cfg.theta,
+                    self.cfg.budget,
+                    rng,
+                )?;
+                Ok(out.best_level.map(|h| CodAnswer {
                     members: chain.members(h),
                     rank: out.ranks[h],
                     source: AnswerSource::Compressed,
-                })
+                    uncertain: out.truncated || out.uncertain[h],
+                }))
             }
-        };
-        outcome_chain
+        }
     }
 
     /// The current graph (rebuilding the CSR if edits are pending).
     pub fn graph<R: Rng>(&mut self, rng: &mut R) -> &AttributedGraph {
         self.ensure_cache(rng);
-        &self.cache.as_ref().unwrap().graph
+        let Some(c) = self.cache.as_ref() else {
+            unreachable!("ensure_cache populates the cache")
+        };
+        &c.graph
     }
 }
 
@@ -295,7 +343,9 @@ mod tests {
         b.add_edge(5, 6);
         b.add_edge(6, 7);
         let attrs = AttrTable::from_lists(vec![vec![0]; 8]);
-        AttributedGraph::from_parts(b.build(), attrs, AttrInterner::new())
+        let mut interner = AttrInterner::new();
+        interner.intern("A");
+        AttributedGraph::from_parts(b.build(), attrs, interner)
     }
 
     fn cfg() -> CodConfig {
@@ -313,7 +363,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(61);
         let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
         assert!(dyn_cod.index_usable_for(0));
-        let ans = dyn_cod.query(0, 0, &mut rng).expect("hub answered");
+        let ans = dyn_cod.query(0, 0, &mut rng).unwrap().expect("hub answered");
         assert!(ans.members.contains(&0));
     }
 
@@ -326,7 +376,7 @@ mod tests {
         assert!(dyn_cod.insert_edge(1, 2));
         assert!(!dyn_cod.index_usable_for(1));
         assert!(!dyn_cod.index_usable_for(4) || dyn_cod.pending_edits() == 0);
-        let _ = dyn_cod.query(1, 0, &mut rng);
+        let _ = dyn_cod.query(1, 0, &mut rng).unwrap();
         dyn_cod.rebuild(&mut rng);
         assert!(dyn_cod.index_usable_for(1));
         assert_eq!(dyn_cod.pending_edits(), 0);
@@ -369,7 +419,7 @@ mod tests {
         dyn_cod.set_rebuild_threshold(0.0); // every edit invalidates
         dyn_cod.insert_edge(2, 3);
         // Cache dropped; next query rebuilds and the fast path returns.
-        let _ = dyn_cod.query(0, 0, &mut rng);
+        let _ = dyn_cod.query(0, 0, &mut rng).unwrap();
         assert_eq!(dyn_cod.pending_edits(), 0);
         assert!(dyn_cod.index_usable_for(2));
     }
@@ -383,7 +433,7 @@ mod tests {
         dyn_cod.set_attrs(6, vec![b]);
         dyn_cod.set_attrs(7, vec![b]);
         // Query on the new attribute works (and returns fresh attributes).
-        let _ = dyn_cod.query(6, b, &mut rng);
+        let _ = dyn_cod.query(6, b, &mut rng).unwrap();
         let graph = dyn_cod.graph(&mut rng);
         assert!(graph.has_attr(6, b));
     }

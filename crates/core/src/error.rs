@@ -1,0 +1,106 @@
+//! The typed error taxonomy for the COD query engine.
+//!
+//! Every externally reachable failure — bad query parameters, malformed
+//! graph data, a corrupt persisted index, plain I/O trouble, or an
+//! exhausted sampling budget — maps to one [`CodError`] variant, so callers
+//! (the `cod` CLI, servers embedding the crate) can match on the *kind* of
+//! failure and react: reject the request, rebuild the index, or surface a
+//! one-line diagnostic. Internal invariants keep using `assert!`/
+//! `unreachable!`; anything a user can trigger returns `Err` instead of
+//! panicking (see `DESIGN.md`).
+
+use cod_hierarchy::DendrogramError;
+
+/// Convenience alias used across the query surface.
+pub type CodResult<T> = Result<T, CodError>;
+
+/// Every way a COD operation can fail.
+#[derive(Debug)]
+pub enum CodError {
+    /// The query parameters fail validation (node id out of range, unknown
+    /// attribute, `k == 0`, `theta == 0`, …). Raised at the API boundary
+    /// before any work happens.
+    InvalidQuery(String),
+    /// Input graph or hierarchy data is structurally malformed.
+    GraphFormat(String),
+    /// A persisted index failed validation: bad magic, unsupported or
+    /// inconsistent header fields, checksum mismatch, truncation — anything
+    /// that means the bytes cannot be trusted.
+    IndexCorrupt(String),
+    /// An underlying I/O operation failed (file missing, permissions,
+    /// disk full, …).
+    Io(std::io::Error),
+    /// The configured sample budget is too small to draw even one RR
+    /// sample, so no best-effort answer exists.
+    BudgetExhausted {
+        /// The configured total-sample budget.
+        budget: usize,
+        /// Samples the query would have needed (one per universe node at
+        /// minimum).
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for CodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            CodError::GraphFormat(m) => write!(f, "malformed graph data: {m}"),
+            CodError::IndexCorrupt(m) => write!(f, "corrupt index: {m}"),
+            CodError::Io(e) => write!(f, "i/o error: {e}"),
+            CodError::BudgetExhausted { budget, required } => write!(
+                f,
+                "sample budget exhausted: {budget} samples allowed but the query needs at least {required}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodError {
+    fn from(e: std::io::Error) -> Self {
+        CodError::Io(e)
+    }
+}
+
+impl From<DendrogramError> for CodError {
+    fn from(e: DendrogramError) -> Self {
+        CodError::GraphFormat(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_line_and_prefixed() {
+        let cases: Vec<CodError> = vec![
+            CodError::InvalidQuery("node 99 out of range".into()),
+            CodError::GraphFormat("dangling edge".into()),
+            CodError::IndexCorrupt("section crc mismatch".into()),
+            CodError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
+            CodError::BudgetExhausted { budget: 0, required: 10 },
+        ];
+        for e in cases {
+            let s = e.to_string();
+            assert!(!s.contains('\n'), "{s:?}");
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn dendrogram_errors_convert_to_graph_format() {
+        let e: CodError = DendrogramError::NoLeaves.into();
+        assert!(matches!(e, CodError::GraphFormat(_)));
+        assert!(e.to_string().contains("at least one leaf"));
+    }
+}

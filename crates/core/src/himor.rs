@@ -21,6 +21,7 @@ use cod_influence::{Model, RrSampler};
 use rand::prelude::*;
 
 /// Influence ranks of every node along its root path in `T`.
+#[derive(Clone, Debug)]
 pub struct HimorIndex {
     /// `ranks[v][j]` = 1-based estimated influence rank of node `v` in its
     /// `j`-th root-path community (0 = the deepest, its leaf's parent).
@@ -78,7 +79,15 @@ impl HimorIndex {
                     Self::hfs_stage(g, model, dendro, lca, quota, &mut rng)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("hfs shard")).collect()
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(shard) => shard,
+                    // A shard thread only dies if it panicked; propagate the
+                    // original payload instead of wrapping it.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
         });
         let mut merged = vec![FxHashMap::default(); dendro.num_vertices()];
         for shard in shards {
@@ -179,8 +188,10 @@ impl HimorIndex {
                 acc[v as usize] += c;
             }
             let [a, b] = dendro.children(i);
-            let la = lists[a as usize].take().expect("child list ready");
-            let lb = lists[b as usize].take().expect("child list ready");
+            let (Some(la), Some(lb)) = (lists[a as usize].take(), lists[b as usize].take())
+            else {
+                unreachable!("children are processed before parents in depth order")
+            };
             // Updated entries for nodes recorded in this bucket.
             let mut updated: Vec<(u32, NodeId)> =
                 bucket.keys().map(|&v| (acc[v as usize], v)).collect();

@@ -47,6 +47,7 @@ pub fn independent_cod<R: Rng>(
         sigma_q,
         uncertain: vec![false; m],
         theta: total_theta,
+        truncated: false,
     }
 }
 
@@ -67,7 +68,7 @@ mod tests {
         let merges = cluster_unweighted(&g, Linkage::Average);
         let d = Dendrogram::from_merges(6, &merges);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 0);
+        let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(9);
         let out = independent_cod(&g, Model::WeightedCascade, &chain, 0, 1, 200, &mut rng);
         assert_eq!(out.best_level, Some(chain.len() - 1));
@@ -86,7 +87,7 @@ mod tests {
         let merges = cluster_unweighted(&g, Linkage::Average);
         let d = Dendrogram::from_merges(4, &merges);
         let lca = LcaIndex::new(&d);
-        let chain = DendroChain::new(&d, &lca, 1);
+        let chain = DendroChain::new(&d, &lca, 1).unwrap();
         let mut rng = SmallRng::seed_from_u64(10);
         let out = independent_cod(&g, Model::WeightedCascade, &chain, 1, 1, 3, &mut rng);
         let expected: usize = (0..chain.len()).map(|h| 3 * chain.size(h)).sum();

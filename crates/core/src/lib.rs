@@ -24,9 +24,12 @@
 //! * [`measures`] — answer-quality measures (size, `ρ`, `φ`, top-k
 //!   precision) shared by the experiment harness.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod chain;
 pub mod compressed;
 pub mod dynamic;
+pub mod error;
 pub mod himor;
 pub mod independent;
 pub mod lore;
@@ -38,6 +41,7 @@ pub mod recluster;
 pub use chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
 pub use compressed::{compressed_cod, compressed_cod_adaptive, CodOutcome};
 pub use dynamic::DynamicCod;
+pub use error::{CodError, CodResult};
 pub use himor::HimorIndex;
 pub use lore::{select_recluster_community, ReclusterChoice};
 pub use pipeline::{CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu};

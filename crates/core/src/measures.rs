@@ -94,6 +94,7 @@ mod tests {
             members,
             rank: 1,
             source: AnswerSource::Compressed,
+            uncertain: false,
         }
     }
 

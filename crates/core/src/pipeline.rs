@@ -17,7 +17,8 @@ use cod_influence::Model;
 use rand::prelude::*;
 
 use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
-use crate::compressed::compressed_cod;
+use crate::compressed::compressed_cod_budgeted;
+use crate::error::{CodError, CodResult};
 use crate::himor::HimorIndex;
 use crate::lore::select_recluster_community;
 use crate::recluster::{build_hierarchy, global_recluster, local_recluster};
@@ -35,6 +36,11 @@ pub struct CodConfig {
     pub linkage: Linkage,
     /// Diffusion model (default weighted cascade).
     pub model: Model,
+    /// Optional cap on the *total* RR samples one query may draw. When the
+    /// full `θ·|universe|` exceeds it, evaluation runs with fewer samples
+    /// and the answer comes back flagged [`CodAnswer::uncertain`] instead
+    /// of failing. `None` (the default) means unbounded.
+    pub budget: Option<usize>,
 }
 
 impl Default for CodConfig {
@@ -45,8 +51,45 @@ impl Default for CodConfig {
             beta: 1.0,
             linkage: Linkage::Average,
             model: Model::WeightedCascade,
+            budget: None,
         }
     }
+}
+
+/// Validates the user-supplied query parameters against `g` and `cfg`
+/// before any work happens. Every facade calls this first, so the
+/// algorithm internals can assume well-formed input.
+fn validate_query(
+    g: &AttributedGraph,
+    cfg: &CodConfig,
+    q: NodeId,
+    attr: Option<AttrId>,
+) -> CodResult<()> {
+    let n = g.num_nodes();
+    if (q as usize) >= n {
+        return Err(CodError::InvalidQuery(format!(
+            "query node {q} out of range (graph has {n} nodes)"
+        )));
+    }
+    if let Some(a) = attr {
+        let m = g.num_attrs();
+        if (a as usize) >= m {
+            return Err(CodError::InvalidQuery(format!(
+                "unknown attribute id {a} (graph has {m} interned attributes)"
+            )));
+        }
+    }
+    if cfg.k == 0 {
+        return Err(CodError::InvalidQuery(
+            "top-k rank threshold k must be at least 1".into(),
+        ));
+    }
+    if cfg.theta == 0 {
+        return Err(CodError::InvalidQuery(
+            "per-node sample count theta must be at least 1".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// How a query was answered.
@@ -67,6 +110,9 @@ pub struct CodAnswer {
     pub rank: usize,
     /// Where the answer came from.
     pub source: AnswerSource,
+    /// Best-effort flag: the winning level's top-k verdict could flip under
+    /// sampling noise, or a sample budget truncated the evaluation.
+    pub uncertain: bool,
 }
 
 impl CodAnswer {
@@ -103,8 +149,9 @@ impl<'g> Codu<'g> {
     }
 
     /// Answers a COD query (the query attribute is ignored by CODU).
-    pub fn query<R: Rng>(&self, q: NodeId, rng: &mut R) -> Option<CodAnswer> {
-        let chain = DendroChain::new(&self.dendro, &self.lca, q);
+    pub fn query<R: Rng>(&self, q: NodeId, rng: &mut R) -> CodResult<Option<CodAnswer>> {
+        validate_query(self.g, &self.cfg, q, None)?;
+        let chain = DendroChain::new(&self.dendro, &self.lca, q)?;
         answer_from_chain(self.g, self.cfg, &chain, q, rng)
     }
 }
@@ -122,10 +169,16 @@ impl<'g> Codr<'g> {
     }
 
     /// Answers a COD query for `(q, attr)`.
-    pub fn query<R: Rng>(&self, q: NodeId, attr: AttrId, rng: &mut R) -> Option<CodAnswer> {
+    pub fn query<R: Rng>(
+        &self,
+        q: NodeId,
+        attr: AttrId,
+        rng: &mut R,
+    ) -> CodResult<Option<CodAnswer>> {
+        validate_query(self.g, &self.cfg, q, Some(attr))?;
         let dendro = global_recluster(self.g, attr, self.cfg.beta, self.cfg.linkage);
         let lca = LcaIndex::new(&dendro);
-        let chain = DendroChain::new(&dendro, &lca, q);
+        let chain = DendroChain::new(&dendro, &lca, q)?;
         answer_from_chain(self.g, self.cfg, &chain, q, rng)
     }
 
@@ -159,11 +212,17 @@ impl<'g> CodlMinus<'g> {
 
     /// Answers a COD query for `(q, attr)` over the composed chain
     /// `H_ℓ(q)`.
-    pub fn query<R: Rng>(&self, q: NodeId, attr: AttrId, rng: &mut R) -> Option<CodAnswer> {
+    pub fn query<R: Rng>(
+        &self,
+        q: NodeId,
+        attr: AttrId,
+        rng: &mut R,
+    ) -> CodResult<Option<CodAnswer>> {
+        validate_query(self.g, &self.cfg, q, Some(attr))?;
         match select_recluster_community(self.g, &self.dendro, &self.lca, q, attr) {
             None => {
                 // No attribute signal on the path: evaluate T directly.
-                let chain = DendroChain::new(&self.dendro, &self.lca, q);
+                let chain = DendroChain::new(&self.dendro, &self.lca, q)?;
                 answer_from_chain(self.g, self.cfg, &chain, q, rng)
             }
             Some(choice) => {
@@ -171,8 +230,8 @@ impl<'g> CodlMinus<'g> {
                 let (sub, sd) =
                     local_recluster(self.g, &members, attr, self.cfg.beta, self.cfg.linkage);
                 let slca = LcaIndex::new(&sd);
-                let lower = SubgraphChain::new(&sub, &sd, &slca, q, true);
-                let chain = ComposedChain::new(lower, &self.dendro, &self.lca, choice.vertex);
+                let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)?;
+                let chain = ComposedChain::new(lower, &self.dendro, &self.lca, choice.vertex)?;
                 answer_from_chain(self.g, self.cfg, &chain, q, rng)
             }
         }
@@ -232,27 +291,38 @@ impl<'g> Codl<'g> {
     }
 
     /// Answers a COD query for `(q, attr)` — Algorithm 3.
-    pub fn query<R: Rng>(&self, q: NodeId, attr: AttrId, rng: &mut R) -> Option<CodAnswer> {
+    pub fn query<R: Rng>(
+        &self,
+        q: NodeId,
+        attr: AttrId,
+        rng: &mut R,
+    ) -> CodResult<Option<CodAnswer>> {
+        validate_query(self.g, &self.cfg, q, Some(attr))?;
         let choice = select_recluster_community(self.g, &self.dendro, &self.lca, q, attr);
         let floor: Option<VertexId> = choice.map(|c| c.vertex);
         // Lines 1–2: answer from the index if an ancestor of C_ℓ qualifies.
         if let Some(c) = self.index.largest_top_k(&self.dendro, q, floor, self.cfg.k) {
             let path = self.dendro.root_path(q);
-            let j = path.iter().position(|&v| v == c).expect("on path");
-            return Some(CodAnswer {
+            let Some(j) = path.iter().position(|&v| v == c) else {
+                unreachable!("largest_top_k only returns vertices on q's root path")
+            };
+            return Ok(Some(CodAnswer {
                 members: self.dendro.members_sorted(c),
                 rank: self.index.ranks_of(q)[j] as usize,
                 source: AnswerSource::Index,
-            });
+                uncertain: false,
+            }));
         }
         // Line 3: compressed evaluation inside the reclustered C_ℓ.
-        let choice = choice?;
+        let Some(choice) = choice else {
+            return Ok(None);
+        };
         let members = self.dendro.members_sorted(choice.vertex);
         let (sub, sd) = local_recluster(self.g, &members, attr, self.cfg.beta, self.cfg.linkage);
         let slca = LcaIndex::new(&sd);
         // The subgraph root (C_ℓ itself) is excluded: the index already
         // ruled it out.
-        let chain = SubgraphChain::new(&sub, &sd, &slca, q, false);
+        let chain = SubgraphChain::new(&sub, &sd, &slca, q, false)?;
         answer_from_chain(self.g, self.cfg, &chain, q, rng)
     }
 }
@@ -264,17 +334,29 @@ fn answer_from_chain<R: Rng>(
     chain: &impl Chain,
     q: NodeId,
     rng: &mut R,
-) -> Option<CodAnswer> {
+) -> CodResult<Option<CodAnswer>> {
     if chain.is_empty() {
-        return None;
+        return Ok(None);
     }
-    let out = compressed_cod(g.csr(), cfg.model, chain, q, cfg.k, cfg.theta, rng);
-    let level = out.best_level?;
-    Some(CodAnswer {
+    let out = compressed_cod_budgeted(
+        g.csr(),
+        cfg.model,
+        chain,
+        q,
+        cfg.k,
+        cfg.theta,
+        cfg.budget,
+        rng,
+    )?;
+    let Some(level) = out.best_level else {
+        return Ok(None);
+    };
+    Ok(Some(CodAnswer {
         members: chain.members(level),
         rank: out.ranks[level],
         source: AnswerSource::Compressed,
-    })
+        uncertain: out.truncated || out.uncertain[level],
+    }))
 }
 
 #[cfg(test)]
@@ -328,7 +410,7 @@ mod tests {
         let g = toy();
         let codu = Codu::new(&g, cfg());
         let mut rng = SmallRng::seed_from_u64(31);
-        let ans = codu.query(0, &mut rng).expect("hub has a community");
+        let ans = codu.query(0, &mut rng).unwrap().expect("hub has a community");
         assert!(ans.members.contains(&0));
         assert!(ans.rank <= 2);
         assert_eq!(ans.source, AnswerSource::Compressed);
@@ -339,10 +421,10 @@ mod tests {
         let g = toy();
         let mut rng = SmallRng::seed_from_u64(32);
         let codr = Codr::new(&g, cfg());
-        let a = codr.query(0, 0, &mut rng);
+        let a = codr.query(0, 0, &mut rng).unwrap();
         assert!(a.is_some());
         let cm = CodlMinus::new(&g, cfg());
-        let b = cm.query(0, 0, &mut rng);
+        let b = cm.query(0, 0, &mut rng).unwrap();
         assert!(b.is_some());
     }
 
@@ -351,10 +433,11 @@ mod tests {
         let g = toy();
         let mut rng = SmallRng::seed_from_u64(33);
         let codl = Codl::new(&g, cfg(), &mut rng);
-        let ans = codl.query(0, 0, &mut rng).expect("hub answered");
+        let ans = codl.query(0, 0, &mut rng).unwrap().expect("hub answered");
         assert!(ans.members.contains(&0));
         // The hub is globally influential, so the index should answer.
         assert_eq!(ans.source, AnswerSource::Index);
+        assert!(!ans.uncertain);
     }
 
     #[test]
@@ -369,10 +452,10 @@ mod tests {
         for q in 0..8u32 {
             let attr = g.node_attrs(q)[0];
             for ans in [
-                codu.query(q, &mut rng),
-                codr.query(q, attr, &mut rng),
-                cm.query(q, attr, &mut rng),
-                codl.query(q, attr, &mut rng),
+                codu.query(q, &mut rng).unwrap(),
+                codr.query(q, attr, &mut rng).unwrap(),
+                cm.query(q, attr, &mut rng).unwrap(),
+                codl.query(q, attr, &mut rng).unwrap(),
             ]
             .into_iter()
             .flatten()
@@ -381,5 +464,53 @@ mod tests {
                 assert!(ans.members.windows(2).all(|w| w[0] < w[1]));
             }
         }
+    }
+
+    #[test]
+    fn boundary_rejects_bad_parameters_without_panicking() {
+        let g = toy();
+        let mut rng = SmallRng::seed_from_u64(35);
+        let codu = Codu::new(&g, cfg());
+        // Node id out of range.
+        let err = codu.query(99, &mut rng).unwrap_err();
+        assert!(matches!(err, CodError::InvalidQuery(_)), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // Unknown attribute id.
+        let codr = Codr::new(&g, cfg());
+        let err = codr.query(0, 77, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("unknown attribute"), "{err}");
+        // k == 0 and theta == 0.
+        for bad in [
+            CodConfig { k: 0, ..cfg() },
+            CodConfig { theta: 0, ..cfg() },
+        ] {
+            let codu = Codu::new(&g, bad);
+            let err = codu.query(0, &mut rng).unwrap_err();
+            assert!(matches!(err, CodError::InvalidQuery(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn tight_budget_yields_best_effort_uncertain_answer() {
+        let g = toy();
+        let tight = CodConfig {
+            budget: Some(8),
+            ..cfg()
+        };
+        let mut rng = SmallRng::seed_from_u64(36);
+        let codu = Codu::new(&g, tight);
+        // 8 total samples instead of θ·|V| = 960: the query still answers,
+        // but must carry the best-effort flag.
+        if let Some(ans) = codu.query(0, &mut rng).unwrap() {
+            assert!(ans.uncertain, "truncated evaluation must be flagged");
+        }
+        // A zero budget is a hard error, not a silent empty answer.
+        let starved = CodConfig {
+            budget: Some(0),
+            ..cfg()
+        };
+        let codu = Codu::new(&g, starved);
+        let err = codu.query(0, &mut rng).unwrap_err();
+        assert!(matches!(err, CodError::BudgetExhausted { .. }), "{err}");
     }
 }

@@ -25,8 +25,8 @@ impl Csr {
     /// establishes them by construction).
     pub fn from_raw(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
         debug_assert!(!offsets.is_empty());
-        debug_assert_eq!(*offsets.first().unwrap(), 0);
-        debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
+        debug_assert_eq!(offsets.first().copied(), Some(0));
+        debug_assert_eq!(offsets.last().copied(), Some(neighbors.len()));
         debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
         #[cfg(debug_assertions)]
         for v in 0..offsets.len() - 1 {

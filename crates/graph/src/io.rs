@@ -20,8 +20,25 @@ use crate::{AttributedGraph, NodeId};
 pub enum IoError {
     /// Underlying file/stream error.
     Io(std::io::Error),
-    /// A malformed line, with its 1-based number and content.
+    /// A malformed line, with its 1-based number and content (truncated to
+    /// [`SNIPPET_MAX`] characters so a pathological line cannot flood logs
+    /// or terminal output).
     Parse { line: usize, content: String },
+}
+
+/// Longest line excerpt kept in an [`IoError::Parse`].
+pub const SNIPPET_MAX: usize = 120;
+
+/// Truncates a malformed line to [`SNIPPET_MAX`] characters for error
+/// reporting, marking the cut with an ellipsis.
+fn snippet(t: &str) -> String {
+    if t.chars().count() <= SNIPPET_MAX {
+        t.to_owned()
+    } else {
+        let mut s: String = t.chars().take(SNIPPET_MAX).collect();
+        s.push('…');
+        s
+    }
 }
 
 impl std::fmt::Display for IoError {
@@ -65,17 +82,17 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Csr, IoError> {
             _ => {
                 return Err(IoError::Parse {
                     line: lineno,
-                    content: t.to_owned(),
+                    content: snippet(t),
                 })
             }
         };
         let u: NodeId = u.parse().map_err(|_| IoError::Parse {
             line: lineno,
-            content: t.to_owned(),
+            content: snippet(t),
         })?;
         let v: NodeId = v.parse().map_err(|_| IoError::Parse {
             line: lineno,
-            content: t.to_owned(),
+            content: snippet(t),
         })?;
         b.add_edge(u, v);
     }
@@ -103,12 +120,12 @@ pub fn read_attr_list<R: BufRead>(
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| IoError::Parse {
                 line: lineno,
-                content: t.to_owned(),
+                content: snippet(t),
             })?;
         if v >= num_nodes {
             return Err(IoError::Parse {
                 line: lineno,
-                content: t.to_owned(),
+                content: snippet(t),
             });
         }
         for tok in it {
@@ -189,6 +206,20 @@ mod tests {
         let err = read_edge_list(Cursor::new("0 1\nbogus\n")).unwrap_err();
         match err {
             IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_line_content_is_truncated() {
+        let long = format!("x{}", "y".repeat(4000));
+        let err = read_edge_list(Cursor::new(format!("0 1\n{long}\n"))).unwrap_err();
+        match err {
+            IoError::Parse { line, content } => {
+                assert_eq!(line, 2);
+                assert_eq!(content.chars().count(), SNIPPET_MAX + 1, "120 chars + ellipsis");
+                assert!(content.ends_with('…'));
+            }
             other => panic!("unexpected: {other}"),
         }
     }

@@ -20,6 +20,11 @@
 //! Nodes are identified by dense `u32` ids ([`NodeId`]), attributes by `u32`
 //! ids ([`AttrId`]).
 
+// The graph substrate sits under every query path: panicking on untrusted
+// input here would defeat the typed-error contract of the crates above, so
+// `unwrap`/`expect` are flagged outside tests (see clippy.toml).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod attr;
 pub mod builder;
 pub mod components;

@@ -53,7 +53,10 @@ pub fn bisect(g: &Csr) -> Dendrogram {
     let mut vertex_of = vec![0u32; parts.len()];
     let mut merges: Vec<Merge> = Vec::with_capacity(n - 1);
     for i in (0..parts.len()).rev() {
-        match parts[i].as_ref().expect("slot filled") {
+        let Some(part) = parts[i].as_ref() else {
+            unreachable!("every slot is filled before the reverse walk");
+        };
+        match part {
             Part::Leaf(v) => vertex_of[i] = *v,
             Part::Internal(a, b) => {
                 let m = Merge {
@@ -112,7 +115,9 @@ fn bipartition(g: &Csr, set: &[NodeId], side: &mut [u8]) -> (Vec<NodeId>, Vec<No
     }
 
     // Double-BFS diameter endpoints as seeds.
-    let s1 = *comp.last().unwrap();
+    let Some(&s1) = comp.last() else {
+        unreachable!("bipartition is only called on non-empty sets");
+    };
     for &v in set {
         side[v as usize] = 3;
     }
@@ -227,7 +232,9 @@ fn bfs_farthest(g: &Csr, start: NodeId, set: &[NodeId], side: &mut [u8]) -> Node
             }
         }
     }
-    let far = *queue.last().unwrap();
+    let Some(&far) = queue.last() else {
+        unreachable!("BFS starts with the seed enqueued");
+    };
     for &v in set {
         side[v as usize] = 3;
     }

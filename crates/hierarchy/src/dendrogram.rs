@@ -11,6 +11,45 @@ pub type VertexId = u32;
 /// Sentinel for "no vertex" (the root's parent).
 pub const NO_VERTEX: VertexId = u32::MAX;
 
+/// Why a merge sequence does not describe a valid dendrogram.
+///
+/// Returned by [`Dendrogram::try_from_merges`]; the panicking
+/// [`Dendrogram::from_merges`] reports the same conditions via its panic
+/// message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DendrogramError {
+    /// `num_leaves == 0`.
+    NoLeaves,
+    /// The merge count is not `num_leaves - 1`.
+    WrongMergeCount { num_leaves: usize, merges: usize },
+    /// Merge `index` references a vertex that does not exist yet.
+    FutureVertex { index: usize, vertex: VertexId },
+    /// A vertex appears as a merge operand twice.
+    VertexReused { vertex: VertexId },
+    /// The merges leave more than one tree component.
+    Disconnected,
+}
+
+impl std::fmt::Display for DendrogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DendrogramError::NoLeaves => write!(f, "dendrogram needs at least one leaf"),
+            DendrogramError::WrongMergeCount { num_leaves, merges } => write!(
+                f,
+                "a full hierarchy over {num_leaves} leaves needs {} merges, got {merges}",
+                num_leaves.saturating_sub(1)
+            ),
+            DendrogramError::FutureVertex { index, vertex } => {
+                write!(f, "merge {index} uses future vertex {vertex}")
+            }
+            DendrogramError::VertexReused { vertex } => write!(f, "vertex {vertex} merged twice"),
+            DendrogramError::Disconnected => write!(f, "merges do not form one tree"),
+        }
+    }
+}
+
+impl std::error::Error for DendrogramError {}
+
 /// A rooted binary community hierarchy over the nodes of a graph.
 ///
 /// Every vertex corresponds to a community: a leaf holds a single graph
@@ -45,15 +84,29 @@ impl Dendrogram {
     /// The merges must form a single tree: exactly `num_leaves - 1` merges,
     /// each operand being either a leaf (`< num_leaves`) or the result of an
     /// earlier merge (`num_leaves + i` for merge `i`), and each used at most
-    /// once. Panics otherwise.
+    /// once. Panics otherwise — callers handling untrusted merge data (e.g.
+    /// a persisted index) should use [`Dendrogram::try_from_merges`].
     pub fn from_merges(num_leaves: usize, merges: &[Merge]) -> Self {
-        assert!(num_leaves >= 1, "dendrogram needs at least one leaf");
-        assert_eq!(
-            merges.len(),
-            num_leaves - 1,
-            "a full hierarchy over {num_leaves} leaves needs {} merges",
-            num_leaves - 1
-        );
+        match Self::try_from_merges(num_leaves, merges) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Dendrogram::from_merges`]: validates the merge
+    /// sequence and returns a [`DendrogramError`] instead of panicking, so
+    /// untrusted inputs (persisted indices, user-supplied hierarchies) can
+    /// never abort the process.
+    pub fn try_from_merges(num_leaves: usize, merges: &[Merge]) -> Result<Self, DendrogramError> {
+        if num_leaves == 0 {
+            return Err(DendrogramError::NoLeaves);
+        }
+        if merges.len() != num_leaves - 1 {
+            return Err(DendrogramError::WrongMergeCount {
+                num_leaves,
+                merges: merges.len(),
+            });
+        }
         let num_vertices = num_leaves + merges.len();
         let mut parent = vec![NO_VERTEX; num_vertices];
         let mut children = vec![[NO_VERTEX; 2]; num_vertices];
@@ -61,16 +114,21 @@ impl Dendrogram {
         for (i, m) in merges.iter().enumerate() {
             let v = (num_leaves + i) as VertexId;
             for &c in &[m.a, m.b] {
-                assert!((c as usize) < num_leaves + i, "merge {i} uses future vertex {c}");
-                assert_eq!(parent[c as usize], NO_VERTEX, "vertex {c} merged twice");
+                if (c as usize) >= num_leaves + i {
+                    return Err(DendrogramError::FutureVertex { index: i, vertex: c });
+                }
+                if parent[c as usize] != NO_VERTEX {
+                    return Err(DendrogramError::VertexReused { vertex: c });
+                }
                 parent[c as usize] = v;
             }
             children[v as usize] = [m.a, m.b];
             size[v as usize] = size[m.a as usize] + size[m.b as usize];
         }
         let root = (num_vertices - 1) as VertexId;
-        assert_eq!(parent[root as usize], NO_VERTEX);
-        assert_eq!(size[root as usize] as usize, num_leaves, "merges do not form one tree");
+        if parent[root as usize] != NO_VERTEX || size[root as usize] as usize != num_leaves {
+            return Err(DendrogramError::Disconnected);
+        }
 
         // Iterative DFS: depths (root = 1) and leaf intervals.
         let mut depth = vec![0u32; num_vertices];
@@ -100,7 +158,7 @@ impl Dendrogram {
             stack.push((a, false));
         }
 
-        Self {
+        Ok(Self {
             num_leaves,
             parent,
             children,
@@ -110,7 +168,7 @@ impl Dendrogram {
             leaf_order,
             leaf_pos,
             range,
-        }
+        })
     }
 
     /// A trivial hierarchy over one node (its leaf is the root).
@@ -450,5 +508,34 @@ pub(crate) mod tests {
     #[should_panic(expected = "needs 2 merges")]
     fn rejects_wrong_merge_count() {
         let _ = Dendrogram::from_merges(3, &[Merge { a: 0, b: 1 }]);
+    }
+
+    #[test]
+    fn try_from_merges_reports_each_defect() {
+        assert_eq!(
+            Dendrogram::try_from_merges(0, &[]).unwrap_err(),
+            DendrogramError::NoLeaves
+        );
+        assert_eq!(
+            Dendrogram::try_from_merges(3, &[Merge { a: 0, b: 1 }]).unwrap_err(),
+            DendrogramError::WrongMergeCount { num_leaves: 3, merges: 1 }
+        );
+        assert_eq!(
+            Dendrogram::try_from_merges(2, &[Merge { a: 0, b: 9 }]).unwrap_err(),
+            DendrogramError::FutureVertex { index: 0, vertex: 9 }
+        );
+        assert_eq!(
+            Dendrogram::try_from_merges(3, &[Merge { a: 0, b: 1 }, Merge { a: 0, b: 2 }])
+                .unwrap_err(),
+            DendrogramError::VertexReused { vertex: 0 }
+        );
+    }
+
+    #[test]
+    fn try_from_merges_accepts_valid_input() {
+        let merges = vec![Merge { a: 0, b: 1 }, Merge { a: 3, b: 2 }];
+        let d = Dendrogram::try_from_merges(3, &merges).unwrap();
+        assert_eq!(d.num_leaves(), 3);
+        assert_eq!(d.size(d.root()), 3);
     }
 }

@@ -24,7 +24,7 @@ pub mod linkage;
 pub mod nnchain;
 
 pub use bisect::bisect;
-pub use dendrogram::{Dendrogram, VertexId, NO_VERTEX};
+pub use dendrogram::{Dendrogram, DendrogramError, VertexId, NO_VERTEX};
 pub use lca::LcaIndex;
 pub use linkage::Linkage;
 pub use nnchain::{cluster, cluster_unweighted, Merge};

@@ -182,7 +182,9 @@ where
                 None => break,
             }
         }
-        let top = *chain.last().unwrap();
+        let Some(&top) = chain.last() else {
+            unreachable!("chain refilled above or the loop broke");
+        };
         if state.adj[top as usize].is_empty() {
             // Isolated root reached mid-chain.
             chain.pop();
@@ -195,7 +197,9 @@ where
         } else {
             None
         };
-        let next = state.nearest(top, prev).expect("non-empty adjacency");
+        let Some(next) = state.nearest(top, prev) else {
+            unreachable!("non-empty adjacency checked above");
+        };
         if prev == Some(next) {
             chain.pop();
             chain.pop();

@@ -49,7 +49,7 @@ fn main() {
 
     let mut ranked: Vec<(NodeId, usize, f64)> = Vec::new();
     for &q in &candidates {
-        if let Some(ans) = codl.query(q, topic, &mut rng) {
+        if let Some(ans) = codl.query(q, topic, &mut rng).expect("valid query") {
             let density = measures::attribute_density(g, &ans.members, topic);
             ranked.push((q, ans.size(), density));
         }

@@ -47,7 +47,7 @@ fn main() {
         let topic_name = g.interner().name(topic).unwrap_or("?").to_owned();
         println!("\n== organizer v{q}, topic {topic_name} ==");
 
-        match codl.query(q, topic, &mut rng) {
+        match codl.query(q, topic, &mut rng).expect("valid query") {
             Some(ans) => {
                 println!(
                     "CODL invites {} researchers (organizer influence rank {}; source {:?})",

@@ -44,7 +44,7 @@ fn main() {
     let codl2 = Codl::from_parts(g, cfg, dendro2, lca2, index2);
     let q = 17;
     let attr = g.node_attrs(q)[0];
-    let before = codl2.query(q, attr, &mut rng);
+    let before = codl2.query(q, attr, &mut rng).expect("valid query");
     println!(
         "query from the reloaded index: node {q} -> {:?}",
         before.as_ref().map(|a| a.size())
@@ -69,13 +69,13 @@ fn main() {
         dynamic.pending_edits(),
         dynamic.index_usable_for(q)
     );
-    let after = dynamic.query(q, attr, &mut rng);
+    let after = dynamic.query(q, attr, &mut rng).expect("valid query");
     println!(
         "query on the evolved graph: node {q} -> {:?} members",
         after.as_ref().map(|a| a.size())
     );
     dynamic.rebuild(&mut rng);
-    let rebuilt = dynamic.query(q, attr, &mut rng);
+    let rebuilt = dynamic.query(q, attr, &mut rng).expect("valid query");
     println!(
         "after full rebuild: node {q} -> {:?} members (index usable: {})",
         rebuilt.as_ref().map(|a| a.size()),

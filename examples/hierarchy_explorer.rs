@@ -34,7 +34,7 @@ fn main() {
     // Build the non-attributed hierarchy T.
     let dendro = recluster::build_hierarchy(g.csr(), Linkage::Average);
     let lca = LcaIndex::new(&dendro);
-    let chain = DendroChain::new(&dendro, &lca, q);
+    let chain = DendroChain::new(&dendro, &lca, q).unwrap();
     println!("|H(q)| = {} hierarchical communities", chain.len());
 
     // LORE's reclustering scores along the chain.
@@ -44,7 +44,7 @@ fn main() {
     // Influence rank of q in every community (compressed evaluation).
     let mut rng = SmallRng::seed_from_u64(seed);
     let k = 5;
-    let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 30, &mut rng);
+    let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 30, &mut rng).unwrap();
 
     println!("\nlevel | size     | depth | r(C)     | rank(q) | top-{k}?");
     println!("------+----------+-------+----------+---------+-------");

@@ -30,7 +30,7 @@ fn main() {
         };
         let codl = Codl::new(g, cfg, &mut rng);
         for q in [0u32, 6] {
-            match codl.query(q, db, &mut rng) {
+            match codl.query(q, db, &mut rng).expect("valid query") {
                 Some(ans) => println!(
                     "k={k}: characteristic community of v{q} is {:?} — rank {} via {:?}",
                     ans.members, ans.rank, ans.source
@@ -48,7 +48,7 @@ fn main() {
     };
     let codu = Codu::new(g, cfg);
     for q in [0u32, 6] {
-        match codu.query(q, &mut rng) {
+        match codu.query(q, &mut rng).expect("valid query") {
             Some(ans) => println!("CODU answer for v{q}: {:?} (rank {})", ans.members, ans.rank),
             None => println!("CODU: no answer for v{q}"),
         }

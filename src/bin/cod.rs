@@ -6,18 +6,24 @@
 //! ```text
 //! cod stats     --edges g.txt [--attrs a.txt] | --preset cora
 //! cod query     (graph opts) --node 17 [--attr DB] [--k 5] [--theta 10] [--method codl]
+//!               [--index idx.codx [--strict-index]] [--budget N]
 //! cod hierarchy (graph opts) --node 17 [--levels 12]
 //! cod baseline  (graph opts) --node 17 --attr DB --method acq|atc|cac
 //! cod generate  --preset cora --out-edges g.txt --out-attrs a.txt
 //! ```
 //!
+//! Every failure mode (missing file, malformed input, invalid query
+//! parameters, corrupt index) exits non-zero with a one-line diagnostic on
+//! stderr — never a panic backtrace.
+//!
 //! Run `cod help` for the full option list.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use pcod::cod::chain::Chain;
 use pcod::cod::compressed::compressed_cod;
+use pcod::cod::persist::{load_index, save_index};
 use pcod::cod::recluster::build_hierarchy;
 use pcod::graph::io;
 use pcod::graph::measures;
@@ -90,6 +96,13 @@ OPTIONS:
   --method M      query: codu|codr|codl-|codl (default codl)
                   baseline: acq|atc|cac
   --levels N      hierarchy: number of levels to print (default 15)
+  --index FILE    query (codl): persist the HIMOR index + hierarchy here.
+                  Missing or corrupt files trigger a rebuild + resave with
+                  a warning on stderr
+  --strict-index  treat an unusable --index file as a fatal error instead
+                  of rebuilding
+  --budget N      cap total RR-graph samples per query; truncated answers
+                  are flagged best-effort
   --out-edges F   generate: output edge-list path
   --out-attrs F   generate: output attribute-list path";
 
@@ -105,6 +118,9 @@ struct Opts {
     seed: u64,
     method: Option<String>,
     levels: usize,
+    index: Option<PathBuf>,
+    strict_index: bool,
+    budget: Option<usize>,
     out_edges: Option<PathBuf>,
     out_attrs: Option<PathBuf>,
 }
@@ -125,6 +141,12 @@ impl Opts {
                 .ok_or_else(|| format!("{} needs a value", args[i]))
         };
         while i < args.len() {
+            // Boolean flags consume one slot; valued options consume two.
+            if args[i] == "--strict-index" {
+                o.strict_index = true;
+                i += 1;
+                continue;
+            }
             match args[i].as_str() {
                 "--edges" => o.edges = Some(PathBuf::from(value(args, i)?)),
                 "--attrs" => o.attrs = Some(PathBuf::from(value(args, i)?)),
@@ -141,6 +163,10 @@ impl Opts {
                 "--method" => o.method = Some(value(args, i)?),
                 "--levels" => {
                     o.levels = value(args, i)?.parse().map_err(|_| "--levels wants a number")?
+                }
+                "--index" => o.index = Some(PathBuf::from(value(args, i)?)),
+                "--budget" => {
+                    o.budget = Some(value(args, i)?.parse().map_err(|_| "--budget wants a number")?)
                 }
                 "--out-edges" => o.out_edges = Some(PathBuf::from(value(args, i)?)),
                 "--out-attrs" => o.out_attrs = Some(PathBuf::from(value(args, i)?)),
@@ -184,6 +210,7 @@ impl Opts {
         CodConfig {
             k: self.k,
             theta: self.theta,
+            budget: self.budget,
             ..CodConfig::default()
         }
     }
@@ -220,24 +247,94 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a CODL engine, loading the HIMOR index from `--index` when one is
+/// given and usable. Unusable index files (missing, corrupt, stale version,
+/// wrong graph) are fatal under `--strict-index`; otherwise they trigger a
+/// rebuild and an atomic resave, with a warning on stderr.
+fn build_codl<'g, R: Rng>(
+    g: &'g AttributedGraph,
+    cfg: CodConfig,
+    opts: &Opts,
+    rng: &mut R,
+) -> Result<Codl<'g>, String> {
+    let Some(path) = &opts.index else {
+        return Ok(Codl::new(g, cfg, rng));
+    };
+    match try_load_codl(g, cfg, path) {
+        Ok(codl) => {
+            eprintln!("loaded HIMOR index from {}", path.display());
+            Ok(codl)
+        }
+        Err(why) => {
+            if opts.strict_index {
+                return Err(format!("index {}: {why}", path.display()));
+            }
+            eprintln!(
+                "warning: index {} unusable ({why}); rebuilding",
+                path.display()
+            );
+            let codl = Codl::new(g, cfg, rng);
+            let (dendro, _) = codl.hierarchy();
+            match save_index(path, dendro, codl.index()) {
+                Ok(()) => eprintln!("saved rebuilt index to {}", path.display()),
+                Err(e) => eprintln!("warning: could not save rebuilt index: {e}"),
+            }
+            Ok(codl)
+        }
+    }
+}
+
+/// Loads a saved index and validates it against the loaded graph.
+fn try_load_codl<'g>(
+    g: &'g AttributedGraph,
+    cfg: CodConfig,
+    path: &Path,
+) -> Result<Codl<'g>, String> {
+    let (dendro, index) = load_index(path).map_err(|e| e.to_string())?;
+    if index.num_nodes() != g.num_nodes() {
+        return Err(format!(
+            "index covers {} nodes but the graph has {}",
+            index.num_nodes(),
+            g.num_nodes()
+        ));
+    }
+    let lca = LcaIndex::new(&dendro);
+    Ok(Codl::from_parts(g, cfg, dendro, lca, index))
+}
+
+/// Node-range check shared by the commands that index per-node data (the
+/// engine validates too, but `resolve_attr` reads `q`'s attribute list
+/// before any engine call).
+fn check_node(g: &AttributedGraph, q: NodeId) -> Result<(), String> {
+    if (q as usize) < g.num_nodes() {
+        Ok(())
+    } else {
+        Err(format!(
+            "node {q} out of range (graph has {} nodes)",
+            g.num_nodes()
+        ))
+    }
+}
+
 fn cmd_query(opts: &Opts) -> Result<(), String> {
     let g = opts.load_graph()?;
     let q = opts.node.ok_or("query needs --node")?;
-    if q as usize >= g.num_nodes() {
-        return Err(format!("node {q} out of range (graph has {} nodes)", g.num_nodes()));
-    }
+    check_node(&g, q)?;
     let cfg = opts.cod_config();
     let mut rng = SmallRng::seed_from_u64(opts.seed);
     let method = opts.method.as_deref().unwrap_or("codl");
+    if opts.index.is_some() && method != "codl" {
+        return Err(format!("--index only applies to --method codl, not {method:?}"));
+    }
     let attr = opts.resolve_attr(&g, q);
     let answer = match method {
         "codu" => Codu::new(&g, cfg).query(q, &mut rng),
         "codr" => Codr::new(&g, cfg).query(q, attr?, &mut rng),
         "codl-" => CodlMinus::new(&g, cfg).query(q, attr?, &mut rng),
-        "codl" => Codl::new(&g, cfg, &mut rng).query(q, attr?, &mut rng),
+        "codl" => build_codl(&g, cfg, opts, &mut rng)?.query(q, attr?, &mut rng),
         other => return Err(format!("unknown method {other:?} (codu|codr|codl-|codl)")),
     };
-    match answer {
+    match answer.map_err(|e| e.to_string())? {
         None => println!("no community where node {q} is top-{}", cfg.k),
         Some(ans) => {
             println!(
@@ -246,6 +343,12 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
                 ans.rank,
                 ans.source
             );
+            if ans.uncertain {
+                println!(
+                    "note: best-effort answer (sample budget truncated the evaluation); \
+                     raise or drop --budget for a firm answer"
+                );
+            }
             println!(
                 "topology density {:.4}, conductance {:.4}",
                 measures::topology_density(g.csr(), &ans.members),
@@ -261,15 +364,14 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
 fn cmd_hierarchy(opts: &Opts) -> Result<(), String> {
     let g = opts.load_graph()?;
     let q = opts.node.ok_or("hierarchy needs --node")?;
-    if q as usize >= g.num_nodes() {
-        return Err(format!("node {q} out of range"));
-    }
+    check_node(&g, q)?;
     let cfg = opts.cod_config();
     let dendro = build_hierarchy(g.csr(), cfg.linkage);
     let lca = LcaIndex::new(&dendro);
-    let chain = DendroChain::new(&dendro, &lca, q);
+    let chain = DendroChain::new(&dendro, &lca, q).map_err(|e| e.to_string())?;
     let mut rng = SmallRng::seed_from_u64(opts.seed);
-    let out = compressed_cod(g.csr(), cfg.model, &chain, q, cfg.k, cfg.theta, &mut rng);
+    let out = compressed_cod(g.csr(), cfg.model, &chain, q, cfg.k, cfg.theta, &mut rng)
+        .map_err(|e| e.to_string())?;
     println!("node {q}: |H(q)| = {} communities", chain.len());
     println!("level | size     | rank(q) | top-{}?", cfg.k);
     for h in 0..chain.len().min(opts.levels) {
@@ -289,6 +391,7 @@ fn cmd_hierarchy(opts: &Opts) -> Result<(), String> {
 fn cmd_baseline(opts: &Opts) -> Result<(), String> {
     let g = opts.load_graph()?;
     let q = opts.node.ok_or("baseline needs --node")?;
+    check_node(&g, q)?;
     let attr = opts.resolve_attr(&g, q)?;
     let method = opts.method.as_deref().ok_or("baseline needs --method acq|atc|cac")?;
     let community = match method {
@@ -322,9 +425,10 @@ fn cmd_im(opts: &Opts) -> Result<(), String> {
     let members: Option<Vec<NodeId>> = match opts.node {
         None => None,
         Some(q) => {
+            check_node(&g, q)?;
             let attr = opts.resolve_attr(&g, q)?;
             let codl = Codl::new(&g, cfg, &mut rng);
-            match codl.query(q, attr, &mut rng) {
+            match codl.query(q, attr, &mut rng).map_err(|e| e.to_string())? {
                 Some(ans) => {
                     println!(
                         "scoping to the characteristic community of node {q} ({} members)",

@@ -22,7 +22,9 @@
 //! let mut rng = SmallRng::seed_from_u64(42);
 //! let codl = Codl::new(g, cfg, &mut rng);
 //!
-//! if let Some(answer) = codl.query(0, db, &mut rng) {
+//! // `query` returns `CodResult<Option<CodAnswer>>`: `Err` for invalid
+//! // input, `Ok(None)` when no community qualifies.
+//! if let Some(answer) = codl.query(0, db, &mut rng).unwrap() {
 //!     assert!(answer.members.contains(&0));
 //!     assert!(answer.rank <= 1);
 //! }
@@ -49,8 +51,8 @@ pub use cod_search as search;
 /// The most common imports for COD applications.
 pub mod prelude {
     pub use cod_core::{
-        Chain, CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu, ComposedChain, DendroChain,
-        HimorIndex,
+        Chain, CodAnswer, CodConfig, CodError, CodResult, Codl, CodlMinus, Codr, Codu,
+        ComposedChain, DendroChain, HimorIndex,
     };
     pub use cod_graph::{AttrId, AttributedGraph, Csr, GraphBuilder, NodeId};
     pub use cod_hierarchy::{Dendrogram, LcaIndex, Linkage};

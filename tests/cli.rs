@@ -125,3 +125,159 @@ fn baseline_command_runs() {
     ]);
     assert!(o.status.success(), "stderr: {}", stderr(&o));
 }
+
+// ---------------------------------------------------------------------------
+// Failure modes: every error path below must exit non-zero with a one-line
+// diagnostic on stderr — never a panic backtrace.
+// ---------------------------------------------------------------------------
+
+/// Asserts a clean failure: non-zero exit, a diagnostic that starts with
+/// `error:`, and no panic backtrace.
+fn assert_clean_failure(o: &Output) -> String {
+    let err = stderr(o);
+    assert!(!o.status.success(), "expected failure, stdout: {}", stdout(o));
+    assert!(
+        !err.contains("panicked") && !err.contains("RUST_BACKTRACE"),
+        "panic leaked to the user: {err}"
+    );
+    assert!(err.starts_with("error:"), "no diagnostic prefix: {err}");
+    err
+}
+
+/// Temp file that cleans up after itself; names are unique per process.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(tag: &str, contents: &[u8]) -> Self {
+        let path = std::env::temp_dir().join(format!(
+            "cod_cli_{tag}_{}_{tag}.txt",
+            std::process::id()
+        ));
+        std::fs::write(&path, contents).expect("write temp fixture");
+        TempFile(path)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// A 30-node path graph where every node carries attribute `A`.
+fn tiny_graph_files() -> (TempFile, TempFile) {
+    let edges: String = (0..29).map(|v| format!("{v} {}\n", v + 1)).collect();
+    let attrs: String = (0..30).map(|v| format!("{v} A\n")).collect();
+    (
+        TempFile::new("edges", edges.as_bytes()),
+        TempFile::new("attrs", attrs.as_bytes()),
+    )
+}
+
+#[test]
+fn missing_edge_file_is_a_one_line_error() {
+    let o = run(&["query", "--edges", "/nonexistent/no_such_graph.txt", "--node", "0"]);
+    let err = assert_clean_failure(&o);
+    assert!(err.contains("loading graph"), "unexpected: {err}");
+    assert_eq!(err.trim_end().lines().count(), 1, "not one line: {err}");
+}
+
+#[test]
+fn malformed_edge_list_reports_the_line_number() {
+    let bad = TempFile::new("badedges", b"0 1\n1 2\nthis is not an edge\n");
+    let o = run(&["stats", "--edges", bad.path()]);
+    let err = assert_clean_failure(&o);
+    assert!(err.contains("line 3"), "line number missing: {err}");
+    assert_eq!(err.trim_end().lines().count(), 1, "not one line: {err}");
+}
+
+#[test]
+fn zero_k_is_rejected_without_panic() {
+    let (edges, attrs) = tiny_graph_files();
+    let o = run(&[
+        "query", "--edges", edges.path(), "--attrs", attrs.path(), "--node", "3", "--k", "0",
+    ]);
+    let err = assert_clean_failure(&o);
+    assert!(err.contains("k must be at least 1"), "unexpected: {err}");
+}
+
+#[test]
+fn corrupt_index_is_fatal_under_strict() {
+    let (edges, attrs) = tiny_graph_files();
+    let idx = TempFile::new("strictidx", b"this is not a CODX file at all");
+    let o = run(&[
+        "query", "--edges", edges.path(), "--attrs", attrs.path(),
+        "--node", "3", "--index", idx.path(), "--strict-index",
+    ]);
+    let err = assert_clean_failure(&o);
+    assert!(err.contains("corrupt index"), "unexpected: {err}");
+}
+
+#[test]
+fn corrupt_index_triggers_rebuild_and_resave_by_default() {
+    let (edges, attrs) = tiny_graph_files();
+    let idx = TempFile::new("rebuildidx", b"garbage garbage garbage");
+    let common = [
+        "query", "--edges", edges.path(), "--attrs", attrs.path(),
+        "--node", "3", "--theta", "5", "--index", idx.path(),
+    ];
+    let o = run(&common);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let err = stderr(&o);
+    assert!(err.contains("warning") && err.contains("rebuilding"), "no warning: {err}");
+    assert!(err.contains("saved rebuilt index"), "no resave: {err}");
+
+    // The resaved file must now load cleanly, even under --strict-index.
+    let mut strict: Vec<&str> = common.to_vec();
+    strict.push("--strict-index");
+    let o = run(&strict);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    assert!(stderr(&o).contains("loaded HIMOR index"), "stderr: {}", stderr(&o));
+}
+
+#[test]
+fn index_with_wrong_graph_is_rejected_under_strict() {
+    let (edges, attrs) = tiny_graph_files();
+    let idx = TempFile::new("wrongidx", b"");
+    // Build a valid index for the tiny graph...
+    let o = run(&[
+        "query", "--edges", edges.path(), "--attrs", attrs.path(),
+        "--node", "3", "--theta", "5", "--index", idx.path(),
+    ]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    // ...then present it for a different graph.
+    let o = run(&[
+        "query", "--preset", "cora", "--node", "3",
+        "--index", idx.path(), "--strict-index",
+    ]);
+    let err = assert_clean_failure(&o);
+    assert!(err.contains("nodes"), "unexpected: {err}");
+}
+
+#[test]
+fn zero_budget_fails_cleanly_and_tight_budget_flags_the_answer() {
+    let (edges, attrs) = tiny_graph_files();
+    let common = [
+        "query", "--edges", edges.path(), "--attrs", attrs.path(), "--node", "3",
+        "--method", "codl-", "--k", "1", "--theta", "50",
+    ];
+    let mut zero: Vec<&str> = common.to_vec();
+    zero.extend(["--budget", "0"]);
+    let err = assert_clean_failure(&run(&zero));
+    assert!(err.contains("budget"), "unexpected: {err}");
+
+    let mut tight: Vec<&str> = common.to_vec();
+    tight.extend(["--budget", "4"]);
+    let o = run(&tight);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    // A 4-sample evaluation either finds nothing or must flag best-effort.
+    assert!(
+        out.contains("no community") || out.contains("best-effort"),
+        "unexpected output: {out}"
+    );
+}

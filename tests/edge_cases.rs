@@ -24,7 +24,10 @@ fn cod_on_two_nodes() {
     };
     let codu = Codu::new(&g, cfg);
     let mut rng = SmallRng::seed_from_u64(1);
-    let ans = codu.query(0, &mut rng).expect("a pair has one community");
+    let ans = codu
+        .query(0, &mut rng)
+        .unwrap()
+        .expect("a pair has one community");
     assert_eq!(ans.members, vec![0, 1]);
 }
 
@@ -34,10 +37,10 @@ fn k_at_least_community_size_accepts_every_level() {
     let g = &data.graph;
     let dendro = build_hierarchy(g.csr(), Linkage::Average);
     let lca = LcaIndex::new(&dendro);
-    let chain = DendroChain::new(&dendro, &lca, 0);
+    let chain = DendroChain::new(&dendro, &lca, 0).unwrap();
     let mut rng = SmallRng::seed_from_u64(2);
     // k = |V| dominates every rank: best level must be the chain top.
-    let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, 0, 10, 200, &mut rng);
+    let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, 0, 10, 200, &mut rng).unwrap();
     assert_eq!(out.best_level, Some(chain.len() - 1));
     for (h, &r) in out.ranks.iter().enumerate() {
         assert!(r <= chain.size(h), "rank bounded by community size");
@@ -99,8 +102,8 @@ fn divisive_hierarchy_supports_cod_queries() {
     let mut rng = SmallRng::seed_from_u64(5);
     let queries = pcod::datasets::gen_queries(g, 6, &mut rng);
     for &(q, _) in &queries {
-        let chain = DendroChain::new(&dendro, &lca, q);
-        let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, 5, 10, &mut rng);
+        let chain = DendroChain::new(&dendro, &lca, q).unwrap();
+        let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, 5, 10, &mut rng).unwrap();
         assert_eq!(out.ranks.len(), chain.len());
         if let Some(h) = out.best_level {
             assert!(chain.members(h).binary_search(&q).is_ok());
@@ -171,7 +174,7 @@ fn chain_universe_matches_top_community() {
     let g = &data.graph;
     let dendro = build_hierarchy(g.csr(), Linkage::Average);
     let lca = LcaIndex::new(&dendro);
-    let chain = DendroChain::new(&dendro, &lca, 42);
+    let chain = DendroChain::new(&dendro, &lca, 42).unwrap();
     assert_eq!(chain.universe(), chain.members(chain.len() - 1));
 }
 

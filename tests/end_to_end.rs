@@ -32,10 +32,10 @@ fn all_methods_answer_a_workload() {
     let mut answered = [0usize; 4];
     for &(q, a) in &queries {
         let answers = [
-            codu.query(q, &mut rng),
-            codr.query(q, a, &mut rng),
-            codl_minus.query(q, a, &mut rng),
-            codl.query(q, a, &mut rng),
+            codu.query(q, &mut rng).unwrap(),
+            codr.query(q, a, &mut rng).unwrap(),
+            codl_minus.query(q, a, &mut rng).unwrap(),
+            codl.query(q, a, &mut rng).unwrap(),
         ];
         for (i, ans) in answers.iter().enumerate() {
             if let Some(ans) = ans {
@@ -75,7 +75,7 @@ fn answers_are_usually_truly_top_k() {
     let mut checked = 0;
     let mut correct = 0;
     for &(q, a) in &queries {
-        if let Some(ans) = codl.query(q, a, &mut rng) {
+        if let Some(ans) = codl.query(q, a, &mut rng).unwrap() {
             if ans.members.len() > 400 {
                 continue; // keep the ground-truth check cheap
             }
@@ -107,7 +107,7 @@ fn community_size_grows_with_k() {
         let mut krng = SmallRng::seed_from_u64(33);
         let mut total = 0f64;
         for &(q, _) in &queries {
-            if let Some(ans) = codu.query(q, &mut krng) {
+            if let Some(ans) = codu.query(q, &mut krng).unwrap() {
                 total += ans.size() as f64;
             }
         }
@@ -142,8 +142,8 @@ fn codl_agrees_with_codl_minus_on_found_levels() {
     let mut both = 0;
     let mut close = 0;
     for &(q, a) in &queries {
-        let x = codl.query(q, a, &mut rng);
-        let y = codl_minus.query(q, a, &mut rng);
+        let x = codl.query(q, a, &mut rng).unwrap();
+        let y = codl_minus.query(q, a, &mut rng).unwrap();
         if let (Some(x), Some(y)) = (x, y) {
             both += 1;
             // Same chain; estimates are independent, so a borderline rank

@@ -62,11 +62,11 @@ fn compressed_matches_independent_at_high_theta() {
     let queries = pcod::datasets::gen_queries(g, 5, &mut rng);
     let k = 5;
     for &(q, _) in &queries {
-        let chain = DendroChain::new(&dendro, &lca, q);
+        let chain = DendroChain::new(&dendro, &lca, q).unwrap();
         if chain.len() > 14 {
             continue; // keep Independent affordable
         }
-        let a = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng);
+        let a = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng).unwrap();
         let b = independent_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng);
         // Compare the top-k verdict per level; allow a one-level slack for
         // borderline ranks.
@@ -98,8 +98,8 @@ fn compressed_sigma_is_calibrated() {
     let lca = LcaIndex::new(&dendro);
     let mut rng = SmallRng::seed_from_u64(10);
     let q = pcod::datasets::gen_queries(g, 1, &mut rng)[0].0;
-    let chain = DendroChain::new(&dendro, &lca, q);
-    let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, 5, 80, &mut rng);
+    let chain = DendroChain::new(&dendro, &lca, q).unwrap();
+    let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, 5, 80, &mut rng).unwrap();
     // Root-level sigma equals the global influence of q.
     let mut mc_rng = SmallRng::seed_from_u64(11);
     let truth = pcod::influence::montecarlo::influence(
@@ -167,8 +167,8 @@ fn himor_is_consistent_with_direct_evaluation() {
     let mut agreements = 0;
     let mut total = 0;
     for &(q, _) in &queries {
-        let chain = DendroChain::new(&dendro, &lca, q);
-        let direct = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng);
+        let chain = DendroChain::new(&dendro, &lca, q).unwrap();
+        let direct = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng).unwrap();
         let from_index = index.largest_top_k(&dendro, q, None, k);
         let direct_vertex = direct.best_level.map(|h| dendro.root_path(q)[h]);
         total += 1;

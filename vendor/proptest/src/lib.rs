@@ -1,0 +1,180 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, covering exactly the subset this workspace's `tests/property.rs`
+//! uses:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//!   inner attribute and `arg in strategy` parameter lists;
+//! * integer [`Range`](std::ops::Range) strategies;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: each test runs `cases` deterministic iterations whose inputs are
+//! derived from the test's name, so failures reproduce exactly across runs.
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Deterministic case RNG (SplitMix64 — statistically fine for test-input
+/// generation and dependency-free).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derives the deterministic RNG for one case of one named property.
+/// (FNV-1a over the name, mixed with the case index.)
+#[doc(hidden)]
+pub fn __rng_for_case(name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng {
+        state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A generator of test inputs.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty strategy range {:?}..{:?}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { ... }`
+/// becomes a `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_cfg: $crate::ProptestConfig = $cfg;
+                for __proptest_case in 0..__proptest_cfg.cases {
+                    let mut __proptest_rng =
+                        $crate::__rng_for_case(stringify!($name), __proptest_case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),*) $body)*
+        }
+    };
+}
+
+/// The glob-import surface property tests expect.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Sampled values respect their range bounds.
+        #[test]
+        fn ranges_are_respected(n in 2usize..40, s in 0u64..1000, d in -5i32..5) {
+            prop_assert!((2..40).contains(&n));
+            prop_assert!(s < 1000);
+            prop_assert!((-5..5).contains(&d), "d = {}", d);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::__rng_for_case("x", 3).next_u64();
+        let b = crate::__rng_for_case("x", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, crate::__rng_for_case("x", 4).next_u64());
+        assert_ne!(a, crate::__rng_for_case("y", 3).next_u64());
+    }
+}
