@@ -17,14 +17,18 @@
 //! Total cost `O(Θ·ω + |H(q)|)` (Theorem 4).
 
 use cod_graph::{Csr, FxHashMap, NodeId};
-use cod_influence::{Model, RrSampler};
+use cod_influence::{par_ranges, Model, Parallelism, RrGraph, RrSampler, SeedSequence};
 use rand::prelude::*;
 
 use crate::chain::Chain;
 use crate::error::{CodError, CodResult};
 
 /// The result of one compressed COD evaluation.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every field (including the `f64` sigma estimates
+/// bit-for-bit after the IEEE `==`), which is exactly what the seed-replay
+/// determinism tests need.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CodOutcome {
     /// Index (into the chain) of the characteristic community `C*(q)` — the
     /// largest community where `q` ranked top-k — if any.
@@ -98,40 +102,18 @@ pub fn compressed_cod_budgeted<R: Rng>(
     budget: Option<usize>,
     rng: &mut R,
 ) -> CodResult<CodOutcome> {
-    if k == 0 {
-        return Err(CodError::InvalidQuery("top-k requires k >= 1".into()));
-    }
-    let m = chain.len();
-    if m == 0 {
+    if !validate_chain_query(chain, q, k)? {
         return Ok(CodOutcome::empty());
     }
-    if chain.level_of(q) != Some(0) {
-        return Err(CodError::InvalidQuery(format!(
-            "query node {q} is not in the chain's deepest community"
-        )));
-    }
+    let m = chain.len();
     let universe = chain.universe();
     let restricted = universe.len() < g.num_nodes();
-    let full_theta = theta_per_node.max(1) * universe.len();
-    let theta = match budget {
-        Some(0) => {
-            return Err(CodError::BudgetExhausted {
-                budget: 0,
-                required: universe.len(),
-            })
-        }
-        Some(b) => full_theta.min(b),
-        None => full_theta,
-    };
-    let truncated = theta < full_theta;
+    let (theta, truncated) = resolve_theta(theta_per_node, universe.len(), budget)?;
 
     // --- Stage 1: shared sample generation + HFS ------------------------
     let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); m];
     let mut sampler = RrSampler::new(g, model);
-    // Per-RR scratch, reused across samples.
-    let mut queues: Vec<Vec<u32>> = vec![Vec::new(); m];
-    let mut explored: Vec<bool> = Vec::new();
-    let mut level_cache: Vec<usize> = Vec::new();
+    let mut scratch = HfsScratch::new(m);
 
     for _ in 0..theta {
         let s = universe[rng.random_range(0..universe.len())];
@@ -145,48 +127,200 @@ pub fn compressed_cod_budgeted<R: Rng>(
         } else {
             sampler.sample_from(s, rng)
         };
-        let n = rr.len();
-        explored.clear();
-        explored.resize(n, false);
-        level_cache.clear();
-        level_cache.resize(n, usize::MAX);
-        level_cache[0] = ls;
-        queues[ls].push(0);
-        for h in ls..m {
-            while let Some(v) = queues[h].pop() {
-                if explored[v as usize] {
-                    continue;
-                }
-                explored[v as usize] = true;
-                *buckets[h].entry(rr.node(v)).or_insert(0) += 1;
-                for &u in rr.out_neighbors(v) {
-                    if explored[u as usize] {
-                        continue;
-                    }
-                    let lu = if level_cache[u as usize] != usize::MAX {
-                        level_cache[u as usize]
-                    } else {
-                        // `m` marks nodes inside the universe but outside
-                        // every chain community (possible when the chain
-                        // excludes its sampling universe's root): no
-                        // within-chain path can pass through them.
-                        let l = chain.level_of(rr.node(u)).unwrap_or(m);
-                        level_cache[u as usize] = l;
-                        l
-                    };
-                    if lu >= m {
-                        continue;
-                    }
-                    queues[lu.max(h)].push(u);
-                }
-            }
-        }
+        hfs_record(chain, &rr, ls, m, &mut scratch, &mut buckets);
     }
 
     // --- Stage 2: incremental top-k evaluation --------------------------
     let mut out = incremental_top_k(&buckets, q, k, theta, universe.len());
     out.truncated = truncated;
     Ok(out)
+}
+
+/// [`compressed_cod`] with per-index seed derivation and parallel sample
+/// generation: sample `i` draws its source and RR graph entirely from the
+/// RNG derived for index `i`, so the outcome is a pure function of
+/// `(g, model, chain, q, k, θ, seed)` — bit-identical for every thread
+/// count and across repeated runs.
+#[allow(clippy::too_many_arguments)] // the paper's query signature plus seed and execution policy
+pub fn compressed_cod_seeded(
+    g: &Csr,
+    model: Model,
+    chain: &(impl Chain + Sync),
+    q: NodeId,
+    k: usize,
+    theta_per_node: usize,
+    seed: u64,
+    par: Parallelism,
+) -> CodResult<CodOutcome> {
+    compressed_cod_budgeted_seeded(g, model, chain, q, k, theta_per_node, None, seed, par)
+}
+
+/// [`compressed_cod_budgeted`] with per-index seed derivation and parallel
+/// sample generation (see [`compressed_cod_seeded`] for the determinism
+/// contract).
+#[allow(clippy::too_many_arguments)] // the paper's query signature plus budget and execution policy
+pub fn compressed_cod_budgeted_seeded(
+    g: &Csr,
+    model: Model,
+    chain: &(impl Chain + Sync),
+    q: NodeId,
+    k: usize,
+    theta_per_node: usize,
+    budget: Option<usize>,
+    seed: u64,
+    par: Parallelism,
+) -> CodResult<CodOutcome> {
+    if !validate_chain_query(chain, q, k)? {
+        return Ok(CodOutcome::empty());
+    }
+    let m = chain.len();
+    let universe = chain.universe();
+    let restricted = universe.len() < g.num_nodes();
+    let (theta, truncated) = resolve_theta(theta_per_node, universe.len(), budget)?;
+
+    // --- Stage 1, parallel: each worker samples a contiguous index range
+    // into its own bucket shard. Which range a sample lands in only decides
+    // *where* its counts accumulate; count addition commutes, so the merged
+    // buckets are independent of the chunking.
+    let seeds = SeedSequence::new(seed);
+    let shards = par_ranges(theta, par.thread_count(), |range| {
+        let mut sampler = RrSampler::new(g, model);
+        let mut scratch = HfsScratch::new(m);
+        let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); m];
+        for i in range {
+            let mut rng = seeds.rng_for(i as u64);
+            let s = universe[rng.random_range(0..universe.len())];
+            let Some(ls) = chain.level_of(s) else {
+                continue;
+            };
+            let rr = if restricted {
+                sampler.sample_restricted(s, &mut rng, |v| universe.binary_search(&v).is_ok())
+            } else {
+                sampler.sample_from(s, &mut rng)
+            };
+            hfs_record(chain, &rr, ls, m, &mut scratch, &mut buckets);
+        }
+        buckets
+    });
+    let mut shards = shards.into_iter();
+    let mut buckets = shards.next().unwrap_or_else(|| vec![FxHashMap::default(); m]);
+    for shard in shards {
+        for (h, bucket) in shard.into_iter().enumerate() {
+            for (v, c) in bucket {
+                *buckets[h].entry(v).or_insert(0) += c;
+            }
+        }
+    }
+
+    let mut out = incremental_top_k(&buckets, q, k, theta, universe.len());
+    out.truncated = truncated;
+    Ok(out)
+}
+
+/// Shared argument validation for the evaluation entry points. `Ok(false)`
+/// means the chain is empty and the caller should return
+/// [`CodOutcome::empty`].
+fn validate_chain_query(chain: &impl Chain, q: NodeId, k: usize) -> CodResult<bool> {
+    if k == 0 {
+        return Err(CodError::InvalidQuery("top-k requires k >= 1".into()));
+    }
+    if chain.len() == 0 {
+        return Ok(false);
+    }
+    if chain.level_of(q) != Some(0) {
+        return Err(CodError::InvalidQuery(format!(
+            "query node {q} is not in the chain's deepest community"
+        )));
+    }
+    Ok(true)
+}
+
+/// Resolves the effective sample count under an optional budget.
+fn resolve_theta(
+    theta_per_node: usize,
+    universe_len: usize,
+    budget: Option<usize>,
+) -> CodResult<(usize, bool)> {
+    let full_theta = theta_per_node.max(1) * universe_len;
+    let theta = match budget {
+        Some(0) => {
+            return Err(CodError::BudgetExhausted {
+                budget: 0,
+                required: universe_len,
+            })
+        }
+        Some(b) => full_theta.min(b),
+        None => full_theta,
+    };
+    Ok((theta, theta < full_theta))
+}
+
+/// Per-RR scratch for the HFS stage, reused across samples.
+struct HfsScratch {
+    queues: Vec<Vec<u32>>,
+    explored: Vec<bool>,
+    level_cache: Vec<usize>,
+}
+
+impl HfsScratch {
+    fn new(m: usize) -> Self {
+        Self {
+            queues: vec![Vec::new(); m],
+            explored: Vec::new(),
+            level_cache: Vec::new(),
+        }
+    }
+}
+
+/// Hierarchical-first search over one RR graph (stage 1 inner loop of
+/// Algorithm 1): every RR node is recorded in the bucket of the deepest
+/// chain community within which it is reachable from the source. `ls` is
+/// the source's chain level. Leaves `scratch.queues` drained for reuse.
+fn hfs_record(
+    chain: &impl Chain,
+    rr: &RrGraph,
+    ls: usize,
+    m: usize,
+    scratch: &mut HfsScratch,
+    buckets: &mut [FxHashMap<NodeId, u32>],
+) {
+    let n = rr.len();
+    scratch.explored.clear();
+    scratch.explored.resize(n, false);
+    scratch.level_cache.clear();
+    scratch.level_cache.resize(n, usize::MAX);
+    scratch.level_cache[0] = ls;
+    scratch.queues[ls].push(0);
+    #[allow(clippy::needless_range_loop)] // h indexes both queues and buckets
+    for h in ls..m {
+        while let Some(v) = scratch.queues[h].pop() {
+            if scratch.explored[v as usize] {
+                continue;
+            }
+            scratch.explored[v as usize] = true;
+            *buckets[h].entry(rr.node(v)).or_insert(0) += 1;
+            for &u in rr.out_neighbors(v) {
+                if scratch.explored[u as usize] {
+                    continue;
+                }
+                let lu = if scratch.level_cache[u as usize] != usize::MAX {
+                    scratch.level_cache[u as usize]
+                } else {
+                    // `m` marks nodes inside the universe but outside
+                    // every chain community (possible when the chain
+                    // excludes its sampling universe's root): no
+                    // within-chain path can pass through them.
+                    let l = chain.level_of(rr.node(u)).unwrap_or(m);
+                    scratch.level_cache[u as usize] = l;
+                    l
+                };
+                if lu >= m {
+                    continue;
+                }
+                scratch.queues[lu.max(h)].push(u);
+            }
+        }
+    }
 }
 
 /// Stage 2 of Algorithm 1, exposed for direct use and testing: scans
@@ -306,6 +440,46 @@ pub fn compressed_cod_adaptive<R: Rng>(
     }
 }
 
+/// [`compressed_cod_adaptive`] with per-index seed derivation and parallel
+/// sample generation. Each doubling round draws its samples from an
+/// independent child seed sequence, so the escalation path — and therefore
+/// the final outcome — is a pure function of `(inputs, seed)`, identical
+/// for every thread count.
+#[allow(clippy::too_many_arguments)] // the paper's query signature plus the (θ_0, θ_max) budget and policy
+pub fn compressed_cod_adaptive_seeded(
+    g: &Csr,
+    model: Model,
+    chain: &(impl Chain + Sync),
+    q: NodeId,
+    k: usize,
+    theta_start: usize,
+    theta_max: usize,
+    seed: u64,
+    par: Parallelism,
+) -> CodResult<CodOutcome> {
+    let seq = SeedSequence::new(seed);
+    let mut theta = theta_start.max(1);
+    let mut round = 0u64;
+    loop {
+        let out = compressed_cod_seeded(
+            g,
+            model,
+            chain,
+            q,
+            k,
+            theta,
+            seq.child(round).master(),
+            par,
+        )?;
+        let settled = !out.uncertain.iter().any(|&u| u);
+        if settled || theta * 2 > theta_max {
+            return Ok(out);
+        }
+        theta *= 2;
+        round += 1;
+    }
+}
+
 /// The paper's literal heap-based incremental top-k (Algorithm 1, lines
 /// 16–27), kept alongside [`incremental_top_k`] for fidelity testing.
 ///
@@ -335,8 +509,15 @@ pub fn incremental_top_k_heap(
     let mut ranks = Vec::with_capacity(m);
     let mut sigma_q = Vec::with_capacity(m);
 
+    let mut entries: Vec<(NodeId, u32)> = Vec::new();
     for (h, bucket) in buckets.iter().enumerate() {
-        for (&v, &c) in bucket {
+        // Heap admission under ties depends on processing order, and map
+        // iteration order is insertion-history-dependent — iterate the
+        // bucket in sorted node order so tie-breaks are reproducible.
+        entries.clear();
+        entries.extend(bucket.iter().map(|(&v, &c)| (v, c)));
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        for &(v, c) in &entries {
             let t = tau.entry(v).or_insert(0);
             *t += c; // line 20: B_h(v) += τ(v); line 21: τ(v) = B_h(v)
             let tv = *t;

@@ -24,12 +24,11 @@ use cod_graph::{AttrId, AttrInterner, AttrTable, AttributedGraph, FxHashSet, Gra
 use cod_hierarchy::LcaIndex;
 use rand::prelude::*;
 
-use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
-use crate::compressed::compressed_cod_budgeted;
+use crate::chain::{ComposedChain, DendroChain, SubgraphChain};
 use crate::error::{CodError, CodResult};
 use crate::himor::HimorIndex;
 use crate::lore::select_recluster_community;
-use crate::pipeline::{AnswerSource, CodAnswer, CodConfig};
+use crate::pipeline::{answer_from_chain, AnswerSource, CodAnswer, CodConfig};
 use crate::recluster::{build_hierarchy, local_recluster};
 
 /// A COD engine over a mutable attributed graph.
@@ -167,8 +166,14 @@ impl DynamicCod {
     }
 
     fn materialize_graph(&self) -> AttributedGraph {
-        let mut b = GraphBuilder::with_capacity(self.num_nodes, self.edges.len());
-        for &(u, v) in &self.edges {
+        // The edge set iterates in insertion-history order; sort so the
+        // materialized graph is a pure function of the edge *set*. (The CSR
+        // builder sorts adjacency lists anyway — this keeps the invariant
+        // local and explicit rather than relying on it downstream.)
+        let mut edges: Vec<(NodeId, NodeId)> = self.edges.iter().copied().collect();
+        edges.sort_unstable();
+        let mut b = GraphBuilder::with_capacity(self.num_nodes, edges.len());
+        for (u, v) in edges {
             b.add_edge(u, v);
         }
         AttributedGraph::from_parts(
@@ -183,8 +188,19 @@ impl DynamicCod {
         let graph = self.materialize_graph();
         let dendro = build_hierarchy(graph.csr(), self.cfg.linkage);
         let lca = LcaIndex::new(&dendro);
-        let index =
-            HimorIndex::build(graph.csr(), self.cfg.model, &dendro, &lca, self.cfg.theta, rng);
+        let index = if self.cfg.parallelism.is_seeded() {
+            HimorIndex::build_seeded(
+                graph.csr(),
+                self.cfg.model,
+                &dendro,
+                &lca,
+                self.cfg.theta,
+                rng.next_u64(),
+                self.cfg.parallelism,
+            )
+        } else {
+            HimorIndex::build(graph.csr(), self.cfg.model, &dendro, &lca, self.cfg.theta, rng)
+        };
         self.cache = Some(Cache {
             graph,
             dendro,
@@ -272,25 +288,7 @@ impl DynamicCod {
         match choice {
             None => {
                 let chain = DendroChain::new(&c.dendro, &c.lca, q)?;
-                if chain.is_empty() {
-                    return Ok(None);
-                }
-                let out = compressed_cod_budgeted(
-                    g.csr(),
-                    self.cfg.model,
-                    &chain,
-                    q,
-                    self.cfg.k,
-                    self.cfg.theta,
-                    self.cfg.budget,
-                    rng,
-                )?;
-                Ok(out.best_level.map(|h| CodAnswer {
-                    members: chain.members(h),
-                    rank: out.ranks[h],
-                    source: AnswerSource::Compressed,
-                    uncertain: out.truncated || out.uncertain[h],
-                }))
+                answer_from_chain(g, self.cfg, &chain, q, rng)
             }
             Some(choice) => {
                 let members = c.dendro.members_sorted(choice.vertex);
@@ -299,22 +297,7 @@ impl DynamicCod {
                 let slca = LcaIndex::new(&sd);
                 let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)?;
                 let chain = ComposedChain::new(lower, &c.dendro, &c.lca, choice.vertex)?;
-                let out = compressed_cod_budgeted(
-                    g.csr(),
-                    self.cfg.model,
-                    &chain,
-                    q,
-                    self.cfg.k,
-                    self.cfg.theta,
-                    self.cfg.budget,
-                    rng,
-                )?;
-                Ok(out.best_level.map(|h| CodAnswer {
-                    members: chain.members(h),
-                    rank: out.ranks[h],
-                    source: AnswerSource::Compressed,
-                    uncertain: out.truncated || out.uncertain[h],
-                }))
+                answer_from_chain(g, self.cfg, &chain, q, rng)
             }
         }
     }

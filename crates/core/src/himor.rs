@@ -17,7 +17,7 @@
 
 use cod_graph::{Csr, FxHashMap, NodeId};
 use cod_hierarchy::{Dendrogram, LcaIndex, VertexId};
-use cod_influence::{Model, RrSampler};
+use cod_influence::{par_ranges, Model, Parallelism, RrGraph, RrSampler, SeedSequence};
 use rand::prelude::*;
 
 /// Influence ranks of every node along its root path in `T`.
@@ -28,6 +28,25 @@ pub struct HimorIndex {
     ranks: Vec<Vec<u32>>,
     /// Total RR graphs used.
     theta: usize,
+}
+
+/// Detached inputs of one vertex's bucket merge (stage 2).
+struct MergeItem {
+    vertex: VertexId,
+    bucket: FxHashMap<NodeId, u32>,
+    left: Vec<(u32, NodeId)>,
+    right: Vec<(u32, NodeId)>,
+}
+
+/// The deferred effects of one vertex's bucket merge: applied by the caller
+/// in post-order once the whole wave is computed.
+struct MergeOutput {
+    /// Sorted count list (count desc, id asc) of the merged community.
+    merged: Vec<(u32, NodeId)>,
+    /// `(node, new accumulated count)` — assignments, not deltas.
+    acc_updates: Vec<(NodeId, u32)>,
+    /// `(node, root-path index, rank)` assignments.
+    rank_updates: Vec<(NodeId, u32, u32)>,
 }
 
 impl HimorIndex {
@@ -45,15 +64,40 @@ impl HimorIndex {
         assert_eq!(g.num_nodes(), n);
         let theta = theta_per_node.max(1) * n;
         let buckets = Self::hfs_stage(g, model, dendro, lca, theta, rng);
-        let ranks = Self::merge_stage(dendro, buckets);
+        let ranks = Self::merge_stage(dendro, buckets, 1);
         Self { ranks, theta }
     }
 
-    /// Builds the index with `Θ = θ·|V|` RR graphs, sharding the
-    /// sampling-plus-HFS stage over `num_threads` OS threads. Each thread
-    /// derives its own RNG stream from `seed`, so the result is
-    /// deterministic for a fixed `(seed, num_threads)` pair; bucket counts
-    /// are merged by addition (commutative), making scheduling irrelevant.
+    /// Builds the index with `Θ = θ·|V|` RR graphs using per-index seed
+    /// derivation: sample `i` is drawn entirely from the RNG
+    /// [`SeedSequence::rng_for`] derives for index `i`, so the index is a
+    /// pure function of `(g, model, T, θ, seed)` — bit-identical for every
+    /// thread count and across repeated runs. Both the sampling/HFS stage
+    /// and the bottom-up bucket merge (parallelized over same-depth tree
+    /// waves, whose vertices have disjoint member sets) run on `par`.
+    pub fn build_seeded(
+        g: &Csr,
+        model: Model,
+        dendro: &Dendrogram,
+        lca: &LcaIndex,
+        theta_per_node: usize,
+        seed: u64,
+        par: Parallelism,
+    ) -> Self {
+        let n = dendro.num_leaves();
+        assert_eq!(g.num_nodes(), n);
+        let theta = theta_per_node.max(1) * n;
+        let threads = par.thread_count();
+        let buckets =
+            Self::hfs_stage_seeded(g, model, dendro, lca, theta, SeedSequence::new(seed), threads);
+        let ranks = Self::merge_stage(dendro, buckets, threads);
+        Self { ranks, theta }
+    }
+
+    /// Builds the index with `Θ = θ·|V|` RR graphs over `num_threads` OS
+    /// threads. A thin wrapper over [`HimorIndex::build_seeded`], kept for
+    /// callers that count threads directly: the result depends only on
+    /// `seed`, never on `num_threads`.
     pub fn build_parallel(
         g: &Csr,
         model: Model,
@@ -63,42 +107,15 @@ impl HimorIndex {
         seed: u64,
         num_threads: usize,
     ) -> Self {
-        let n = dendro.num_leaves();
-        assert_eq!(g.num_nodes(), n);
-        let threads = num_threads.max(1);
-        let theta = theta_per_node.max(1) * n;
-        let per_thread = theta.div_ceil(threads);
-        let shards: Vec<Vec<FxHashMap<NodeId, u32>>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for t in 0..threads {
-                let quota = per_thread.min(theta.saturating_sub(t * per_thread));
-                handles.push(scope.spawn(move || {
-                    let mut rng = rand::rngs::SmallRng::seed_from_u64(
-                        seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                    );
-                    Self::hfs_stage(g, model, dendro, lca, quota, &mut rng)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(shard) => shard,
-                    // A shard thread only dies if it panicked; propagate the
-                    // original payload instead of wrapping it.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
-        });
-        let mut merged = vec![FxHashMap::default(); dendro.num_vertices()];
-        for shard in shards {
-            for (slot, bucket) in merged.iter_mut().zip(shard) {
-                for (v, c) in bucket {
-                    *slot.entry(v).or_insert(0) += c;
-                }
-            }
-        }
-        let ranks = Self::merge_stage(dendro, merged);
-        Self { ranks, theta }
+        Self::build_seeded(
+            g,
+            model,
+            dendro,
+            lca,
+            theta_per_node,
+            seed,
+            Parallelism::Threads(num_threads),
+        )
     }
 
     /// Stage 1: HFS over the community tree, producing one bucket of
@@ -125,42 +142,110 @@ impl HimorIndex {
 
         for _ in 0..theta {
             let rr = sampler.sample_uniform(rng);
-            let s = rr.source();
-            let s_leaf = dendro.leaf(s);
-            if s_leaf == dendro.root() {
-                continue; // single-node graph: nothing to index
-            }
-            let tag0 = dendro.parent(s_leaf);
-            let d0 = dendro.depth(tag0) as usize;
-            explored.clear();
-            explored.resize(rr.len(), false);
-            queues[d0].push((0, tag0));
-            for d in (1..=d0).rev() {
-                while let Some((v, tag)) = queues[d].pop() {
-                    if explored[v as usize] {
-                        continue;
-                    }
-                    explored[v as usize] = true;
-                    *buckets[tag as usize].entry(rr.node(v)).or_insert(0) += 1;
-                    for &u in rr.out_neighbors(v) {
-                        if explored[u as usize] {
-                            continue;
-                        }
-                        // Smallest community containing a path from s to u:
-                        // the lca of u's leaf with the current tag.
-                        let tu = lca.lca(dendro.leaf(rr.node(u)), tag);
-                        queues[dendro.depth(tu) as usize].push((u, tu));
-                    }
-                }
-            }
+            Self::hfs_record_tree(dendro, lca, &rr, &mut queues, &mut explored, &mut buckets);
         }
         buckets
     }
 
+    /// Stage 1 with per-index seed derivation, sharded over `threads`
+    /// contiguous index ranges. Bucket counts are merged by addition, which
+    /// commutes, so chunking cannot affect the result.
+    fn hfs_stage_seeded(
+        g: &Csr,
+        model: Model,
+        dendro: &Dendrogram,
+        lca: &LcaIndex,
+        theta: usize,
+        seeds: SeedSequence,
+        threads: usize,
+    ) -> Vec<FxHashMap<NodeId, u32>> {
+        let nv = dendro.num_vertices();
+        let n = dendro.num_leaves();
+        let max_depth = (0..n as NodeId)
+            .map(|v| dendro.depth(dendro.leaf(v)))
+            .max()
+            .unwrap_or(1) as usize;
+        let shards = par_ranges(theta, threads, |range| {
+            let mut sampler = RrSampler::new(g, model);
+            let mut queues: Vec<Vec<(u32, VertexId)>> = vec![Vec::new(); max_depth + 1];
+            let mut explored: Vec<bool> = Vec::new();
+            let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); nv];
+            for i in range {
+                let mut rng = seeds.rng_for(i as u64);
+                let rr = sampler.sample_uniform(&mut rng);
+                Self::hfs_record_tree(dendro, lca, &rr, &mut queues, &mut explored, &mut buckets);
+            }
+            buckets
+        });
+        let mut shards = shards.into_iter();
+        let mut merged = shards
+            .next()
+            .unwrap_or_else(|| vec![FxHashMap::default(); nv]);
+        for shard in shards {
+            for (slot, bucket) in merged.iter_mut().zip(shard) {
+                for (v, c) in bucket {
+                    *slot.entry(v).or_insert(0) += c;
+                }
+            }
+        }
+        merged
+    }
+
+    /// Records one RR graph into the per-vertex buckets: every RR node goes
+    /// to the bucket of the smallest community containing a path from the
+    /// source (tagged via O(1) `lca`), drained deepest-first. Leaves
+    /// `queues` empty for reuse.
+    fn hfs_record_tree(
+        dendro: &Dendrogram,
+        lca: &LcaIndex,
+        rr: &RrGraph,
+        queues: &mut [Vec<(u32, VertexId)>],
+        explored: &mut Vec<bool>,
+        buckets: &mut [FxHashMap<NodeId, u32>],
+    ) {
+        let s = rr.source();
+        let s_leaf = dendro.leaf(s);
+        if s_leaf == dendro.root() {
+            return; // single-node graph: nothing to index
+        }
+        let tag0 = dendro.parent(s_leaf);
+        let d0 = dendro.depth(tag0) as usize;
+        explored.clear();
+        explored.resize(rr.len(), false);
+        queues[d0].push((0, tag0));
+        for d in (1..=d0).rev() {
+            while let Some((v, tag)) = queues[d].pop() {
+                if explored[v as usize] {
+                    continue;
+                }
+                explored[v as usize] = true;
+                *buckets[tag as usize].entry(rr.node(v)).or_insert(0) += 1;
+                for &u in rr.out_neighbors(v) {
+                    if explored[u as usize] {
+                        continue;
+                    }
+                    // Smallest community containing a path from s to u:
+                    // the lca of u's leaf with the current tag.
+                    let tu = lca.lca(dendro.leaf(rr.node(u)), tag);
+                    queues[dendro.depth(tu) as usize].push((u, tu));
+                }
+            }
+        }
+    }
+
     /// Stage 2: bottom-up bucket merge producing per-node rank vectors.
+    ///
+    /// With `threads > 1`, each equal-depth wave of the post-order is
+    /// processed in parallel: same-depth vertices root disjoint subtrees,
+    /// so their buckets, child lists, and rank rows never overlap, and
+    /// every worker reads the accumulator state frozen before its wave —
+    /// exactly what the serial order would have shown it. Results are
+    /// applied in the fixed post-order, so the output is identical for
+    /// every thread count.
     fn merge_stage(
         dendro: &Dendrogram,
         mut buckets: Vec<FxHashMap<NodeId, u32>>,
+        threads: usize,
     ) -> Vec<Vec<u32>> {
         let n = dendro.num_leaves();
         let nv = dendro.num_vertices();
@@ -182,64 +267,118 @@ impl HimorIndex {
         let mut order: Vec<VertexId> = (n as VertexId..nv as VertexId).collect();
         order.sort_unstable_by_key(|&v| std::cmp::Reverse(dendro.depth(v)));
 
-        for &i in &order {
-            let bucket = std::mem::take(&mut buckets[i as usize]);
-            for (&v, &c) in &bucket {
-                acc[v as usize] += c;
+        let mut wave_start = 0;
+        while wave_start < order.len() {
+            let depth = dendro.depth(order[wave_start]);
+            let mut wave_end = wave_start + 1;
+            while wave_end < order.len() && dendro.depth(order[wave_end]) == depth {
+                wave_end += 1;
             }
-            let [a, b] = dendro.children(i);
-            let (Some(la), Some(lb)) = (lists[a as usize].take(), lists[b as usize].take())
-            else {
-                unreachable!("children are processed before parents in depth order")
-            };
-            // Updated entries for nodes recorded in this bucket.
-            let mut updated: Vec<(u32, NodeId)> =
-                bucket.keys().map(|&v| (acc[v as usize], v)).collect();
-            updated.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
-            // Three-way merge, skipping stale child entries.
-            let mut merged = Vec::with_capacity(la.len() + lb.len());
-            let stale = |v: NodeId| bucket.contains_key(&v);
-            let mut ia = la.iter().filter(|e| !stale(e.1)).peekable();
-            let mut ib = lb.iter().filter(|e| !stale(e.1)).peekable();
-            let mut iu = updated.iter().peekable();
-            loop {
-                // Pick the largest head among the three runs.
-                let best = [ia.peek().copied(), ib.peek().copied(), iu.peek().copied()]
-                    .into_iter()
-                    .enumerate()
-                    .filter_map(|(idx, e)| e.map(|e| (idx, *e)))
-                    .max_by(|(_, x), (_, y)| x.0.cmp(&y.0).then(y.1.cmp(&x.1)));
-                match best {
-                    None => break,
-                    Some((0, e)) => {
-                        ia.next();
-                        merged.push(e);
+            let wave = &order[wave_start..wave_end];
+            // Detach each wave vertex's inputs (bucket + child lists) ...
+            let items: Vec<MergeItem> = wave
+                .iter()
+                .map(|&i| {
+                    let bucket = std::mem::take(&mut buckets[i as usize]);
+                    let [a, b] = dendro.children(i);
+                    let (Some(left), Some(right)) =
+                        (lists[a as usize].take(), lists[b as usize].take())
+                    else {
+                        unreachable!("children are processed before parents in depth order")
+                    };
+                    MergeItem {
+                        vertex: i,
+                        bucket,
+                        left,
+                        right,
                     }
-                    Some((1, e)) => {
-                        ib.next();
-                        merged.push(e);
-                    }
-                    Some((_, e)) => {
-                        iu.next();
-                        merged.push(e);
-                    }
+                })
+                .collect();
+            // ... compute every merge of the wave against the pre-wave
+            // accumulator (same-depth subtrees are disjoint, so no item can
+            // observe another's updates even serially) ...
+            let outputs = par_ranges(items.len(), threads, |range| {
+                range
+                    .map(|idx| Self::merge_one(dendro, &items[idx], &acc))
+                    .collect::<Vec<MergeOutput>>()
+            });
+            // ... and apply the results in the fixed post-order.
+            for (item, out) in items.iter().zip(outputs.into_iter().flatten()) {
+                for &(v, c) in &out.acc_updates {
+                    acc[v as usize] = c;
                 }
-            }
-            // Assign ranks: ties share the rank of their first position.
-            let depth_i = dendro.depth(i);
-            let mut rank_of_count = 1u32;
-            let mut prev_count = u32::MAX;
-            for (pos, &(c, v)) in merged.iter().enumerate() {
-                if c != prev_count {
-                    rank_of_count = pos as u32 + 1;
-                    prev_count = c;
+                for &(v, j, r) in &out.rank_updates {
+                    ranks[v as usize][j as usize] = r;
                 }
-                let j = dendro.depth(dendro.leaf(v)) - 1 - depth_i;
-                ranks[v as usize][j as usize] = rank_of_count;
+                lists[item.vertex as usize] = Some(out.merged);
             }
-            lists[i as usize] = Some(merged);
+            wave_start = wave_end;
         }
         ranks
+    }
+
+    /// Folds one internal vertex's bucket into its children's sorted count
+    /// lists, returning the merged list plus the accumulator and rank
+    /// assignments to apply. Pure in `acc` — the caller applies updates
+    /// after the whole wave is computed.
+    fn merge_one(dendro: &Dendrogram, item: &MergeItem, acc: &[u32]) -> MergeOutput {
+        let bucket = &item.bucket;
+        // New accumulated counts for nodes recorded in this bucket.
+        let mut acc_updates: Vec<(NodeId, u32)> = bucket
+            .iter()
+            .map(|(&v, &c)| (v, acc[v as usize] + c))
+            .collect();
+        acc_updates.sort_unstable_by_key(|&(v, _)| v);
+        let mut updated: Vec<(u32, NodeId)> =
+            acc_updates.iter().map(|&(v, c)| (c, v)).collect();
+        updated.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+        // Three-way merge, skipping stale child entries.
+        let mut merged = Vec::with_capacity(item.left.len() + item.right.len());
+        let stale = |v: NodeId| bucket.contains_key(&v);
+        let mut ia = item.left.iter().filter(|e| !stale(e.1)).peekable();
+        let mut ib = item.right.iter().filter(|e| !stale(e.1)).peekable();
+        let mut iu = updated.iter().peekable();
+        loop {
+            // Pick the largest head among the three runs.
+            let best = [ia.peek().copied(), ib.peek().copied(), iu.peek().copied()]
+                .into_iter()
+                .enumerate()
+                .filter_map(|(idx, e)| e.map(|e| (idx, *e)))
+                .max_by(|(_, x), (_, y)| x.0.cmp(&y.0).then(y.1.cmp(&x.1)));
+            match best {
+                None => break,
+                Some((0, e)) => {
+                    ia.next();
+                    merged.push(e);
+                }
+                Some((1, e)) => {
+                    ib.next();
+                    merged.push(e);
+                }
+                Some((_, e)) => {
+                    iu.next();
+                    merged.push(e);
+                }
+            }
+        }
+        // Assign ranks: ties share the rank of their first position.
+        let depth_i = dendro.depth(item.vertex);
+        let mut rank_updates = Vec::with_capacity(merged.len());
+        let mut rank_of_count = 1u32;
+        let mut prev_count = u32::MAX;
+        for (pos, &(c, v)) in merged.iter().enumerate() {
+            if c != prev_count {
+                rank_of_count = pos as u32 + 1;
+                prev_count = c;
+            }
+            let j = dendro.depth(dendro.leaf(v)) - 1 - depth_i;
+            rank_updates.push((v, j, rank_of_count));
+        }
+        MergeOutput {
+            merged,
+            acc_updates,
+            rank_updates,
+        }
     }
 
     /// Reassembles an index from stored parts (see [`crate::persist`]).
@@ -409,6 +548,29 @@ mod tests {
             assert_eq!(r, 1);
         }
         assert_eq!(a.theta(), seq.theta());
+    }
+
+    #[test]
+    fn seeded_build_is_thread_count_invariant() {
+        let g = two_stars();
+        let (d, lca) = setup(&g);
+        let base =
+            HimorIndex::build_seeded(&g, Model::WeightedCascade, &d, &lca, 150, 1234, Parallelism::Threads(1));
+        for t in [2usize, 3, 8] {
+            let idx = HimorIndex::build_seeded(
+                &g,
+                Model::WeightedCascade,
+                &d,
+                &lca,
+                150,
+                1234,
+                Parallelism::Threads(t),
+            );
+            for v in 0..10u32 {
+                assert_eq!(base.ranks_of(v), idx.ranks_of(v), "threads {t}, node {v}");
+            }
+            assert_eq!(base.theta(), idx.theta());
+        }
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub mod pipeline;
 pub mod recluster;
 
 pub use chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
-pub use compressed::{compressed_cod, compressed_cod_adaptive, CodOutcome};
+pub use compressed::{
+    compressed_cod, compressed_cod_adaptive, compressed_cod_adaptive_seeded,
+    compressed_cod_seeded, CodOutcome,
+};
 pub use dynamic::DynamicCod;
 pub use error::{CodError, CodResult};
 pub use himor::HimorIndex;

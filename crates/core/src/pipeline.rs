@@ -13,11 +13,11 @@
 
 use cod_graph::{AttrId, AttributedGraph, NodeId};
 use cod_hierarchy::{Dendrogram, LcaIndex, Linkage, VertexId};
-use cod_influence::Model;
+use cod_influence::{Model, Parallelism};
 use rand::prelude::*;
 
 use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
-use crate::compressed::compressed_cod_budgeted;
+use crate::compressed::{compressed_cod_budgeted, compressed_cod_budgeted_seeded};
 use crate::error::{CodError, CodResult};
 use crate::himor::HimorIndex;
 use crate::lore::select_recluster_community;
@@ -41,6 +41,14 @@ pub struct CodConfig {
     /// and the answer comes back flagged [`CodAnswer::uncertain`] instead
     /// of failing. `None` (the default) means unbounded.
     pub budget: Option<usize>,
+    /// Execution policy for RR sampling and index construction.
+    /// [`Parallelism::Serial`] (the default) keeps the legacy behaviour:
+    /// samples are drawn sequentially from the caller's RNG stream.
+    /// [`Parallelism::Auto`] and [`Parallelism::Threads`] switch to
+    /// deterministic per-sample seed derivation: one master seed is drawn
+    /// from the caller's RNG and every sample index gets its own derived
+    /// RNG, so answers are bit-identical for every thread count.
+    pub parallelism: Parallelism,
 }
 
 impl Default for CodConfig {
@@ -52,6 +60,7 @@ impl Default for CodConfig {
             linkage: Linkage::Average,
             model: Model::WeightedCascade,
             budget: None,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -102,7 +111,7 @@ pub enum AnswerSource {
 }
 
 /// A characteristic community answer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CodAnswer {
     /// Members of `C*(q)`, sorted ascending.
     pub members: Vec<NodeId>,
@@ -252,7 +261,19 @@ impl<'g> Codl<'g> {
     pub fn new<R: Rng>(g: &'g AttributedGraph, cfg: CodConfig, rng: &mut R) -> Self {
         let dendro = build_hierarchy(g.csr(), cfg.linkage);
         let lca = LcaIndex::new(&dendro);
-        let index = HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, rng);
+        let index = if cfg.parallelism.is_seeded() {
+            HimorIndex::build_seeded(
+                g.csr(),
+                cfg.model,
+                &dendro,
+                &lca,
+                cfg.theta,
+                rng.next_u64(),
+                cfg.parallelism,
+            )
+        } else {
+            HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, rng)
+        };
         Self {
             g,
             cfg,
@@ -328,26 +349,44 @@ impl<'g> Codl<'g> {
 }
 
 /// Runs compressed evaluation over `chain` and packages the answer.
-fn answer_from_chain<R: Rng>(
+///
+/// Under a seeded [`CodConfig::parallelism`] policy, exactly one `u64` is
+/// drawn from `rng` as the master seed — the same draw for every thread
+/// count — and all sampling randomness is derived from it per index.
+pub(crate) fn answer_from_chain<R: Rng>(
     g: &AttributedGraph,
     cfg: CodConfig,
-    chain: &impl Chain,
+    chain: &(impl Chain + Sync),
     q: NodeId,
     rng: &mut R,
 ) -> CodResult<Option<CodAnswer>> {
     if chain.is_empty() {
         return Ok(None);
     }
-    let out = compressed_cod_budgeted(
-        g.csr(),
-        cfg.model,
-        chain,
-        q,
-        cfg.k,
-        cfg.theta,
-        cfg.budget,
-        rng,
-    )?;
+    let out = if cfg.parallelism.is_seeded() {
+        compressed_cod_budgeted_seeded(
+            g.csr(),
+            cfg.model,
+            chain,
+            q,
+            cfg.k,
+            cfg.theta,
+            cfg.budget,
+            rng.next_u64(),
+            cfg.parallelism,
+        )?
+    } else {
+        compressed_cod_budgeted(
+            g.csr(),
+            cfg.model,
+            chain,
+            q,
+            cfg.k,
+            cfg.theta,
+            cfg.budget,
+            rng,
+        )?
+    };
     let Some(level) = out.best_level else {
         return Ok(None);
     };

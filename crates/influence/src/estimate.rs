@@ -4,7 +4,21 @@ use cod_graph::{Csr, FxHashMap, NodeId};
 use rand::prelude::*;
 
 use crate::model::Model;
+use crate::parallel::{par_ranges, Parallelism};
 use crate::sampler::RrSampler;
+use crate::seed::SeedSequence;
+
+fn merge_count_shards(shards: Vec<FxHashMap<NodeId, u32>>) -> FxHashMap<NodeId, u32> {
+    let mut iter = shards.into_iter();
+    let mut counts = iter.next().unwrap_or_default();
+    for shard in iter {
+        // Addition commutes, so the merge order cannot affect the result.
+        for (v, c) in shard {
+            *counts.entry(v).or_insert(0) += c;
+        }
+    }
+    counts
+}
 
 /// RR-sample appearance counts over a node universe of size `universe`,
 /// from `theta` samples. `σ̂(v) = count(v) / theta · universe` (Theorem 1).
@@ -64,6 +78,71 @@ impl InfluenceEstimate {
         }
         InfluenceEstimate {
             counts,
+            theta,
+            universe: members.len(),
+        }
+    }
+
+    /// [`InfluenceEstimate::on_graph`] with per-index seed derivation:
+    /// sample `i` draws its source and RR graph from `seeds.rng_for(i)`, so
+    /// the estimate is a pure function of `(g, model, theta, seeds)` and is
+    /// identical for every thread count.
+    pub fn on_graph_seeded(
+        g: &Csr,
+        model: Model,
+        theta: usize,
+        seeds: SeedSequence,
+        par: Parallelism,
+    ) -> InfluenceEstimate {
+        assert!(theta > 0 && g.num_nodes() > 0);
+        let shards = par_ranges(theta, par.thread_count(), |range| {
+            let mut sampler = RrSampler::new(g, model);
+            let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
+            for i in range {
+                let mut rng = seeds.rng_for(i as u64);
+                let r = sampler.sample_uniform(&mut rng);
+                for &v in r.nodes() {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+            counts
+        });
+        InfluenceEstimate {
+            counts: merge_count_shards(shards),
+            theta,
+            universe: g.num_nodes(),
+        }
+    }
+
+    /// [`InfluenceEstimate::on_community`] with per-index seed derivation;
+    /// thread-count-invariant like [`InfluenceEstimate::on_graph_seeded`].
+    /// `members` must be sorted ascending.
+    pub fn on_community_seeded(
+        g: &Csr,
+        model: Model,
+        members: &[NodeId],
+        theta: usize,
+        seeds: SeedSequence,
+        par: Parallelism,
+    ) -> InfluenceEstimate {
+        assert!(theta > 0 && !members.is_empty());
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        let shards = par_ranges(theta, par.thread_count(), |range| {
+            let mut sampler = RrSampler::new(g, model);
+            let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
+            for i in range {
+                let mut rng = seeds.rng_for(i as u64);
+                let s = members[rng.random_range(0..members.len())];
+                let r =
+                    sampler.sample_restricted(s, &mut rng, |v| members.binary_search(&v).is_ok());
+                for &v in r.nodes() {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+            counts
+        });
+        InfluenceEstimate {
+            counts: merge_count_shards(shards),
             theta,
             universe: members.len(),
         }
@@ -163,6 +242,44 @@ mod tests {
             assert_eq!(est.sigma(v), 3.0);
         }
         assert_eq!(est.count(3), 0);
+    }
+
+    #[test]
+    fn seeded_estimates_are_thread_count_invariant() {
+        let g = star();
+        let seeds = SeedSequence::new(99);
+        let members: Vec<NodeId> = (0..5).collect();
+        let base =
+            InfluenceEstimate::on_graph_seeded(&g, Model::WeightedCascade, 512, seeds, Parallelism::Threads(1));
+        let base_c = InfluenceEstimate::on_community_seeded(
+            &g,
+            Model::WeightedCascade,
+            &members,
+            512,
+            seeds,
+            Parallelism::Threads(1),
+        );
+        for t in [2usize, 8] {
+            let est = InfluenceEstimate::on_graph_seeded(
+                &g,
+                Model::WeightedCascade,
+                512,
+                seeds,
+                Parallelism::Threads(t),
+            );
+            let est_c = InfluenceEstimate::on_community_seeded(
+                &g,
+                Model::WeightedCascade,
+                &members,
+                512,
+                seeds,
+                Parallelism::Threads(t),
+            );
+            for v in 0..5 {
+                assert_eq!(base.count(v), est.count(v), "graph t={t} v={v}");
+                assert_eq!(base_c.count(v), est_c.count(v), "community t={t} v={v}");
+            }
+        }
     }
 
     #[test]

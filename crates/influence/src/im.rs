@@ -17,7 +17,9 @@ use cod_graph::{Csr, NodeId};
 use rand::prelude::*;
 
 use crate::model::Model;
+use crate::parallel::{par_ranges, Parallelism};
 use crate::sampler::RrSampler;
+use crate::seed::SeedSequence;
 
 /// A pool of RR sets supporting coverage queries.
 pub struct RrPool {
@@ -63,9 +65,62 @@ impl RrPool {
         }
     }
 
+    /// [`RrPool::sample`] with per-index seed derivation: set `i` is drawn
+    /// entirely from `seeds.rng_for(i)`, so the pool is a pure function of
+    /// `(g, model, theta, seeds, members)` and bit-identical for every
+    /// thread count.
+    pub fn sample_seeded(
+        g: &Csr,
+        model: Model,
+        theta: usize,
+        seeds: SeedSequence,
+        members: Option<&[NodeId]>,
+        par: Parallelism,
+    ) -> Self {
+        assert!(theta > 0 && g.num_nodes() > 0);
+        if let Some(m) = members {
+            debug_assert!(m.windows(2).all(|w| w[0] < w[1]));
+        }
+        let shards = par_ranges(theta, par.thread_count(), |range| {
+            let mut sampler = RrSampler::new(g, model);
+            let mut sets = Vec::with_capacity(range.len());
+            for i in range {
+                let mut rng = seeds.rng_for(i as u64);
+                let rr = match members {
+                    None => sampler.sample_uniform(&mut rng),
+                    Some(m) => {
+                        let s = m[rng.random_range(0..m.len())];
+                        sampler.sample_restricted(s, &mut rng, |v| m.binary_search(&v).is_ok())
+                    }
+                };
+                sets.push(rr.nodes().to_vec());
+            }
+            sets
+        });
+        // Ranges are contiguous and returned in index order, so plain
+        // concatenation restores the set at its global index.
+        let sets: Vec<Vec<NodeId>> = shards.into_iter().flatten().collect();
+        let mut inverted = vec![Vec::new(); g.num_nodes()];
+        for (i, set) in sets.iter().enumerate() {
+            for &v in set {
+                inverted[v as usize].push(i as u32);
+            }
+        }
+        Self {
+            sets,
+            inverted,
+            universe: members.map_or(g.num_nodes(), <[NodeId]>::len),
+        }
+    }
+
     /// Number of RR sets.
     pub fn len(&self) -> usize {
         self.sets.len()
+    }
+
+    /// The nodes of RR set `i`, in discovery order.
+    pub fn set(&self, i: usize) -> &[NodeId] {
+        &self.sets[i]
     }
 
     /// Whether the pool is empty.

@@ -25,11 +25,15 @@ pub mod estimate;
 pub mod im;
 pub mod model;
 pub mod montecarlo;
+pub mod parallel;
 pub mod rrgraph;
 pub mod sampler;
+pub mod seed;
 
 pub use estimate::{rank_in_members, InfluenceEstimate};
 pub use im::RrPool;
 pub use model::Model;
+pub use parallel::{par_ranges, Parallelism};
 pub use rrgraph::RrGraph;
 pub use sampler::RrSampler;
+pub use seed::{splitmix64, SeedSequence};

@@ -8,6 +8,8 @@ use cod_graph::{Csr, NodeId};
 use rand::prelude::*;
 
 use crate::model::Model;
+use crate::parallel::{par_ranges, Parallelism};
+use crate::seed::SeedSequence;
 
 /// Estimates `σ_C(seed)` — the expected number of nodes activated by `seed`
 /// when the process runs inside the node set accepted by `keep` — by
@@ -34,6 +36,38 @@ pub fn influence<R: Rng>(
         };
     }
     total as f64 / trials as f64
+}
+
+/// [`influence`] with per-index seed derivation: trial `i` runs entirely on
+/// `seeds.rng_for(i)`. Activation counts are integers, so the sum over
+/// contiguous trial ranges is exact and the estimate is bit-identical for
+/// every thread count.
+pub fn influence_seeded(
+    g: &Csr,
+    model: Model,
+    seed: NodeId,
+    trials: usize,
+    seeds: SeedSequence,
+    par: Parallelism,
+    keep: impl Fn(NodeId) -> bool + Sync,
+) -> f64 {
+    assert!(trials > 0);
+    let partials = par_ranges(trials, par.thread_count(), |range| {
+        let mut scratch = Scratch::new(g.num_nodes());
+        let mut total = 0usize;
+        for i in range {
+            let mut rng = seeds.rng_for(i as u64);
+            total += match model {
+                Model::LinearThreshold => simulate_lt(g, seed, &mut rng, &keep, &mut scratch),
+                Model::RandomK(k) => {
+                    simulate_triggering(g, k, seed, &mut rng, &keep, &mut scratch)
+                }
+                _ => simulate_ic(g, model, seed, &mut rng, &keep, &mut scratch),
+            };
+        }
+        total
+    });
+    partials.into_iter().sum::<usize>() as f64 / trials as f64
 }
 
 struct Scratch {

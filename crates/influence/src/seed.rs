@@ -1,0 +1,135 @@
+//! Deterministic per-sample seed derivation.
+//!
+//! Parallel RR sampling must not make results depend on the thread count or
+//! on scheduling. The contract here is *per-index* derivation: a
+//! [`SeedSequence`] turns one master seed into an independent RNG for every
+//! sample index, so the `i`-th RR graph is a pure function of
+//! `(graph, master, i)` no matter which thread draws it, in what order, or
+//! how the index range is chunked. Per-*thread* seeding (one stream per
+//! worker) cannot give this guarantee: changing the thread count reshuffles
+//! which samples come from which stream.
+//!
+//! Derivation is SplitMix64 over `(master, index)`: the index is passed
+//! through the SplitMix64 finalizer (a bijection on `u64`), XORed into the
+//! master, and finalized again. Both steps are bijective in the index for a
+//! fixed master, so **distinct indices always get distinct seeds** — no
+//! birthday-collision caveat.
+
+use rand::prelude::*;
+
+/// The SplitMix64 finalizer: a fast, well-mixed bijection on `u64`
+/// (Steele, Lea & Flood 2014 — the same mixer `SmallRng::seed_from_u64`
+/// uses for state expansion).
+#[inline]
+#[must_use]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent RNG per sample index from a single master seed.
+///
+/// ```
+/// use cod_influence::SeedSequence;
+/// use rand::prelude::*;
+///
+/// let seq = SeedSequence::new(42);
+/// // Same (master, index) always replays the same stream ...
+/// assert_eq!(seq.rng_for(7).next_u64(), seq.rng_for(7).next_u64());
+/// // ... and distinct indices get distinct seeds, unconditionally.
+/// assert_ne!(seq.seed_for(7), seq.seed_for(8));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// A sequence rooted at `master`.
+    #[must_use]
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The master seed this sequence derives from.
+    #[must_use]
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// The derived 64-bit seed of sample `index`. Injective in `index` for
+    /// a fixed master (composition of bijections).
+    #[inline]
+    #[must_use]
+    pub fn seed_for(&self, index: u64) -> u64 {
+        splitmix64(self.master ^ splitmix64(index))
+    }
+
+    /// A fresh RNG for sample `index`.
+    #[inline]
+    #[must_use]
+    pub fn rng_for(&self, index: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed_for(index))
+    }
+
+    /// A derived child sequence for sub-stream `stream` — used when one
+    /// logical operation needs several independent index spaces (e.g. the
+    /// adaptive sampler's doubling rounds, each of which must draw fresh
+    /// samples). The tweak constant keeps child masters out of the
+    /// `seed_for` image of typical small indices.
+    #[must_use]
+    pub fn child(&self, stream: u64) -> SeedSequence {
+        SeedSequence::new(splitmix64(
+            self.master ^ splitmix64(stream ^ 0x5851_f42d_4c95_7f2d),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_is_exact() {
+        let seq = SeedSequence::new(123);
+        for i in 0..50u64 {
+            let mut a = seq.rng_for(i);
+            let mut b = seq.rng_for(i);
+            for _ in 0..20 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_indices_distinct_seeds() {
+        let seq = SeedSequence::new(0);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(seq.seed_for(i)), "collision at index {i}");
+        }
+    }
+
+    #[test]
+    fn distinct_masters_distinct_streams() {
+        let a = SeedSequence::new(1);
+        let b = SeedSequence::new(2);
+        assert_ne!(a.seed_for(0), b.seed_for(0));
+    }
+
+    #[test]
+    fn child_streams_are_independent() {
+        let seq = SeedSequence::new(7);
+        let c0 = seq.child(0);
+        let c1 = seq.child(1);
+        assert_ne!(c0.master(), c1.master());
+        assert_ne!(c0.master(), seq.master());
+        // Children must not alias the parent's per-index seeds for small
+        // indices (the tweak constant separates the spaces).
+        for i in 0..100u64 {
+            assert_ne!(c0.master(), seq.seed_for(i));
+        }
+    }
+}

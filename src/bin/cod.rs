@@ -22,7 +22,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use pcod::cod::chain::Chain;
-use pcod::cod::compressed::compressed_cod;
+use pcod::cod::compressed::{compressed_cod, compressed_cod_seeded};
 use pcod::cod::persist::{load_index, save_index};
 use pcod::cod::recluster::build_hierarchy;
 use pcod::graph::io;
@@ -103,6 +103,12 @@ OPTIONS:
                   of rebuilding
   --budget N      cap total RR-graph samples per query; truncated answers
                   are flagged best-effort
+  --threads T     RR-sampling / index-build execution: serial (default,
+                  legacy sequential sampling), auto (thread count from
+                  RAYON_NUM_THREADS / COD_THREADS / the machine), or a
+                  number. Any non-serial setting uses deterministic
+                  per-sample seeding: results depend only on --seed, never
+                  on the thread count
   --out-edges F   generate: output edge-list path
   --out-attrs F   generate: output attribute-list path";
 
@@ -121,8 +127,20 @@ struct Opts {
     index: Option<PathBuf>,
     strict_index: bool,
     budget: Option<usize>,
+    threads: Option<Parallelism>,
     out_edges: Option<PathBuf>,
     out_attrs: Option<PathBuf>,
+}
+
+fn parse_threads(raw: &str) -> Result<Parallelism, String> {
+    match raw {
+        "serial" => Ok(Parallelism::Serial),
+        "auto" => Ok(Parallelism::Auto),
+        n => n
+            .parse::<usize>()
+            .map(Parallelism::Threads)
+            .map_err(|_| "--threads wants serial, auto, or a number".to_string()),
+    }
 }
 
 impl Opts {
@@ -168,6 +186,7 @@ impl Opts {
                 "--budget" => {
                     o.budget = Some(value(args, i)?.parse().map_err(|_| "--budget wants a number")?)
                 }
+                "--threads" => o.threads = Some(parse_threads(&value(args, i)?)?),
                 "--out-edges" => o.out_edges = Some(PathBuf::from(value(args, i)?)),
                 "--out-attrs" => o.out_attrs = Some(PathBuf::from(value(args, i)?)),
                 other => return Err(format!("unknown option {other:?}")),
@@ -211,6 +230,7 @@ impl Opts {
             k: self.k,
             theta: self.theta,
             budget: self.budget,
+            parallelism: self.threads.unwrap_or(Parallelism::Serial),
             ..CodConfig::default()
         }
     }
@@ -370,8 +390,21 @@ fn cmd_hierarchy(opts: &Opts) -> Result<(), String> {
     let lca = LcaIndex::new(&dendro);
     let chain = DendroChain::new(&dendro, &lca, q).map_err(|e| e.to_string())?;
     let mut rng = SmallRng::seed_from_u64(opts.seed);
-    let out = compressed_cod(g.csr(), cfg.model, &chain, q, cfg.k, cfg.theta, &mut rng)
-        .map_err(|e| e.to_string())?;
+    let out = if cfg.parallelism.is_seeded() {
+        compressed_cod_seeded(
+            g.csr(),
+            cfg.model,
+            &chain,
+            q,
+            cfg.k,
+            cfg.theta,
+            rng.next_u64(),
+            cfg.parallelism,
+        )
+    } else {
+        compressed_cod(g.csr(), cfg.model, &chain, q, cfg.k, cfg.theta, &mut rng)
+    }
+    .map_err(|e| e.to_string())?;
     println!("node {q}: |H(q)| = {} communities", chain.len());
     println!("level | size     | rank(q) | top-{}?", cfg.k);
     for h in 0..chain.len().min(opts.levels) {
@@ -446,7 +479,18 @@ fn cmd_im(opts: &Opts) -> Result<(), String> {
         }
     };
     let theta = cfg.theta.max(20) * members.as_ref().map_or(g.num_nodes(), Vec::len);
-    let pool = RrPool::sample(g.csr(), cfg.model, theta, &mut rng, members.as_deref());
+    let pool = if cfg.parallelism.is_seeded() {
+        RrPool::sample_seeded(
+            g.csr(),
+            cfg.model,
+            theta,
+            SeedSequence::new(rng.next_u64()),
+            members.as_deref(),
+            cfg.parallelism,
+        )
+    } else {
+        RrPool::sample(g.csr(), cfg.model, theta, &mut rng, members.as_deref())
+    };
     let seeds = pool.greedy_seeds(cfg.k);
     println!("greedy seeds (marginal estimated influence):");
     for (i, (v, gain)) in seeds.iter().enumerate() {

@@ -56,5 +56,5 @@ pub mod prelude {
     };
     pub use cod_graph::{AttrId, AttributedGraph, Csr, GraphBuilder, NodeId};
     pub use cod_hierarchy::{Dendrogram, LcaIndex, Linkage};
-    pub use cod_influence::{Model, RrSampler};
+    pub use cod_influence::{Model, Parallelism, RrSampler, SeedSequence};
 }

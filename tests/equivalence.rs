@@ -187,3 +187,122 @@ fn himor_is_consistent_with_direct_evaluation() {
         "index vs direct agreement too low: {agreements}/{total}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Thread-invariance at the query surface: under any seeded `Parallelism`,
+// every method facade is a pure function of `(graph, seed, cfg)` — the
+// thread count must never show through in an answer, including the
+// `uncertain` flag on budgeted runs.
+// ---------------------------------------------------------------------------
+
+/// Runs each facade with `Parallelism::Threads(t)` and a fresh RNG seeded
+/// identically, returning all answers for comparison across `t`.
+fn answers_at_threads(
+    data: &pcod::datasets::Dataset,
+    cfg_base: CodConfig,
+    t: usize,
+) -> Vec<Option<CodAnswer>> {
+    let g = &data.graph;
+    let cfg = CodConfig {
+        parallelism: Parallelism::Threads(t),
+        ..cfg_base
+    };
+    let mut rng = SmallRng::seed_from_u64(0xEC0D);
+    let mut answers = Vec::new();
+    let codu = Codu::new(g, cfg);
+    let codr = Codr::new(g, cfg);
+    let cm = CodlMinus::new(g, cfg);
+    let codl = Codl::new(g, cfg, &mut rng);
+    for q in [0u32, 31, 77, 150] {
+        let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+        answers.push(codu.query(q, &mut rng).unwrap());
+        answers.push(codr.query(q, attr, &mut rng).unwrap());
+        answers.push(cm.query(q, attr, &mut rng).unwrap());
+        answers.push(codl.query(q, attr, &mut rng).unwrap());
+    }
+    answers
+}
+
+/// CODU, CODR, CODL⁻ and CODL give byte-identical answers at 1, 2 and 8
+/// threads when seeded parallelism is on.
+#[test]
+fn facades_are_thread_count_invariant() {
+    let data = dataset();
+    let cfg = CodConfig {
+        k: 3,
+        theta: 12,
+        ..CodConfig::default()
+    };
+    let reference = answers_at_threads(&data, cfg, 1);
+    for t in [2usize, 8] {
+        let got = answers_at_threads(&data, cfg, t);
+        assert_eq!(got, reference, "threads {t}: facade answers diverged");
+    }
+}
+
+/// Budgeted evaluation — including whether the budget ran out and flagged
+/// the answer `uncertain` — is thread-count-invariant too.
+#[test]
+fn budgeted_facades_are_thread_count_invariant() {
+    let data = dataset();
+    let cfg = CodConfig {
+        k: 3,
+        theta: 12,
+        budget: Some(600), // small enough to trip on deep chains
+        ..CodConfig::default()
+    };
+    let reference = answers_at_threads(&data, cfg, 1);
+    assert!(
+        reference
+            .iter()
+            .flatten()
+            .any(|a| a.uncertain),
+        "budget never tripped — test is not exercising the budgeted path"
+    );
+    for t in [2usize, 8] {
+        let got = answers_at_threads(&data, cfg, t);
+        assert_eq!(got, reference, "threads {t}: budgeted answers diverged");
+    }
+}
+
+/// The adaptive escalation loop settles on the same θ and outcome for
+/// every thread count (its doubling decisions only see thread-invariant
+/// outcomes).
+#[test]
+fn adaptive_escalation_is_thread_count_invariant() {
+    use pcod::cod::compressed::compressed_cod_adaptive_seeded;
+    let data = dataset();
+    let g = data.graph.csr();
+    let dendro = build_hierarchy(g, Linkage::Average);
+    let lca = LcaIndex::new(&dendro);
+    for q in [2u32, 48] {
+        let chain = DendroChain::new(&dendro, &lca, q).unwrap();
+        let reference = compressed_cod_adaptive_seeded(
+            g,
+            Model::WeightedCascade,
+            &chain,
+            q,
+            3,
+            4,
+            128,
+            777,
+            Parallelism::Threads(1),
+        )
+        .unwrap();
+        for t in [2usize, 8] {
+            let out = compressed_cod_adaptive_seeded(
+                g,
+                Model::WeightedCascade,
+                &chain,
+                q,
+                3,
+                4,
+                128,
+                777,
+                Parallelism::Threads(t),
+            )
+            .unwrap();
+            assert_eq!(out, reference, "q={q} threads {t}");
+        }
+    }
+}

@@ -3,6 +3,7 @@
 use cod_graph::FxHashMap;
 use pcod::cod::compressed::incremental_top_k;
 use pcod::cod::recluster::build_hierarchy;
+use pcod::influence::RrPool;
 use pcod::prelude::*;
 use proptest::prelude::*;
 use rand::prelude::*;
@@ -212,6 +213,104 @@ proptest! {
                 endpoints.dedup();
                 prop_assert_eq!(c, endpoints);
             }
+        }
+    }
+
+    /// `SeedSequence::seed_for` is injective over any index window: the
+    /// derivation composes two bijections, so distinct sample indices can
+    /// never collide regardless of the master seed.
+    #[test]
+    fn seed_derivation_is_injective(master in 0u64..u64::MAX, start in 0u64..1_000_000, span in 1usize..512) {
+        let seq = SeedSequence::new(master);
+        let seeds: Vec<u64> = (start..start + span as u64).map(|i| seq.seed_for(i)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), seeds.len(), "seed collision within index window");
+    }
+
+    /// Child streams never collide with each other or with the parent's
+    /// per-index seeds (the adaptive sampler relies on round `r` drawing a
+    /// fresh, disjoint stream).
+    #[test]
+    fn child_streams_are_distinct(master in 0u64..u64::MAX, a in 0u64..1000, b in 0u64..1000) {
+        let seq = SeedSequence::new(master);
+        if a != b {
+            prop_assert_ne!(seq.child(a).master(), seq.child(b).master());
+        }
+        prop_assert_ne!(seq.child(a).master(), seq.master());
+    }
+
+    /// Replaying the same `(master, index)` pair reproduces the RR graph
+    /// bit for bit: same source, same node order, same adjacency.
+    #[test]
+    fn same_master_and_index_replays_same_rr_graph(
+        n in 2usize..30,
+        extra in 0usize..50,
+        gseed in 0u64..1000,
+        master in 0u64..u64::MAX,
+        index in 0u64..10_000,
+    ) {
+        let g = random_graph(n, extra, gseed);
+        let seq = SeedSequence::new(master);
+        let mut s1 = RrSampler::new(&g, Model::WeightedCascade);
+        let mut s2 = RrSampler::new(&g, Model::WeightedCascade);
+        let rr1 = s1.sample_uniform(&mut seq.rng_for(index));
+        let rr2 = s2.sample_uniform(&mut seq.rng_for(index));
+        prop_assert_eq!(rr1.source(), rr2.source());
+        prop_assert_eq!(rr1.nodes(), rr2.nodes());
+        for l in 0..rr1.len() as u32 {
+            prop_assert_eq!(rr1.out_neighbors(l), rr2.out_neighbors(l));
+        }
+    }
+
+    /// Under deterministic worlds (`UniformIc(1.0)`, every coin live) the
+    /// restricted sample equals reachability-within-the-restriction on the
+    /// unrestricted sample — Theorem 2's possible-world coupling, checkable
+    /// exactly because no randomness is left.
+    #[test]
+    fn deterministic_restricted_sample_is_reachability_restriction(
+        n in 2usize..30,
+        extra in 0usize..50,
+        gseed in 0u64..1000,
+        master in 0u64..u64::MAX,
+    ) {
+        let g = random_graph(n, extra, gseed);
+        let seq = SeedSequence::new(master);
+        let keep = |v: NodeId| v.is_multiple_of(2);
+        let source: NodeId = 0; // even, so keep(source) holds
+        let mut s1 = RrSampler::new(&g, Model::UniformIc(1.0));
+        let mut s2 = RrSampler::new(&g, Model::UniformIc(1.0));
+        let restricted = s1.sample_restricted(source, &mut seq.rng_for(0), keep);
+        let full = s2.sample_from(source, &mut seq.rng_for(0));
+        let mut got = restricted.nodes().to_vec();
+        got.sort_unstable();
+        let mut want = full.reachable_within(keep);
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The shared RR pool is invariant under *any* thread count, not just
+    /// the fixed 1/2/8 grid of the seed-replay suite.
+    #[test]
+    fn rr_pool_is_invariant_under_any_thread_count(
+        n in 2usize..30,
+        extra in 0usize..40,
+        gseed in 0u64..500,
+        master in 0u64..u64::MAX,
+        threads in 2usize..12,
+    ) {
+        let g = random_graph(n, extra, gseed);
+        let seq = SeedSequence::new(master);
+        let theta = 64;
+        let serial = RrPool::sample_seeded(
+            &g, Model::WeightedCascade, theta, seq, None, Parallelism::Threads(1),
+        );
+        let parallel = RrPool::sample_seeded(
+            &g, Model::WeightedCascade, theta, seq, None, Parallelism::Threads(threads),
+        );
+        for i in 0..theta {
+            prop_assert_eq!(serial.set(i), parallel.set(i), "set {} diverged", i);
         }
     }
 

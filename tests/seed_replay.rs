@@ -1,0 +1,371 @@
+//! Seed-replay equivalence suite: the determinism contract of the parallel
+//! execution layer.
+//!
+//! Every seeded entry point must be a **pure function of its inputs and the
+//! master seed** — bit-identical across thread counts (1, 2, 8), across
+//! repeated runs, and under the `Auto` policy (whatever thread count the
+//! environment resolves to). These tests are the enforcement layer for that
+//! contract; if any of them fails, the per-index seed derivation has leaked
+//! scheduling or chunking into a result.
+
+use pcod::cod::compressed::{
+    compressed_cod_adaptive_seeded, compressed_cod_seeded, CodOutcome,
+};
+use pcod::cod::recluster::build_hierarchy;
+use pcod::influence::estimate::InfluenceEstimate;
+use pcod::influence::montecarlo;
+use pcod::influence::RrPool;
+use pcod::prelude::*;
+use rand::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn dataset() -> pcod::datasets::Dataset {
+    pcod::datasets::amazon_like_scaled(300, 9)
+}
+
+fn hierarchy(g: &AttributedGraph) -> (Dendrogram, LcaIndex) {
+    let dendro = build_hierarchy(g.csr(), Linkage::Average);
+    let lca = LcaIndex::new(&dendro);
+    (dendro, lca)
+}
+
+/// The shared RR pool is bit-identical across thread counts and runs:
+/// every set, in order, node for node.
+#[test]
+fn rr_pool_is_bit_identical_across_threads_and_runs() {
+    let data = dataset();
+    let g = data.graph.csr();
+    let seeds = SeedSequence::new(0xC0D_5EED);
+    let theta = 2000;
+    let reference = RrPool::sample_seeded(
+        g,
+        Model::WeightedCascade,
+        theta,
+        seeds,
+        None,
+        Parallelism::Threads(1),
+    );
+    for t in THREADS {
+        for run in 0..2 {
+            let pool = RrPool::sample_seeded(
+                g,
+                Model::WeightedCascade,
+                theta,
+                seeds,
+                None,
+                Parallelism::Threads(t),
+            );
+            assert_eq!(pool.len(), reference.len());
+            for i in 0..theta {
+                assert_eq!(
+                    pool.set(i),
+                    reference.set(i),
+                    "threads {t} run {run}: RR set {i} diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Community-restricted pools replay identically too.
+#[test]
+fn restricted_rr_pool_is_bit_identical_across_threads() {
+    let data = dataset();
+    let g = data.graph.csr();
+    let members = data
+        .communities
+        .iter()
+        .find(|c| c.len() >= 10)
+        .expect("a community exists")
+        .clone();
+    let seeds = SeedSequence::new(77);
+    let theta = 1000;
+    let reference = RrPool::sample_seeded(
+        g,
+        Model::WeightedCascade,
+        theta,
+        seeds,
+        Some(&members),
+        Parallelism::Threads(1),
+    );
+    for t in THREADS {
+        let pool = RrPool::sample_seeded(
+            g,
+            Model::WeightedCascade,
+            theta,
+            seeds,
+            Some(&members),
+            Parallelism::Threads(t),
+        );
+        for i in 0..theta {
+            assert_eq!(pool.set(i), reference.set(i), "threads {t}: set {i}");
+        }
+    }
+}
+
+/// `compressed_cod_seeded` returns byte-identical outcomes — ranks, sigma
+/// estimates, uncertainty flags, best level — at 1, 2, and 8 threads and
+/// across repeated runs.
+#[test]
+fn compressed_cod_outcome_is_bit_identical_across_threads_and_runs() {
+    let data = dataset();
+    let g = data.graph.csr();
+    let (dendro, lca) = hierarchy(&data.graph);
+    for q in [0u32, 17, 101] {
+        let chain = DendroChain::new(&dendro, &lca, q).unwrap();
+        let mut outcomes: Vec<CodOutcome> = Vec::new();
+        for t in THREADS {
+            for _run in 0..2 {
+                let out = compressed_cod_seeded(
+                    g,
+                    Model::WeightedCascade,
+                    &chain,
+                    q,
+                    3,
+                    20,
+                    4242,
+                    Parallelism::Threads(t),
+                )
+                .unwrap();
+                outcomes.push(out);
+            }
+        }
+        for out in &outcomes[1..] {
+            assert_eq!(out, &outcomes[0], "q={q}: outcome diverged");
+        }
+    }
+}
+
+/// The adaptive sampler's escalation path is part of the contract: the
+/// doubling decisions depend only on outcomes, which are thread-invariant,
+/// so the final θ and outcome must agree everywhere.
+#[test]
+fn adaptive_outcome_is_bit_identical_across_threads() {
+    let data = dataset();
+    let g = data.graph.csr();
+    let (dendro, lca) = hierarchy(&data.graph);
+    let q = 5u32;
+    let chain = DendroChain::new(&dendro, &lca, q).unwrap();
+    let reference = compressed_cod_adaptive_seeded(
+        g,
+        Model::WeightedCascade,
+        &chain,
+        q,
+        2,
+        4,
+        256,
+        99,
+        Parallelism::Threads(1),
+    )
+    .unwrap();
+    for t in THREADS {
+        let out = compressed_cod_adaptive_seeded(
+            g,
+            Model::WeightedCascade,
+            &chain,
+            q,
+            2,
+            4,
+            256,
+            99,
+            Parallelism::Threads(t),
+        )
+        .unwrap();
+        assert_eq!(out, reference, "threads {t}");
+        assert_eq!(out.theta, reference.theta, "escalation path diverged");
+    }
+}
+
+/// HIMOR build: every node's full rank vector matches across thread counts
+/// and repeated runs.
+#[test]
+fn himor_build_is_bit_identical_across_threads_and_runs() {
+    let data = dataset();
+    let g = data.graph.csr();
+    let (dendro, lca) = hierarchy(&data.graph);
+    let reference = HimorIndex::build_seeded(
+        g,
+        Model::WeightedCascade,
+        &dendro,
+        &lca,
+        8,
+        31337,
+        Parallelism::Threads(1),
+    );
+    for t in THREADS {
+        for run in 0..2 {
+            let idx = HimorIndex::build_seeded(
+                g,
+                Model::WeightedCascade,
+                &dendro,
+                &lca,
+                8,
+                31337,
+                Parallelism::Threads(t),
+            );
+            assert_eq!(idx.theta(), reference.theta());
+            for v in 0..g.num_nodes() as NodeId {
+                assert_eq!(
+                    idx.ranks_of(v),
+                    reference.ranks_of(v),
+                    "threads {t} run {run}: node {v} ranks diverged"
+                );
+            }
+        }
+    }
+}
+
+/// The Monte-Carlo estimator sums integer activation counts, so even its
+/// `f64` average must be exactly equal across thread counts.
+#[test]
+fn montecarlo_estimate_is_bit_identical_across_threads() {
+    let data = dataset();
+    let g = data.graph.csr();
+    let seeds = SeedSequence::new(2024);
+    let reference = montecarlo::influence_seeded(
+        g,
+        Model::WeightedCascade,
+        0,
+        5000,
+        seeds,
+        Parallelism::Threads(1),
+        |_| true,
+    );
+    for t in THREADS {
+        let got = montecarlo::influence_seeded(
+            g,
+            Model::WeightedCascade,
+            0,
+            5000,
+            seeds,
+            Parallelism::Threads(t),
+            |_| true,
+        );
+        assert_eq!(got.to_bits(), reference.to_bits(), "threads {t}");
+    }
+}
+
+/// Whole-graph influence estimates carry identical per-node counts for
+/// every thread count.
+#[test]
+fn influence_estimate_is_bit_identical_across_threads() {
+    let data = dataset();
+    let g = data.graph.csr();
+    let seeds = SeedSequence::new(606);
+    let reference = InfluenceEstimate::on_graph_seeded(
+        g,
+        Model::WeightedCascade,
+        3000,
+        seeds,
+        Parallelism::Threads(1),
+    );
+    for t in THREADS {
+        let est = InfluenceEstimate::on_graph_seeded(
+            g,
+            Model::WeightedCascade,
+            3000,
+            seeds,
+            Parallelism::Threads(t),
+        );
+        for v in 0..g.num_nodes() as NodeId {
+            assert_eq!(est.count(v), reference.count(v), "threads {t} node {v}");
+        }
+    }
+}
+
+/// `Auto` resolves to *some* thread count — and because results are
+/// thread-count-invariant, it must agree with `Threads(1)` exactly,
+/// whatever the environment picked.
+#[test]
+fn auto_policy_matches_explicit_thread_counts() {
+    let data = dataset();
+    let g = data.graph.csr();
+    let (dendro, lca) = hierarchy(&data.graph);
+    let q = 3u32;
+    let chain = DendroChain::new(&dendro, &lca, q).unwrap();
+    let serial_count = compressed_cod_seeded(
+        g,
+        Model::WeightedCascade,
+        &chain,
+        q,
+        3,
+        15,
+        5,
+        Parallelism::Threads(1),
+    )
+    .unwrap();
+    let auto = compressed_cod_seeded(
+        g,
+        Model::WeightedCascade,
+        &chain,
+        q,
+        3,
+        15,
+        5,
+        Parallelism::Auto,
+    )
+    .unwrap();
+    assert_eq!(auto, serial_count);
+}
+
+/// Regression for latent nondeterminism on the *legacy* serial path
+/// (satellite of the determinism audit): running every facade twice with
+/// the same seed must produce identical answers — any divergence means a
+/// hash-iteration order leaked into results.
+#[test]
+fn full_pipeline_twice_with_same_seed_gives_identical_answers() {
+    let data = dataset();
+    let g = &data.graph;
+    let cfg = CodConfig {
+        k: 3,
+        theta: 15,
+        ..CodConfig::default()
+    };
+    let queries: Vec<NodeId> = vec![0, 9, 42, 133];
+    let run = || {
+        let mut answers: Vec<Option<CodAnswer>> = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1000);
+        let codu = Codu::new(g, cfg);
+        let codr = Codr::new(g, cfg);
+        let cm = CodlMinus::new(g, cfg);
+        let codl = Codl::new(g, cfg, &mut rng);
+        for &q in &queries {
+            let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+            answers.push(codu.query(q, &mut rng).unwrap());
+            answers.push(codr.query(q, attr, &mut rng).unwrap());
+            answers.push(cm.query(q, attr, &mut rng).unwrap());
+            answers.push(codl.query(q, attr, &mut rng).unwrap());
+        }
+        answers
+    };
+    assert_eq!(run(), run(), "legacy serial pipeline is not replayable");
+}
+
+/// The same regression for the seeded parallel pipeline: two full runs of
+/// every facade under `Threads(8)` replay exactly.
+#[test]
+fn parallel_pipeline_twice_with_same_seed_gives_identical_answers() {
+    let data = dataset();
+    let g = &data.graph;
+    let cfg = CodConfig {
+        k: 3,
+        theta: 15,
+        parallelism: Parallelism::Threads(8),
+        ..CodConfig::default()
+    };
+    let queries: Vec<NodeId> = vec![0, 9, 42];
+    let run = || {
+        let mut answers: Vec<Option<CodAnswer>> = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(2000);
+        let codu = Codu::new(g, cfg);
+        let codl = Codl::new(g, cfg, &mut rng);
+        for &q in &queries {
+            let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+            answers.push(codu.query(q, &mut rng).unwrap());
+            answers.push(codl.query(q, attr, &mut rng).unwrap());
+        }
+        answers
+    };
+    assert_eq!(run(), run(), "seeded parallel pipeline is not replayable");
+}
