@@ -1,0 +1,158 @@
+//! Serving-layer throughput: what the `CodEngine` reuse layers actually buy.
+//!
+//! Three comparisons, all over identical query streams with identical
+//! (bit-for-bit) answers — the engine's caches and scratch reuse are not
+//! allowed to change results, only latency:
+//!
+//! * **cold vs warm artifact cache** — repeat-attribute CODR queries with
+//!   the recluster cache disabled (capacity 0: every query rebuilds `T_ℓ`,
+//!   the legacy facade behaviour) vs enabled and pre-warmed;
+//! * **single vs batch** — the same mixed workload issued one `query()` at
+//!   a time vs one `query_batch()` call that groups by attribute and fans
+//!   groups out;
+//! * a plain-text QPS report with the measured cache hit rate, so the CI
+//!   log shows the warm/cold ratio directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cod_core::{CodConfig, CodEngine, Method, Query};
+use cod_influence::Parallelism;
+use rand::prelude::*;
+
+fn cfg(par: Parallelism) -> CodConfig {
+    CodConfig {
+        k: 3,
+        theta: 8,
+        parallelism: par,
+        ..CodConfig::default()
+    }
+}
+
+/// A repeat-attribute workload: many nodes querying the same few
+/// attributes, the access pattern the artifact cache is built for.
+fn repeat_attr_queries(n_nodes: usize) -> Vec<Query> {
+    (0..n_nodes as u32)
+        .map(|q| Query::new(q, (q % 2) as cod_graph::AttrId, Method::Codr))
+        .collect()
+}
+
+fn run_all(engine: &CodEngine, queries: &[Query], seed: u64) -> usize {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    engine
+        .query_batch(queries, &mut rng)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|a| a.size())
+        .sum()
+}
+
+fn bench_cold_vs_warm_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_throughput/repeat_attr");
+    group.sample_size(10);
+
+    for (name, data) in [
+        ("cora", cod_datasets::cora_like(1)),
+        ("citeseer", cod_datasets::citeseer_like(2)),
+    ] {
+        let queries = repeat_attr_queries(32);
+        // Capacity 0 replays the legacy facade path: every query rebuilds
+        // its reclustered hierarchy from scratch.
+        let uncached = CodEngine::with_cache_capacity(
+            std::sync::Arc::new(data.graph.clone()),
+            cfg(Parallelism::Threads(1)),
+            0,
+        );
+        group.bench_function(format!("{name}_uncached"), |b| {
+            b.iter(|| black_box(run_all(&uncached, &queries, 42)))
+        });
+
+        let cached = CodEngine::new(data.graph.clone(), cfg(Parallelism::Threads(1)));
+        run_all(&cached, &queries, 42); // pre-warm: steady state is all hits
+        group.bench_function(format!("{name}_warm_cache"), |b| {
+            b.iter(|| black_box(run_all(&cached, &queries, 42)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_throughput/single_vs_batch");
+    group.sample_size(10);
+
+    let data = cod_datasets::cora_like(1);
+    let queries = repeat_attr_queries(32);
+    let engine = CodEngine::new(data.graph.clone(), cfg(Parallelism::Threads(4)));
+    run_all(&engine, &queries, 7); // warm the cache for both sides
+
+    group.bench_function("single", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut total = 0usize;
+            for &q in &queries {
+                if let Ok(Some(a)) = engine.query(q, &mut rng) {
+                    total += a.size();
+                }
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("batch", |b| {
+        b.iter(|| black_box(run_all(&engine, &queries, 7)))
+    });
+    group.finish();
+}
+
+/// Prints warm-vs-cold QPS and the measured hit rate so the CI log carries
+/// the acceptance number (warm-cache repeat-attribute queries must beat the
+/// legacy rebuild-every-time path).
+fn throughput_report(_c: &mut Criterion) {
+    use std::time::Instant;
+
+    let data = cod_datasets::cora_like(1);
+    let queries = repeat_attr_queries(32);
+    let median_secs = |engine: &CodEngine| {
+        let mut runs: Vec<f64> = (0..5)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(run_all(engine, &queries, 42));
+                t.elapsed().as_secs_f64()
+            })
+            .collect();
+        runs.sort_by(|a, b| a.total_cmp(b));
+        runs[runs.len() / 2]
+    };
+
+    let uncached = CodEngine::with_cache_capacity(
+        std::sync::Arc::new(data.graph.clone()),
+        cfg(Parallelism::Threads(1)),
+        0,
+    );
+    let cold = median_secs(&uncached);
+
+    let cached = CodEngine::new(data.graph.clone(), cfg(Parallelism::Threads(1)));
+    run_all(&cached, &queries, 42);
+    let warm = median_secs(&cached);
+
+    let stats = cached.cache_stats();
+    let qps = |secs: f64| queries.len() as f64 / secs;
+    println!(
+        "query_throughput/report: uncached {:.1} q/s vs warm-cache {:.1} q/s -> {:.2}x \
+         (cache: {} hits / {} misses, {:.0}% hit rate)",
+        qps(cold),
+        qps(warm),
+        cold / warm,
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_cold_vs_warm_cache,
+    bench_single_vs_batch,
+    throughput_report
+);
+criterion_main!(benches);

@@ -208,6 +208,7 @@ impl Fig7Acc {
                 rank: 0,
                 source: cod_core::pipeline::AnswerSource::Compressed,
                 uncertain: false,
+                cache: None,
             });
             self.quality[i].push(answer_quality(g, attr, answer.as_ref()));
             if ans.is_some() {
@@ -598,6 +599,7 @@ pub fn ablation_hgc(opts: &CliOpts) {
                     rank: 0,
                     source: cod_core::pipeline::AnswerSource::Compressed,
                     uncertain: false,
+                    cache: None,
                 });
                 qualities.push(answer_quality(g, a, ans.as_ref()));
             }
@@ -673,6 +675,7 @@ pub fn ablation_weights(opts: &CliOpts) {
                 rank: 0,
                 source: cod_core::pipeline::AnswerSource::Compressed,
                 uncertain: false,
+                cache: None,
             });
             qualities.push(answer_quality(g, a, ans.as_ref()));
         }

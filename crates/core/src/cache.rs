@@ -1,0 +1,320 @@
+//! Bounded LRU cache for reclustered hierarchies.
+//!
+//! CODR rebuilds the global attribute-weighted hierarchy `T_ℓ` per query
+//! and LORE rebuilds the local `C_ℓ` hierarchy per query — both pure
+//! functions of `(attr, β, linkage)` (plus the LORE community vertex).
+//! Under realistic workloads queries concentrate on a few popular
+//! attributes, so the serving layer keeps the last few artifacts around.
+//! Because reclustering is deterministic, serving a cached artifact is
+//! *exactly* the artifact a cold build would produce: cache state can never
+//! change an answer, only its latency.
+//!
+//! The cache is a mutex-guarded vector scanned linearly. Capacities are
+//! small (default 64) and artifacts are large, so a scan beats the constant
+//! factors of a hash map + intrusive list, and `CacheKey` only needs
+//! `PartialEq`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cod_graph::subgraph::Subgraph;
+use cod_graph::AttrId;
+use cod_hierarchy::{Hierarchy, Linkage, VertexId};
+
+/// A cached LORE local recluster: the induced subgraph of `C_ℓ` plus the
+/// reclustered hierarchy over it.
+pub struct LocalRecluster {
+    /// The induced subgraph of the selected community `C_ℓ`.
+    pub sub: Subgraph,
+    /// The attribute-weighted hierarchy over `sub` with its LCA index.
+    pub hier: Hierarchy,
+}
+
+/// What a cached artifact was derived from. `β` is keyed by its IEEE bit
+/// pattern: builds are bit-deterministic in `β`, so bitwise equality is the
+/// correct (and total) notion of "same parameters".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct CacheKey {
+    attr: AttrId,
+    beta_bits: u64,
+    linkage: Linkage,
+    scope: Scope,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scope {
+    /// CODR's global `T_ℓ` hierarchy.
+    Global,
+    /// LORE's local recluster of community `C_ℓ` (identified by its vertex
+    /// in the base hierarchy).
+    Local(VertexId),
+}
+
+#[derive(Clone)]
+enum Artifact {
+    Global(Arc<Hierarchy>),
+    Local(Arc<LocalRecluster>),
+}
+
+struct Slot {
+    key: CacheKey,
+    artifact: Artifact,
+    /// Last-touch stamp for LRU eviction (monotone per cache).
+    stamp: u64,
+}
+
+/// Cumulative cache counters, readable without locking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the artifact.
+    pub misses: u64,
+    /// Artifacts currently resident.
+    pub len: usize,
+    /// Maximum resident artifacts.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LRU cache of reclustered hierarchies keyed by
+/// `(attr, β, linkage)` (plus the community vertex for local artifacts).
+pub struct ReclusterCache {
+    slots: Mutex<(Vec<Slot>, u64)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    capacity: usize,
+}
+
+impl ReclusterCache {
+    /// A cache holding at most `capacity` artifacts (0 disables caching:
+    /// every lookup misses and nothing is retained).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: Mutex::new((Vec::new(), 0)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// Fetches or builds CODR's global hierarchy for `(attr, beta,
+    /// linkage)`. Returns the artifact and whether it was a cache hit.
+    ///
+    /// `build` runs outside the cache lock — a long recluster must not
+    /// stall readers of other keys. Two racing builders may both build; the
+    /// loser's identical artifact is dropped.
+    pub fn global(
+        &self,
+        attr: AttrId,
+        beta: f64,
+        linkage: Linkage,
+        build: impl FnOnce() -> Arc<Hierarchy>,
+    ) -> (Arc<Hierarchy>, bool) {
+        let key = CacheKey {
+            attr,
+            beta_bits: beta.to_bits(),
+            linkage,
+            scope: Scope::Global,
+        };
+        match self.fetch_or_insert(key, || Artifact::Global(build())) {
+            (Artifact::Global(h), hit) => (h, hit),
+            (Artifact::Local(_), _) => unreachable!("global key stored a local artifact"),
+        }
+    }
+
+    /// Fetches or builds LORE's local recluster of community `c_ell` for
+    /// `(attr, beta, linkage)`. Returns the artifact and whether it was a
+    /// cache hit.
+    pub fn local(
+        &self,
+        attr: AttrId,
+        beta: f64,
+        linkage: Linkage,
+        c_ell: VertexId,
+        build: impl FnOnce() -> Arc<LocalRecluster>,
+    ) -> (Arc<LocalRecluster>, bool) {
+        let key = CacheKey {
+            attr,
+            beta_bits: beta.to_bits(),
+            linkage,
+            scope: Scope::Local(c_ell),
+        };
+        match self.fetch_or_insert(key, || Artifact::Local(build())) {
+            (Artifact::Local(l), hit) => (l, hit),
+            (Artifact::Global(_), _) => unreachable!("local key stored a global artifact"),
+        }
+    }
+
+    fn fetch_or_insert(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> Artifact,
+    ) -> (Artifact, bool) {
+        if let Some(found) = self.lookup(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (found, true);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let artifact = build();
+        self.insert(key, artifact.clone());
+        (artifact, false)
+    }
+
+    fn lookup(&self, key: CacheKey) -> Option<Artifact> {
+        let Ok(mut guard) = self.slots.lock() else {
+            return None; // poisoned: a panicking builder elsewhere; degrade to miss
+        };
+        let (slots, clock) = &mut *guard;
+        let slot = slots.iter_mut().find(|s| s.key == key)?;
+        *clock += 1;
+        slot.stamp = *clock;
+        Some(slot.artifact.clone())
+    }
+
+    fn insert(&self, key: CacheKey, artifact: Artifact) {
+        if self.capacity == 0 {
+            return;
+        }
+        let Ok(mut guard) = self.slots.lock() else {
+            return;
+        };
+        let (slots, clock) = &mut *guard;
+        *clock += 1;
+        let stamp = *clock;
+        if let Some(slot) = slots.iter_mut().find(|s| s.key == key) {
+            // Raced with another builder for the same key: keep the
+            // incumbent (identical by determinism), refresh recency.
+            slot.stamp = stamp;
+            return;
+        }
+        if slots.len() >= self.capacity {
+            if let Some(oldest) = slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(i, _)| i)
+            {
+                slots.swap_remove(oldest);
+            }
+        }
+        slots.push(Slot {
+            key,
+            artifact,
+            stamp,
+        });
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let len = self.slots.lock().map(|g| g.0.len()).unwrap_or(0);
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len,
+            capacity: self.capacity,
+        }
+    }
+
+    /// Drops every cached artifact (counters are kept).
+    pub fn clear(&self) {
+        if let Ok(mut guard) = self.slots.lock() {
+            guard.0.clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for ReclusterCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReclusterCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cod_hierarchy::Dendrogram;
+
+    fn hier() -> Arc<Hierarchy> {
+        Arc::new(Hierarchy::new(Dendrogram::singleton()))
+    }
+
+    #[test]
+    fn repeat_lookups_hit() {
+        let cache = ReclusterCache::new(4);
+        let (_, hit) = cache.global(0, 1.0, Linkage::Average, hier);
+        assert!(!hit);
+        let (_, hit) = cache.global(0, 1.0, Linkage::Average, || {
+            panic!("must not rebuild a cached artifact")
+        });
+        assert!(hit);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.len), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_parameters_are_distinct_entries() {
+        let cache = ReclusterCache::new(8);
+        cache.global(0, 1.0, Linkage::Average, hier);
+        let (_, hit) = cache.global(0, 2.0, Linkage::Average, hier);
+        assert!(!hit, "different beta is a different artifact");
+        let (_, hit) = cache.global(0, 1.0, Linkage::Single, hier);
+        assert!(!hit, "different linkage is a different artifact");
+        let (_, hit) = cache.global(1, 1.0, Linkage::Average, hier);
+        assert!(!hit, "different attr is a different artifact");
+        assert_eq!(cache.stats().len, 4);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_key() {
+        let cache = ReclusterCache::new(2);
+        cache.global(0, 1.0, Linkage::Average, hier);
+        cache.global(1, 1.0, Linkage::Average, hier);
+        // Touch attr 0 so attr 1 is the LRU victim.
+        cache.global(0, 1.0, Linkage::Average, || panic!("cached"));
+        cache.global(2, 1.0, Linkage::Average, hier);
+        let (_, hit0) = cache.global(0, 1.0, Linkage::Average, hier);
+        let (_, hit1) = cache.global(1, 1.0, Linkage::Average, hier);
+        assert!(hit0, "recently touched entry survives");
+        assert!(!hit1, "LRU entry was evicted");
+        assert_eq!(cache.stats().len, 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_retention() {
+        let cache = ReclusterCache::new(0);
+        cache.global(0, 1.0, Linkage::Average, hier);
+        let (_, hit) = cache.global(0, 1.0, Linkage::Average, hier);
+        assert!(!hit);
+        assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn global_and_local_keys_do_not_collide() {
+        let cache = ReclusterCache::new(4);
+        cache.global(0, 1.0, Linkage::Average, hier);
+        let (_, hit) = cache.local(0, 1.0, Linkage::Average, 7, || {
+            let g = cod_graph::GraphBuilder::new(1).build();
+            Arc::new(LocalRecluster {
+                sub: Subgraph::induced(&g, &[0]),
+                hier: Hierarchy::new(Dendrogram::singleton()),
+            })
+        });
+        assert!(!hit, "local scope must not alias the global entry");
+        assert_eq!(cache.stats().len, 2);
+    }
+}

@@ -17,11 +17,12 @@
 //! Total cost `O(Θ·ω + |H(q)|)` (Theorem 4).
 
 use cod_graph::{Csr, FxHashMap, NodeId};
-use cod_influence::{par_ranges, Model, Parallelism, RrGraph, RrSampler, SeedSequence};
+use cod_influence::{par_ranges, Model, Parallelism, RrGraph, RrSampler, SeedPolicy, SeedSequence};
 use rand::prelude::*;
 
 use crate::chain::Chain;
 use crate::error::{CodError, CodResult};
+use crate::scratch::{HfsScratch, QueryScratch, TopKScratch};
 
 /// The result of one compressed COD evaluation.
 ///
@@ -75,7 +76,7 @@ impl CodOutcome {
 pub fn compressed_cod<R: Rng>(
     g: &Csr,
     model: Model,
-    chain: &impl Chain,
+    chain: &(impl Chain + Sync),
     q: NodeId,
     k: usize,
     theta_per_node: usize,
@@ -95,12 +96,47 @@ pub fn compressed_cod<R: Rng>(
 pub fn compressed_cod_budgeted<R: Rng>(
     g: &Csr,
     model: Model,
-    chain: &impl Chain,
+    chain: &(impl Chain + Sync),
     q: NodeId,
     k: usize,
     theta_per_node: usize,
     budget: Option<usize>,
     rng: &mut R,
+) -> CodResult<CodOutcome> {
+    compressed_cod_with(
+        g,
+        model,
+        chain,
+        q,
+        k,
+        theta_per_node,
+        budget,
+        SeedPolicy::Stream(rng),
+        None,
+    )
+}
+
+/// The single compressed-COD driver every entry point funnels into:
+/// Algorithm 1 with randomness per `policy` and an optional reusable
+/// [`QueryScratch`] workspace.
+///
+/// The drawn samples — and therefore the outcome — depend only on
+/// `(g, model, chain, q, k, θ, budget, policy)`. Neither the workspace nor
+/// the resolved thread count can change a single bit of the result:
+/// [`SeedPolicy::Stream`] replays the legacy caller-RNG stream,
+/// [`SeedPolicy::PerIndex`] derives sample `i` from index `i` alone and
+/// merges shards by commutative count addition.
+#[allow(clippy::too_many_arguments)] // the paper's query signature plus budget, policy, workspace
+pub fn compressed_cod_with<R: Rng>(
+    g: &Csr,
+    model: Model,
+    chain: &(impl Chain + Sync),
+    q: NodeId,
+    k: usize,
+    theta_per_node: usize,
+    budget: Option<usize>,
+    policy: SeedPolicy<'_, R>,
+    scratch: Option<&mut QueryScratch>,
 ) -> CodResult<CodOutcome> {
     if !validate_chain_query(chain, q, k)? {
         return Ok(CodOutcome::empty());
@@ -110,30 +146,116 @@ pub fn compressed_cod_budgeted<R: Rng>(
     let restricted = universe.len() < g.num_nodes();
     let (theta, truncated) = resolve_theta(theta_per_node, universe.len(), budget)?;
 
-    // --- Stage 1: shared sample generation + HFS ------------------------
-    let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); m];
-    let mut sampler = RrSampler::new(g, model);
-    let mut scratch = HfsScratch::new(m);
+    let mut own = QueryScratch::new();
+    let ws = scratch.unwrap_or(&mut own);
+    ws.prepare_buckets(m);
 
-    for _ in 0..theta {
-        let s = universe[rng.random_range(0..universe.len())];
-        let Some(ls) = chain.level_of(s) else {
-            // Source outside every chain community: its induced RR graphs
-            // are all empty (Example 3) — nothing to record.
-            continue;
-        };
-        let rr = if restricted {
-            sampler.sample_restricted(s, rng, |v| universe.binary_search(&v).is_ok())
-        } else {
-            sampler.sample_from(s, rng)
-        };
-        hfs_record(chain, &rr, ls, m, &mut scratch, &mut buckets);
+    // --- Stage 1: shared sample generation + HFS ------------------------
+    match policy {
+        SeedPolicy::Stream(rng) => {
+            let mut sampler =
+                RrSampler::with_scratch(g, model, std::mem::take(&mut ws.sampler));
+            for _ in 0..theta {
+                draw_and_record(
+                    &mut sampler,
+                    chain,
+                    &universe,
+                    restricted,
+                    m,
+                    rng,
+                    &mut ws.hfs,
+                    &mut ws.buckets,
+                );
+            }
+            ws.sampler = sampler.into_scratch();
+        }
+        SeedPolicy::PerIndex { seeds, par } if par.thread_count() <= 1 => {
+            let mut sampler =
+                RrSampler::with_scratch(g, model, std::mem::take(&mut ws.sampler));
+            for i in 0..theta {
+                let mut rng = seeds.rng_for(i as u64);
+                draw_and_record(
+                    &mut sampler,
+                    chain,
+                    &universe,
+                    restricted,
+                    m,
+                    &mut rng,
+                    &mut ws.hfs,
+                    &mut ws.buckets,
+                );
+            }
+            ws.sampler = sampler.into_scratch();
+        }
+        SeedPolicy::PerIndex { seeds, par } => {
+            // Each worker samples a contiguous index range into its own
+            // bucket shard. Which range a sample lands in only decides
+            // *where* its counts accumulate; count addition commutes, so
+            // the merged buckets are independent of the chunking.
+            let shards = par_ranges(theta, par.thread_count(), |range| {
+                let mut sampler = RrSampler::new(g, model);
+                let mut hfs = HfsScratch::new(m);
+                let mut buckets: Vec<FxHashMap<NodeId, u32>> =
+                    vec![FxHashMap::default(); m];
+                for i in range {
+                    let mut rng = seeds.rng_for(i as u64);
+                    draw_and_record(
+                        &mut sampler,
+                        chain,
+                        &universe,
+                        restricted,
+                        m,
+                        &mut rng,
+                        &mut hfs,
+                        &mut buckets,
+                    );
+                }
+                buckets
+            });
+            for shard in shards {
+                for (h, bucket) in shard.into_iter().enumerate() {
+                    for (v, c) in bucket {
+                        *ws.buckets[h].entry(v).or_insert(0) += c;
+                    }
+                }
+            }
+        }
     }
 
     // --- Stage 2: incremental top-k evaluation --------------------------
-    let mut out = incremental_top_k(&buckets, q, k, theta, universe.len());
+    let mut out = incremental_top_k_with(&ws.buckets, q, k, theta, universe.len(), &mut ws.topk);
     out.truncated = truncated;
     Ok(out)
+}
+
+/// The shared per-sample body of stage 1: draw a source, generate its RR
+/// graph (restricted to the universe when the chain doesn't span the
+/// graph), and fold it into the buckets via HFS. The seed policy only
+/// decides which `rng` arrives here.
+#[inline]
+#[allow(clippy::too_many_arguments)] // private loop body shared by three skeletons
+fn draw_and_record<R: Rng>(
+    sampler: &mut RrSampler<'_>,
+    chain: &impl Chain,
+    universe: &[NodeId],
+    restricted: bool,
+    m: usize,
+    rng: &mut R,
+    hfs: &mut HfsScratch,
+    buckets: &mut [FxHashMap<NodeId, u32>],
+) {
+    let s = universe[rng.random_range(0..universe.len())];
+    let Some(ls) = chain.level_of(s) else {
+        // Source outside every chain community: its induced RR graphs
+        // are all empty (Example 3) — nothing to record.
+        return;
+    };
+    let rr = if restricted {
+        sampler.sample_restricted(s, rng, |v| universe.binary_search(&v).is_ok())
+    } else {
+        sampler.sample_from(s, rng)
+    };
+    hfs_record(chain, &rr, ls, m, hfs, buckets);
 }
 
 /// [`compressed_cod`] with per-index seed derivation and parallel sample
@@ -170,51 +292,20 @@ pub fn compressed_cod_budgeted_seeded(
     seed: u64,
     par: Parallelism,
 ) -> CodResult<CodOutcome> {
-    if !validate_chain_query(chain, q, k)? {
-        return Ok(CodOutcome::empty());
-    }
-    let m = chain.len();
-    let universe = chain.universe();
-    let restricted = universe.len() < g.num_nodes();
-    let (theta, truncated) = resolve_theta(theta_per_node, universe.len(), budget)?;
-
-    // --- Stage 1, parallel: each worker samples a contiguous index range
-    // into its own bucket shard. Which range a sample lands in only decides
-    // *where* its counts accumulate; count addition commutes, so the merged
-    // buckets are independent of the chunking.
-    let seeds = SeedSequence::new(seed);
-    let shards = par_ranges(theta, par.thread_count(), |range| {
-        let mut sampler = RrSampler::new(g, model);
-        let mut scratch = HfsScratch::new(m);
-        let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); m];
-        for i in range {
-            let mut rng = seeds.rng_for(i as u64);
-            let s = universe[rng.random_range(0..universe.len())];
-            let Some(ls) = chain.level_of(s) else {
-                continue;
-            };
-            let rr = if restricted {
-                sampler.sample_restricted(s, &mut rng, |v| universe.binary_search(&v).is_ok())
-            } else {
-                sampler.sample_from(s, &mut rng)
-            };
-            hfs_record(chain, &rr, ls, m, &mut scratch, &mut buckets);
-        }
-        buckets
-    });
-    let mut shards = shards.into_iter();
-    let mut buckets = shards.next().unwrap_or_else(|| vec![FxHashMap::default(); m]);
-    for shard in shards {
-        for (h, bucket) in shard.into_iter().enumerate() {
-            for (v, c) in bucket {
-                *buckets[h].entry(v).or_insert(0) += c;
-            }
-        }
-    }
-
-    let mut out = incremental_top_k(&buckets, q, k, theta, universe.len());
-    out.truncated = truncated;
-    Ok(out)
+    compressed_cod_with::<SmallRng>(
+        g,
+        model,
+        chain,
+        q,
+        k,
+        theta_per_node,
+        budget,
+        SeedPolicy::PerIndex {
+            seeds: SeedSequence::new(seed),
+            par,
+        },
+        None,
+    )
 }
 
 /// Shared argument validation for the evaluation entry points. `Ok(false)`
@@ -253,23 +344,6 @@ fn resolve_theta(
         None => full_theta,
     };
     Ok((theta, theta < full_theta))
-}
-
-/// Per-RR scratch for the HFS stage, reused across samples.
-struct HfsScratch {
-    queues: Vec<Vec<u32>>,
-    explored: Vec<bool>,
-    level_cache: Vec<usize>,
-}
-
-impl HfsScratch {
-    fn new(m: usize) -> Self {
-        Self {
-            queues: vec![Vec::new(); m],
-            explored: Vec::new(),
-            level_cache: Vec::new(),
-        }
-    }
 }
 
 /// Hierarchical-first search over one RR graph (stage 1 inner loop of
@@ -337,18 +411,38 @@ pub fn incremental_top_k(
     theta: usize,
     universe_len: usize,
 ) -> CodOutcome {
+    incremental_top_k_with(buckets, q, k, theta, universe_len, &mut TopKScratch::default())
+}
+
+/// [`incremental_top_k`] with a reusable scratch workspace (the τ map and
+/// the pool/candidate/τ-sort vectors). The scan is iteration-order
+/// independent — counts fold through commutative addition and candidates
+/// are sorted before use — so recycled map capacity cannot change the
+/// outcome.
+pub(crate) fn incremental_top_k_with(
+    buckets: &[FxHashMap<NodeId, u32>],
+    q: NodeId,
+    k: usize,
+    theta: usize,
+    universe_len: usize,
+    t: &mut TopKScratch,
+) -> CodOutcome {
     assert!(k >= 1, "top-k requires k >= 1");
+    t.prepare();
+    let TopKScratch {
+        tau,
+        pool,
+        candidates,
+        taus,
+    } = t;
     let m = buckets.len();
-    let mut tau: FxHashMap<NodeId, u32> = FxHashMap::default();
     // Pool: every node whose τ ties-or-beats the k-th highest seen so far.
     // Theorem 3 guarantees nodes outside (pool ∪ bucket) cannot enter the
     // top-k at the next level.
-    let mut pool: Vec<NodeId> = Vec::new();
     let mut best_level = None;
     let mut ranks = Vec::with_capacity(m);
     let mut sigma_q = Vec::with_capacity(m);
     let mut uncertain = Vec::with_capacity(m);
-    let mut candidates: Vec<NodeId> = Vec::new();
 
     #[allow(clippy::needless_range_loop)] // h indexes three parallel per-level structures
     for h in 0..m {
@@ -362,18 +456,21 @@ pub fn incremental_top_k(
         candidates.dedup();
 
         // k-th highest τ among candidates (0 if fewer than k candidates).
-        let mut taus: Vec<u32> = candidates.iter().map(|&v| tau[&v]).collect();
+        taus.clear();
+        taus.extend(candidates.iter().map(|&v| tau[&v]));
         taus.sort_unstable_by(|a, b| b.cmp(a));
         let t_k = if taus.len() >= k {
             taus[k - 1]
         } else {
             0
         };
-        pool = candidates
-            .iter()
-            .copied()
-            .filter(|&v| tau[&v] >= t_k.max(1))
-            .collect();
+        pool.clear();
+        pool.extend(
+            candidates
+                .iter()
+                .copied()
+                .filter(|&v| tau[&v] >= t_k.max(1)),
+        );
 
         let tq = tau.get(&q).copied().unwrap_or(0);
         let higher = candidates.iter().filter(|&&v| tau[&v] > tq).count();
@@ -422,7 +519,7 @@ pub fn incremental_top_k(
 pub fn compressed_cod_adaptive<R: Rng>(
     g: &Csr,
     model: Model,
-    chain: &impl Chain,
+    chain: &(impl Chain + Sync),
     q: NodeId,
     k: usize,
     theta_start: usize,

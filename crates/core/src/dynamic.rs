@@ -280,6 +280,7 @@ impl DynamicCod {
                     rank: c.index.ranks_of(q)[j] as usize,
                     source: AnswerSource::Index,
                     uncertain: false,
+                    cache: None,
                 }));
             }
         }

@@ -1,0 +1,824 @@
+//! The `CodEngine` serving layer: one entry point for all four COD method
+//! variants, with shared prepared artifacts, a recluster cache, reusable
+//! query workspaces and a batch API.
+//!
+//! The legacy facades ([`crate::pipeline`]) are one-shot: every query
+//! re-derives reclustered hierarchies and re-allocates sampler scratch. The
+//! engine owns the immutable prepared artifacts — the graph, the
+//! non-attributed hierarchy `T` (+ LCA), the HIMOR index — behind `Arc`,
+//! and layers three kinds of reuse on top:
+//!
+//! 1. an **artifact cache** ([`ReclusterCache`]) keyed by `(attr, β,
+//!    linkage)` for CODR's global `T_ℓ` and LORE's local `C_ℓ` hierarchies;
+//! 2. **per-query workspaces** ([`QueryScratch`]) pooled and recycled so RR
+//!    sampler stamps, HFS queues and top-k buffers are reused across
+//!    queries;
+//! 3. a **batch API** ([`CodEngine::query_batch`]) that plans queries
+//!    sequentially (preserving the caller-RNG draw order), groups pending
+//!    evaluations by `(method, attr)` and fans the groups out under the
+//!    configured [`Parallelism`] policy.
+//!
+//! # Determinism contract
+//!
+//! Engine answers are bit-identical to the legacy facade answers, single or
+//! batched, cold or warm cache, for every thread count — provided the
+//! config uses a seeded (non-[`Parallelism::Serial`]) policy. The plan pass
+//! replicates the facades' RNG discipline exactly: per query, in query
+//! order, exactly one `u64` master seed is drawn *iff* that query reaches
+//! compressed evaluation (index hits, empty chains and validation errors
+//! draw nothing), and the first CODL query triggers the one-time HIMOR
+//! build, consuming what [`pipeline::Codl::new`] would. Each pending
+//! evaluation is then a pure function of its master seed (PR 2's
+//! [`SeedSequence`] contract), so the fan-out order cannot matter. Under
+//! [`Parallelism::Serial`] the batch degrades to sequential evaluation that
+//! streams the caller RNG — byte-compatible with a hand-written facade
+//! loop, at the cost of no cross-query parallelism.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cod_graph::{AttrId, AttributedGraph, NodeId};
+use cod_hierarchy::{Hierarchy, VertexId};
+use cod_influence::{par_ranges, Parallelism, SeedPolicy, SeedSequence};
+use rand::prelude::*;
+
+use crate::cache::{LocalRecluster, ReclusterCache};
+use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
+use crate::compressed::compressed_cod_with;
+use crate::error::{CodError, CodResult};
+use crate::himor::HimorIndex;
+use crate::lore::select_recluster_community;
+use crate::pipeline::{validate_query, AnswerSource, CacheOutcome, CodAnswer, CodConfig};
+use crate::recluster::{build_hierarchy, global_recluster, local_recluster};
+use crate::scratch::QueryScratch;
+
+/// Which COD variant answers a query (paper §V naming).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Non-attributed hierarchy `T` + compressed evaluation. Ignores the
+    /// query attribute.
+    Codu,
+    /// Global reclustering of `g_ℓ` + compressed evaluation.
+    Codr,
+    /// LORE local reclustering + compressed evaluation over the composed
+    /// chain (no index).
+    CodlMinus,
+    /// LORE + the HIMOR index (Algorithm 3).
+    Codl,
+}
+
+impl Method {
+    fn needs_attr(self) -> bool {
+        !matches!(self, Method::Codu)
+    }
+}
+
+/// One COD query: a node, an optional attribute and the method variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// The query node `q`.
+    pub node: NodeId,
+    /// The query attribute `ℓ_q`. Required by every method except
+    /// [`Method::Codu`], which ignores it.
+    pub attr: Option<AttrId>,
+    /// The method variant.
+    pub method: Method,
+}
+
+impl Query {
+    /// A CODU query (attribute-free).
+    pub fn codu(node: NodeId) -> Self {
+        Query {
+            node,
+            attr: None,
+            method: Method::Codu,
+        }
+    }
+
+    /// A query for `(node, attr)` under `method`.
+    pub fn new(node: NodeId, attr: AttrId, method: Method) -> Self {
+        Query {
+            node,
+            attr: Some(attr),
+            method,
+        }
+    }
+}
+
+/// Artifacts a pending evaluation borrows its chain from. Chains hold
+/// references, so the plan stores the owning `Arc`s and the chain is
+/// rebuilt (cheaply, and deterministically) at evaluation time.
+enum EvalArtifacts {
+    /// `DendroChain` over a whole-graph hierarchy (`T` for CODU/CODL⁻
+    /// without a LORE choice, `T_ℓ` for CODR).
+    Whole(Arc<Hierarchy>),
+    /// CODL⁻: subgraph chain inside `C_ℓ` (root included) composed with
+    /// the ancestors of `C_ℓ` in `T`.
+    ComposedLocal {
+        base: Arc<Hierarchy>,
+        local: Arc<LocalRecluster>,
+        c_ell: VertexId,
+    },
+    /// CODL index miss: subgraph chain inside `C_ℓ`, root excluded
+    /// (Algorithm 3 already ruled it out via the index).
+    SubLocal { local: Arc<LocalRecluster> },
+}
+
+/// A chain borrowing from [`EvalArtifacts`] — the one shape compressed
+/// evaluation sees.
+enum AnyChain<'a> {
+    Dendro(DendroChain<'a>),
+    Sub(SubgraphChain<'a>),
+    Composed(ComposedChain<'a>),
+}
+
+impl Chain for AnyChain<'_> {
+    fn len(&self) -> usize {
+        match self {
+            AnyChain::Dendro(c) => c.len(),
+            AnyChain::Sub(c) => c.len(),
+            AnyChain::Composed(c) => c.len(),
+        }
+    }
+
+    fn size(&self, h: usize) -> usize {
+        match self {
+            AnyChain::Dendro(c) => c.size(h),
+            AnyChain::Sub(c) => c.size(h),
+            AnyChain::Composed(c) => c.size(h),
+        }
+    }
+
+    fn level_of(&self, u: NodeId) -> Option<usize> {
+        match self {
+            AnyChain::Dendro(c) => c.level_of(u),
+            AnyChain::Sub(c) => c.level_of(u),
+            AnyChain::Composed(c) => c.level_of(u),
+        }
+    }
+
+    fn members(&self, h: usize) -> Vec<NodeId> {
+        match self {
+            AnyChain::Dendro(c) => c.members(h),
+            AnyChain::Sub(c) => c.members(h),
+            AnyChain::Composed(c) => c.members(h),
+        }
+    }
+
+    fn universe(&self) -> Vec<NodeId> {
+        match self {
+            AnyChain::Dendro(c) => c.universe(),
+            AnyChain::Sub(c) => c.universe(),
+            AnyChain::Composed(c) => c.universe(),
+        }
+    }
+
+    fn label(&self, h: usize) -> String {
+        match self {
+            AnyChain::Dendro(c) => c.label(h),
+            AnyChain::Sub(c) => c.label(h),
+            AnyChain::Composed(c) => c.label(h),
+        }
+    }
+}
+
+fn build_chain<'a>(artifacts: &'a EvalArtifacts, q: NodeId) -> CodResult<AnyChain<'a>> {
+    match artifacts {
+        EvalArtifacts::Whole(h) => Ok(AnyChain::Dendro(DendroChain::new(&h.dendro, &h.lca, q)?)),
+        EvalArtifacts::ComposedLocal { base, local, c_ell } => {
+            let lower =
+                SubgraphChain::new(&local.sub, &local.hier.dendro, &local.hier.lca, q, true)?;
+            Ok(AnyChain::Composed(ComposedChain::new(
+                lower,
+                &base.dendro,
+                &base.lca,
+                *c_ell,
+            )?))
+        }
+        EvalArtifacts::SubLocal { local } => Ok(AnyChain::Sub(SubgraphChain::new(
+            &local.sub,
+            &local.hier.dendro,
+            &local.hier.lca,
+            q,
+            false,
+        )?)),
+    }
+}
+
+/// The outcome of the planning pass for one query.
+enum Plan {
+    /// Settled without compressed evaluation: validation error, empty
+    /// chain, HIMOR index hit — or, under the serial policy, already
+    /// evaluated in plan order on the caller's RNG stream.
+    Done(CodResult<Option<CodAnswer>>),
+    /// Needs compressed evaluation with the pre-drawn master seed.
+    Pending {
+        q: NodeId,
+        seed: u64,
+        artifacts: EvalArtifacts,
+        cache: Option<CacheOutcome>,
+    },
+}
+
+/// How many recycled [`QueryScratch`] workspaces the pool retains.
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// Default [`ReclusterCache`] capacity.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// The shared query-serving engine fronting all four COD variants.
+///
+/// Construction is cheap: the base hierarchy `T` and the HIMOR index are
+/// built lazily on first need (the index build consumes the RNG of the
+/// query that triggers it, mirroring [`crate::pipeline::Codl::new`]).
+/// `&CodEngine` is `Sync`; queries can be served from multiple threads.
+pub struct CodEngine {
+    g: Arc<AttributedGraph>,
+    cfg: CodConfig,
+    base: OnceLock<Arc<Hierarchy>>,
+    index: OnceLock<Arc<HimorIndex>>,
+    cache: ReclusterCache,
+    scratch: Mutex<Vec<QueryScratch>>,
+}
+
+impl CodEngine {
+    /// An engine over `g` with the default cache capacity.
+    pub fn new(g: AttributedGraph, cfg: CodConfig) -> Self {
+        Self::with_cache_capacity(Arc::new(g), cfg, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An engine over an already-shared graph.
+    pub fn from_shared(g: Arc<AttributedGraph>, cfg: CodConfig) -> Self {
+        Self::with_cache_capacity(g, cfg, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// An engine with an explicit recluster-cache capacity (0 disables
+    /// artifact caching; answers are unaffected either way).
+    pub fn with_cache_capacity(
+        g: Arc<AttributedGraph>,
+        cfg: CodConfig,
+        cache_capacity: usize,
+    ) -> Self {
+        Self {
+            g,
+            cfg,
+            base: OnceLock::new(),
+            index: OnceLock::new(),
+            cache: ReclusterCache::new(cache_capacity),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// An engine adopting a prebuilt base hierarchy and HIMOR index
+    /// (benchmarks and index persistence amortize construction this way).
+    pub fn from_parts(
+        g: Arc<AttributedGraph>,
+        cfg: CodConfig,
+        base: Hierarchy,
+        index: HimorIndex,
+    ) -> Self {
+        let engine = Self::with_cache_capacity(g, cfg, DEFAULT_CACHE_CAPACITY);
+        let _ = engine.base.set(Arc::new(base));
+        let _ = engine.index.set(Arc::new(index));
+        engine
+    }
+
+    /// The graph being served.
+    pub fn graph(&self) -> &AttributedGraph {
+        &self.g
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &CodConfig {
+        &self.cfg
+    }
+
+    /// Recluster-cache counters (hits, misses, residency).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached recluster artifact (diagnostics/testing).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// The non-attributed base hierarchy `T` (+ LCA), built on first use.
+    pub fn base_hierarchy(&self) -> Arc<Hierarchy> {
+        self.base
+            .get_or_init(|| Arc::new(Hierarchy::new(build_hierarchy(self.g.csr(), self.cfg.linkage))))
+            .clone()
+    }
+
+    /// The HIMOR index if it has been built already.
+    pub fn himor(&self) -> Option<Arc<HimorIndex>> {
+        self.index.get().cloned()
+    }
+
+    /// The HIMOR index, building it on first call. The build consumes RNG
+    /// exactly like [`crate::pipeline::Codl::new`]: one `u64` master seed
+    /// under a seeded policy, the full sampling stream under
+    /// [`Parallelism::Serial`].
+    pub fn ensure_himor<R: Rng>(&self, rng: &mut R) -> Arc<HimorIndex> {
+        if let Some(ix) = self.index.get() {
+            return ix.clone();
+        }
+        let base = self.base_hierarchy();
+        let built = if self.cfg.parallelism.is_seeded() {
+            HimorIndex::build_seeded(
+                self.g.csr(),
+                self.cfg.model,
+                &base.dendro,
+                &base.lca,
+                self.cfg.theta,
+                rng.next_u64(),
+                self.cfg.parallelism,
+            )
+        } else {
+            HimorIndex::build(
+                self.g.csr(),
+                self.cfg.model,
+                &base.dendro,
+                &base.lca,
+                self.cfg.theta,
+                rng,
+            )
+        };
+        self.index.get_or_init(|| Arc::new(built)).clone()
+    }
+
+    /// CODR's global hierarchy for `attr`, through the cache.
+    pub fn global_hierarchy(&self, attr: AttrId) -> (Arc<Hierarchy>, bool) {
+        self.cache.global(attr, self.cfg.beta, self.cfg.linkage, || {
+            Arc::new(Hierarchy::new(global_recluster(
+                &self.g,
+                attr,
+                self.cfg.beta,
+                self.cfg.linkage,
+            )))
+        })
+    }
+
+    fn local_artifact(
+        &self,
+        attr: AttrId,
+        base: &Hierarchy,
+        vertex: VertexId,
+    ) -> (Arc<LocalRecluster>, bool) {
+        self.cache
+            .local(attr, self.cfg.beta, self.cfg.linkage, vertex, || {
+                let members = base.dendro.members_sorted(vertex);
+                let (sub, sd) =
+                    local_recluster(&self.g, &members, attr, self.cfg.beta, self.cfg.linkage);
+                Arc::new(LocalRecluster {
+                    sub,
+                    hier: Hierarchy::new(sd),
+                })
+            })
+    }
+
+    fn take_scratch(&self) -> QueryScratch {
+        let mut pool = match self.scratch.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        pool.pop().unwrap_or_default()
+    }
+
+    fn put_scratch(&self, ws: QueryScratch) {
+        let mut pool = match self.scratch.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(ws);
+        }
+    }
+
+    /// Answers one COD query. Implemented as a batch of one, so single and
+    /// batched answers are identical by construction.
+    pub fn query<R: Rng>(&self, query: Query, rng: &mut R) -> CodResult<Option<CodAnswer>> {
+        match self.query_batch(std::slice::from_ref(&query), rng).pop() {
+            Some(result) => result,
+            None => unreachable!("a batch of one yields one result"),
+        }
+    }
+
+    /// Answers a batch of COD queries, one result per query, in order.
+    ///
+    /// Planning runs sequentially in query order (validation, artifact
+    /// preparation through the cache, index lookups, master-seed draws);
+    /// pending evaluations are then grouped by `(method, attr)` and fanned
+    /// out under [`CodConfig::parallelism`], each group reusing one pooled
+    /// workspace. Results are bit-identical to issuing the same queries
+    /// one at a time with the same RNG (see the module docs for the
+    /// determinism contract).
+    pub fn query_batch<R: Rng>(
+        &self,
+        queries: &[Query],
+        rng: &mut R,
+    ) -> Vec<CodResult<Option<CodAnswer>>> {
+        let plans: Vec<Plan> = queries.iter().map(|&query| self.plan(query, rng)).collect();
+
+        // Group pending evaluations by (method, attr), preserving
+        // first-appearance order, so one worker serves a whole attribute
+        // group from one warm workspace.
+        type GroupKey = (Method, Option<AttrId>);
+        let mut groups: Vec<(GroupKey, Vec<usize>)> = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            if matches!(plan, Plan::Pending { .. }) {
+                let key = (queries[i].method, queries[i].attr);
+                match groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, idxs)) => idxs.push(i),
+                    None => groups.push((key, vec![i])),
+                }
+            }
+        }
+        let pending: usize = groups.iter().map(|(_, idxs)| idxs.len()).sum();
+
+        let mut evaluated: Vec<Option<CodResult<Option<CodAnswer>>>> =
+            (0..plans.len()).map(|_| None).collect();
+        if pending <= 1 {
+            // No fan-out to amortize: evaluate inline and let the single
+            // query keep the configured intra-query parallelism.
+            let mut ws = self.take_scratch();
+            for (_, idxs) in &groups {
+                for &i in idxs {
+                    if let Plan::Pending {
+                        q,
+                        seed,
+                        ref artifacts,
+                        cache,
+                    } = plans[i]
+                    {
+                        evaluated[i] =
+                            Some(self.eval(q, seed, artifacts, cache, self.cfg.parallelism, &mut ws));
+                    }
+                }
+            }
+            self.put_scratch(ws);
+        } else {
+            // Fan groups out; inside a group each query runs single-
+            // threaded on its own master seed (thread-count invariance
+            // makes this bit-identical to any other split).
+            let shards = par_ranges(groups.len(), self.cfg.parallelism.thread_count(), |range| {
+                let mut ws = self.take_scratch();
+                let mut out: Vec<(usize, CodResult<Option<CodAnswer>>)> = Vec::new();
+                for gi in range {
+                    for &i in &groups[gi].1 {
+                        if let Plan::Pending {
+                            q,
+                            seed,
+                            ref artifacts,
+                            cache,
+                        } = plans[i]
+                        {
+                            out.push((
+                                i,
+                                self.eval(q, seed, artifacts, cache, Parallelism::Threads(1), &mut ws),
+                            ));
+                        }
+                    }
+                }
+                self.put_scratch(ws);
+                out
+            });
+            for (i, result) in shards.into_iter().flatten() {
+                evaluated[i] = Some(result);
+            }
+        }
+
+        plans
+            .into_iter()
+            .zip(evaluated)
+            .map(|(plan, result)| match plan {
+                Plan::Done(r) => r,
+                Plan::Pending { .. } => match result {
+                    Some(r) => r,
+                    None => unreachable!("every pending plan was evaluated"),
+                },
+            })
+            .collect()
+    }
+
+    fn plan<R: Rng>(&self, query: Query, rng: &mut R) -> Plan {
+        match self.plan_inner(query, rng) {
+            Ok(plan) => plan,
+            Err(e) => Plan::Done(Err(e)),
+        }
+    }
+
+    /// The sequential planning pass for one query: validation, artifact
+    /// preparation, index lookup, empty-chain short-circuit, master-seed
+    /// draw. Replicates the legacy facades' control flow (and therefore
+    /// their RNG consumption) exactly.
+    fn plan_inner<R: Rng>(&self, query: Query, rng: &mut R) -> CodResult<Plan> {
+        let Query { node: q, method, .. } = query;
+        // CODU ignores the attribute (its facade has no attr parameter);
+        // every other method requires one.
+        let attr = if method.needs_attr() {
+            match query.attr {
+                Some(a) => Some(a),
+                None => {
+                    return Err(CodError::InvalidQuery(format!(
+                        "method {method:?} requires a query attribute"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        validate_query(&self.g, &self.cfg, q, attr)?;
+
+        let mut cache_outcome = None;
+        let hit_to_outcome = |hit: bool| {
+            Some(if hit {
+                CacheOutcome::Hit
+            } else {
+                CacheOutcome::Miss
+            })
+        };
+        let artifacts = match method {
+            Method::Codu => EvalArtifacts::Whole(self.base_hierarchy()),
+            Method::Codr => {
+                let Some(a) = attr else {
+                    unreachable!("validated above: Codr requires an attribute")
+                };
+                let (h, hit) = self.global_hierarchy(a);
+                cache_outcome = hit_to_outcome(hit);
+                EvalArtifacts::Whole(h)
+            }
+            Method::CodlMinus => {
+                let Some(a) = attr else {
+                    unreachable!("validated above: CodlMinus requires an attribute")
+                };
+                let base = self.base_hierarchy();
+                match select_recluster_community(&self.g, &base.dendro, &base.lca, q, a) {
+                    // No attribute signal on the path: evaluate T directly.
+                    None => EvalArtifacts::Whole(base),
+                    Some(choice) => {
+                        let (local, hit) = self.local_artifact(a, &base, choice.vertex);
+                        cache_outcome = hit_to_outcome(hit);
+                        EvalArtifacts::ComposedLocal {
+                            base,
+                            local,
+                            c_ell: choice.vertex,
+                        }
+                    }
+                }
+            }
+            Method::Codl => {
+                let Some(a) = attr else {
+                    unreachable!("validated above: Codl requires an attribute")
+                };
+                let index = self.ensure_himor(rng);
+                let base = self.base_hierarchy();
+                let choice = select_recluster_community(&self.g, &base.dendro, &base.lca, q, a);
+                let floor: Option<VertexId> = choice.map(|c| c.vertex);
+                // Algorithm 3 lines 1–2: answer from the index if an
+                // ancestor of C_ℓ qualifies. No RNG is consumed.
+                if let Some(c) = index.largest_top_k(&base.dendro, q, floor, self.cfg.k) {
+                    let path = base.dendro.root_path(q);
+                    let Some(j) = path.iter().position(|&v| v == c) else {
+                        unreachable!("largest_top_k only returns vertices on q's root path")
+                    };
+                    return Ok(Plan::Done(Ok(Some(CodAnswer {
+                        members: base.dendro.members_sorted(c),
+                        rank: index.ranks_of(q)[j] as usize,
+                        source: AnswerSource::Index,
+                        uncertain: false,
+                        cache: None,
+                    }))));
+                }
+                // Line 3: compressed evaluation inside the reclustered C_ℓ.
+                let Some(choice) = choice else {
+                    return Ok(Plan::Done(Ok(None)));
+                };
+                let (local, hit) = self.local_artifact(a, &base, choice.vertex);
+                cache_outcome = hit_to_outcome(hit);
+                EvalArtifacts::SubLocal { local }
+            }
+        };
+
+        // Build the chain once here so construction errors and the
+        // empty-chain short-circuit surface in plan order, *before* any
+        // seed draw — exactly where the legacy facades surface them.
+        let empty = build_chain(&artifacts, q)?.is_empty();
+        if empty {
+            return Ok(Plan::Done(Ok(None)));
+        }
+
+        if self.cfg.parallelism.is_seeded() {
+            // One master seed per evaluated query, drawn in query order.
+            Ok(Plan::Pending {
+                q,
+                seed: rng.next_u64(),
+                artifacts,
+                cache: cache_outcome,
+            })
+        } else {
+            // Legacy serial stream: evaluate now, on the caller's RNG.
+            let mut ws = self.take_scratch();
+            let result = self.eval_stream(q, &artifacts, cache_outcome, rng, &mut ws);
+            self.put_scratch(ws);
+            Ok(Plan::Done(result))
+        }
+    }
+
+    /// Seeded evaluation of one planned query.
+    fn eval(
+        &self,
+        q: NodeId,
+        seed: u64,
+        artifacts: &EvalArtifacts,
+        cache: Option<CacheOutcome>,
+        par: Parallelism,
+        ws: &mut QueryScratch,
+    ) -> CodResult<Option<CodAnswer>> {
+        let chain = build_chain(artifacts, q)?;
+        let out = compressed_cod_with::<SmallRng>(
+            self.g.csr(),
+            self.cfg.model,
+            &chain,
+            q,
+            self.cfg.k,
+            self.cfg.theta,
+            self.cfg.budget,
+            SeedPolicy::PerIndex {
+                seeds: SeedSequence::new(seed),
+                par,
+            },
+            Some(ws),
+        )?;
+        Ok(package(&chain, out, cache))
+    }
+
+    /// Serial (caller-RNG-stream) evaluation of one planned query.
+    fn eval_stream<R: Rng>(
+        &self,
+        q: NodeId,
+        artifacts: &EvalArtifacts,
+        cache: Option<CacheOutcome>,
+        rng: &mut R,
+        ws: &mut QueryScratch,
+    ) -> CodResult<Option<CodAnswer>> {
+        let chain = build_chain(artifacts, q)?;
+        let out = compressed_cod_with(
+            self.g.csr(),
+            self.cfg.model,
+            &chain,
+            q,
+            self.cfg.k,
+            self.cfg.theta,
+            self.cfg.budget,
+            SeedPolicy::Stream(rng),
+            Some(ws),
+        )?;
+        Ok(package(&chain, out, cache))
+    }
+}
+
+impl std::fmt::Debug for CodEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodEngine")
+            .field("nodes", &self.g.num_nodes())
+            .field("cache", &self.cache.stats())
+            .field("himor_built", &self.index.get().is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Packages a compressed outcome into a [`CodAnswer`].
+fn package(
+    chain: &impl Chain,
+    out: crate::compressed::CodOutcome,
+    cache: Option<CacheOutcome>,
+) -> Option<CodAnswer> {
+    let level = out.best_level?;
+    Some(CodAnswer {
+        members: chain.members(level),
+        rank: out.ranks[level],
+        source: AnswerSource::Compressed,
+        uncertain: out.truncated || out.uncertain[level],
+        cache,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cod_graph::{AttrInterner, AttrTable, GraphBuilder};
+
+    fn toy() -> AttributedGraph {
+        let mut b = GraphBuilder::new(8);
+        for (u, v) in [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (2, 3),
+            (0, 6),
+            (0, 7),
+            (6, 7),
+        ] {
+            b.add_edge(u, v);
+        }
+        let mut i = AttrInterner::new();
+        let a = i.intern("A");
+        let c = i.intern("B");
+        let lists = vec![
+            vec![a],
+            vec![a],
+            vec![a],
+            vec![c],
+            vec![c],
+            vec![c],
+            vec![a],
+            vec![a],
+        ];
+        AttributedGraph::from_parts(b.build(), AttrTable::from_lists(lists), i)
+    }
+
+    fn cfg() -> CodConfig {
+        CodConfig {
+            k: 2,
+            theta: 60,
+            parallelism: Parallelism::Threads(2),
+            ..CodConfig::default()
+        }
+    }
+
+    #[test]
+    fn engine_answers_all_methods() {
+        let engine = CodEngine::new(toy(), cfg());
+        let mut rng = SmallRng::seed_from_u64(77);
+        for method in [Method::Codu, Method::Codr, Method::CodlMinus, Method::Codl] {
+            let q = Query {
+                node: 0,
+                attr: Some(0),
+                method,
+            };
+            let ans = engine.query(q, &mut rng).unwrap();
+            if let Some(a) = ans {
+                assert!(a.members.contains(&0), "{method:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_attribute_is_rejected_for_attributed_methods() {
+        let engine = CodEngine::new(toy(), cfg());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for method in [Method::Codr, Method::CodlMinus, Method::Codl] {
+            let err = engine
+                .query(
+                    Query {
+                        node: 0,
+                        attr: None,
+                        method,
+                    },
+                    &mut rng,
+                )
+                .unwrap_err();
+            assert!(matches!(err, CodError::InvalidQuery(_)), "{method:?}: {err}");
+        }
+        // CODU ignores the attribute entirely.
+        assert!(engine.query(Query::codu(0), &mut rng).is_ok());
+    }
+
+    #[test]
+    fn repeat_attribute_queries_hit_the_cache() {
+        let engine = CodEngine::new(toy(), cfg());
+        let mut rng = SmallRng::seed_from_u64(5);
+        let q = Query::new(0, 0, Method::Codr);
+        let first = engine.query(q, &mut rng).unwrap();
+        let second = engine.query(q, &mut rng).unwrap();
+        assert_eq!(
+            first.as_ref().map(|a| a.cache),
+            Some(Some(CacheOutcome::Miss))
+        );
+        assert_eq!(
+            second.as_ref().map(|a| a.cache),
+            Some(Some(CacheOutcome::Hit))
+        );
+        let stats = engine.cache_stats();
+        assert!(stats.hits >= 1 && stats.misses >= 1);
+    }
+
+    #[test]
+    fn batch_of_errors_and_answers_keeps_positions() {
+        let engine = CodEngine::new(toy(), cfg());
+        let mut rng = SmallRng::seed_from_u64(9);
+        let queries = [
+            Query::codu(0),
+            Query::codu(99), // out of range
+            Query::new(3, 1, Method::Codr),
+        ];
+        let results = engine.query_batch(&queries, &mut rng);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CodError::InvalidQuery(_))));
+        assert!(results[2].is_ok());
+    }
+}

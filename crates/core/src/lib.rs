@@ -19,16 +19,21 @@
 //!   re-clustering (the `g_ℓ` transform, §IV);
 //! * [`himor`] — the **HIMOR index**: compressed construction over the tree
 //!   of buckets and **Algorithm 3** query processing (§IV-B);
+//! * [`engine`] — the **CodEngine** serving layer: prepared artifacts
+//!   behind `Arc`, a bounded recluster cache, reusable query workspaces
+//!   and a batch API, fronting all four method variants;
 //! * [`pipeline`] — the method facades evaluated in §V: `CODU`, `CODR`,
-//!   `CODL⁻` and `CODL`;
+//!   `CODL⁻` and `CODL` (thin wrappers over the engine);
 //! * [`measures`] — answer-quality measures (size, `ρ`, `φ`, top-k
 //!   precision) shared by the experiment harness.
 
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod cache;
 pub mod chain;
 pub mod compressed;
 pub mod dynamic;
+pub mod engine;
 pub mod error;
 pub mod himor;
 pub mod independent;
@@ -37,14 +42,18 @@ pub mod measures;
 pub mod persist;
 pub mod pipeline;
 pub mod recluster;
+pub mod scratch;
 
+pub use cache::{CacheStats, ReclusterCache};
 pub use chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
 pub use compressed::{
     compressed_cod, compressed_cod_adaptive, compressed_cod_adaptive_seeded,
-    compressed_cod_seeded, CodOutcome,
+    compressed_cod_seeded, compressed_cod_with, CodOutcome,
 };
 pub use dynamic::DynamicCod;
+pub use engine::{CodEngine, Method, Query};
 pub use error::{CodError, CodResult};
 pub use himor::HimorIndex;
 pub use lore::{select_recluster_community, ReclusterChoice};
-pub use pipeline::{CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu};
+pub use pipeline::{AnswerSource, CacheOutcome, CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu};
+pub use scratch::QueryScratch;

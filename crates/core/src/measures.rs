@@ -95,6 +95,7 @@ mod tests {
             rank: 1,
             source: AnswerSource::Compressed,
             uncertain: false,
+            cache: None,
         }
     }
 

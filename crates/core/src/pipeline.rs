@@ -10,18 +10,28 @@
 //!
 //! All variants share one [`CodConfig`] and return [`CodAnswer`]s carrying
 //! the characteristic community's members plus diagnostics.
+//!
+//! Since the serving-layer refactor the facades are thin, API-stable
+//! wrappers over [`CodEngine`]: each owns an engine restricted to one
+//! [`Method`] and answers are bit-identical to what the pre-engine facades
+//! produced. New code should use [`CodEngine`] directly — it serves all
+//! four variants from one set of shared artifacts, caches reclustered
+//! hierarchies across queries and offers a batch API; the facades remain
+//! for the experiment harness and for one-method callers.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
 
 use cod_graph::{AttrId, AttributedGraph, NodeId};
-use cod_hierarchy::{Dendrogram, LcaIndex, Linkage, VertexId};
+use cod_hierarchy::{Dendrogram, Hierarchy, LcaIndex, Linkage};
 use cod_influence::{Model, Parallelism};
 use rand::prelude::*;
 
-use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
+use crate::chain::Chain;
 use crate::compressed::{compressed_cod_budgeted, compressed_cod_budgeted_seeded};
+use crate::engine::{CodEngine, Method, Query};
 use crate::error::{CodError, CodResult};
 use crate::himor::HimorIndex;
-use crate::lore::select_recluster_community;
-use crate::recluster::{build_hierarchy, global_recluster, local_recluster};
 
 /// Shared configuration for all COD variants (paper §V-A defaults).
 #[derive(Clone, Copy, Debug)]
@@ -66,9 +76,9 @@ impl Default for CodConfig {
 }
 
 /// Validates the user-supplied query parameters against `g` and `cfg`
-/// before any work happens. Every facade calls this first, so the
-/// algorithm internals can assume well-formed input.
-fn validate_query(
+/// before any work happens. The engine calls this once at its boundary, so
+/// the algorithm internals can assume well-formed input.
+pub(crate) fn validate_query(
     g: &AttributedGraph,
     cfg: &CodConfig,
     q: NodeId,
@@ -110,8 +120,18 @@ pub enum AnswerSource {
     Compressed,
 }
 
+/// Whether the engine served a query's reclustered hierarchy from its
+/// artifact cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The `(attr, β, linkage)` artifact was already resident.
+    Hit,
+    /// The artifact was built for this query (and cached for the next).
+    Miss,
+}
+
 /// A characteristic community answer.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct CodAnswer {
     /// Members of `C*(q)`, sorted ascending.
     pub members: Vec<NodeId>,
@@ -122,7 +142,26 @@ pub struct CodAnswer {
     /// Best-effort flag: the winning level's top-k verdict could flip under
     /// sampling noise, or a sample budget truncated the evaluation.
     pub uncertain: bool,
+    /// Engine diagnostic: artifact-cache outcome for the query's
+    /// reclustered hierarchy. `None` when no recluster was involved (CODU,
+    /// index hits, degenerate LORE) or the answer predates the engine.
+    pub cache: Option<CacheOutcome>,
 }
+
+/// Equality deliberately ignores [`CodAnswer::cache`]: it describes the
+/// serving path, not the answer. A warm-cache answer *is* the cold-cache
+/// answer (reclustering is deterministic), and the equivalence suites
+/// assert exactly that with `assert_eq!`.
+impl PartialEq for CodAnswer {
+    fn eq(&self, other: &Self) -> bool {
+        self.members == other.members
+            && self.rank == other.rank
+            && self.source == other.source
+            && self.uncertain == other.uncertain
+    }
+}
+
+impl Eq for CodAnswer {}
 
 impl CodAnswer {
     /// `|C*|`.
@@ -132,49 +171,65 @@ impl CodAnswer {
 }
 
 /// CODU: compressed evaluation over the non-attributed hierarchy `T`.
+///
+/// Thin wrapper over [`CodEngine`] with [`Method::Codu`]; prefer the engine
+/// for new code.
 pub struct Codu<'g> {
-    g: &'g AttributedGraph,
-    cfg: CodConfig,
-    dendro: Dendrogram,
-    lca: LcaIndex,
+    engine: CodEngine,
+    base: Arc<Hierarchy>,
+    _g: PhantomData<&'g AttributedGraph>,
 }
 
 impl<'g> Codu<'g> {
     /// Builds `T` once; queries reuse it.
     pub fn new(g: &'g AttributedGraph, cfg: CodConfig) -> Self {
-        let dendro = build_hierarchy(g.csr(), cfg.linkage);
-        let lca = LcaIndex::new(&dendro);
+        let engine = CodEngine::new(g.clone(), cfg);
+        let base = engine.base_hierarchy();
         Self {
-            g,
-            cfg,
-            dendro,
-            lca,
+            engine,
+            base,
+            _g: PhantomData,
         }
     }
 
     /// The shared non-attributed hierarchy.
     pub fn hierarchy(&self) -> (&Dendrogram, &LcaIndex) {
-        (&self.dendro, &self.lca)
+        (&self.base.dendro, &self.base.lca)
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &CodEngine {
+        &self.engine
     }
 
     /// Answers a COD query (the query attribute is ignored by CODU).
     pub fn query<R: Rng>(&self, q: NodeId, rng: &mut R) -> CodResult<Option<CodAnswer>> {
-        validate_query(self.g, &self.cfg, q, None)?;
-        let chain = DendroChain::new(&self.dendro, &self.lca, q)?;
-        answer_from_chain(self.g, self.cfg, &chain, q, rng)
+        self.engine.query(Query::codu(q), rng)
     }
 }
 
 /// CODR: per-query global reclustering of the attribute-weighted `g_ℓ`.
+///
+/// Thin wrapper over [`CodEngine`] with [`Method::Codr`]; prefer the engine
+/// for new code. Unlike the pre-engine facade, repeat queries on the same
+/// attribute reuse the cached `T_ℓ` (the answers are identical either way).
 pub struct Codr<'g> {
-    g: &'g AttributedGraph,
-    cfg: CodConfig,
+    engine: CodEngine,
+    _g: PhantomData<&'g AttributedGraph>,
 }
 
 impl<'g> Codr<'g> {
     /// A CODR instance (no precomputation — reclustering is per query).
     pub fn new(g: &'g AttributedGraph, cfg: CodConfig) -> Self {
-        Self { g, cfg }
+        Self {
+            engine: CodEngine::new(g.clone(), cfg),
+            _g: PhantomData,
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &CodEngine {
+        &self.engine
     }
 
     /// Answers a COD query for `(q, attr)`.
@@ -184,39 +239,40 @@ impl<'g> Codr<'g> {
         attr: AttrId,
         rng: &mut R,
     ) -> CodResult<Option<CodAnswer>> {
-        validate_query(self.g, &self.cfg, q, Some(attr))?;
-        let dendro = global_recluster(self.g, attr, self.cfg.beta, self.cfg.linkage);
-        let lca = LcaIndex::new(&dendro);
-        let chain = DendroChain::new(&dendro, &lca, q)?;
-        answer_from_chain(self.g, self.cfg, &chain, q, rng)
+        self.engine.query(Query::new(q, attr, Method::Codr), rng)
     }
 
     /// The attribute-aware hierarchy CODR would use for `attr` (exposed for
     /// the Fig. 4 skew analysis).
     pub fn hierarchy_for(&self, attr: AttrId) -> Dendrogram {
-        global_recluster(self.g, attr, self.cfg.beta, self.cfg.linkage)
+        self.engine.global_hierarchy(attr).0.dendro.clone()
     }
 }
 
 /// CODL⁻: LORE local reclustering + compressed evaluation, no HIMOR index.
+///
+/// Thin wrapper over [`CodEngine`] with [`Method::CodlMinus`]; prefer the
+/// engine for new code.
 pub struct CodlMinus<'g> {
-    g: &'g AttributedGraph,
-    cfg: CodConfig,
-    dendro: Dendrogram,
-    lca: LcaIndex,
+    engine: CodEngine,
+    _g: PhantomData<&'g AttributedGraph>,
 }
 
 impl<'g> CodlMinus<'g> {
     /// Builds the reference hierarchy `T` once.
     pub fn new(g: &'g AttributedGraph, cfg: CodConfig) -> Self {
-        let dendro = build_hierarchy(g.csr(), cfg.linkage);
-        let lca = LcaIndex::new(&dendro);
+        let engine = CodEngine::new(g.clone(), cfg);
+        // Eager like the pre-engine facade: construction pays for `T`.
+        engine.base_hierarchy();
         Self {
-            g,
-            cfg,
-            dendro,
-            lca,
+            engine,
+            _g: PhantomData,
         }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &CodEngine {
+        &self.engine
     }
 
     /// Answers a COD query for `(q, attr)` over the composed chain
@@ -227,59 +283,35 @@ impl<'g> CodlMinus<'g> {
         attr: AttrId,
         rng: &mut R,
     ) -> CodResult<Option<CodAnswer>> {
-        validate_query(self.g, &self.cfg, q, Some(attr))?;
-        match select_recluster_community(self.g, &self.dendro, &self.lca, q, attr) {
-            None => {
-                // No attribute signal on the path: evaluate T directly.
-                let chain = DendroChain::new(&self.dendro, &self.lca, q)?;
-                answer_from_chain(self.g, self.cfg, &chain, q, rng)
-            }
-            Some(choice) => {
-                let members = self.dendro.members_sorted(choice.vertex);
-                let (sub, sd) =
-                    local_recluster(self.g, &members, attr, self.cfg.beta, self.cfg.linkage);
-                let slca = LcaIndex::new(&sd);
-                let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)?;
-                let chain = ComposedChain::new(lower, &self.dendro, &self.lca, choice.vertex)?;
-                answer_from_chain(self.g, self.cfg, &chain, q, rng)
-            }
-        }
+        self.engine
+            .query(Query::new(q, attr, Method::CodlMinus), rng)
     }
 }
 
 /// CODL: LORE + the HIMOR index (the paper's fully optimized method).
+///
+/// Thin wrapper over [`CodEngine`] with [`Method::Codl`]; prefer the engine
+/// for new code.
 pub struct Codl<'g> {
-    g: &'g AttributedGraph,
-    cfg: CodConfig,
-    dendro: Dendrogram,
-    lca: LcaIndex,
-    index: HimorIndex,
+    engine: CodEngine,
+    base: Arc<Hierarchy>,
+    index: Arc<HimorIndex>,
+    _g: PhantomData<&'g AttributedGraph>,
 }
 
 impl<'g> Codl<'g> {
     /// Builds `T` and the HIMOR index (`Θ = θ·|V|` RR graphs).
     pub fn new<R: Rng>(g: &'g AttributedGraph, cfg: CodConfig, rng: &mut R) -> Self {
-        let dendro = build_hierarchy(g.csr(), cfg.linkage);
-        let lca = LcaIndex::new(&dendro);
-        let index = if cfg.parallelism.is_seeded() {
-            HimorIndex::build_seeded(
-                g.csr(),
-                cfg.model,
-                &dendro,
-                &lca,
-                cfg.theta,
-                rng.next_u64(),
-                cfg.parallelism,
-            )
-        } else {
-            HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, rng)
-        };
+        let engine = CodEngine::new(g.clone(), cfg);
+        let base = engine.base_hierarchy();
+        // Build the index now, on the caller's RNG, exactly where the
+        // pre-engine facade consumed it.
+        let index = engine.ensure_himor(rng);
         Self {
-            g,
-            cfg,
-            dendro,
-            lca,
+            engine,
+            base,
             index,
+            _g: PhantomData,
         }
     }
 
@@ -292,12 +324,22 @@ impl<'g> Codl<'g> {
         lca: LcaIndex,
         index: HimorIndex,
     ) -> Self {
-        Self {
-            g,
+        let engine = CodEngine::from_parts(
+            Arc::new(g.clone()),
             cfg,
-            dendro,
-            lca,
+            Hierarchy { dendro, lca },
             index,
+        );
+        let base = engine.base_hierarchy();
+        let index = match engine.himor() {
+            Some(ix) => ix,
+            None => unreachable!("from_parts pre-fills the index"),
+        };
+        Self {
+            engine,
+            base,
+            index,
+            _g: PhantomData,
         }
     }
 
@@ -308,7 +350,12 @@ impl<'g> Codl<'g> {
 
     /// The reference hierarchy.
     pub fn hierarchy(&self) -> (&Dendrogram, &LcaIndex) {
-        (&self.dendro, &self.lca)
+        (&self.base.dendro, &self.base.lca)
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &CodEngine {
+        &self.engine
     }
 
     /// Answers a COD query for `(q, attr)` — Algorithm 3.
@@ -318,33 +365,7 @@ impl<'g> Codl<'g> {
         attr: AttrId,
         rng: &mut R,
     ) -> CodResult<Option<CodAnswer>> {
-        validate_query(self.g, &self.cfg, q, Some(attr))?;
-        let choice = select_recluster_community(self.g, &self.dendro, &self.lca, q, attr);
-        let floor: Option<VertexId> = choice.map(|c| c.vertex);
-        // Lines 1–2: answer from the index if an ancestor of C_ℓ qualifies.
-        if let Some(c) = self.index.largest_top_k(&self.dendro, q, floor, self.cfg.k) {
-            let path = self.dendro.root_path(q);
-            let Some(j) = path.iter().position(|&v| v == c) else {
-                unreachable!("largest_top_k only returns vertices on q's root path")
-            };
-            return Ok(Some(CodAnswer {
-                members: self.dendro.members_sorted(c),
-                rank: self.index.ranks_of(q)[j] as usize,
-                source: AnswerSource::Index,
-                uncertain: false,
-            }));
-        }
-        // Line 3: compressed evaluation inside the reclustered C_ℓ.
-        let Some(choice) = choice else {
-            return Ok(None);
-        };
-        let members = self.dendro.members_sorted(choice.vertex);
-        let (sub, sd) = local_recluster(self.g, &members, attr, self.cfg.beta, self.cfg.linkage);
-        let slca = LcaIndex::new(&sd);
-        // The subgraph root (C_ℓ itself) is excluded: the index already
-        // ruled it out.
-        let chain = SubgraphChain::new(&sub, &sd, &slca, q, false)?;
-        answer_from_chain(self.g, self.cfg, &chain, q, rng)
+        self.engine.query(Query::new(q, attr, Method::Codl), rng)
     }
 }
 
@@ -353,6 +374,8 @@ impl<'g> Codl<'g> {
 /// Under a seeded [`CodConfig::parallelism`] policy, exactly one `u64` is
 /// drawn from `rng` as the master seed — the same draw for every thread
 /// count — and all sampling randomness is derived from it per index.
+/// (The engine has its own planned variant of this; the free function
+/// remains for [`crate::dynamic`], which evaluates ad-hoc chains.)
 pub(crate) fn answer_from_chain<R: Rng>(
     g: &AttributedGraph,
     cfg: CodConfig,
@@ -395,6 +418,7 @@ pub(crate) fn answer_from_chain<R: Rng>(
         rank: out.ranks[level],
         source: AnswerSource::Compressed,
         uncertain: out.truncated || out.uncertain[level],
+        cache: None,
     }))
 }
 

@@ -19,12 +19,14 @@
 
 pub mod bisect;
 pub mod dendrogram;
+pub mod handle;
 pub mod lca;
 pub mod linkage;
 pub mod nnchain;
 
 pub use bisect::bisect;
 pub use dendrogram::{Dendrogram, DendrogramError, VertexId, NO_VERTEX};
+pub use handle::{Hierarchy, SharedHierarchy};
 pub use lca::LcaIndex;
 pub use linkage::Linkage;
 pub use nnchain::{cluster, cluster_unweighted, Merge};

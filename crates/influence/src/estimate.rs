@@ -4,8 +4,8 @@ use cod_graph::{Csr, FxHashMap, NodeId};
 use rand::prelude::*;
 
 use crate::model::Model;
-use crate::parallel::{par_ranges, Parallelism};
-use crate::sampler::RrSampler;
+use crate::parallel::{par_ranges, Parallelism, SeedPolicy};
+use crate::sampler::{RrSampler, SamplerScratch};
 use crate::seed::SeedSequence;
 
 fn merge_count_shards(shards: Vec<FxHashMap<NodeId, u32>>) -> FxHashMap<NodeId, u32> {
@@ -20,6 +20,47 @@ fn merge_count_shards(shards: Vec<FxHashMap<NodeId, u32>>) -> FxHashMap<NodeId, 
     counts
 }
 
+/// Where RR-sample sources are drawn from (and what traversal may touch).
+#[derive(Clone, Copy, Debug)]
+pub enum SourceUniverse<'a> {
+    /// Uniform sources over the whole graph, unrestricted traversal.
+    Graph,
+    /// Uniform sources over `members` (sorted ascending), traversal
+    /// restricted to `members` — the paper's per-community estimator.
+    Members(&'a [NodeId]),
+}
+
+impl SourceUniverse<'_> {
+    fn len(&self, g: &Csr) -> usize {
+        match self {
+            SourceUniverse::Graph => g.num_nodes(),
+            SourceUniverse::Members(m) => m.len(),
+        }
+    }
+}
+
+/// Draws one RR sample per the universe and folds its nodes into `counts`.
+/// This is the shared per-sample body of every estimation loop; the seed
+/// policy only decides which `rng` arrives here.
+#[inline]
+fn record_one<R: Rng>(
+    sampler: &mut RrSampler<'_>,
+    universe: SourceUniverse<'_>,
+    rng: &mut R,
+    counts: &mut FxHashMap<NodeId, u32>,
+) {
+    let r = match universe {
+        SourceUniverse::Graph => sampler.sample_uniform(rng),
+        SourceUniverse::Members(members) => {
+            let s = members[rng.random_range(0..members.len())];
+            sampler.sample_restricted(s, rng, |v| members.binary_search(&v).is_ok())
+        }
+    };
+    for &v in r.nodes() {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+}
+
 /// RR-sample appearance counts over a node universe of size `universe`,
 /// from `theta` samples. `σ̂(v) = count(v) / theta · universe` (Theorem 1).
 #[derive(Clone, Debug)]
@@ -30,6 +71,76 @@ pub struct InfluenceEstimate {
 }
 
 impl InfluenceEstimate {
+    /// The single estimation driver: `theta` RR samples over `universe`,
+    /// randomness per `policy`, optional reusable sampler `scratch`.
+    ///
+    /// Every `on_*` constructor is a thin wrapper over this. The drawn
+    /// samples depend only on `(g, model, universe, theta, policy)` — the
+    /// scratch and the resolved thread count never change a sample.
+    pub fn with_policy<R: Rng>(
+        g: &Csr,
+        model: Model,
+        universe: SourceUniverse<'_>,
+        theta: usize,
+        policy: SeedPolicy<'_, R>,
+        mut scratch: Option<&mut SamplerScratch>,
+    ) -> InfluenceEstimate {
+        assert!(theta > 0 && universe.len(g) > 0);
+        if let SourceUniverse::Members(m) = universe {
+            debug_assert!(m.windows(2).all(|w| w[0] < w[1]));
+        }
+        let universe_len = universe.len(g);
+        // Borrow the caller's scratch for single-threaded runs; parallel
+        // shards allocate their own (a &mut cannot be shared across
+        // workers, and shard-local scratch keeps workers contention-free).
+        let take = |scratch: &mut Option<&mut SamplerScratch>| match scratch {
+            Some(s) => RrSampler::with_scratch(g, model, std::mem::take(*s)),
+            None => RrSampler::new(g, model),
+        };
+        let put = |sampler: RrSampler<'_>, scratch: &mut Option<&mut SamplerScratch>| {
+            if let Some(s) = scratch {
+                **s = sampler.into_scratch();
+            }
+        };
+        let counts = match policy {
+            SeedPolicy::Stream(rng) => {
+                let mut sampler = take(&mut scratch);
+                let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
+                for _ in 0..theta {
+                    record_one(&mut sampler, universe, rng, &mut counts);
+                }
+                put(sampler, &mut scratch);
+                counts
+            }
+            SeedPolicy::PerIndex { seeds, par } if par.thread_count() <= 1 => {
+                let mut sampler = take(&mut scratch);
+                let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
+                for i in 0..theta {
+                    let mut rng = seeds.rng_for(i as u64);
+                    record_one(&mut sampler, universe, &mut rng, &mut counts);
+                }
+                put(sampler, &mut scratch);
+                counts
+            }
+            SeedPolicy::PerIndex { seeds, par } => {
+                merge_count_shards(par_ranges(theta, par.thread_count(), |range| {
+                    let mut sampler = RrSampler::new(g, model);
+                    let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
+                    for i in range {
+                        let mut rng = seeds.rng_for(i as u64);
+                        record_one(&mut sampler, universe, &mut rng, &mut counts);
+                    }
+                    counts
+                }))
+            }
+        };
+        InfluenceEstimate {
+            counts,
+            theta,
+            universe: universe_len,
+        }
+    }
+
     /// Estimates influences on the whole graph from `theta` RR graphs with
     /// uniformly random sources.
     pub fn on_graph<R: Rng>(
@@ -38,20 +149,14 @@ impl InfluenceEstimate {
         theta: usize,
         rng: &mut R,
     ) -> InfluenceEstimate {
-        assert!(theta > 0 && g.num_nodes() > 0);
-        let mut sampler = RrSampler::new(g, model);
-        let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
-        for _ in 0..theta {
-            let r = sampler.sample_uniform(rng);
-            for &v in r.nodes() {
-                *counts.entry(v).or_insert(0) += 1;
-            }
-        }
-        InfluenceEstimate {
-            counts,
+        Self::with_policy(
+            g,
+            model,
+            SourceUniverse::Graph,
             theta,
-            universe: g.num_nodes(),
-        }
+            SeedPolicy::Stream(rng),
+            None,
+        )
     }
 
     /// Estimates influences *within a community* from `theta` RR graphs
@@ -65,22 +170,14 @@ impl InfluenceEstimate {
         theta: usize,
         rng: &mut R,
     ) -> InfluenceEstimate {
-        assert!(theta > 0 && !members.is_empty());
-        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
-        let mut sampler = RrSampler::new(g, model);
-        let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
-        for _ in 0..theta {
-            let s = members[rng.random_range(0..members.len())];
-            let r = sampler.sample_restricted(s, rng, |v| members.binary_search(&v).is_ok());
-            for &v in r.nodes() {
-                *counts.entry(v).or_insert(0) += 1;
-            }
-        }
-        InfluenceEstimate {
-            counts,
+        Self::with_policy(
+            g,
+            model,
+            SourceUniverse::Members(members),
             theta,
-            universe: members.len(),
-        }
+            SeedPolicy::Stream(rng),
+            None,
+        )
     }
 
     /// [`InfluenceEstimate::on_graph`] with per-index seed derivation:
@@ -94,24 +191,14 @@ impl InfluenceEstimate {
         seeds: SeedSequence,
         par: Parallelism,
     ) -> InfluenceEstimate {
-        assert!(theta > 0 && g.num_nodes() > 0);
-        let shards = par_ranges(theta, par.thread_count(), |range| {
-            let mut sampler = RrSampler::new(g, model);
-            let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
-            for i in range {
-                let mut rng = seeds.rng_for(i as u64);
-                let r = sampler.sample_uniform(&mut rng);
-                for &v in r.nodes() {
-                    *counts.entry(v).or_insert(0) += 1;
-                }
-            }
-            counts
-        });
-        InfluenceEstimate {
-            counts: merge_count_shards(shards),
+        Self::with_policy::<SmallRng>(
+            g,
+            model,
+            SourceUniverse::Graph,
             theta,
-            universe: g.num_nodes(),
-        }
+            SeedPolicy::PerIndex { seeds, par },
+            None,
+        )
     }
 
     /// [`InfluenceEstimate::on_community`] with per-index seed derivation;
@@ -125,27 +212,14 @@ impl InfluenceEstimate {
         seeds: SeedSequence,
         par: Parallelism,
     ) -> InfluenceEstimate {
-        assert!(theta > 0 && !members.is_empty());
-        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
-        let shards = par_ranges(theta, par.thread_count(), |range| {
-            let mut sampler = RrSampler::new(g, model);
-            let mut counts: FxHashMap<NodeId, u32> = FxHashMap::default();
-            for i in range {
-                let mut rng = seeds.rng_for(i as u64);
-                let s = members[rng.random_range(0..members.len())];
-                let r =
-                    sampler.sample_restricted(s, &mut rng, |v| members.binary_search(&v).is_ok());
-                for &v in r.nodes() {
-                    *counts.entry(v).or_insert(0) += 1;
-                }
-            }
-            counts
-        });
-        InfluenceEstimate {
-            counts: merge_count_shards(shards),
+        Self::with_policy::<SmallRng>(
+            g,
+            model,
+            SourceUniverse::Members(members),
             theta,
-            universe: members.len(),
-        }
+            SeedPolicy::PerIndex { seeds, par },
+            None,
+        )
     }
 
     /// Raw appearance count of `v`.
@@ -280,6 +354,40 @@ mod tests {
                 assert_eq!(base_c.count(v), est_c.count(v), "community t={t} v={v}");
             }
         }
+    }
+
+    #[test]
+    fn scratch_reuse_never_changes_estimates() {
+        use crate::sampler::SamplerScratch;
+        let g = star();
+        let members: Vec<NodeId> = (0..5).collect();
+        let seeds = SeedSequence::new(42);
+        let mut scratch = SamplerScratch::default();
+        let want = InfluenceEstimate::on_community_seeded(
+            &g,
+            Model::WeightedCascade,
+            &members,
+            256,
+            seeds,
+            Parallelism::Threads(1),
+        );
+        for round in 0..3 {
+            let got = InfluenceEstimate::with_policy::<SmallRng>(
+                &g,
+                Model::WeightedCascade,
+                SourceUniverse::Members(&members),
+                256,
+                SeedPolicy::PerIndex {
+                    seeds,
+                    par: Parallelism::Threads(1),
+                },
+                Some(&mut scratch),
+            );
+            for v in 0..5 {
+                assert_eq!(want.count(v), got.count(v), "round={round} v={v}");
+            }
+        }
+        assert!(scratch.memory_bytes() > 0, "scratch buffers were recycled");
     }
 
     #[test]

@@ -30,10 +30,10 @@ pub mod rrgraph;
 pub mod sampler;
 pub mod seed;
 
-pub use estimate::{rank_in_members, InfluenceEstimate};
+pub use estimate::{rank_in_members, InfluenceEstimate, SourceUniverse};
 pub use im::RrPool;
 pub use model::Model;
-pub use parallel::{par_ranges, Parallelism};
+pub use parallel::{par_ranges, Parallelism, SeedPolicy, SeededOnly};
 pub use rrgraph::RrGraph;
-pub use sampler::RrSampler;
+pub use sampler::{RrSampler, SamplerScratch};
 pub use seed::{splitmix64, SeedSequence};

@@ -15,6 +15,51 @@
 
 use std::ops::Range;
 
+use rand::Rng;
+
+use crate::seed::SeedSequence;
+
+/// How a sampling loop obtains randomness — the one axis on which the
+/// legacy (serial) and deterministic-parallel code paths differ.
+///
+/// PR 2 left each sampling site duplicated into a `fn foo(rng)` /
+/// `fn foo_seeded(seeds, par)` pair; this enum folds the pair back into a
+/// single generic driver. [`SeedPolicy::Stream`] threads one caller RNG
+/// through every sample in order (byte-compatible with the pre-PR-2
+/// stream); [`SeedPolicy::PerIndex`] derives an independent RNG per sample
+/// index from a [`SeedSequence`], which makes the result a pure function of
+/// the master seed and therefore identical for every thread count.
+pub enum SeedPolicy<'a, R: Rng> {
+    /// Legacy single stream: sample `i + 1` continues where sample `i`
+    /// left off. Inherently sequential.
+    Stream(&'a mut R),
+    /// Per-index derivation: sample `i` draws from `seeds.rng_for(i)`.
+    /// Parallelizable under `par` without changing any drawn sample.
+    PerIndex {
+        /// The master seed sequence.
+        seeds: SeedSequence,
+        /// Fan-out policy for the sampling loop.
+        par: Parallelism,
+    },
+}
+
+impl<'a, R: Rng> SeedPolicy<'a, R> {
+    /// The thread count this policy may legally use ([`SeedPolicy::Stream`]
+    /// is always 1 — a shared mutable RNG cannot fan out).
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        match self {
+            SeedPolicy::Stream(_) => 1,
+            SeedPolicy::PerIndex { par, .. } => par.thread_count(),
+        }
+    }
+}
+
+/// [`SeedPolicy`] instantiation for call sites that never stream a caller
+/// RNG (the `R` parameter is irrelevant when only
+/// [`SeedPolicy::PerIndex`] is constructed).
+pub type SeededOnly = SeedPolicy<'static, rand::rngs::SmallRng>;
+
 /// How to execute a parallelizable stage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Parallelism {

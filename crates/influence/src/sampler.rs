@@ -38,15 +38,65 @@ pub struct RrSampler<'g> {
     epoch: u32,
 }
 
+/// Detached sampler scratch buffers, reusable across queries and graphs.
+///
+/// A sampler borrows the graph, so it cannot outlive a query that owns the
+/// graph reference; the scratch can. Move buffers in with
+/// [`RrSampler::with_scratch`] and recover them with
+/// [`RrSampler::into_scratch`] so repeated queries skip the two `O(|V|)`
+/// allocations per sampler.
+///
+/// The epoch travels with the stamps, so a scratch handed between samplers
+/// (even over different graphs) never mistakes a stale stamp for a current
+/// one: stamps are always `<= epoch`, and `with_scratch` zero-fills any
+/// extension.
+#[derive(Default, Debug)]
+pub struct SamplerScratch {
+    stamp: Vec<u32>,
+    local: Vec<u32>,
+    epoch: u32,
+}
+
+impl SamplerScratch {
+    /// Bytes held by the scratch buffers (capacity, not length).
+    pub fn memory_bytes(&self) -> usize {
+        (self.stamp.capacity() + self.local.capacity()) * std::mem::size_of::<u32>()
+    }
+}
+
 impl<'g> RrSampler<'g> {
     /// A sampler over `g` under `model`.
     pub fn new(g: &'g Csr, model: Model) -> Self {
+        Self::with_scratch(g, model, SamplerScratch::default())
+    }
+
+    /// A sampler over `g` reusing previously allocated `scratch` buffers.
+    ///
+    /// Sampling behaviour is identical to [`RrSampler::new`] — the scratch
+    /// only affects allocation, never the drawn RR graphs.
+    pub fn with_scratch(g: &'g Csr, model: Model, scratch: SamplerScratch) -> Self {
+        let SamplerScratch {
+            mut stamp,
+            mut local,
+            epoch,
+        } = scratch;
+        stamp.resize(g.num_nodes(), 0);
+        local.resize(g.num_nodes(), 0);
         Self {
             g,
             model,
-            stamp: vec![0; g.num_nodes()],
-            local: vec![0; g.num_nodes()],
-            epoch: 0,
+            stamp,
+            local,
+            epoch,
+        }
+    }
+
+    /// Releases the scratch buffers for reuse by a later sampler.
+    pub fn into_scratch(self) -> SamplerScratch {
+        SamplerScratch {
+            stamp: self.stamp,
+            local: self.local,
+            epoch: self.epoch,
         }
     }
 
@@ -182,6 +232,40 @@ mod tests {
             ns.dedup();
             assert_eq!(ns.len(), r.len());
         }
+    }
+
+    #[test]
+    fn recycled_scratch_draws_identical_samples() {
+        let g = path3();
+        let star = {
+            let mut b = GraphBuilder::new(5);
+            for v in 1..5 {
+                b.add_edge(0, v);
+            }
+            b.build()
+        };
+        // Fresh-scratch reference stream.
+        let mut fresh = RrSampler::new(&g, Model::WeightedCascade);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let want: Vec<Vec<u32>> = (0..50)
+            .map(|_| fresh.sample_uniform(&mut rng).nodes().to_vec())
+            .collect();
+        // Dirty the scratch on a different (larger) graph, then reuse it.
+        let mut scratch = SamplerScratch::default();
+        {
+            let mut s = RrSampler::with_scratch(&star, Model::WeightedCascade, scratch);
+            let mut r2 = SmallRng::seed_from_u64(99);
+            for _ in 0..10 {
+                s.sample_uniform(&mut r2);
+            }
+            scratch = s.into_scratch();
+        }
+        let mut reused = RrSampler::with_scratch(&g, Model::WeightedCascade, scratch);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let got: Vec<Vec<u32>> = (0..50)
+            .map(|_| reused.sample_uniform(&mut rng).nodes().to_vec())
+            .collect();
+        assert_eq!(want, got, "scratch reuse must not change drawn samples");
     }
 
     #[test]

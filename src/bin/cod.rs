@@ -7,6 +7,7 @@
 //! cod stats     --edges g.txt [--attrs a.txt] | --preset cora
 //! cod query     (graph opts) --node 17 [--attr DB] [--k 5] [--theta 10] [--method codl]
 //!               [--index idx.codx [--strict-index]] [--budget N]
+//! cod query     (graph opts) --queries FILE    # batch: one "node[,attr]" per line
 //! cod hierarchy (graph opts) --node 17 [--levels 12]
 //! cod baseline  (graph opts) --node 17 --attr DB --method acq|atc|cac
 //! cod generate  --preset cora --out-edges g.txt --out-attrs a.txt
@@ -88,6 +89,13 @@ GRAPH SOURCE (choose one):
 
 OPTIONS:
   --node N        query node id
+  --queries FILE  query: batch mode. One query per line, \"node\" or
+                  \"node,attr\" (attr = name or numeric id; default --attr,
+                  then the node's first attribute). Blank lines and lines
+                  starting with # are skipped. All queries share one engine,
+                  so repeat-attribute queries reuse cached reclusterings;
+                  answers are identical to running each line separately
+                  with the same --seed
   --attr NAME     query attribute (name or numeric id; default: the node's
                   first attribute)
   --k N           required influence rank (default 5)
@@ -118,6 +126,7 @@ struct Opts {
     attrs: Option<PathBuf>,
     preset: Option<String>,
     node: Option<NodeId>,
+    queries: Option<PathBuf>,
     attr: Option<String>,
     k: usize,
     theta: usize,
@@ -172,6 +181,7 @@ impl Opts {
                 "--node" => {
                     o.node = Some(value(args, i)?.parse().map_err(|_| "--node wants an id")?)
                 }
+                "--queries" => o.queries = Some(PathBuf::from(value(args, i)?)),
                 "--attr" => o.attr = Some(value(args, i)?),
                 "--k" => o.k = value(args, i)?.parse().map_err(|_| "--k wants a number")?,
                 "--theta" => {
@@ -338,14 +348,20 @@ fn check_node(g: &AttributedGraph, q: NodeId) -> Result<(), String> {
 
 fn cmd_query(opts: &Opts) -> Result<(), String> {
     let g = opts.load_graph()?;
-    let q = opts.node.ok_or("query needs --node")?;
-    check_node(&g, q)?;
     let cfg = opts.cod_config();
-    let mut rng = SmallRng::seed_from_u64(opts.seed);
     let method = opts.method.as_deref().unwrap_or("codl");
     if opts.index.is_some() && method != "codl" {
         return Err(format!("--index only applies to --method codl, not {method:?}"));
     }
+    if let Some(path) = &opts.queries {
+        if opts.node.is_some() {
+            return Err("--node and --queries are mutually exclusive".into());
+        }
+        return cmd_query_batch(opts, &g, cfg, method, path);
+    }
+    let q = opts.node.ok_or("query needs --node or --queries")?;
+    check_node(&g, q)?;
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
     let attr = opts.resolve_attr(&g, q);
     let answer = match method {
         "codu" => Codu::new(&g, cfg).query(q, &mut rng),
@@ -378,6 +394,121 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             println!("members[..{shown}]: {:?}", &ans.members[..shown]);
         }
     }
+    Ok(())
+}
+
+fn parse_method(m: &str) -> Result<Method, String> {
+    match m {
+        "codu" => Ok(Method::Codu),
+        "codr" => Ok(Method::Codr),
+        "codl-" => Ok(Method::CodlMinus),
+        "codl" => Ok(Method::Codl),
+        other => Err(format!("unknown method {other:?} (codu|codr|codl-|codl)")),
+    }
+}
+
+/// Resolves an attribute given by name or numeric id.
+fn resolve_attr_name(g: &AttributedGraph, name: &str) -> Result<AttrId, String> {
+    if let Some(id) = g.interner().get(name) {
+        return Ok(id);
+    }
+    name.parse()
+        .map_err(|_| format!("unknown attribute {name:?}"))
+}
+
+/// Batch query mode: one `node[,attr]` per line, answered through a single
+/// shared [`CodEngine`] so repeat-attribute queries reuse cached
+/// reclusterings. Per-query failures are reported inline; the batch itself
+/// only fails on unreadable or unparsable input.
+fn cmd_query_batch(
+    opts: &Opts,
+    g: &AttributedGraph,
+    cfg: CodConfig,
+    method_name: &str,
+    path: &Path,
+) -> Result<(), String> {
+    let method = parse_method(method_name)?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut queries = Vec::new();
+    for (no, raw) in text.lines().enumerate() {
+        let at = |msg: String| format!("{}:{}: {msg}", path.display(), no + 1);
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(2, ',');
+        let node: NodeId = parts
+            .next()
+            .unwrap_or("")
+            .trim()
+            .parse()
+            .map_err(|_| at(format!("bad node id in {line:?}")))?;
+        check_node(g, node).map_err(at)?;
+        // CODU ignores attributes; for the rest, the line's attribute wins,
+        // then --attr, then the node's first attribute.
+        let attr = if method == Method::Codu {
+            None
+        } else {
+            let named = parts.next().map(str::trim).filter(|s| !s.is_empty());
+            let id = match named.or(opts.attr.as_deref()) {
+                Some(name) => resolve_attr_name(g, name).map_err(at)?,
+                None => g.node_attrs(node).first().copied().ok_or_else(|| {
+                    at(format!(
+                        "node {node} has no attributes; append \",attr\" or pass --attr"
+                    ))
+                })?,
+            };
+            Some(id)
+        };
+        queries.push(Query { node, attr, method });
+    }
+    if queries.is_empty() {
+        return Err(format!("{}: no queries", path.display()));
+    }
+
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    // CODL goes through the facade so --index load/rebuild/save applies;
+    // either way one engine serves the whole batch.
+    let codl_facade;
+    let plain_engine;
+    let engine: &CodEngine = if method == Method::Codl {
+        codl_facade = build_codl(g, cfg, opts, &mut rng)?;
+        codl_facade.engine()
+    } else {
+        plain_engine = CodEngine::new(g.clone(), cfg);
+        &plain_engine
+    };
+
+    for (query, result) in queries.iter().zip(engine.query_batch(&queries, &mut rng)) {
+        let q = query.node;
+        match result {
+            Err(e) => println!("node {q}: error: {e}"),
+            Ok(None) => println!("node {q}: no community where it is top-{}", cfg.k),
+            Ok(Some(ans)) => {
+                let cache = match ans.cache {
+                    Some(CacheOutcome::Hit) => ", cache hit",
+                    Some(CacheOutcome::Miss) => ", cache miss",
+                    None => "",
+                };
+                let flag = if ans.uncertain { " [best-effort]" } else { "" };
+                println!(
+                    "node {q}: {} members, rank {} (via {:?}{cache}){flag}",
+                    ans.size(),
+                    ans.rank,
+                    ans.source,
+                );
+            }
+        }
+    }
+    let stats = engine.cache_stats();
+    eprintln!(
+        "recluster cache: {} hits / {} misses ({:.0}% hit rate, {} resident)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.len,
+    );
     Ok(())
 }
 

@@ -51,8 +51,9 @@ pub use cod_search as search;
 /// The most common imports for COD applications.
 pub mod prelude {
     pub use cod_core::{
-        Chain, CodAnswer, CodConfig, CodError, CodResult, Codl, CodlMinus, Codr, Codu,
-        ComposedChain, DendroChain, HimorIndex,
+        CacheOutcome, CacheStats, Chain, CodAnswer, CodConfig, CodEngine, CodError, CodResult,
+        Codl, CodlMinus, Codr, Codu, ComposedChain, DendroChain, HimorIndex, Method, Query,
+        QueryScratch,
     };
     pub use cod_graph::{AttrId, AttributedGraph, Csr, GraphBuilder, NodeId};
     pub use cod_hierarchy::{Dendrogram, LcaIndex, Linkage};

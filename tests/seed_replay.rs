@@ -369,3 +369,140 @@ fn parallel_pipeline_twice_with_same_seed_gives_identical_answers() {
     };
     assert_eq!(run(), run(), "seeded parallel pipeline is not replayable");
 }
+
+// ---------------------------------------------------------------------------
+// CodEngine equivalence: the serving layer must be a drop-in replacement.
+// ---------------------------------------------------------------------------
+
+/// Strips the unequatable error type so whole result sequences can be
+/// compared with `assert_eq!`.
+fn comparable(
+    results: Vec<CodResult<Option<CodAnswer>>>,
+) -> Vec<Result<Option<CodAnswer>, String>> {
+    results
+        .into_iter()
+        .map(|r| r.map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// One engine serving all four methods answers bit-identically to the four
+/// standalone facades, cold cache and warm, for every thread count — even
+/// though the engine shares one artifact cache across methods (CODL⁻ warms
+/// the local recluster CODL later reuses) while each facade run rebuilds
+/// everything.
+#[test]
+fn engine_answers_match_facade_answers_across_threads() {
+    let data = dataset();
+    let g = &data.graph;
+    let queries: Vec<NodeId> = vec![0, 9, 42, 133];
+    for t in THREADS {
+        let cfg = CodConfig {
+            k: 3,
+            theta: 15,
+            parallelism: Parallelism::Threads(t),
+            ..CodConfig::default()
+        };
+        let facade_answers = {
+            let mut answers: Vec<Option<CodAnswer>> = Vec::new();
+            let mut rng = SmallRng::seed_from_u64(1000);
+            let codu = Codu::new(g, cfg);
+            let codr = Codr::new(g, cfg);
+            let cm = CodlMinus::new(g, cfg);
+            let codl = Codl::new(g, cfg, &mut rng);
+            for &q in &queries {
+                let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+                answers.push(codu.query(q, &mut rng).unwrap());
+                answers.push(codr.query(q, attr, &mut rng).unwrap());
+                answers.push(cm.query(q, attr, &mut rng).unwrap());
+                answers.push(codl.query(q, attr, &mut rng).unwrap());
+            }
+            answers
+        };
+        let engine = CodEngine::new(g.clone(), cfg);
+        // Build the index with the facade stream's first draw (where
+        // `Codl::new` consumed it); each pass below skips that draw to stay
+        // aligned.
+        engine.ensure_himor(&mut SmallRng::seed_from_u64(1000));
+        let pass = |engine: &CodEngine| {
+            let mut rng = SmallRng::seed_from_u64(1000);
+            let _ = rng.next_u64(); // the index-build draw, consumed at setup
+            let mut answers = Vec::new();
+            for &q in &queries {
+                let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+                answers.push(engine.query(Query::codu(q), &mut rng).unwrap());
+                for m in [Method::Codr, Method::CodlMinus, Method::Codl] {
+                    answers.push(engine.query(Query::new(q, attr, m), &mut rng).unwrap());
+                }
+            }
+            answers
+        };
+        let cold = pass(&engine);
+        let warm = pass(&engine);
+        assert_eq!(
+            cold, facade_answers,
+            "threads {t}: cold engine diverged from facades"
+        );
+        assert_eq!(
+            warm, facade_answers,
+            "threads {t}: warm engine diverged from facades"
+        );
+        assert!(
+            engine.cache_stats().hits > 0,
+            "threads {t}: warm pass never hit the cache"
+        );
+    }
+}
+
+/// Batched answers are bit-identical to one-at-a-time answers with the same
+/// seed, cold cache and warm, for every thread count — including the
+/// positions of per-query errors.
+#[test]
+fn batched_answers_match_sequential_answers() {
+    let data = dataset();
+    let g = &data.graph;
+    let mut queries: Vec<Query> = Vec::new();
+    for &q in &[0u32, 9, 42, 133] {
+        let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+        queries.push(Query::codu(q));
+        queries.push(Query::new(q, attr, Method::Codr));
+        queries.push(Query::new(q, attr, Method::CodlMinus));
+        queries.push(Query::new(q, attr, Method::Codl));
+    }
+    queries.push(Query::codu(9999)); // out of range: errors in place
+    // Prebuild the index with one fixed setup stream everywhere, so no run
+    // consumes a mid-stream index-build draw and all query streams align.
+    let make_engine = |t: usize| {
+        let cfg = CodConfig {
+            k: 3,
+            theta: 15,
+            parallelism: Parallelism::Threads(t),
+            ..CodConfig::default()
+        };
+        let engine = CodEngine::new(g.clone(), cfg);
+        engine.ensure_himor(&mut SmallRng::seed_from_u64(4000));
+        engine
+    };
+    let reference = {
+        let engine = make_engine(1);
+        let mut rng = SmallRng::seed_from_u64(3000);
+        comparable(
+            queries
+                .iter()
+                .map(|&query| engine.query(query, &mut rng))
+                .collect(),
+        )
+    };
+    assert!(reference.iter().any(|r| r.is_err()), "error case missing");
+    assert!(reference.iter().any(|r| matches!(r, Ok(Some(_)))));
+    for t in THREADS {
+        let engine = make_engine(t);
+        let mut rng = SmallRng::seed_from_u64(3000);
+        let cold = comparable(engine.query_batch(&queries, &mut rng));
+        assert_eq!(cold, reference, "threads {t}: cold batch diverged");
+        let mut rng = SmallRng::seed_from_u64(3000);
+        let warm = comparable(engine.query_batch(&queries, &mut rng));
+        assert_eq!(warm, reference, "threads {t}: warm batch diverged");
+        let stats = engine.cache_stats();
+        assert!(stats.hits > 0, "threads {t}: warm batch never hit the cache");
+    }
+}
