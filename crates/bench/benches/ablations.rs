@@ -8,9 +8,9 @@ use cod_core::chain::DendroChain;
 use cod_core::compressed::compressed_cod;
 use cod_core::recluster::{build_hierarchy, global_recluster};
 use cod_core::CodConfig;
-use cod_hierarchy::{Linkage};
-use cod_influence::Model;
 use cod_hierarchy::LcaIndex;
+use cod_hierarchy::Linkage;
+use cod_influence::Model;
 use rand::prelude::*;
 
 fn bench_ablations(c: &mut Criterion) {
@@ -60,7 +60,8 @@ fn bench_ablations(c: &mut Criterion) {
             let mut rng = SmallRng::seed_from_u64(41);
             b.iter(|| {
                 for &(q, _) in &queries {
-                    let chain = DendroChain::new(&dendro, &lca, q).expect("query node within hierarchy");
+                    let chain =
+                        DendroChain::new(&dendro, &lca, q).expect("query node within hierarchy");
                     black_box(
                         compressed_cod(g.csr(), model, &chain, q, cfg.k, cfg.theta, &mut rng)
                             .expect("valid query")

@@ -27,7 +27,11 @@ fn bench_queries(c: &mut Criterion) {
         let mut rng = SmallRng::seed_from_u64(5);
         b.iter(|| {
             for &(q, _) in &queries {
-                black_box(codu_multi_k(g, cfg, &dendro, &lca, q, cfg.k, &mut rng).per_k.len());
+                black_box(
+                    codu_multi_k(g, cfg, &dendro, &lca, q, cfg.k, &mut rng)
+                        .per_k
+                        .len(),
+                );
             }
         })
     });

@@ -37,7 +37,8 @@ fn bench_eval(c: &mut Criterion) {
             b.iter(|| {
                 for (q, dendro) in &prepared {
                     let lca = LcaIndex::new(dendro);
-                    let chain = DendroChain::new(dendro, &lca, *q).expect("query node within hierarchy");
+                    let chain =
+                        DendroChain::new(dendro, &lca, *q).expect("query node within hierarchy");
                     black_box(
                         compressed_cod(g.csr(), cfg.model, &chain, *q, cfg.k, theta, &mut rng)
                             .expect("valid query")
@@ -51,7 +52,8 @@ fn bench_eval(c: &mut Criterion) {
             b.iter(|| {
                 for (q, dendro) in &prepared {
                     let lca = LcaIndex::new(dendro);
-                    let chain = DendroChain::new(dendro, &lca, *q).expect("query node within hierarchy");
+                    let chain =
+                        DendroChain::new(dendro, &lca, *q).expect("query node within hierarchy");
                     black_box(
                         independent_cod(g.csr(), cfg.model, &chain, *q, cfg.k, theta, &mut rng)
                             .best_level,

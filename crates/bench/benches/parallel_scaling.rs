@@ -31,15 +31,8 @@ fn bench_rr_pool(c: &mut Criterion) {
             group.bench_function(format!("{name}_{label}"), |b| {
                 b.iter(|| {
                     black_box(
-                        RrPool::sample_seeded(
-                            &g,
-                            Model::WeightedCascade,
-                            theta,
-                            seeds,
-                            None,
-                            par,
-                        )
-                        .len(),
+                        RrPool::sample_seeded(&g, Model::WeightedCascade, theta, seeds, None, par)
+                            .len(),
                     )
                 })
             });
@@ -67,10 +60,8 @@ fn bench_himor_build(c: &mut Criterion) {
             group.bench_function(format!("{name}_{label}"), |b| {
                 b.iter(|| {
                     black_box(
-                        HimorIndex::build_seeded(
-                            &g, cfg.model, &dendro, &lca, cfg.theta, 30, par,
-                        )
-                        .memory_bytes(),
+                        HimorIndex::build_seeded(&g, cfg.model, &dendro, &lca, cfg.theta, 30, par)
+                            .memory_bytes(),
                     )
                 })
             });

@@ -1,0 +1,369 @@
+//! `bench_report` — folds criterion JSONL output into a committed-schema
+//! benchmark report and gates CI on median regressions.
+//!
+//! ```text
+//! bench_report --input bench.jsonl --out BENCH_PR4.json
+//!              [--baseline BENCH_BASELINE.json] [--max-regression 25]
+//! ```
+//!
+//! The input is the append-only sink written by the vendored criterion
+//! stand-in when `CRITERION_JSONL` is set (one
+//! `{"id":...,"median_ns":...,"samples":...}` line per benchmark; several
+//! bench binaries may share one sink). The report adds a snapshot of the
+//! engine's telemetry counters on a fixed workload — counters are
+//! deterministic under a fixed seed, so counter drift in a diff against the
+//! baseline is an algorithmic change, not noise.
+//!
+//! With `--baseline`, every benchmark id present in both files is compared
+//! and the run fails (exit 1) when any median regresses by more than
+//! `--max-regression` percent (default 25). Ids only on one side are
+//! reported but never fail the gate — benchmarks come and go across PRs.
+//!
+//! Report schema (`schema_version` 1), one benchmark entry per line so the
+//! file diffs cleanly and parses line-wise without a JSON library:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "benchmarks": [
+//!     {"id": "query_throughput/engine_warm", "median_ns": 123, "samples": 10}
+//!   ],
+//!   "counters": {"rr_graphs_sampled": 456}
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cod_core::{CodConfig, CodEngine, Method, Query, COUNTERS};
+use cod_influence::Parallelism;
+use rand::prelude::*;
+
+const SCHEMA_VERSION: u64 = 1;
+const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(ok) => {
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let opts = Opts::parse(&std::env::args().skip(1).collect::<Vec<_>>())?;
+    let input = std::fs::read_to_string(&opts.input)
+        .map_err(|e| format!("reading {}: {e}", opts.input.display()))?;
+    let benchmarks = parse_entries(&input)?;
+    if benchmarks.is_empty() {
+        return Err(format!("{}: no benchmark lines", opts.input.display()));
+    }
+    let counters = counter_snapshot();
+    let report = render_report(&benchmarks, &counters);
+    std::fs::write(&opts.out, &report)
+        .map_err(|e| format!("writing {}: {e}", opts.out.display()))?;
+    eprintln!(
+        "wrote {} ({} benchmarks, {} counters)",
+        opts.out.display(),
+        benchmarks.len(),
+        counters.len()
+    );
+
+    let Some(baseline_path) = &opts.baseline else {
+        return Ok(true);
+    };
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+    let baseline = parse_entries(&baseline_text)?;
+    Ok(gate(&benchmarks, &baseline, opts.max_regression_pct))
+}
+
+struct Opts {
+    input: PathBuf,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    max_regression_pct: f64,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut input = None;
+        let mut out = None;
+        let mut baseline = None;
+        let mut max_regression_pct = DEFAULT_MAX_REGRESSION_PCT;
+        let mut i = 0;
+        while i < args.len() {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", args[i]))?;
+            match args[i].as_str() {
+                "--input" => input = Some(PathBuf::from(value)),
+                "--out" => out = Some(PathBuf::from(value)),
+                "--baseline" => baseline = Some(PathBuf::from(value)),
+                "--max-regression" => {
+                    max_regression_pct = value
+                        .parse()
+                        .map_err(|_| "--max-regression wants a percentage".to_string())?
+                }
+                other => return Err(format!("unknown option {other:?}")),
+            }
+            i += 2;
+        }
+        Ok(Self {
+            input: input.ok_or("--input FILE is required")?,
+            out: out.ok_or("--out FILE is required")?,
+            baseline,
+            max_regression_pct,
+        })
+    }
+}
+
+/// One benchmark measurement; `samples` is 0 for baseline files predating
+/// the field (none exist yet, but parsing stays lenient).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Entry {
+    median_ns: u64,
+    samples: u64,
+}
+
+/// Extracts `"field":` or `"field": ` followed by a bare number.
+fn field_u64(line: &str, field: &str) -> Option<u64> {
+    let key = format!("\"{field}\":");
+    let at = line.find(&key)? + key.len();
+    let rest = line[at..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Extracts `"field":` or `"field": ` followed by a quoted string
+/// (un-escaping the two sequences the writer emits).
+fn field_str(line: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\":");
+    let at = line.find(&key)? + key.len();
+    let rest = line[at..].trim_start().strip_prefix('"')?;
+    let mut s = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(s),
+            '\\' => s.push(chars.next()?),
+            c => s.push(c),
+        }
+    }
+    None
+}
+
+/// Parses benchmark entries out of either format: raw criterion JSONL, or a
+/// committed report (whose `benchmarks` array holds one entry per line).
+/// Lines without an `id` field (schema scaffolding, counters) are skipped;
+/// duplicate ids keep the last measurement, matching append semantics.
+fn parse_entries(text: &str) -> Result<BTreeMap<String, Entry>, String> {
+    let mut entries = BTreeMap::new();
+    for line in text.lines() {
+        let Some(id) = field_str(line, "id") else {
+            continue;
+        };
+        let median_ns = field_u64(line, "median_ns")
+            .ok_or_else(|| format!("line for {id:?} lacks median_ns: {line:?}"))?;
+        let samples = field_u64(line, "samples").unwrap_or(0);
+        entries.insert(id, Entry { median_ns, samples });
+    }
+    Ok(entries)
+}
+
+/// A deterministic telemetry-counter snapshot: a fixed mixed-method batch on
+/// the `cora` preset, serial, seed 42. Counters never depend on wall-clock
+/// timing, so two runs of the same code produce identical numbers and any
+/// diff against the committed baseline reflects an algorithmic change.
+fn counter_snapshot() -> BTreeMap<&'static str, u64> {
+    let data = cod_datasets::by_name("cora", 42).expect("cora preset exists");
+    let g = data.graph;
+    let attr_of = |q: u32| g.node_attrs(q).first().copied().unwrap_or(0);
+    let queries = vec![
+        Query::codu(17),
+        Query::new(17, attr_of(17), Method::Codr),
+        Query::new(42, attr_of(42), Method::CodlMinus),
+        Query::new(42, attr_of(42), Method::Codl),
+        Query::new(99, attr_of(99), Method::Codl),
+    ];
+    let cfg = CodConfig {
+        parallelism: Parallelism::Serial,
+        ..CodConfig::default()
+    };
+    let engine = CodEngine::new(g, cfg);
+    let mut rng = SmallRng::seed_from_u64(42);
+    for result in engine.query_batch(&queries, &mut rng) {
+        if let Err(e) = result {
+            eprintln!("warning: counter-snapshot query failed: {e}");
+        }
+    }
+    let snapshot = engine.metrics();
+    COUNTERS
+        .iter()
+        .map(|c| (c.name(), snapshot.counters.get(*c)))
+        .collect()
+}
+
+fn render_report(
+    benchmarks: &BTreeMap<String, Entry>,
+    counters: &BTreeMap<&'static str, u64>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str("  \"benchmarks\": [\n");
+    let mut first = true;
+    for (id, e) in benchmarks {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let escaped: String = id
+            .chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c => vec![c],
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"id\": \"{escaped}\", \"median_ns\": {}, \"samples\": {}}}",
+            e.median_ns, e.samples
+        ));
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"counters\": {\n");
+    let mut first = true;
+    for (name, value) in counters {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("    \"{name}\": {value}"));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Compares current medians against the baseline. Returns false (gate
+/// failed) when any shared id regressed past the threshold.
+fn gate(
+    current: &BTreeMap<String, Entry>,
+    baseline: &BTreeMap<String, Entry>,
+    max_regression_pct: f64,
+) -> bool {
+    let mut failed = false;
+    for (id, cur) in current {
+        let Some(base) = baseline.get(id) else {
+            eprintln!("note: {id}: new benchmark (no baseline)");
+            continue;
+        };
+        if base.median_ns == 0 {
+            continue;
+        }
+        let change_pct =
+            (cur.median_ns as f64 - base.median_ns as f64) / base.median_ns as f64 * 100.0;
+        if change_pct > max_regression_pct {
+            eprintln!(
+                "REGRESSION: {id}: {} ns -> {} ns (+{change_pct:.1}% > +{max_regression_pct:.0}%)",
+                base.median_ns, cur.median_ns
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "ok: {id}: {} ns -> {} ns ({change_pct:+.1}%)",
+                base.median_ns, cur.median_ns
+            );
+        }
+    }
+    for id in baseline.keys() {
+        if !current.contains_key(id) {
+            eprintln!("note: {id}: in baseline but not in this run");
+        }
+    }
+    if failed {
+        eprintln!("bench gate FAILED (threshold +{max_regression_pct:.0}%)");
+    } else {
+        eprintln!("bench gate passed (threshold +{max_regression_pct:.0}%)");
+    }
+    !failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_jsonl_and_keeps_last_duplicate() {
+        let text = "\
+{\"id\":\"g/a\",\"median_ns\":100,\"samples\":10}\n\
+not json at all\n\
+{\"id\":\"g/b\",\"median_ns\":200,\"samples\":5}\n\
+{\"id\":\"g/a\",\"median_ns\":150,\"samples\":10}\n";
+        let entries = parse_entries(text).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries["g/a"].median_ns, 150);
+        assert_eq!(entries["g/b"].samples, 5);
+    }
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let mut benchmarks = BTreeMap::new();
+        benchmarks.insert(
+            "q/one".to_string(),
+            Entry {
+                median_ns: 123,
+                samples: 7,
+            },
+        );
+        benchmarks.insert(
+            "q/two".to_string(),
+            Entry {
+                median_ns: 456,
+                samples: 9,
+            },
+        );
+        let mut counters = BTreeMap::new();
+        counters.insert("rr_graphs_sampled", 42u64);
+        let report = render_report(&benchmarks, &counters);
+        assert!(report.contains("\"schema_version\": 1"));
+        assert!(report.contains("\"rr_graphs_sampled\": 42"));
+        let reparsed = parse_entries(&report).unwrap();
+        assert_eq!(reparsed, benchmarks);
+    }
+
+    #[test]
+    fn gate_fails_only_past_threshold() {
+        let entry = |m: u64| Entry {
+            median_ns: m,
+            samples: 1,
+        };
+        let mut base = BTreeMap::new();
+        base.insert("a".to_string(), entry(1000));
+        base.insert("gone".to_string(), entry(50));
+        let mut cur = BTreeMap::new();
+        cur.insert("a".to_string(), entry(1250));
+        cur.insert("new".to_string(), entry(9999));
+        // +25% exactly is within the gate; ids on one side never fail it.
+        assert!(gate(&cur, &base, 25.0));
+        cur.insert("a".to_string(), entry(1251));
+        assert!(!gate(&cur, &base, 25.0));
+        // A loosened threshold admits the same medians.
+        assert!(gate(&cur, &base, 30.0));
+    }
+
+    #[test]
+    fn string_fields_unescape() {
+        let line = "{\"id\":\"g\\\\x/\\\"y\\\"\",\"median_ns\":1}";
+        assert_eq!(field_str(line, "id").unwrap(), "g\\x/\"y\"");
+    }
+}

@@ -7,8 +7,14 @@ fn main() {
     cod_bench::experiments::table1(&opts);
     cod_bench::experiments::fig4(&opts);
     cod_bench::experiments::fig7(&opts);
-    cod_bench::experiments::fig8(&cod_bench::util::CliOpts { queries: opts.queries.min(10), ..opts.clone() });
-    cod_bench::experiments::fig9(&cod_bench::util::CliOpts { queries: opts.queries.min(8), ..opts.clone() });
+    cod_bench::experiments::fig8(&cod_bench::util::CliOpts {
+        queries: opts.queries.min(10),
+        ..opts.clone()
+    });
+    cod_bench::experiments::fig9(&cod_bench::util::CliOpts {
+        queries: opts.queries.min(8),
+        ..opts.clone()
+    });
     cod_bench::experiments::table2(&opts);
     cod_bench::experiments::case_study(&opts);
     cod_bench::experiments::ablation_hgc(&opts);

@@ -29,9 +29,7 @@ fn load(name: &str, opts: &CliOpts) -> Dataset {
         match name {
             "amazon" => return cod_datasets::amazon_like_scaled(opts.scale, opts.seed),
             "dblp" => return cod_datasets::dblp_like_scaled(opts.scale, opts.seed),
-            "livejournal" => {
-                return cod_datasets::livejournal_like_scaled(opts.scale, opts.seed)
-            }
+            "livejournal" => return cod_datasets::livejournal_like_scaled(opts.scale, opts.seed),
             _ => {}
         }
     }
@@ -49,10 +47,18 @@ fn cfg_from(opts: &CliOpts) -> CodConfig {
 /// chain length `|H̄_ℓ(q)|` over a sampled query workload.
 pub fn table1(opts: &CliOpts) {
     let names: Vec<String> = if opts.datasets.is_empty() {
-        ["cora", "citeseer", "pubmed", "retweet", "amazon", "dblp", "livejournal"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "cora",
+            "citeseer",
+            "pubmed",
+            "retweet",
+            "amazon",
+            "dblp",
+            "livejournal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     } else {
         opts.datasets.clone()
     };
@@ -95,7 +101,8 @@ pub fn table1(opts: &CliOpts) {
     println!("\n== Table I: network statistics (simulated presets) ==");
     print_table(
         ["dataset", "|V|", "|E|", "|A|", "|H_l(q)| avg"]
-            .map(String::from).as_ref(),
+            .map(String::from)
+            .as_ref(),
         &rows,
     );
     println!(
@@ -175,7 +182,9 @@ pub fn fig4(opts: &CliOpts) {
     }
     println!("\n== Fig. 4: average size of the 5-deepest communities containing q ==");
     print_table(
-        ["dataset", "CODU", "CODR", "CODL"].map(String::from).as_ref(),
+        ["dataset", "CODU", "CODR", "CODL"]
+            .map(String::from)
+            .as_ref(),
         &rows,
     );
     println!("(paper shape: CODU and CODR much larger than CODL, worst on PubMed/Retweet)");
@@ -209,6 +218,7 @@ impl Fig7Acc {
                 source: cod_core::pipeline::AnswerSource::Compressed,
                 uncertain: false,
                 cache: None,
+                trace: None,
             });
             self.quality[i].push(answer_quality(g, attr, answer.as_ref()));
             if ans.is_some() {
@@ -240,8 +250,7 @@ pub fn fig7(opts: &CliOpts) {
             let dendro = build_hierarchy(g.csr(), cfg.linkage);
             let lca = LcaIndex::new(&dendro);
             let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xbeef);
-            let index =
-                HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, &mut rng);
+            let index = HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, &mut rng);
             (dendro, lca, index)
         });
         let mut rng = SmallRng::seed_from_u64(opts.seed + 7);
@@ -273,7 +282,10 @@ pub fn fig7(opts: &CliOpts) {
             let codu = codu_multi_k(g, cfg, &dendro, &lca, q, k_max, &mut rng);
             let codr = codr_multi_k(g, cfg, q, a, k_max, &mut rng);
             let codl = codl_multi_k(g, cfg, &dendro, &lca, &index, q, a, k_max, &mut rng);
-            for (acc, mk) in accs.iter_mut().zip([acq, atc, cac, codu, codr, codl].iter()) {
+            for (acc, mk) in accs
+                .iter_mut()
+                .zip([acq, atc, cac, codu, codr, codl].iter())
+            {
                 acc.push(g, a, sigma, mk);
             }
         }
@@ -345,16 +357,14 @@ pub fn fig8(opts: &CliOpts) {
         let queries = gen_queries(g, opts.queries, &mut rng);
         let mut rows = Vec::new();
         for &theta in &thetas {
-            let cfg = CodConfig {
-                theta,
-                ..base
-            };
+            let cfg = CodConfig { theta, ..base };
             let mut stats = [Fig8Stat::default(), Fig8Stat::default()];
             for &(q, a) in &queries {
                 // Both variants share CODR's attribute-aware hierarchy.
                 let dendro = global_recluster(g, a, cfg.beta, cfg.linkage);
                 let lca = LcaIndex::new(&dendro);
-                let chain = DendroChain::new(&dendro, &lca, q).expect("query node within hierarchy");
+                let chain =
+                    DendroChain::new(&dendro, &lca, q).expect("query node within hierarchy");
                 if chain.is_empty() {
                     continue;
                 }
@@ -366,10 +376,7 @@ pub fn fig8(opts: &CliOpts) {
                     independent_cod(g.csr(), cfg.model, &chain, q, cfg.k, theta, &mut rng)
                 });
                 let (s0, s1) = stats.split_at_mut(1);
-                for (stat, out, t) in [
-                    (&mut s0[0], &comp, t_comp),
-                    (&mut s1[0], &ind, t_ind),
-                ] {
+                for (stat, out, t) in [(&mut s0[0], &comp, t_comp), (&mut s1[0], &ind, t_ind)] {
                     stat.time += t;
                     if let Some(h) = out.best_level {
                         let members = chain.members(h);
@@ -401,10 +408,22 @@ pub fn fig8(opts: &CliOpts) {
                 ]);
             }
         }
-        println!("\n== Fig. 8 [{name}]: Compressed vs Independent ({} queries) ==", queries.len());
+        println!(
+            "\n== Fig. 8 [{name}]: Compressed vs Independent ({} queries) ==",
+            queries.len()
+        );
         print_table(
-            ["theta", "method", "top-k precision", "avg |C*|", "min", "max", "time/query"]
-                .map(String::from).as_ref(),
+            [
+                "theta",
+                "method",
+                "top-k precision",
+                "avg |C*|",
+                "min",
+                "max",
+                "time/query",
+            ]
+            .map(String::from)
+            .as_ref(),
             &rows,
         );
     }
@@ -438,7 +457,11 @@ impl Fig8Stat {
         }
     }
     fn min_size(&self) -> f64 {
-        self.sizes.iter().copied().fold(f64::INFINITY, f64::min).min(1e18)
+        self.sizes
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(1e18)
     }
     fn max_size(&self) -> f64 {
         self.sizes.iter().copied().fold(0.0, f64::max)
@@ -449,10 +472,18 @@ impl Fig8Stat {
 /// speed-up plot), plus the LiveJournal scalability column.
 pub fn fig9(opts: &CliOpts) {
     let names: Vec<String> = if opts.datasets.is_empty() {
-        ["cora", "citeseer", "pubmed", "retweet", "amazon", "dblp", "livejournal"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "cora",
+            "citeseer",
+            "pubmed",
+            "retweet",
+            "amazon",
+            "dblp",
+            "livejournal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     } else {
         opts.datasets.clone()
     };
@@ -474,8 +505,7 @@ pub fn fig9(opts: &CliOpts) {
             let dendro = build_hierarchy(g.csr(), cfg.linkage);
             let lca = LcaIndex::new(&dendro);
             let mut irng = SmallRng::seed_from_u64(opts.seed ^ 0xf00d);
-            let index =
-                HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, &mut irng);
+            let index = HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, &mut irng);
             (dendro, lca, index)
         });
         let (dendro, lca, index) = &prep;
@@ -486,11 +516,9 @@ pub fn fig9(opts: &CliOpts) {
         for &(q, a) in &queries {
             let (_, t) = timed(|| codr_multi_k(g, cfg, q, a, cfg.k, &mut rng));
             t_codr += t;
-            let (_, t) =
-                timed(|| codl_minus_multi_k(g, cfg, dendro, lca, q, a, cfg.k, &mut rng));
+            let (_, t) = timed(|| codl_minus_multi_k(g, cfg, dendro, lca, q, a, cfg.k, &mut rng));
             t_codl_minus += t;
-            let (_, t) =
-                timed(|| codl_multi_k(g, cfg, dendro, lca, index, q, a, cfg.k, &mut rng));
+            let (_, t) = timed(|| codl_multi_k(g, cfg, dendro, lca, index, q, a, cfg.k, &mut rng));
             t_codl += t;
         }
         let per = |d: Duration| d / queries.len().max(1) as u32;
@@ -507,8 +535,17 @@ pub fn fig9(opts: &CliOpts) {
     }
     println!("\n== Fig. 9: query runtime (CODR vs CODL- vs CODL) ==");
     print_table(
-        ["dataset", "queries", "CODR/q", "CODL-/q", "CODL/q", "CODR/CODL", "setup (T+HIMOR)"]
-            .map(String::from).as_ref(),
+        [
+            "dataset",
+            "queries",
+            "CODR/q",
+            "CODL-/q",
+            "CODL/q",
+            "CODR/CODL",
+            "setup (T+HIMOR)",
+        ]
+        .map(String::from)
+        .as_ref(),
         &rows,
     );
     println!("(paper shape: CODL fastest; ~25x over CODR on DBLP; CODL- in between)");
@@ -517,10 +554,18 @@ pub fn fig9(opts: &CliOpts) {
 /// **Table II**: HIMOR construction time and index/input memory.
 pub fn table2(opts: &CliOpts) {
     let names: Vec<String> = if opts.datasets.is_empty() {
-        ["cora", "citeseer", "pubmed", "retweet", "amazon", "dblp", "livejournal"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "cora",
+            "citeseer",
+            "pubmed",
+            "retweet",
+            "amazon",
+            "dblp",
+            "livejournal",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     } else {
         opts.datasets.clone()
     };
@@ -549,8 +594,15 @@ pub fn table2(opts: &CliOpts) {
     }
     println!("\n== Table II: HIMOR construction time and memory ==");
     print_table(
-        ["dataset", "build time (s)", "index (MB)", "input (MB)", "avg depth"]
-            .map(String::from).as_ref(),
+        [
+            "dataset",
+            "build time (s)",
+            "index (MB)",
+            "input (MB)",
+            "avg depth",
+        ]
+        .map(String::from)
+        .as_ref(),
         &rows,
     );
     println!(
@@ -579,9 +631,8 @@ pub fn ablation_hgc(opts: &CliOpts) {
         ] {
             let lca = LcaIndex::new(&dendro);
             let mut rng = SmallRng::seed_from_u64(opts.seed + 12);
-            let (index, t_build) = timed(|| {
-                HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, &mut rng)
-            });
+            let (index, t_build) =
+                timed(|| HimorIndex::build(g.csr(), cfg.model, &dendro, &lca, cfg.theta, &mut rng));
             let queries = gen_queries(g, opts.queries, &mut rng);
             let mut qualities = Vec::new();
             for &(q, a) in &queries {
@@ -600,6 +651,7 @@ pub fn ablation_hgc(opts: &CliOpts) {
                     source: cod_core::pipeline::AnswerSource::Compressed,
                     uncertain: false,
                     cache: None,
+                    trace: None,
                 });
                 qualities.push(answer_quality(g, a, ans.as_ref()));
             }
@@ -617,9 +669,17 @@ pub fn ablation_hgc(opts: &CliOpts) {
     }
     println!("\n== Ablation: hierarchy construction method (CODU evaluation) ==");
     print_table(
-        ["dataset", "hgc", "avg depth", "himor build (s)", "index (MB)", "avg |C*|", "rho"]
-            .map(String::from)
-            .as_ref(),
+        [
+            "dataset",
+            "hgc",
+            "avg depth",
+            "himor build (s)",
+            "index (MB)",
+            "avg |C*|",
+            "rho",
+        ]
+        .map(String::from)
+        .as_ref(),
         &rows,
     );
     println!(
@@ -649,7 +709,10 @@ pub fn ablation_weights(opts: &CliOpts) {
         ("boost b=1".into(), WeightScheme::QueryBoost(1.0)),
         ("boost b=4".into(), WeightScheme::QueryBoost(4.0)),
         ("jaccard b=1".into(), WeightScheme::JaccardBlend(1.0)),
-        ("degree-norm b=1".into(), WeightScheme::DegreeNormalized(1.0)),
+        (
+            "degree-norm b=1".into(),
+            WeightScheme::DegreeNormalized(1.0),
+        ),
     ];
     let mut rows = Vec::new();
     for (label, scheme) in &schemes {
@@ -676,6 +739,7 @@ pub fn ablation_weights(opts: &CliOpts) {
                 source: cod_core::pipeline::AnswerSource::Compressed,
                 uncertain: false,
                 cache: None,
+                trace: None,
             });
             qualities.push(answer_quality(g, a, ans.as_ref()));
         }
@@ -687,14 +751,17 @@ pub fn ablation_weights(opts: &CliOpts) {
             format!("{:.3}", avg.attribute_density),
         ]);
     }
-    println!("\n== Ablation: g_l weight transform [{name}] ({} queries) ==", queries.len());
+    println!(
+        "\n== Ablation: g_l weight transform [{name}] ({} queries) ==",
+        queries.len()
+    );
     print_table(
-        ["scheme", "avg |C*|", "rho", "phi"].map(String::from).as_ref(),
+        ["scheme", "avg |C*|", "rho", "phi"]
+            .map(String::from)
+            .as_ref(),
         &rows,
     );
-    println!(
-        "(expected: larger beta raises attribute density phi; b=0 degenerates to CODU)"
-    );
+    println!("(expected: larger beta raises attribute density phi; b=0 degenerates to CODU)");
 }
 
 /// **§V-E case study**: CODL vs ATC/ACQ/CAC communities for two query
@@ -727,22 +794,15 @@ pub fn case_study(opts: &CliOpts) {
         shown += 1;
         println!("\n== case study query node {q} (attribute {a}, k = 1) ==");
         let mut rows = Vec::new();
-        let communities: Vec<(&str, Vec<NodeId>)> = vec![
-            ("CODL", cod_ans.members.clone()),
-            ("ATC", atc_c),
-        ]
-        .into_iter()
-        .chain(cod_search::acq_query(g, q, a, ACQ_K).map(|c| ("ACQ", c)))
-        .chain(cod_search::cac_query(g, q, a).map(|c| ("CAC", c)))
-        .collect();
+        let communities: Vec<(&str, Vec<NodeId>)> =
+            vec![("CODL", cod_ans.members.clone()), ("ATC", atc_c)]
+                .into_iter()
+                .chain(cod_search::acq_query(g, q, a, ACQ_K).map(|c| ("ACQ", c)))
+                .chain(cod_search::cac_query(g, q, a).map(|c| ("CAC", c)))
+                .collect();
         for (m, c) in &communities {
-            let est = InfluenceEstimate::on_community(
-                g.csr(),
-                cfg.model,
-                c,
-                200 * c.len(),
-                &mut rng,
-            );
+            let est =
+                InfluenceEstimate::on_community(g.csr(), cfg.model, c, 200 * c.len(), &mut rng);
             rows.push(vec![
                 m.to_string(),
                 c.len().to_string(),
@@ -753,7 +813,8 @@ pub fn case_study(opts: &CliOpts) {
         }
         print_table(
             ["method", "|C|", "rank(q)", "conductance", "rho"]
-                .map(String::from).as_ref(),
+                .map(String::from)
+                .as_ref(),
             &rows,
         );
     }

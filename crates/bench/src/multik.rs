@@ -52,7 +52,8 @@ pub fn codu_multi_k<R: Rng>(
             per_k: vec![None; k_max],
         };
     }
-    let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query");
+    let out =
+        compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query");
     MultiK::from_outcome(&chain, &out, k_max)
 }
 
@@ -73,7 +74,8 @@ pub fn codr_multi_k<R: Rng>(
             per_k: vec![None; k_max],
         };
     }
-    let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query");
+    let out =
+        compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query");
     MultiK::from_outcome(&chain, &out, k_max)
 }
 
@@ -95,8 +97,8 @@ pub fn codl_minus_multi_k<R: Rng>(
             let members = dendro.members_sorted(choice.vertex);
             let (sub, sd) = local_recluster(g, &members, attr, cfg.beta, cfg.linkage);
             let slca = LcaIndex::new(&sd);
-            let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)
-                .expect("query node inside C_ell");
+            let lower =
+                SubgraphChain::new(&sub, &sd, &slca, q, true).expect("query node inside C_ell");
             let chain = ComposedChain::new(lower, dendro, lca, choice.vertex)
                 .expect("lower chain includes C_ell");
             if chain.is_empty() {
@@ -104,7 +106,8 @@ pub fn codl_minus_multi_k<R: Rng>(
                     per_k: vec![None; k_max],
                 };
             }
-            let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query");
+            let out = compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng)
+                .expect("valid query");
             MultiK::from_outcome(&chain, &out, k_max)
         }
     }
@@ -156,7 +159,8 @@ pub fn codl_multi_k<R: Rng>(
                         truncated: false,
                     }
                 } else {
-                    compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng).expect("valid query")
+                    compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng)
+                        .expect("valid query")
                 }
             };
             fallback = Some((SubgraphOwned { sub, sd, slca }, out));

@@ -84,9 +84,7 @@ impl CliOpts {
                 "--seed" => opts.seed = args[i + 1].parse().expect("--seed N"),
                 "--theta" => opts.theta = args[i + 1].parse().expect("--theta N"),
                 "--scale" => opts.scale = args[i + 1].parse().expect("--scale N"),
-                "--datasets" => {
-                    opts.datasets = args[i + 1].split(',').map(str::to_owned).collect()
-                }
+                "--datasets" => opts.datasets = args[i + 1].split(',').map(str::to_owned).collect(),
                 other => panic!("unknown option {other}"),
             }
             i += 2;

@@ -157,11 +157,7 @@ impl ReclusterCache {
         }
     }
 
-    fn fetch_or_insert(
-        &self,
-        key: CacheKey,
-        build: impl FnOnce() -> Artifact,
-    ) -> (Artifact, bool) {
+    fn fetch_or_insert(&self, key: CacheKey, build: impl FnOnce() -> Artifact) -> (Artifact, bool) {
         if let Some(found) = self.lookup(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (found, true);

@@ -111,7 +111,9 @@ impl Chain for DendroChain<'_> {
         if u == self.q {
             return if self.path.is_empty() { None } else { Some(0) };
         }
-        let d = self.dendro.depth(self.lca.lca(self.dendro.leaf(self.q), self.dendro.leaf(u)));
+        let d = self
+            .dendro
+            .depth(self.lca.lca(self.dendro.leaf(self.q), self.dendro.leaf(u)));
         Some((self.base - d) as usize)
     }
 
@@ -205,9 +207,10 @@ impl Chain for SubgraphChain<'_> {
         let h = if lu == self.q_local {
             0usize
         } else {
-            let d = self
-                .dendro
-                .depth(self.lca.lca(self.dendro.leaf(self.q_local), self.dendro.leaf(lu)));
+            let d = self.dendro.depth(
+                self.lca
+                    .lca(self.dendro.leaf(self.q_local), self.dendro.leaf(lu)),
+            );
             (self.base - d) as usize
         };
         if h < self.path.len() {

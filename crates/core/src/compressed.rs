@@ -23,6 +23,8 @@ use rand::prelude::*;
 use crate::chain::Chain;
 use crate::error::{CodError, CodResult};
 use crate::scratch::{HfsScratch, QueryScratch, TopKScratch};
+use crate::telemetry::{Counter, Phase, TraceSink};
+use std::time::Instant;
 
 /// The result of one compressed COD evaluation.
 ///
@@ -151,10 +153,14 @@ pub fn compressed_cod_with<R: Rng>(
     ws.prepare_buckets(m);
 
     // --- Stage 1: shared sample generation + HFS ------------------------
+    // Phase timers are read outside the per-sample loop, and counters are
+    // plain integer adds that never touch `rng` — telemetry observes the
+    // evaluation without perturbing the drawn samples.
+    let t_sample = ws.sink.timing().then(Instant::now);
     match policy {
         SeedPolicy::Stream(rng) => {
-            let mut sampler =
-                RrSampler::with_scratch(g, model, std::mem::take(&mut ws.sampler));
+            let mut sampler = RrSampler::with_scratch(g, model, std::mem::take(&mut ws.sampler));
+            let before = sampler.stats();
             for _ in 0..theta {
                 draw_and_record(
                     &mut sampler,
@@ -165,13 +171,17 @@ pub fn compressed_cod_with<R: Rng>(
                     rng,
                     &mut ws.hfs,
                     &mut ws.buckets,
+                    &mut ws.sink,
                 );
             }
+            let drawn = sampler.stats().delta_since(before);
+            ws.sink.add(Counter::RrGraphsSampled, drawn.graphs);
+            ws.sink.add(Counter::RrEdgesTraversed, drawn.edges);
             ws.sampler = sampler.into_scratch();
         }
         SeedPolicy::PerIndex { seeds, par } if par.thread_count() <= 1 => {
-            let mut sampler =
-                RrSampler::with_scratch(g, model, std::mem::take(&mut ws.sampler));
+            let mut sampler = RrSampler::with_scratch(g, model, std::mem::take(&mut ws.sampler));
+            let before = sampler.stats();
             for i in 0..theta {
                 let mut rng = seeds.rng_for(i as u64);
                 draw_and_record(
@@ -183,20 +193,25 @@ pub fn compressed_cod_with<R: Rng>(
                     &mut rng,
                     &mut ws.hfs,
                     &mut ws.buckets,
+                    &mut ws.sink,
                 );
             }
+            let drawn = sampler.stats().delta_since(before);
+            ws.sink.add(Counter::RrGraphsSampled, drawn.graphs);
+            ws.sink.add(Counter::RrEdgesTraversed, drawn.edges);
             ws.sampler = sampler.into_scratch();
         }
         SeedPolicy::PerIndex { seeds, par } => {
             // Each worker samples a contiguous index range into its own
             // bucket shard. Which range a sample lands in only decides
             // *where* its counts accumulate; count addition commutes, so
-            // the merged buckets are independent of the chunking.
+            // the merged buckets are independent of the chunking. Each
+            // shard also carries its own counter sink, merged the same way.
             let shards = par_ranges(theta, par.thread_count(), |range| {
                 let mut sampler = RrSampler::new(g, model);
                 let mut hfs = HfsScratch::new(m);
-                let mut buckets: Vec<FxHashMap<NodeId, u32>> =
-                    vec![FxHashMap::default(); m];
+                let mut sink = TraceSink::new(false);
+                let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); m];
                 for i in range {
                     let mut rng = seeds.rng_for(i as u64);
                     draw_and_record(
@@ -208,22 +223,44 @@ pub fn compressed_cod_with<R: Rng>(
                         &mut rng,
                         &mut hfs,
                         &mut buckets,
+                        &mut sink,
                     );
                 }
-                buckets
+                let drawn = sampler.stats();
+                sink.add(Counter::RrGraphsSampled, drawn.graphs);
+                sink.add(Counter::RrEdgesTraversed, drawn.edges);
+                (buckets, sink)
             });
-            for shard in shards {
+            for (shard, sink) in shards {
                 for (h, bucket) in shard.into_iter().enumerate() {
                     for (v, c) in bucket {
                         *ws.buckets[h].entry(v).or_insert(0) += c;
                     }
                 }
+                ws.sink.merge(&sink);
             }
         }
     }
+    if let Some(t0) = t_sample {
+        ws.sink
+            .add_nanos(Phase::Sample, t0.elapsed().as_nanos() as u64);
+    }
 
     // --- Stage 2: incremental top-k evaluation --------------------------
-    let mut out = incremental_top_k_with(&ws.buckets, q, k, theta, universe.len(), &mut ws.topk);
+    let t_topk = ws.sink.timing().then(Instant::now);
+    let mut out = incremental_top_k_with(
+        &ws.buckets,
+        q,
+        k,
+        theta,
+        universe.len(),
+        &mut ws.topk,
+        &mut ws.sink,
+    );
+    if let Some(t0) = t_topk {
+        ws.sink
+            .add_nanos(Phase::TopK, t0.elapsed().as_nanos() as u64);
+    }
     out.truncated = truncated;
     Ok(out)
 }
@@ -243,11 +280,13 @@ fn draw_and_record<R: Rng>(
     rng: &mut R,
     hfs: &mut HfsScratch,
     buckets: &mut [FxHashMap<NodeId, u32>],
+    sink: &mut TraceSink,
 ) {
     let s = universe[rng.random_range(0..universe.len())];
     let Some(ls) = chain.level_of(s) else {
         // Source outside every chain community: its induced RR graphs
         // are all empty (Example 3) — nothing to record.
+        sink.incr(Counter::HfsNodesPruned);
         return;
     };
     let rr = if restricted {
@@ -255,7 +294,7 @@ fn draw_and_record<R: Rng>(
     } else {
         sampler.sample_from(s, rng)
     };
-    hfs_record(chain, &rr, ls, m, hfs, buckets);
+    hfs_record(chain, &rr, ls, m, hfs, buckets, sink);
 }
 
 /// [`compressed_cod`] with per-index seed derivation and parallel sample
@@ -357,8 +396,10 @@ fn hfs_record(
     m: usize,
     scratch: &mut HfsScratch,
     buckets: &mut [FxHashMap<NodeId, u32>],
+    sink: &mut TraceSink,
 ) {
     let n = rr.len();
+    let mut visited = 0u64;
     scratch.explored.clear();
     scratch.explored.resize(n, false);
     scratch.level_cache.clear();
@@ -372,6 +413,7 @@ fn hfs_record(
                 continue;
             }
             scratch.explored[v as usize] = true;
+            visited += 1;
             *buckets[h].entry(rr.node(v)).or_insert(0) += 1;
             for &u in rr.out_neighbors(v) {
                 if scratch.explored[u as usize] {
@@ -395,6 +437,8 @@ fn hfs_record(
             }
         }
     }
+    sink.add(Counter::HfsNodesVisited, visited);
+    sink.add(Counter::HfsNodesPruned, n as u64 - visited);
 }
 
 /// Stage 2 of Algorithm 1, exposed for direct use and testing: scans
@@ -411,7 +455,15 @@ pub fn incremental_top_k(
     theta: usize,
     universe_len: usize,
 ) -> CodOutcome {
-    incremental_top_k_with(buckets, q, k, theta, universe_len, &mut TopKScratch::default())
+    incremental_top_k_with(
+        buckets,
+        q,
+        k,
+        theta,
+        universe_len,
+        &mut TopKScratch::default(),
+        &mut TraceSink::default(),
+    )
 }
 
 /// [`incremental_top_k`] with a reusable scratch workspace (the τ map and
@@ -426,6 +478,7 @@ pub(crate) fn incremental_top_k_with(
     theta: usize,
     universe_len: usize,
     t: &mut TopKScratch,
+    sink: &mut TraceSink,
 ) -> CodOutcome {
     assert!(k >= 1, "top-k requires k >= 1");
     t.prepare();
@@ -454,16 +507,14 @@ pub(crate) fn incremental_top_k_with(
         candidates.extend(buckets[h].keys().copied());
         candidates.sort_unstable();
         candidates.dedup();
+        // The |pool ∪ bucket| candidate evaluations Theorem 3 bounds.
+        sink.add(Counter::TopKHeapOps, candidates.len() as u64);
 
         // k-th highest τ among candidates (0 if fewer than k candidates).
         taus.clear();
         taus.extend(candidates.iter().map(|&v| tau[&v]));
         taus.sort_unstable_by(|a, b| b.cmp(a));
-        let t_k = if taus.len() >= k {
-            taus[k - 1]
-        } else {
-            0
-        };
+        let t_k = if taus.len() >= k { taus[k - 1] } else { 0 };
         pool.clear();
         pool.extend(
             candidates
@@ -558,16 +609,8 @@ pub fn compressed_cod_adaptive_seeded(
     let mut theta = theta_start.max(1);
     let mut round = 0u64;
     loop {
-        let out = compressed_cod_seeded(
-            g,
-            model,
-            chain,
-            q,
-            k,
-            theta,
-            seq.child(round).master(),
-            par,
-        )?;
+        let out =
+            compressed_cod_seeded(g, model, chain, q, k, theta, seq.child(round).master(), par)?;
         let settled = !out.uncertain.iter().any(|&u| u);
         if settled || theta * 2 > theta_max {
             return Ok(out);
@@ -629,10 +672,7 @@ pub fn incremental_top_k_heap(
                     break;
                 }
             }
-            let beats = in_heap.len() < k
-                || heap
-                    .peek()
-                    .is_some_and(|Reverse((c0, _))| *c0 < tv);
+            let beats = in_heap.len() < k || heap.peek().is_some_and(|Reverse((c0, _))| *c0 < tv);
             if beats || in_heap.contains(&v) {
                 heap.push(Reverse((tv, Reverse(v))));
                 in_heap.insert(v);
@@ -733,7 +773,10 @@ mod tests {
         let chain = DendroChain::new(&d, &lca, 9).unwrap();
         let mut rng = SmallRng::seed_from_u64(2);
         let out = compressed_cod(&g, Model::WeightedCascade, &chain, 9, 1, 400, &mut rng).unwrap();
-        assert!(*out.ranks.last().unwrap() > 1, "a periphery leaf cannot be top-1 globally");
+        assert!(
+            *out.ranks.last().unwrap() > 1,
+            "a periphery leaf cannot be top-1 globally"
+        );
     }
 
     #[test]
@@ -769,7 +812,11 @@ mod tests {
         // σ is monotone along the chain for a fixed node (more reachable
         // sources in larger communities).
         for w in out.sigma_q.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "sigma must not shrink: {:?}", out.sigma_q);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "sigma must not shrink: {:?}",
+                out.sigma_q
+            );
         }
         // At the top, σ̂ should be near the Monte-Carlo influence of 0.
         let mut mc_rng = SmallRng::seed_from_u64(5);
@@ -802,8 +849,17 @@ mod tests {
         let lca = LcaIndex::new(&d);
         let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(41);
-        let out =
-            compressed_cod_adaptive(&g, Model::WeightedCascade, &chain, 0, 1, 200, 3200, &mut rng).unwrap();
+        let out = compressed_cod_adaptive(
+            &g,
+            Model::WeightedCascade,
+            &chain,
+            0,
+            1,
+            200,
+            3200,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(out.theta, 200 * 6, "no escalation needed");
         assert_eq!(out.best_level, Some(chain.len() - 1));
     }
@@ -823,7 +879,8 @@ mod tests {
         let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(42);
         let out =
-            compressed_cod_adaptive(&g, Model::WeightedCascade, &chain, 0, 1, 2, 256, &mut rng).unwrap();
+            compressed_cod_adaptive(&g, Model::WeightedCascade, &chain, 0, 1, 2, 256, &mut rng)
+                .unwrap();
         assert!(
             out.theta > 2 * 4,
             "ties must trigger escalation (theta {})",
@@ -919,8 +976,8 @@ mod tests {
         let lca = LcaIndex::new(&d);
         let chain = DendroChain::new(&d, &lca, 0).unwrap();
         let mut rng = SmallRng::seed_from_u64(8);
-        let err = compressed_cod(&g, Model::WeightedCascade, &chain, 0, 0, 10, &mut rng)
-            .unwrap_err();
+        let err =
+            compressed_cod(&g, Model::WeightedCascade, &chain, 0, 0, 10, &mut rng).unwrap_err();
         assert!(matches!(err, CodError::InvalidQuery(_)), "{err}");
     }
 
@@ -981,7 +1038,10 @@ mod tests {
             &mut rng,
         )
         .unwrap_err();
-        assert!(matches!(err, CodError::BudgetExhausted { budget: 0, .. }), "{err}");
+        assert!(
+            matches!(err, CodError::BudgetExhausted { budget: 0, .. }),
+            "{err}"
+        );
     }
 
     #[test]

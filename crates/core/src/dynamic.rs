@@ -20,7 +20,9 @@
 //!   change the node's own chain membership, only its estimates, which
 //!   are re-sampled anyway.
 
-use cod_graph::{AttrId, AttrInterner, AttrTable, AttributedGraph, FxHashSet, GraphBuilder, NodeId};
+use cod_graph::{
+    AttrId, AttrInterner, AttrTable, AttributedGraph, FxHashSet, GraphBuilder, NodeId,
+};
 use cod_hierarchy::LcaIndex;
 use rand::prelude::*;
 
@@ -199,7 +201,14 @@ impl DynamicCod {
                 self.cfg.parallelism,
             )
         } else {
-            HimorIndex::build(graph.csr(), self.cfg.model, &dendro, &lca, self.cfg.theta, rng)
+            HimorIndex::build(
+                graph.csr(),
+                self.cfg.model,
+                &dendro,
+                &lca,
+                self.cfg.theta,
+                rng,
+            )
         };
         self.cache = Some(Cache {
             graph,
@@ -281,6 +290,7 @@ impl DynamicCod {
                     source: AnswerSource::Index,
                     uncertain: false,
                     cache: None,
+                    trace: None,
                 }));
             }
         }
@@ -293,8 +303,7 @@ impl DynamicCod {
             }
             Some(choice) => {
                 let members = c.dendro.members_sorted(choice.vertex);
-                let (sub, sd) =
-                    local_recluster(g, &members, attr, self.cfg.beta, self.cfg.linkage);
+                let (sub, sd) = local_recluster(g, &members, attr, self.cfg.beta, self.cfg.linkage);
                 let slca = LcaIndex::new(&sd);
                 let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)?;
                 let chain = ComposedChain::new(lower, &c.dendro, &c.lca, choice.vertex)?;
@@ -347,7 +356,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(61);
         let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
         assert!(dyn_cod.index_usable_for(0));
-        let ans = dyn_cod.query(0, 0, &mut rng).unwrap().expect("hub answered");
+        let ans = dyn_cod
+            .query(0, 0, &mut rng)
+            .unwrap()
+            .expect("hub answered");
         assert!(ans.members.contains(&0));
     }
 

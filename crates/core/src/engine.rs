@@ -27,7 +27,7 @@
 //! order, exactly one `u64` master seed is drawn *iff* that query reaches
 //! compressed evaluation (index hits, empty chains and validation errors
 //! draw nothing), and the first CODL query triggers the one-time HIMOR
-//! build, consuming what [`pipeline::Codl::new`] would. Each pending
+//! build, consuming what [`crate::pipeline::Codl::new`] would. Each pending
 //! evaluation is then a pure function of its master seed (PR 2's
 //! [`SeedSequence`] contract), so the fan-out order cannot matter. Under
 //! [`Parallelism::Serial`] the batch degrades to sequential evaluation that
@@ -50,6 +50,10 @@ use crate::lore::select_recluster_community;
 use crate::pipeline::{validate_query, AnswerSource, CacheOutcome, CodAnswer, CodConfig};
 use crate::recluster::{build_hierarchy, global_recluster, local_recluster};
 use crate::scratch::QueryScratch;
+use crate::telemetry::{
+    Counter, MetricsRegistry, MetricsSnapshot, Phase, QueryOutcome, QueryTrace, TraceSink,
+};
+use std::time::Instant;
 
 /// Which COD variant answers a query (paper §V naming).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -238,6 +242,7 @@ pub struct CodEngine {
     index: OnceLock<Arc<HimorIndex>>,
     cache: ReclusterCache,
     scratch: Mutex<Vec<QueryScratch>>,
+    metrics: MetricsRegistry,
 }
 
 impl CodEngine {
@@ -265,6 +270,7 @@ impl CodEngine {
             index: OnceLock::new(),
             cache: ReclusterCache::new(cache_capacity),
             scratch: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -297,6 +303,21 @@ impl CodEngine {
         self.cache.stats()
     }
 
+    /// A snapshot of the engine-lifetime metrics: counter totals, phase
+    /// times, outcome tallies and the traced-query latency histogram.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The engine metrics rendered in the Prometheus text exposition
+    /// format (counters as `cod_*_total`, recluster-cache gauges, and a
+    /// `cod_query_seconds` histogram over traced queries).
+    pub fn metrics_text(&self) -> String {
+        self.metrics
+            .snapshot()
+            .render_prometheus(&self.cache.stats())
+    }
+
     /// Drops every cached recluster artifact (diagnostics/testing).
     pub fn clear_cache(&self) {
         self.cache.clear();
@@ -305,7 +326,12 @@ impl CodEngine {
     /// The non-attributed base hierarchy `T` (+ LCA), built on first use.
     pub fn base_hierarchy(&self) -> Arc<Hierarchy> {
         self.base
-            .get_or_init(|| Arc::new(Hierarchy::new(build_hierarchy(self.g.csr(), self.cfg.linkage))))
+            .get_or_init(|| {
+                Arc::new(Hierarchy::new(build_hierarchy(
+                    self.g.csr(),
+                    self.cfg.linkage,
+                )))
+            })
             .clone()
     }
 
@@ -346,16 +372,38 @@ impl CodEngine {
         self.index.get_or_init(|| Arc::new(built)).clone()
     }
 
+    /// [`CodEngine::ensure_himor`] with build telemetry: when this call is
+    /// the one that constructs the index, the build's sampling effort and
+    /// bucket merges are charged to `sink` — the paper likewise charges
+    /// one-time construction to the query that triggers it.
+    fn ensure_himor_traced<R: Rng>(&self, rng: &mut R, sink: &mut TraceSink) -> Arc<HimorIndex> {
+        if let Some(ix) = self.index.get() {
+            return ix.clone();
+        }
+        let t0 = sink.timing().then(Instant::now);
+        let index = self.ensure_himor(rng);
+        sink.incr(Counter::HimorBuilds);
+        let bs = index.build_stats();
+        sink.add(Counter::RrGraphsSampled, bs.rr_graphs);
+        sink.add(Counter::RrEdgesTraversed, bs.rr_edges);
+        sink.add(Counter::HimorBucketMerges, bs.bucket_merges);
+        if let Some(t0) = t0 {
+            sink.add_nanos(Phase::HimorBuild, t0.elapsed().as_nanos() as u64);
+        }
+        index
+    }
+
     /// CODR's global hierarchy for `attr`, through the cache.
     pub fn global_hierarchy(&self, attr: AttrId) -> (Arc<Hierarchy>, bool) {
-        self.cache.global(attr, self.cfg.beta, self.cfg.linkage, || {
-            Arc::new(Hierarchy::new(global_recluster(
-                &self.g,
-                attr,
-                self.cfg.beta,
-                self.cfg.linkage,
-            )))
-        })
+        self.cache
+            .global(attr, self.cfg.beta, self.cfg.linkage, || {
+                Arc::new(Hierarchy::new(global_recluster(
+                    &self.g,
+                    attr,
+                    self.cfg.beta,
+                    self.cfg.linkage,
+                )))
+            })
     }
 
     fn local_artifact(
@@ -417,7 +465,19 @@ impl CodEngine {
         queries: &[Query],
         rng: &mut R,
     ) -> Vec<CodResult<Option<CodAnswer>>> {
-        let plans: Vec<Plan> = queries.iter().map(|&query| self.plan(query, rng)).collect();
+        // One telemetry sink per query: plan-pass events land here
+        // directly; evaluation events are absorbed from the workspace sink
+        // afterwards. Per-query deltas therefore sum exactly to what the
+        // registry aggregates (asserted in tests/telemetry.rs).
+        let mut sinks: Vec<TraceSink> = queries
+            .iter()
+            .map(|_| TraceSink::new(self.cfg.trace))
+            .collect();
+        let plans: Vec<Plan> = queries
+            .iter()
+            .zip(sinks.iter_mut())
+            .map(|(&query, sink)| self.plan(query, rng, sink))
+            .collect();
 
         // Group pending evaluations by (method, attr), preserving
         // first-appearance order, so one worker serves a whole attribute
@@ -435,7 +495,7 @@ impl CodEngine {
         }
         let pending: usize = groups.iter().map(|(_, idxs)| idxs.len()).sum();
 
-        let mut evaluated: Vec<Option<CodResult<Option<CodAnswer>>>> =
+        let mut evaluated: Vec<Option<(CodResult<Option<CodAnswer>>, QueryTrace)>> =
             (0..plans.len()).map(|_| None).collect();
         if pending <= 1 {
             // No fan-out to amortize: evaluate inline and let the single
@@ -450,8 +510,10 @@ impl CodEngine {
                         cache,
                     } = plans[i]
                     {
-                        evaluated[i] =
-                            Some(self.eval(q, seed, artifacts, cache, self.cfg.parallelism, &mut ws));
+                        ws.sink.reset(self.cfg.trace);
+                        let result =
+                            self.eval(q, seed, artifacts, cache, self.cfg.parallelism, &mut ws);
+                        evaluated[i] = Some((result, ws.sink.take()));
                     }
                 }
             }
@@ -462,7 +524,7 @@ impl CodEngine {
             // makes this bit-identical to any other split).
             let shards = par_ranges(groups.len(), self.cfg.parallelism.thread_count(), |range| {
                 let mut ws = self.take_scratch();
-                let mut out: Vec<(usize, CodResult<Option<CodAnswer>>)> = Vec::new();
+                let mut out: Vec<(usize, CodResult<Option<CodAnswer>>, QueryTrace)> = Vec::new();
                 for gi in range {
                     for &i in &groups[gi].1 {
                         if let Plan::Pending {
@@ -472,47 +534,92 @@ impl CodEngine {
                             cache,
                         } = plans[i]
                         {
-                            out.push((
-                                i,
-                                self.eval(q, seed, artifacts, cache, Parallelism::Threads(1), &mut ws),
-                            ));
+                            ws.sink.reset(self.cfg.trace);
+                            let result = self.eval(
+                                q,
+                                seed,
+                                artifacts,
+                                cache,
+                                Parallelism::Threads(1),
+                                &mut ws,
+                            );
+                            out.push((i, result, ws.sink.take()));
                         }
                     }
                 }
                 self.put_scratch(ws);
                 out
             });
-            for (i, result) in shards.into_iter().flatten() {
-                evaluated[i] = Some(result);
+            for (i, result, trace) in shards.into_iter().flatten() {
+                evaluated[i] = Some((result, trace));
             }
         }
 
         plans
             .into_iter()
             .zip(evaluated)
-            .map(|(plan, result)| match plan {
-                Plan::Done(r) => r,
-                Plan::Pending { .. } => match result {
-                    Some(r) => r,
-                    None => unreachable!("every pending plan was evaluated"),
-                },
+            .zip(sinks)
+            .map(|((plan, evaluated), mut sink)| {
+                let mut result = match plan {
+                    Plan::Done(r) => r,
+                    Plan::Pending { .. } => match evaluated {
+                        Some((r, trace)) => {
+                            sink.absorb(&trace);
+                            r
+                        }
+                        None => unreachable!("every pending plan was evaluated"),
+                    },
+                };
+                let outcome = match &result {
+                    Ok(Some(a)) if a.source == AnswerSource::Index => QueryOutcome::AnswerIndex,
+                    Ok(Some(_)) => QueryOutcome::AnswerCompressed,
+                    Ok(None) => QueryOutcome::NoAnswer,
+                    Err(_) => QueryOutcome::Error,
+                };
+                self.metrics.record(&sink, outcome);
+                if self.cfg.trace {
+                    if let Ok(Some(a)) = &mut result {
+                        a.trace = Some(sink.trace());
+                    }
+                }
+                result
             })
             .collect()
     }
 
-    fn plan<R: Rng>(&self, query: Query, rng: &mut R) -> Plan {
-        match self.plan_inner(query, rng) {
+    fn plan<R: Rng>(&self, query: Query, rng: &mut R, sink: &mut TraceSink) -> Plan {
+        let t0 = sink.timing().then(Instant::now);
+        let plan = match self.plan_inner(query, rng, sink) {
             Ok(plan) => plan,
             Err(e) => Plan::Done(Err(e)),
+        };
+        if let Some(t0) = t0 {
+            // Plan time is everything not attributed to a build or (under
+            // the serial policy) evaluation phase during planning. The sink
+            // is fresh per query, so the already-recorded phase total is
+            // exactly that attributed share.
+            let total = t0.elapsed().as_nanos() as u64;
+            let attributed = sink.trace().phases.total();
+            sink.add_nanos(Phase::Plan, total.saturating_sub(attributed));
         }
+        plan
     }
 
     /// The sequential planning pass for one query: validation, artifact
     /// preparation, index lookup, empty-chain short-circuit, master-seed
     /// draw. Replicates the legacy facades' control flow (and therefore
-    /// their RNG consumption) exactly.
-    fn plan_inner<R: Rng>(&self, query: Query, rng: &mut R) -> CodResult<Plan> {
-        let Query { node: q, method, .. } = query;
+    /// their RNG consumption) exactly. Telemetry for plan-side events
+    /// (cache outcomes, artifact builds, index hits) lands in `sink`;
+    /// nothing recorded there reads or writes `rng`.
+    fn plan_inner<R: Rng>(
+        &self,
+        query: Query,
+        rng: &mut R,
+        sink: &mut TraceSink,
+    ) -> CodResult<Plan> {
+        let Query {
+            node: q, method, ..
+        } = query;
         // CODU ignores the attribute (its facade has no attr parameter);
         // every other method requires one.
         let attr = if method.needs_attr() {
@@ -537,13 +644,28 @@ impl CodEngine {
                 CacheOutcome::Miss
             })
         };
+        // Cache lookups that miss run a recluster build; attribute the
+        // elapsed time to the Recluster phase and tally the outcome.
+        let record_lookup = |sink: &mut TraceSink, hit: bool, t0: Option<Instant>| {
+            if hit {
+                sink.incr(Counter::CacheHits);
+            } else {
+                sink.incr(Counter::CacheMisses);
+                sink.incr(Counter::ReclusterBuilds);
+                if let Some(t0) = t0 {
+                    sink.add_nanos(Phase::Recluster, t0.elapsed().as_nanos() as u64);
+                }
+            }
+        };
         let artifacts = match method {
             Method::Codu => EvalArtifacts::Whole(self.base_hierarchy()),
             Method::Codr => {
                 let Some(a) = attr else {
                     unreachable!("validated above: Codr requires an attribute")
                 };
+                let t0 = sink.timing().then(Instant::now);
                 let (h, hit) = self.global_hierarchy(a);
+                record_lookup(sink, hit, t0);
                 cache_outcome = hit_to_outcome(hit);
                 EvalArtifacts::Whole(h)
             }
@@ -556,7 +678,9 @@ impl CodEngine {
                     // No attribute signal on the path: evaluate T directly.
                     None => EvalArtifacts::Whole(base),
                     Some(choice) => {
+                        let t0 = sink.timing().then(Instant::now);
                         let (local, hit) = self.local_artifact(a, &base, choice.vertex);
+                        record_lookup(sink, hit, t0);
                         cache_outcome = hit_to_outcome(hit);
                         EvalArtifacts::ComposedLocal {
                             base,
@@ -570,7 +694,7 @@ impl CodEngine {
                 let Some(a) = attr else {
                     unreachable!("validated above: Codl requires an attribute")
                 };
-                let index = self.ensure_himor(rng);
+                let index = self.ensure_himor_traced(rng, sink);
                 let base = self.base_hierarchy();
                 let choice = select_recluster_community(&self.g, &base.dendro, &base.lca, q, a);
                 let floor: Option<VertexId> = choice.map(|c| c.vertex);
@@ -581,19 +705,23 @@ impl CodEngine {
                     let Some(j) = path.iter().position(|&v| v == c) else {
                         unreachable!("largest_top_k only returns vertices on q's root path")
                     };
+                    sink.incr(Counter::HimorIndexHits);
                     return Ok(Plan::Done(Ok(Some(CodAnswer {
                         members: base.dendro.members_sorted(c),
                         rank: index.ranks_of(q)[j] as usize,
                         source: AnswerSource::Index,
                         uncertain: false,
                         cache: None,
+                        trace: None,
                     }))));
                 }
                 // Line 3: compressed evaluation inside the reclustered C_ℓ.
                 let Some(choice) = choice else {
                     return Ok(Plan::Done(Ok(None)));
                 };
+                let t0 = sink.timing().then(Instant::now);
                 let (local, hit) = self.local_artifact(a, &base, choice.vertex);
+                record_lookup(sink, hit, t0);
                 cache_outcome = hit_to_outcome(hit);
                 EvalArtifacts::SubLocal { local }
             }
@@ -618,8 +746,11 @@ impl CodEngine {
         } else {
             // Legacy serial stream: evaluate now, on the caller's RNG.
             let mut ws = self.take_scratch();
+            ws.sink.reset(self.cfg.trace);
             let result = self.eval_stream(q, &artifacts, cache_outcome, rng, &mut ws);
+            let trace = ws.sink.take();
             self.put_scratch(ws);
+            sink.absorb(&trace);
             Ok(Plan::Done(result))
         }
     }
@@ -700,6 +831,7 @@ fn package(
         source: AnswerSource::Compressed,
         uncertain: out.truncated || out.uncertain[level],
         cache,
+        trace: None,
     })
 }
 
@@ -781,7 +913,10 @@ mod tests {
                     &mut rng,
                 )
                 .unwrap_err();
-            assert!(matches!(err, CodError::InvalidQuery(_)), "{method:?}: {err}");
+            assert!(
+                matches!(err, CodError::InvalidQuery(_)),
+                "{method:?}: {err}"
+            );
         }
         // CODU ignores the attribute entirely.
         assert!(engine.query(Query::codu(0), &mut rng).is_ok());

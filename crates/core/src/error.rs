@@ -88,7 +88,10 @@ mod tests {
             CodError::GraphFormat("dangling edge".into()),
             CodError::IndexCorrupt("section crc mismatch".into()),
             CodError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")),
-            CodError::BudgetExhausted { budget: 0, required: 10 },
+            CodError::BudgetExhausted {
+                budget: 0,
+                required: 10,
+            },
         ];
         for e in cases {
             let s = e.to_string();

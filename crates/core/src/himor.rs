@@ -17,7 +17,9 @@
 
 use cod_graph::{Csr, FxHashMap, NodeId};
 use cod_hierarchy::{Dendrogram, LcaIndex, VertexId};
-use cod_influence::{par_ranges, Model, Parallelism, RrGraph, RrSampler, SeedSequence};
+use cod_influence::{
+    par_ranges, Model, Parallelism, RrGraph, RrSampler, SampleStats, SeedSequence,
+};
 use rand::prelude::*;
 
 /// Influence ranks of every node along its root path in `T`.
@@ -28,6 +30,23 @@ pub struct HimorIndex {
     ranks: Vec<Vec<u32>>,
     /// Total RR graphs used.
     theta: usize,
+    /// Construction-effort counters recorded while building.
+    build_stats: BuildStats,
+}
+
+/// Effort counters of one HIMOR construction, mirroring Theorem 6's cost
+/// terms: `Θ·ω` (graphs × edges sampled) plus one bucket merge per internal
+/// vertex of `T`. All zero for an index reloaded from disk
+/// ([`HimorIndex::from_raw`]) — persistence stores ranks, not provenance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// RR graphs generated during stage 1.
+    pub rr_graphs: u64,
+    /// Activated edges recorded across those RR graphs.
+    pub rr_edges: u64,
+    /// Bottom-up bucket merges performed in stage 2 (one per internal
+    /// vertex).
+    pub bucket_merges: u64,
 }
 
 /// Detached inputs of one vertex's bucket merge (stage 2).
@@ -63,9 +82,18 @@ impl HimorIndex {
         let n = dendro.num_leaves();
         assert_eq!(g.num_nodes(), n);
         let theta = theta_per_node.max(1) * n;
-        let buckets = Self::hfs_stage(g, model, dendro, lca, theta, rng);
+        let (buckets, sampled) = Self::hfs_stage(g, model, dendro, lca, theta, rng);
         let ranks = Self::merge_stage(dendro, buckets, 1);
-        Self { ranks, theta }
+        let build_stats = BuildStats {
+            rr_graphs: sampled.graphs,
+            rr_edges: sampled.edges,
+            bucket_merges: (dendro.num_vertices() - n) as u64,
+        };
+        Self {
+            ranks,
+            theta,
+            build_stats,
+        }
     }
 
     /// Builds the index with `Θ = θ·|V|` RR graphs using per-index seed
@@ -88,10 +116,26 @@ impl HimorIndex {
         assert_eq!(g.num_nodes(), n);
         let theta = theta_per_node.max(1) * n;
         let threads = par.thread_count();
-        let buckets =
-            Self::hfs_stage_seeded(g, model, dendro, lca, theta, SeedSequence::new(seed), threads);
+        let (buckets, sampled) = Self::hfs_stage_seeded(
+            g,
+            model,
+            dendro,
+            lca,
+            theta,
+            SeedSequence::new(seed),
+            threads,
+        );
         let ranks = Self::merge_stage(dendro, buckets, threads);
-        Self { ranks, theta }
+        let build_stats = BuildStats {
+            rr_graphs: sampled.graphs,
+            rr_edges: sampled.edges,
+            bucket_merges: (dendro.num_vertices() - n) as u64,
+        };
+        Self {
+            ranks,
+            theta,
+            build_stats,
+        }
     }
 
     /// Builds the index with `Θ = θ·|V|` RR graphs over `num_threads` OS
@@ -127,7 +171,7 @@ impl HimorIndex {
         lca: &LcaIndex,
         theta: usize,
         rng: &mut R,
-    ) -> Vec<FxHashMap<NodeId, u32>> {
+    ) -> (Vec<FxHashMap<NodeId, u32>>, SampleStats) {
         let nv = dendro.num_vertices();
         let n = dendro.num_leaves();
         let max_depth = (0..n as NodeId)
@@ -144,7 +188,8 @@ impl HimorIndex {
             let rr = sampler.sample_uniform(rng);
             Self::hfs_record_tree(dendro, lca, &rr, &mut queues, &mut explored, &mut buckets);
         }
-        buckets
+        let sampled = sampler.stats();
+        (buckets, sampled)
     }
 
     /// Stage 1 with per-index seed derivation, sharded over `threads`
@@ -158,7 +203,7 @@ impl HimorIndex {
         theta: usize,
         seeds: SeedSequence,
         threads: usize,
-    ) -> Vec<FxHashMap<NodeId, u32>> {
+    ) -> (Vec<FxHashMap<NodeId, u32>>, SampleStats) {
         let nv = dendro.num_vertices();
         let n = dendro.num_leaves();
         let max_depth = (0..n as NodeId)
@@ -175,20 +220,19 @@ impl HimorIndex {
                 let rr = sampler.sample_uniform(&mut rng);
                 Self::hfs_record_tree(dendro, lca, &rr, &mut queues, &mut explored, &mut buckets);
             }
-            buckets
+            (buckets, sampler.stats())
         });
-        let mut shards = shards.into_iter();
-        let mut merged = shards
-            .next()
-            .unwrap_or_else(|| vec![FxHashMap::default(); nv]);
-        for shard in shards {
+        let mut sampled = SampleStats::default();
+        let mut merged: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); nv];
+        for (shard, stats) in shards {
+            sampled = sampled.merged(stats);
             for (slot, bucket) in merged.iter_mut().zip(shard) {
                 for (v, c) in bucket {
                     *slot.entry(v).or_insert(0) += c;
                 }
             }
         }
-        merged
+        (merged, sampled)
     }
 
     /// Records one RR graph into the per-vertex buckets: every RR node goes
@@ -329,8 +373,7 @@ impl HimorIndex {
             .map(|(&v, &c)| (v, acc[v as usize] + c))
             .collect();
         acc_updates.sort_unstable_by_key(|&(v, _)| v);
-        let mut updated: Vec<(u32, NodeId)> =
-            acc_updates.iter().map(|&(v, c)| (c, v)).collect();
+        let mut updated: Vec<(u32, NodeId)> = acc_updates.iter().map(|&(v, c)| (c, v)).collect();
         updated.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
         // Three-way merge, skipping stale child entries.
         let mut merged = Vec::with_capacity(item.left.len() + item.right.len());
@@ -385,7 +428,17 @@ impl HimorIndex {
     /// `ranks[v]` must align with the root path of `v` in the hierarchy the
     /// index will be queried against.
     pub fn from_raw(ranks: Vec<Vec<u32>>, theta: usize) -> Self {
-        Self { ranks, theta }
+        Self {
+            ranks,
+            theta,
+            build_stats: BuildStats::default(),
+        }
+    }
+
+    /// Construction-effort counters ([`BuildStats`]); all zero for an index
+    /// reloaded via [`HimorIndex::from_raw`].
+    pub fn build_stats(&self) -> BuildStats {
+        self.build_stats
     }
 
     /// Number of indexed nodes.
@@ -554,8 +607,15 @@ mod tests {
     fn seeded_build_is_thread_count_invariant() {
         let g = two_stars();
         let (d, lca) = setup(&g);
-        let base =
-            HimorIndex::build_seeded(&g, Model::WeightedCascade, &d, &lca, 150, 1234, Parallelism::Threads(1));
+        let base = HimorIndex::build_seeded(
+            &g,
+            Model::WeightedCascade,
+            &d,
+            &lca,
+            150,
+            1234,
+            Parallelism::Threads(1),
+        );
         for t in [2usize, 3, 8] {
             let idx = HimorIndex::build_seeded(
                 &g,
@@ -579,6 +639,34 @@ mod tests {
         let (d, lca) = setup(&g);
         let a = HimorIndex::build_parallel(&g, Model::WeightedCascade, &d, &lca, 50, 5, 1);
         assert_eq!(a.num_nodes(), 10);
+    }
+
+    #[test]
+    fn build_stats_reflect_construction_effort() {
+        let g = two_stars();
+        let (d, lca) = setup(&g);
+        let mut rng = SmallRng::seed_from_u64(31);
+        let idx = HimorIndex::build(&g, Model::WeightedCascade, &d, &lca, 10, &mut rng);
+        let s = idx.build_stats();
+        // Every one of the Θ = θ·|V| uniform draws generates an RR graph,
+        // and stage 2 merges one bucket per internal vertex.
+        assert_eq!(s.rr_graphs, 100);
+        assert!(s.rr_edges > 0);
+        assert_eq!(s.bucket_merges, (d.num_vertices() - 10) as u64);
+        let seeded = HimorIndex::build_seeded(
+            &g,
+            Model::WeightedCascade,
+            &d,
+            &lca,
+            10,
+            9,
+            Parallelism::Threads(4),
+        );
+        assert_eq!(seeded.build_stats().rr_graphs, 100);
+        assert_eq!(seeded.build_stats().bucket_merges, s.bucket_merges);
+        // A reloaded index carries no provenance.
+        let raw = HimorIndex::from_raw(vec![vec![1]], 5);
+        assert_eq!(raw.build_stats(), BuildStats::default());
     }
 
     #[test]

@@ -43,17 +43,22 @@ pub mod persist;
 pub mod pipeline;
 pub mod recluster;
 pub mod scratch;
+pub mod telemetry;
 
 pub use cache::{CacheStats, ReclusterCache};
 pub use chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
 pub use compressed::{
-    compressed_cod, compressed_cod_adaptive, compressed_cod_adaptive_seeded,
-    compressed_cod_seeded, compressed_cod_with, CodOutcome,
+    compressed_cod, compressed_cod_adaptive, compressed_cod_adaptive_seeded, compressed_cod_seeded,
+    compressed_cod_with, CodOutcome,
 };
 pub use dynamic::DynamicCod;
 pub use engine::{CodEngine, Method, Query};
 pub use error::{CodError, CodResult};
-pub use himor::HimorIndex;
+pub use himor::{BuildStats, HimorIndex};
 pub use lore::{select_recluster_community, ReclusterChoice};
 pub use pipeline::{AnswerSource, CacheOutcome, CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu};
 pub use scratch::QueryScratch;
+pub use telemetry::{
+    Counter, CounterSnapshot, MetricsRegistry, MetricsSnapshot, Phase, PhaseNanos, QueryOutcome,
+    QueryTrace, TraceSink, COUNTERS, PHASES,
+};

@@ -198,7 +198,10 @@ mod tests {
     fn selects_the_score_maximizer() {
         let (g, d, lca) = paper_example();
         let choice = select_recluster_community(&g, &d, &lca, 0, 0).unwrap();
-        assert_eq!(choice.vertex, 12, "C_0 maximizes the score on the binary tree");
+        assert_eq!(
+            choice.vertex, 12,
+            "C_0 maximizes the score on the binary tree"
+        );
         assert_eq!(choice.chain_index, 2);
         assert!((choice.score - 13.0 / 4.0).abs() < 1e-12);
     }
@@ -223,7 +226,7 @@ mod tests {
         }
         assert_eq!(above_c0.get(&15), Some(&1)); // C_3 divides (3,7)
         assert_eq!(above_c0.get(&16), Some(&2)); // C_4 divides (2,4),(3,5)
-        // Reconstruct the paper's r(C_3), r(C_4) over the named communities:
+                                                 // Reconstruct the paper's r(C_3), r(C_4) over the named communities:
         let r_c3: f64 = 3.0 / 6.0;
         let r_c4 = (3 + 2 * 2) as f64 / 8.0;
         assert!((r_c3 - 0.5).abs() < 1e-12);

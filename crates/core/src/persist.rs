@@ -68,7 +68,11 @@ const fn make_crc_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -445,7 +449,10 @@ mod tests {
         // Standard IEEE CRC32 test vectors.
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -528,7 +535,10 @@ mod tests {
         bytes.push(0); // appended garbage shifts the real length
         match load_index_bytes(&bytes) {
             Err(CodError::IndexCorrupt(m)) => assert!(m.contains("footer"), "{m}"),
-            other => panic!("expected IndexCorrupt, got {:?} (len {extra})", other.map(|_| ())),
+            other => panic!(
+                "expected IndexCorrupt, got {:?} (len {extra})",
+                other.map(|_| ())
+            ),
         }
     }
 
@@ -589,7 +599,11 @@ mod tests {
 
         let result = save_index(&target, &dendro, &index);
         assert!(matches!(result, Err(CodError::Io(_))), "{result:?}");
-        assert_eq!(std::fs::read(&target).unwrap(), original, "target untouched");
+        assert_eq!(
+            std::fs::read(&target).unwrap(),
+            original,
+            "target untouched"
+        );
         assert!(load_index(&target).is_ok());
         // No stray temp files either.
         let leftovers: Vec<_> = std::fs::read_dir(dir)

@@ -59,6 +59,13 @@ pub struct CodConfig {
     /// from the caller's RNG and every sample index gets its own derived
     /// RNG, so answers are bit-identical for every thread count.
     pub parallelism: Parallelism,
+    /// Arm per-phase wall-clock timers and attach a
+    /// [`crate::telemetry::QueryTrace`] to every answer
+    /// ([`CodAnswer::trace`]). Off by default: the evaluation path then
+    /// performs zero clock reads. Event *counters* are collected either
+    /// way, and neither mode touches the RNG — answers are bit-identical
+    /// with tracing on or off (asserted by the seed-replay suite).
+    pub trace: bool,
 }
 
 impl Default for CodConfig {
@@ -71,6 +78,7 @@ impl Default for CodConfig {
             model: Model::WeightedCascade,
             budget: None,
             parallelism: Parallelism::Serial,
+            trace: false,
         }
     }
 }
@@ -146,12 +154,16 @@ pub struct CodAnswer {
     /// reclustered hierarchy. `None` when no recluster was involved (CODU,
     /// index hits, degenerate LORE) or the answer predates the engine.
     pub cache: Option<CacheOutcome>,
+    /// Per-query telemetry (phase durations + counter deltas). Attached by
+    /// the engine when [`CodConfig::trace`] is set; `None` otherwise.
+    pub trace: Option<crate::telemetry::QueryTrace>,
 }
 
-/// Equality deliberately ignores [`CodAnswer::cache`]: it describes the
-/// serving path, not the answer. A warm-cache answer *is* the cold-cache
-/// answer (reclustering is deterministic), and the equivalence suites
-/// assert exactly that with `assert_eq!`.
+/// Equality deliberately ignores [`CodAnswer::cache`] and
+/// [`CodAnswer::trace`]: they describe the serving path, not the answer. A
+/// warm-cache answer *is* the cold-cache answer (reclustering is
+/// deterministic) and a traced answer *is* the untraced answer, and the
+/// equivalence suites assert exactly that with `assert_eq!`.
 impl PartialEq for CodAnswer {
     fn eq(&self, other: &Self) -> bool {
         self.members == other.members
@@ -324,12 +336,8 @@ impl<'g> Codl<'g> {
         lca: LcaIndex,
         index: HimorIndex,
     ) -> Self {
-        let engine = CodEngine::from_parts(
-            Arc::new(g.clone()),
-            cfg,
-            Hierarchy { dendro, lca },
-            index,
-        );
+        let engine =
+            CodEngine::from_parts(Arc::new(g.clone()), cfg, Hierarchy { dendro, lca }, index);
         let base = engine.base_hierarchy();
         let index = match engine.himor() {
             Some(ix) => ix,
@@ -419,6 +427,7 @@ pub(crate) fn answer_from_chain<R: Rng>(
         source: AnswerSource::Compressed,
         uncertain: out.truncated || out.uncertain[level],
         cache: None,
+        trace: None,
     }))
 }
 
@@ -473,7 +482,10 @@ mod tests {
         let g = toy();
         let codu = Codu::new(&g, cfg());
         let mut rng = SmallRng::seed_from_u64(31);
-        let ans = codu.query(0, &mut rng).unwrap().expect("hub has a community");
+        let ans = codu
+            .query(0, &mut rng)
+            .unwrap()
+            .expect("hub has a community");
         assert!(ans.members.contains(&0));
         assert!(ans.rank <= 2);
         assert_eq!(ans.source, AnswerSource::Compressed);
@@ -543,10 +555,7 @@ mod tests {
         let err = codr.query(0, 77, &mut rng).unwrap_err();
         assert!(err.to_string().contains("unknown attribute"), "{err}");
         // k == 0 and theta == 0.
-        for bad in [
-            CodConfig { k: 0, ..cfg() },
-            CodConfig { theta: 0, ..cfg() },
-        ] {
+        for bad in [CodConfig { k: 0, ..cfg() }, CodConfig { theta: 0, ..cfg() }] {
             let codu = Codu::new(&g, bad);
             let err = codu.query(0, &mut rng).unwrap_err();
             assert!(matches!(err, CodError::InvalidQuery(_)), "{err}");

@@ -72,11 +72,7 @@ pub fn attribute_weights(g: &AttributedGraph, attr: AttrId, beta: f64) -> Vec<f6
 }
 
 /// Per-half-edge weights of `g_ℓ` under an arbitrary [`WeightScheme`].
-pub fn attribute_weights_with(
-    g: &AttributedGraph,
-    attr: AttrId,
-    scheme: WeightScheme,
-) -> Vec<f64> {
+pub fn attribute_weights_with(g: &AttributedGraph, attr: AttrId, scheme: WeightScheme) -> Vec<f64> {
     let csr = g.csr();
     let mut w = vec![1.0; csr.num_half_edges()];
     for u in 0..g.num_nodes() as NodeId {

@@ -19,6 +19,8 @@
 use cod_graph::{FxHashMap, NodeId};
 use cod_influence::SamplerScratch;
 
+use crate::telemetry::{QueryTrace, TraceSink};
+
 /// Per-RR scratch for the HFS stage, reused across samples.
 #[derive(Default, Debug)]
 pub(crate) struct HfsScratch {
@@ -77,12 +79,28 @@ pub struct QueryScratch {
     pub(crate) hfs: HfsScratch,
     pub(crate) buckets: Vec<FxHashMap<NodeId, u32>>,
     pub(crate) topk: TopKScratch,
+    /// Telemetry accumulator for the evaluation running in this workspace.
+    /// Evaluation *adds to* it; owners that want per-query numbers reset it
+    /// beforehand (see [`TraceSink::reset`]) and take the trace afterwards.
+    pub(crate) sink: TraceSink,
 }
 
 impl QueryScratch {
     /// A fresh, empty workspace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears accumulated telemetry and arms (`timing: true`) or disarms
+    /// the phase timers for the next evaluation run in this workspace.
+    pub fn reset_telemetry(&mut self, timing: bool) {
+        self.sink.reset(timing);
+    }
+
+    /// Returns the telemetry accumulated since the last reset and clears
+    /// the sink (retaining its timing mode).
+    pub fn take_trace(&mut self) -> QueryTrace {
+        self.sink.take()
     }
 
     /// Clears and resizes the bucket vector for an `m`-level chain,
@@ -92,8 +110,7 @@ impl QueryScratch {
             b.clear();
         }
         self.buckets.truncate(m);
-        self.buckets
-            .resize_with(m, FxHashMap::default);
+        self.buckets.resize_with(m, FxHashMap::default);
         self.hfs.prepare(m);
         self.topk.prepare();
     }

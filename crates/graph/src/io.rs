@@ -217,7 +217,11 @@ mod tests {
         match err {
             IoError::Parse { line, content } => {
                 assert_eq!(line, 2);
-                assert_eq!(content.chars().count(), SNIPPET_MAX + 1, "120 chars + ellipsis");
+                assert_eq!(
+                    content.chars().count(),
+                    SNIPPET_MAX + 1,
+                    "120 chars + ellipsis"
+                );
                 assert!(content.ends_with('…'));
             }
             other => panic!("unexpected: {other}"),

@@ -69,7 +69,11 @@ impl AttributedGraph {
             attrs.num_nodes(),
             "attribute table must cover every node"
         );
-        Self { csr, attrs, interner }
+        Self {
+            csr,
+            attrs,
+            interner,
+        }
     }
 
     /// A graph with no attributes on any node.

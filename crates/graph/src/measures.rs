@@ -103,14 +103,7 @@ mod tests {
     #[test]
     fn attribute_density_fraction() {
         let csr = barbell();
-        let attrs = AttrTable::from_lists(vec![
-            vec![0],
-            vec![0],
-            vec![1],
-            vec![0],
-            vec![],
-            vec![],
-        ]);
+        let attrs = AttrTable::from_lists(vec![vec![0], vec![0], vec![1], vec![0], vec![], vec![]]);
         let g = AttributedGraph::from_parts(csr, attrs, AttrInterner::new());
         assert!((attribute_density(&g, &[0, 1, 2], 0) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(attribute_density(&g, &[], 0), 0.0);

@@ -194,7 +194,11 @@ fn bipartition(g: &Csr, set: &[NodeId], side: &mut [u8]) -> (Vec<NodeId>, Vec<No
                 to_other += 1;
             }
         }
-        let (cur, oth) = if mine == 1 { (&mut ca, &mut cb) } else { (&mut cb, &mut ca) };
+        let (cur, oth) = if mine == 1 {
+            (&mut ca, &mut cb)
+        } else {
+            (&mut cb, &mut ca)
+        };
         if to_other > to_mine && *cur > min_side {
             side[v as usize] = other;
             *cur -= 1;
@@ -248,7 +252,17 @@ mod tests {
 
     fn barbell() -> Csr {
         let mut b = GraphBuilder::new(8);
-        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3), (5, 6), (6, 7)] {
+        for (u, v) in [
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (2, 3),
+            (5, 6),
+            (6, 7),
+        ] {
             b.add_edge(u, v);
         }
         b.build()
@@ -281,9 +295,8 @@ mod tests {
         let d = bisect(&b.build());
         assert_eq!(d.size(d.root()), 6);
         // Each pair must appear as a community somewhere.
-        let has = |want: &[NodeId]| {
-            (0..d.num_vertices() as u32).any(|v| d.members_sorted(v) == want)
-        };
+        let has =
+            |want: &[NodeId]| (0..d.num_vertices() as u32).any(|v| d.members_sorted(v) == want);
         assert!(has(&[0, 1]) && has(&[2, 3]) && has(&[4, 5]));
     }
 

@@ -115,7 +115,10 @@ impl Dendrogram {
             let v = (num_leaves + i) as VertexId;
             for &c in &[m.a, m.b] {
                 if (c as usize) >= num_leaves + i {
-                    return Err(DendrogramError::FutureVertex { index: i, vertex: c });
+                    return Err(DendrogramError::FutureVertex {
+                        index: i,
+                        vertex: c,
+                    });
                 }
                 if parent[c as usize] != NO_VERTEX {
                     return Err(DendrogramError::VertexReused { vertex: c });
@@ -289,7 +292,11 @@ impl Dendrogram {
         use std::cmp::Reverse;
         let mut heap: std::collections::BinaryHeap<(Reverse<u32>, u32, VertexId)> =
             std::collections::BinaryHeap::new();
-        heap.push((Reverse(self.depth(self.root)), self.size[self.root as usize], self.root));
+        heap.push((
+            Reverse(self.depth(self.root)),
+            self.size[self.root as usize],
+            self.root,
+        ));
         let mut roots = Vec::with_capacity(k);
         while roots.len() + heap.len() < k {
             let Some((_, _, v)) = heap.pop() else { break };
@@ -457,10 +464,7 @@ pub(crate) mod tests {
     fn avg_chain_len_on_fig2() {
         let (d, _) = fig2();
         // Each leaf's chain is its depth - 1.
-        let manual: f64 = (0..10)
-            .map(|u| d.root_path(u).len() as f64)
-            .sum::<f64>()
-            / 10.0;
+        let manual: f64 = (0..10).map(|u| d.root_path(u).len() as f64).sum::<f64>() / 10.0;
         assert!((d.avg_chain_len() - manual).abs() < 1e-12);
     }
 
@@ -497,10 +501,7 @@ pub(crate) mod tests {
     #[test]
     #[should_panic(expected = "merged twice")]
     fn rejects_reused_vertex() {
-        let merges = vec![
-            Merge { a: 0, b: 1 },
-            Merge { a: 0, b: 2 },
-        ];
+        let merges = vec![Merge { a: 0, b: 1 }, Merge { a: 0, b: 2 }];
         let _ = Dendrogram::from_merges(3, &merges);
     }
 
@@ -518,11 +519,17 @@ pub(crate) mod tests {
         );
         assert_eq!(
             Dendrogram::try_from_merges(3, &[Merge { a: 0, b: 1 }]).unwrap_err(),
-            DendrogramError::WrongMergeCount { num_leaves: 3, merges: 1 }
+            DendrogramError::WrongMergeCount {
+                num_leaves: 3,
+                merges: 1
+            }
         );
         assert_eq!(
             Dendrogram::try_from_merges(2, &[Merge { a: 0, b: 9 }]).unwrap_err(),
-            DendrogramError::FutureVertex { index: 0, vertex: 9 }
+            DendrogramError::FutureVertex {
+                index: 0,
+                vertex: 9
+            }
         );
         assert_eq!(
             Dendrogram::try_from_merges(3, &[Merge { a: 0, b: 1 }, Merge { a: 0, b: 2 }])

@@ -14,8 +14,7 @@
 //! nearest-neighbour chain algorithm requires for exactness.
 
 /// Linkage function selector.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum Linkage {
     /// Unweighted-average linkage (UPGMA on graphs) — the paper's default.
     #[default]
@@ -25,7 +24,6 @@ pub enum Linkage {
     /// Complete linkage (minimum cross-edge weight).
     Complete,
 }
-
 
 /// Cross-cluster edge statistics maintained by the clustering algorithm.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]

@@ -44,15 +44,15 @@ impl ChainState {
         let mut best: Option<(f64, VertexId)> = None;
         for (&y, stats) in &self.adj[x as usize] {
             debug_assert!(self.alive[y as usize]);
-            let sim = self
-                .linkage
-                .similarity(stats, self.size[x as usize] as usize, self.size[y as usize] as usize);
+            let sim = self.linkage.similarity(
+                stats,
+                self.size[x as usize] as usize,
+                self.size[y as usize] as usize,
+            );
             let better = match best {
                 None => true,
                 Some((bs, by)) => {
-                    sim > bs
-                        || (sim == bs
-                            && (Some(y) == prev || (Some(by) != prev && y < by)))
+                    sim > bs || (sim == bs && (Some(y) == prev || (Some(by) != prev && y < by)))
                 }
             };
             if better {
@@ -88,7 +88,8 @@ impl ChainState {
         self.alive[a as usize] = false;
         self.alive[b as usize] = false;
         self.alive.push(true);
-        self.size.push(self.size[a as usize] + self.size[b as usize]);
+        self.size
+            .push(self.size[a as usize] + self.size[b as usize]);
         self.adj.push(map_a);
         c
     }
@@ -102,7 +103,11 @@ impl ChainState {
 /// across the two orientations of each edge. Pass [`cluster_unweighted`] for
 /// unit weights.
 pub fn cluster(g: &Csr, weights: &[f64], linkage: Linkage) -> Vec<Merge> {
-    assert_eq!(weights.len(), g.num_half_edges(), "one weight per half-edge");
+    assert_eq!(
+        weights.len(),
+        g.num_half_edges(),
+        "one weight per half-edge"
+    );
     cluster_impl(g, |idx, _u, _v| weights[idx], linkage)
 }
 
@@ -391,10 +396,7 @@ mod tests {
             let mut best: Option<(f64, usize, usize)> = None;
             for (xi, &i) in ids.iter().enumerate() {
                 for &j in &ids[xi + 1..] {
-                    let w = cross(
-                        clusters[i].as_ref().unwrap(),
-                        clusters[j].as_ref().unwrap(),
-                    );
+                    let w = cross(clusters[i].as_ref().unwrap(), clusters[j].as_ref().unwrap());
                     if w > 0.0 && best.is_none_or(|(bw, _, _)| w > bw) {
                         best = Some((w, i, j));
                     }

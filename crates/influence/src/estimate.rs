@@ -143,12 +143,7 @@ impl InfluenceEstimate {
 
     /// Estimates influences on the whole graph from `theta` RR graphs with
     /// uniformly random sources.
-    pub fn on_graph<R: Rng>(
-        g: &Csr,
-        model: Model,
-        theta: usize,
-        rng: &mut R,
-    ) -> InfluenceEstimate {
+    pub fn on_graph<R: Rng>(g: &Csr, model: Model, theta: usize, rng: &mut R) -> InfluenceEstimate {
         Self::with_policy(
             g,
             model,
@@ -257,11 +252,7 @@ impl InfluenceEstimate {
 
 /// 1-based rank of `q` among `members` under an arbitrary score function
 /// (strictly-greater comparison; ties favour `q`).
-pub fn rank_in_members(
-    members: &[NodeId],
-    q: NodeId,
-    score: impl Fn(NodeId) -> f64,
-) -> usize {
+pub fn rank_in_members(members: &[NodeId], q: NodeId, score: impl Fn(NodeId) -> f64) -> usize {
     let sq = score(q);
     members.iter().filter(|&&v| score(v) > sq).count() + 1
 }
@@ -323,8 +314,13 @@ mod tests {
         let g = star();
         let seeds = SeedSequence::new(99);
         let members: Vec<NodeId> = (0..5).collect();
-        let base =
-            InfluenceEstimate::on_graph_seeded(&g, Model::WeightedCascade, 512, seeds, Parallelism::Threads(1));
+        let base = InfluenceEstimate::on_graph_seeded(
+            &g,
+            Model::WeightedCascade,
+            512,
+            seeds,
+            Parallelism::Threads(1),
+        );
         let base_c = InfluenceEstimate::on_community_seeded(
             &g,
             Model::WeightedCascade,

@@ -229,7 +229,10 @@ mod tests {
         let truth =
             crate::montecarlo::influence(&g, Model::WeightedCascade, 0, 20_000, &mut mc, |_| true);
         let got = pool.estimate(&[0]);
-        assert!((got - truth).abs() < 0.2 * truth, "pool {got} vs mc {truth}");
+        assert!(
+            (got - truth).abs() < 0.2 * truth,
+            "pool {got} vs mc {truth}"
+        );
     }
 
     #[test]
@@ -250,8 +253,7 @@ mod tests {
         let g = two_stars();
         let members: Vec<NodeId> = vec![6, 7, 8, 9];
         let mut rng = SmallRng::seed_from_u64(5);
-        let pool =
-            RrPool::sample(&g, Model::WeightedCascade, 3_000, &mut rng, Some(&members));
+        let pool = RrPool::sample(&g, Model::WeightedCascade, 3_000, &mut rng, Some(&members));
         let seeds = pool.greedy_seeds(1);
         assert_eq!(seeds[0].0, 6, "community hub wins inside the community");
         // Outside nodes have no coverage at all.
@@ -269,6 +271,9 @@ mod tests {
         // Two seeds cover every RR set (component {0,1} and isolated 2).
         assert!(seeds.len() <= 3);
         let picked: Vec<NodeId> = seeds.iter().map(|&(v, _)| v).collect();
-        assert!(picked.contains(&2), "isolated node still covers its own sets");
+        assert!(
+            picked.contains(&2),
+            "isolated node still covers its own sets"
+        );
     }
 }

@@ -35,5 +35,5 @@ pub use im::RrPool;
 pub use model::Model;
 pub use parallel::{par_ranges, Parallelism, SeedPolicy, SeededOnly};
 pub use rrgraph::RrGraph;
-pub use sampler::{RrSampler, SamplerScratch};
+pub use sampler::{RrSampler, SampleStats, SamplerScratch};
 pub use seed::{splitmix64, SeedSequence};

@@ -59,13 +59,7 @@ impl Model {
     /// caller records all live edges, which is what the possible-world
     /// coupling of Theorem 2 requires.
     #[inline]
-    pub fn reverse_expand<R: Rng>(
-        &self,
-        g: &Csr,
-        v: NodeId,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-    ) {
+    pub fn reverse_expand<R: Rng>(&self, g: &Csr, v: NodeId, rng: &mut R, out: &mut Vec<NodeId>) {
         let neigh = g.neighbors(v);
         if neigh.is_empty() {
             return;

@@ -59,9 +59,7 @@ pub fn influence_seeded(
             let mut rng = seeds.rng_for(i as u64);
             total += match model {
                 Model::LinearThreshold => simulate_lt(g, seed, &mut rng, &keep, &mut scratch),
-                Model::RandomK(k) => {
-                    simulate_triggering(g, k, seed, &mut rng, &keep, &mut scratch)
-                }
+                Model::RandomK(k) => simulate_triggering(g, k, seed, &mut rng, &keep, &mut scratch),
                 _ => simulate_ic(g, model, seed, &mut rng, &keep, &mut scratch),
             };
         }
@@ -307,12 +305,8 @@ mod tests {
         b.add_edge(1, 2);
         let g = b.build();
         let mut r = rng();
-        let est = crate::estimate::InfluenceEstimate::on_graph(
-            &g,
-            Model::RandomK(2),
-            40_000,
-            &mut r,
-        );
+        let est =
+            crate::estimate::InfluenceEstimate::on_graph(&g, Model::RandomK(2), 40_000, &mut r);
         let mut mc = SmallRng::seed_from_u64(99);
         for v in 0..6u32 {
             let truth = influence(&g, Model::RandomK(2), v, 20_000, &mut mc, |_| true);

@@ -83,9 +83,8 @@ impl Parallelism {
         match *self {
             Parallelism::Serial => 1,
             Parallelism::Threads(n) => n.max(1),
-            Parallelism::Auto => env_thread_override().unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, usize::from)
-            }),
+            Parallelism::Auto => env_thread_override()
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from)),
         }
     }
 

@@ -36,6 +36,7 @@ pub struct RrSampler<'g> {
     /// Local index of `v` in the current sample (valid when stamped).
     local: Vec<u32>,
     epoch: u32,
+    stats: SampleStats,
 }
 
 /// Detached sampler scratch buffers, reusable across queries and graphs.
@@ -55,12 +56,57 @@ pub struct SamplerScratch {
     stamp: Vec<u32>,
     local: Vec<u32>,
     epoch: u32,
+    stats: SampleStats,
 }
 
 impl SamplerScratch {
     /// Bytes held by the scratch buffers (capacity, not length).
     pub fn memory_bytes(&self) -> usize {
         (self.stamp.capacity() + self.local.capacity()) * std::mem::size_of::<u32>()
+    }
+
+    /// Cumulative sampling effort recorded by every sampler this scratch
+    /// has passed through. Callers that want per-query numbers snapshot
+    /// before and after and subtract.
+    pub fn stats(&self) -> SampleStats {
+        self.stats
+    }
+}
+
+/// Cumulative sampling-effort counters.
+///
+/// `graphs` counts RR graphs generated; `edges` counts activated edges
+/// recorded across them — together the `Θ · ω` of the paper's sampling
+/// cost. Plain integers bumped on the sampling path (no atomics), carried
+/// with the sampler and its detachable [`SamplerScratch`] so effort
+/// accumulates across scratch reuse. Reading or resetting them never
+/// touches the RNG: telemetry cannot change a drawn sample.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SampleStats {
+    /// RR graphs generated.
+    pub graphs: u64,
+    /// Activated edges recorded across all generated RR graphs.
+    pub edges: u64,
+}
+
+impl SampleStats {
+    /// Component-wise difference since an `earlier` snapshot (saturating,
+    /// so a swapped argument order cannot panic).
+    #[must_use]
+    pub fn delta_since(&self, earlier: SampleStats) -> SampleStats {
+        SampleStats {
+            graphs: self.graphs.saturating_sub(earlier.graphs),
+            edges: self.edges.saturating_sub(earlier.edges),
+        }
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(&self, other: SampleStats) -> SampleStats {
+        SampleStats {
+            graphs: self.graphs + other.graphs,
+            edges: self.edges + other.edges,
+        }
     }
 }
 
@@ -79,6 +125,7 @@ impl<'g> RrSampler<'g> {
             mut stamp,
             mut local,
             epoch,
+            stats,
         } = scratch;
         stamp.resize(g.num_nodes(), 0);
         local.resize(g.num_nodes(), 0);
@@ -88,6 +135,7 @@ impl<'g> RrSampler<'g> {
             stamp,
             local,
             epoch,
+            stats,
         }
     }
 
@@ -97,7 +145,13 @@ impl<'g> RrSampler<'g> {
             stamp: self.stamp,
             local: self.local,
             epoch: self.epoch,
+            stats: self.stats,
         }
+    }
+
+    /// Cumulative sampling effort (including any carried in via scratch).
+    pub fn stats(&self) -> SampleStats {
+        self.stats
     }
 
     /// The diffusion model in use.
@@ -169,6 +223,8 @@ impl<'g> RrSampler<'g> {
                 edges.push((lv, lu));
             }
         }
+        self.stats.graphs += 1;
+        self.stats.edges += edges.len() as u64;
         RrGraph::from_parts(nodes, &edges)
     }
 }
@@ -266,6 +322,45 @@ mod tests {
             .map(|_| reused.sample_uniform(&mut rng).nodes().to_vec())
             .collect();
         assert_eq!(want, got, "scratch reuse must not change drawn samples");
+    }
+
+    #[test]
+    fn stats_count_graphs_and_edges_and_travel_with_scratch() {
+        let g = path3();
+        let mut s = RrSampler::new(&g, Model::UniformIc(1.0));
+        let mut rng = SmallRng::seed_from_u64(3);
+        s.sample_from(1, &mut rng); // 3 nodes, 4 recorded edges
+        s.sample_from(1, &mut rng);
+        assert_eq!(
+            s.stats(),
+            SampleStats {
+                graphs: 2,
+                edges: 8
+            }
+        );
+        // Stats ride along when the scratch is recycled into a new sampler.
+        let scratch = s.into_scratch();
+        assert_eq!(scratch.stats().graphs, 2);
+        let mut s2 = RrSampler::with_scratch(&g, Model::UniformIc(0.0), scratch);
+        s2.sample_from(0, &mut rng); // source only, no edges
+        assert_eq!(
+            s2.stats(),
+            SampleStats {
+                graphs: 3,
+                edges: 8
+            }
+        );
+        let d = s2.stats().delta_since(SampleStats {
+            graphs: 2,
+            edges: 8,
+        });
+        assert_eq!(
+            d,
+            SampleStats {
+                graphs: 1,
+                edges: 0
+            }
+        );
     }
 
     #[test]

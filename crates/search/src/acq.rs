@@ -26,12 +26,7 @@ use crate::kcore::kcore_component;
 /// assert_eq!(acq_query(&g, 0, 0, 2), Some(vec![0, 1, 2]));
 /// assert_eq!(acq_query(&g, 3, 0, 1), None); // node 3 lacks the attribute
 /// ```
-pub fn acq_query(
-    g: &AttributedGraph,
-    q: NodeId,
-    attr: AttrId,
-    k: u32,
-) -> Option<Vec<NodeId>> {
+pub fn acq_query(g: &AttributedGraph, q: NodeId, attr: AttrId, k: u32) -> Option<Vec<NodeId>> {
     if !g.has_attr(q, attr) {
         return None;
     }
@@ -45,11 +40,7 @@ pub fn acq_query(
 }
 
 /// The largest `k` for which [`acq_query`] succeeds, with its community.
-pub fn acq_query_max_k(
-    g: &AttributedGraph,
-    q: NodeId,
-    attr: AttrId,
-) -> Option<(u32, Vec<NodeId>)> {
+pub fn acq_query_max_k(g: &AttributedGraph, q: NodeId, attr: AttrId) -> Option<(u32, Vec<NodeId>)> {
     let mut best = None;
     let mut k = 1u32;
     while let Some(c) = acq_query(g, q, attr, k) {
@@ -74,13 +65,7 @@ mod tests {
         let mut i = AttrInterner::new();
         let a = i.intern("A");
         let bb = i.intern("B");
-        let attrs = AttrTable::from_lists(vec![
-            vec![a],
-            vec![a],
-            vec![a],
-            vec![bb],
-            vec![a],
-        ]);
+        let attrs = AttrTable::from_lists(vec![vec![a], vec![a], vec![a], vec![bb], vec![a]]);
         AttributedGraph::from_parts(b.build(), attrs, i)
     }
 

@@ -142,14 +142,8 @@ mod tests {
         let mut i = AttrInterner::new();
         let a = i.intern("A");
         let bb = i.intern("B");
-        let attrs = AttrTable::from_lists(vec![
-            vec![a],
-            vec![a],
-            vec![a],
-            vec![a],
-            vec![bb],
-            vec![bb],
-        ]);
+        let attrs =
+            AttrTable::from_lists(vec![vec![a], vec![a], vec![a], vec![a], vec![bb], vec![bb]]);
         AttributedGraph::from_parts(b.build(), attrs, i)
     }
 
@@ -188,7 +182,17 @@ mod tests {
     fn distance_bound_restricts_the_neighborhood() {
         let g = fixture();
         // d = 1 around node 0: nodes {0,1,2,3} (node 4,5 are 2 hops away).
-        let c = atc_query(&g, 0, 0, AtcParams { k: 4, d: 1, ..AtcParams::default() }).unwrap();
+        let c = atc_query(
+            &g,
+            0,
+            0,
+            AtcParams {
+                k: 4,
+                d: 1,
+                ..AtcParams::default()
+            },
+        )
+        .unwrap();
         assert_eq!(c, vec![0, 1, 2, 3]);
     }
 }

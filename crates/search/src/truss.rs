@@ -127,12 +127,7 @@ impl TrussDecomposition {
     /// Nodes of the triangle-connected k-truss community containing `q`
     /// (see [`TrussDecomposition::triangle_connected_edges`]). Returns
     /// sorted node members, or `None` if no incident edge qualifies.
-    pub fn triangle_connected_community(
-        &self,
-        g: &Csr,
-        q: NodeId,
-        k: u32,
-    ) -> Option<Vec<NodeId>> {
+    pub fn triangle_connected_community(&self, g: &Csr, q: NodeId, k: u32) -> Option<Vec<NodeId>> {
         let edges = self.triangle_connected_edges(g, q, k)?;
         let mut nodes: Vec<NodeId> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
         nodes.sort_unstable();

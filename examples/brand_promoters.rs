@@ -62,9 +62,12 @@ fn main() {
         println!("{q:8} | {size:14} | {density:13.3}");
     }
     match ranked.first() {
-        Some((q, size, _)) => println!(
-            "\nbest promoter: user {q} — influential across a {size}-user community"
+        Some((q, size, _)) => {
+            println!("\nbest promoter: user {q} — influential across a {size}-user community")
+        }
+        None => println!(
+            "\nno candidate has a characteristic community at k = {}",
+            cfg.k
         ),
-        None => println!("\nno candidate has a characteristic community at k = {}", cfg.k),
     }
 }

@@ -49,7 +49,10 @@ fn main() {
     let codu = Codu::new(g, cfg);
     for q in [0u32, 6] {
         match codu.query(q, &mut rng).expect("valid query") {
-            Some(ans) => println!("CODU answer for v{q}: {:?} (rank {})", ans.members, ans.rank),
+            Some(ans) => println!(
+                "CODU answer for v{q}: {:?} (rank {})",
+                ans.members, ans.rank
+            ),
             None => println!("CODU: no answer for v{q}"),
         }
     }

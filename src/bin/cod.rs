@@ -117,6 +117,12 @@ OPTIONS:
                   number. Any non-serial setting uses deterministic
                   per-sample seeding: results depend only on --seed, never
                   on the thread count
+  --trace         query: print a per-query phase/counter trace line after
+                  each answer (phase timings plus RR-graph, HFS, and top-k
+                  work counts). Tracing never changes answers or RNG draws
+  --metrics-out F query: after all queries finish, write engine metrics in
+                  Prometheus text format to F (counters, phase seconds,
+                  latency histogram, cache gauges)
   --out-edges F   generate: output edge-list path
   --out-attrs F   generate: output attribute-list path";
 
@@ -137,6 +143,8 @@ struct Opts {
     strict_index: bool,
     budget: Option<usize>,
     threads: Option<Parallelism>,
+    trace: bool,
+    metrics_out: Option<PathBuf>,
     out_edges: Option<PathBuf>,
     out_attrs: Option<PathBuf>,
 }
@@ -174,6 +182,11 @@ impl Opts {
                 i += 1;
                 continue;
             }
+            if args[i] == "--trace" {
+                o.trace = true;
+                i += 1;
+                continue;
+            }
             match args[i].as_str() {
                 "--edges" => o.edges = Some(PathBuf::from(value(args, i)?)),
                 "--attrs" => o.attrs = Some(PathBuf::from(value(args, i)?)),
@@ -185,18 +198,31 @@ impl Opts {
                 "--attr" => o.attr = Some(value(args, i)?),
                 "--k" => o.k = value(args, i)?.parse().map_err(|_| "--k wants a number")?,
                 "--theta" => {
-                    o.theta = value(args, i)?.parse().map_err(|_| "--theta wants a number")?
+                    o.theta = value(args, i)?
+                        .parse()
+                        .map_err(|_| "--theta wants a number")?
                 }
-                "--seed" => o.seed = value(args, i)?.parse().map_err(|_| "--seed wants a number")?,
+                "--seed" => {
+                    o.seed = value(args, i)?
+                        .parse()
+                        .map_err(|_| "--seed wants a number")?
+                }
                 "--method" => o.method = Some(value(args, i)?),
                 "--levels" => {
-                    o.levels = value(args, i)?.parse().map_err(|_| "--levels wants a number")?
+                    o.levels = value(args, i)?
+                        .parse()
+                        .map_err(|_| "--levels wants a number")?
                 }
                 "--index" => o.index = Some(PathBuf::from(value(args, i)?)),
                 "--budget" => {
-                    o.budget = Some(value(args, i)?.parse().map_err(|_| "--budget wants a number")?)
+                    o.budget = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--budget wants a number")?,
+                    )
                 }
                 "--threads" => o.threads = Some(parse_threads(&value(args, i)?)?),
+                "--metrics-out" => o.metrics_out = Some(PathBuf::from(value(args, i)?)),
                 "--out-edges" => o.out_edges = Some(PathBuf::from(value(args, i)?)),
                 "--out-attrs" => o.out_attrs = Some(PathBuf::from(value(args, i)?)),
                 other => return Err(format!("unknown option {other:?}")),
@@ -241,6 +267,7 @@ impl Opts {
             theta: self.theta,
             budget: self.budget,
             parallelism: self.threads.unwrap_or(Parallelism::Serial),
+            trace: self.trace,
             ..CodConfig::default()
         }
     }
@@ -250,7 +277,10 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     let g = opts.load_graph()?;
     let csr = g.csr();
     let (ncomp, _) = pcod::graph::components::connected_components(csr);
-    let max_deg = (0..g.num_nodes() as NodeId).map(|v| g.degree(v)).max().unwrap_or(0);
+    let max_deg = (0..g.num_nodes() as NodeId)
+        .map(|v| g.degree(v))
+        .max()
+        .unwrap_or(0);
     println!("nodes:       {}", g.num_nodes());
     println!("edges:       {}", g.num_edges());
     println!("attributes:  {}", g.num_attrs());
@@ -271,7 +301,10 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
         "assortativity: {:.4}",
         pcod::graph::stats::degree_assortativity(csr)
     );
-    println!("pseudo-diameter: {}", pcod::graph::stats::pseudo_diameter(csr));
+    println!(
+        "pseudo-diameter: {}",
+        pcod::graph::stats::pseudo_diameter(csr)
+    );
     let dendro = build_hierarchy(csr, Linkage::Average);
     println!("hierarchy:   avg |H(q)| = {:.1}", dendro.avg_chain_len());
     Ok(())
@@ -351,7 +384,9 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     let cfg = opts.cod_config();
     let method = opts.method.as_deref().unwrap_or("codl");
     if opts.index.is_some() && method != "codl" {
-        return Err(format!("--index only applies to --method codl, not {method:?}"));
+        return Err(format!(
+            "--index only applies to --method codl, not {method:?}"
+        ));
     }
     if let Some(path) = &opts.queries {
         if opts.node.is_some() {
@@ -363,11 +398,29 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     check_node(&g, q)?;
     let mut rng = SmallRng::seed_from_u64(opts.seed);
     let attr = opts.resolve_attr(&g, q);
-    let answer = match method {
-        "codu" => Codu::new(&g, cfg).query(q, &mut rng),
-        "codr" => Codr::new(&g, cfg).query(q, attr?, &mut rng),
-        "codl-" => CodlMinus::new(&g, cfg).query(q, attr?, &mut rng),
-        "codl" => build_codl(&g, cfg, opts, &mut rng)?.query(q, attr?, &mut rng),
+    // Keep the facade alive past the answer so --metrics-out can read the
+    // engine's registry after the query completes.
+    let codu;
+    let codr;
+    let codl_minus;
+    let codl;
+    let (answer, engine): (_, &CodEngine) = match method {
+        "codu" => {
+            codu = Codu::new(&g, cfg);
+            (codu.query(q, &mut rng), codu.engine())
+        }
+        "codr" => {
+            codr = Codr::new(&g, cfg);
+            (codr.query(q, attr?, &mut rng), codr.engine())
+        }
+        "codl-" => {
+            codl_minus = CodlMinus::new(&g, cfg);
+            (codl_minus.query(q, attr?, &mut rng), codl_minus.engine())
+        }
+        "codl" => {
+            codl = build_codl(&g, cfg, opts, &mut rng)?;
+            (codl.query(q, attr?, &mut rng), codl.engine())
+        }
         other => return Err(format!("unknown method {other:?} (codu|codr|codl-|codl)")),
     };
     match answer.map_err(|e| e.to_string())? {
@@ -392,8 +445,24 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             );
             let shown = ans.members.len().min(40);
             println!("members[..{shown}]: {:?}", &ans.members[..shown]);
+            if let Some(trace) = &ans.trace {
+                println!("{}", trace.render_line());
+            }
         }
     }
+    write_metrics(opts, engine)?;
+    Ok(())
+}
+
+/// Writes the engine's Prometheus-style metrics to `--metrics-out`, when
+/// given.
+fn write_metrics(opts: &Opts, engine: &CodEngine) -> Result<(), String> {
+    let Some(path) = &opts.metrics_out else {
+        return Ok(());
+    };
+    std::fs::write(path, engine.metrics_text())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    eprintln!("wrote metrics to {}", path.display());
     Ok(())
 }
 
@@ -428,8 +497,8 @@ fn cmd_query_batch(
     path: &Path,
 ) -> Result<(), String> {
     let method = parse_method(method_name)?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let mut queries = Vec::new();
     for (no, raw) in text.lines().enumerate() {
         let at = |msg: String| format!("{}:{}: {msg}", path.display(), no + 1);
@@ -498,6 +567,9 @@ fn cmd_query_batch(
                     ans.rank,
                     ans.source,
                 );
+                if let Some(trace) = &ans.trace {
+                    println!("  {}", trace.render_line());
+                }
             }
         }
     }
@@ -509,6 +581,7 @@ fn cmd_query_batch(
         stats.hit_rate() * 100.0,
         stats.len,
     );
+    write_metrics(opts, engine)?;
     Ok(())
 }
 
@@ -547,7 +620,10 @@ fn cmd_hierarchy(opts: &Opts) -> Result<(), String> {
         );
     }
     if chain.len() > opts.levels {
-        println!("... ({} more levels; raise --levels)", chain.len() - opts.levels);
+        println!(
+            "... ({} more levels; raise --levels)",
+            chain.len() - opts.levels
+        );
     }
     Ok(())
 }
@@ -557,7 +633,10 @@ fn cmd_baseline(opts: &Opts) -> Result<(), String> {
     let q = opts.node.ok_or("baseline needs --node")?;
     check_node(&g, q)?;
     let attr = opts.resolve_attr(&g, q)?;
-    let method = opts.method.as_deref().ok_or("baseline needs --method acq|atc|cac")?;
+    let method = opts
+        .method
+        .as_deref()
+        .ok_or("baseline needs --method acq|atc|cac")?;
     let community = match method {
         "acq" => pcod::search::acq_query(&g, q, attr, 2),
         "atc" => pcod::search::atc_query(&g, q, attr, Default::default()),
@@ -636,7 +715,10 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let name = opts.preset.as_deref().ok_or("generate needs --preset")?;
     let data = pcod::datasets::by_name(name, opts.seed)
         .ok_or_else(|| format!("unknown preset {name:?}"))?;
-    let edges_path = opts.out_edges.as_ref().ok_or("generate needs --out-edges")?;
+    let edges_path = opts
+        .out_edges
+        .as_ref()
+        .ok_or("generate needs --out-edges")?;
     let f = std::fs::File::create(edges_path).map_err(|e| e.to_string())?;
     io::write_edge_list(data.graph.csr(), f).map_err(|e| e.to_string())?;
     println!(

@@ -52,8 +52,8 @@ pub use cod_search as search;
 pub mod prelude {
     pub use cod_core::{
         CacheOutcome, CacheStats, Chain, CodAnswer, CodConfig, CodEngine, CodError, CodResult,
-        Codl, CodlMinus, Codr, Codu, ComposedChain, DendroChain, HimorIndex, Method, Query,
-        QueryScratch,
+        Codl, CodlMinus, Codr, Codu, ComposedChain, Counter, DendroChain, HimorIndex, Method,
+        MetricsSnapshot, Phase, Query, QueryScratch, QueryTrace,
     };
     pub use cod_graph::{AttrId, AttributedGraph, Csr, GraphBuilder, NodeId};
     pub use cod_hierarchy::{Dendrogram, LcaIndex, Linkage};

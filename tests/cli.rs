@@ -103,7 +103,15 @@ fn generate_then_query_round_trip() {
 #[test]
 fn hierarchy_command_prints_levels() {
     let o = run(&[
-        "hierarchy", "--preset", "cora", "--node", "3", "--levels", "4", "--theta", "5",
+        "hierarchy",
+        "--preset",
+        "cora",
+        "--node",
+        "3",
+        "--levels",
+        "4",
+        "--theta",
+        "5",
     ]);
     assert!(o.status.success(), "stderr: {}", stderr(&o));
     let out = stdout(&o);
@@ -135,7 +143,11 @@ fn baseline_command_runs() {
 /// `error:`, and no panic backtrace.
 fn assert_clean_failure(o: &Output) -> String {
     let err = stderr(o);
-    assert!(!o.status.success(), "expected failure, stdout: {}", stdout(o));
+    assert!(
+        !o.status.success(),
+        "expected failure, stdout: {}",
+        stdout(o)
+    );
     assert!(
         !err.contains("panicked") && !err.contains("RUST_BACKTRACE"),
         "panic leaked to the user: {err}"
@@ -149,10 +161,8 @@ struct TempFile(PathBuf);
 
 impl TempFile {
     fn new(tag: &str, contents: &[u8]) -> Self {
-        let path = std::env::temp_dir().join(format!(
-            "cod_cli_{tag}_{}_{tag}.txt",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("cod_cli_{tag}_{}_{tag}.txt", std::process::id()));
         std::fs::write(&path, contents).expect("write temp fixture");
         TempFile(path)
     }
@@ -180,7 +190,13 @@ fn tiny_graph_files() -> (TempFile, TempFile) {
 
 #[test]
 fn missing_edge_file_is_a_one_line_error() {
-    let o = run(&["query", "--edges", "/nonexistent/no_such_graph.txt", "--node", "0"]);
+    let o = run(&[
+        "query",
+        "--edges",
+        "/nonexistent/no_such_graph.txt",
+        "--node",
+        "0",
+    ]);
     let err = assert_clean_failure(&o);
     assert!(err.contains("loading graph"), "unexpected: {err}");
     assert_eq!(err.trim_end().lines().count(), 1, "not one line: {err}");
@@ -199,7 +215,15 @@ fn malformed_edge_list_reports_the_line_number() {
 fn zero_k_is_rejected_without_panic() {
     let (edges, attrs) = tiny_graph_files();
     let o = run(&[
-        "query", "--edges", edges.path(), "--attrs", attrs.path(), "--node", "3", "--k", "0",
+        "query",
+        "--edges",
+        edges.path(),
+        "--attrs",
+        attrs.path(),
+        "--node",
+        "3",
+        "--k",
+        "0",
     ]);
     let err = assert_clean_failure(&o);
     assert!(err.contains("k must be at least 1"), "unexpected: {err}");
@@ -210,8 +234,16 @@ fn corrupt_index_is_fatal_under_strict() {
     let (edges, attrs) = tiny_graph_files();
     let idx = TempFile::new("strictidx", b"this is not a CODX file at all");
     let o = run(&[
-        "query", "--edges", edges.path(), "--attrs", attrs.path(),
-        "--node", "3", "--index", idx.path(), "--strict-index",
+        "query",
+        "--edges",
+        edges.path(),
+        "--attrs",
+        attrs.path(),
+        "--node",
+        "3",
+        "--index",
+        idx.path(),
+        "--strict-index",
     ]);
     let err = assert_clean_failure(&o);
     assert!(err.contains("corrupt index"), "unexpected: {err}");
@@ -222,13 +254,25 @@ fn corrupt_index_triggers_rebuild_and_resave_by_default() {
     let (edges, attrs) = tiny_graph_files();
     let idx = TempFile::new("rebuildidx", b"garbage garbage garbage");
     let common = [
-        "query", "--edges", edges.path(), "--attrs", attrs.path(),
-        "--node", "3", "--theta", "5", "--index", idx.path(),
+        "query",
+        "--edges",
+        edges.path(),
+        "--attrs",
+        attrs.path(),
+        "--node",
+        "3",
+        "--theta",
+        "5",
+        "--index",
+        idx.path(),
     ];
     let o = run(&common);
     assert!(o.status.success(), "stderr: {}", stderr(&o));
     let err = stderr(&o);
-    assert!(err.contains("warning") && err.contains("rebuilding"), "no warning: {err}");
+    assert!(
+        err.contains("warning") && err.contains("rebuilding"),
+        "no warning: {err}"
+    );
     assert!(err.contains("saved rebuilt index"), "no resave: {err}");
 
     // The resaved file must now load cleanly, even under --strict-index.
@@ -236,7 +280,11 @@ fn corrupt_index_triggers_rebuild_and_resave_by_default() {
     strict.push("--strict-index");
     let o = run(&strict);
     assert!(o.status.success(), "stderr: {}", stderr(&o));
-    assert!(stderr(&o).contains("loaded HIMOR index"), "stderr: {}", stderr(&o));
+    assert!(
+        stderr(&o).contains("loaded HIMOR index"),
+        "stderr: {}",
+        stderr(&o)
+    );
 }
 
 #[test]
@@ -245,14 +293,29 @@ fn index_with_wrong_graph_is_rejected_under_strict() {
     let idx = TempFile::new("wrongidx", b"");
     // Build a valid index for the tiny graph...
     let o = run(&[
-        "query", "--edges", edges.path(), "--attrs", attrs.path(),
-        "--node", "3", "--theta", "5", "--index", idx.path(),
+        "query",
+        "--edges",
+        edges.path(),
+        "--attrs",
+        attrs.path(),
+        "--node",
+        "3",
+        "--theta",
+        "5",
+        "--index",
+        idx.path(),
     ]);
     assert!(o.status.success(), "stderr: {}", stderr(&o));
     // ...then present it for a different graph.
     let o = run(&[
-        "query", "--preset", "cora", "--node", "3",
-        "--index", idx.path(), "--strict-index",
+        "query",
+        "--preset",
+        "cora",
+        "--node",
+        "3",
+        "--index",
+        idx.path(),
+        "--strict-index",
     ]);
     let err = assert_clean_failure(&o);
     assert!(err.contains("nodes"), "unexpected: {err}");
@@ -262,8 +325,19 @@ fn index_with_wrong_graph_is_rejected_under_strict() {
 fn zero_budget_fails_cleanly_and_tight_budget_flags_the_answer() {
     let (edges, attrs) = tiny_graph_files();
     let common = [
-        "query", "--edges", edges.path(), "--attrs", attrs.path(), "--node", "3",
-        "--method", "codl-", "--k", "1", "--theta", "50",
+        "query",
+        "--edges",
+        edges.path(),
+        "--attrs",
+        attrs.path(),
+        "--node",
+        "3",
+        "--method",
+        "codl-",
+        "--k",
+        "1",
+        "--theta",
+        "50",
     ];
     let mut zero: Vec<&str> = common.to_vec();
     zero.extend(["--budget", "0"]);

@@ -40,7 +40,16 @@ fn k_at_least_community_size_accepts_every_level() {
     let chain = DendroChain::new(&dendro, &lca, 0).unwrap();
     let mut rng = SmallRng::seed_from_u64(2);
     // k = |V| dominates every rank: best level must be the chain top.
-    let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, 0, 10, 200, &mut rng).unwrap();
+    let out = compressed_cod(
+        g.csr(),
+        Model::WeightedCascade,
+        &chain,
+        0,
+        10,
+        200,
+        &mut rng,
+    )
+    .unwrap();
     assert_eq!(out.best_level, Some(chain.len() - 1));
     for (h, &r) in out.ranks.iter().enumerate() {
         assert!(r <= chain.size(h), "rank bounded by community size");
@@ -103,7 +112,8 @@ fn divisive_hierarchy_supports_cod_queries() {
     let queries = pcod::datasets::gen_queries(g, 6, &mut rng);
     for &(q, _) in &queries {
         let chain = DendroChain::new(&dendro, &lca, q).unwrap();
-        let out = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, 5, 10, &mut rng).unwrap();
+        let out =
+            compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, 5, 10, &mut rng).unwrap();
         assert_eq!(out.ranks.len(), chain.len());
         if let Some(h) = out.best_level {
             assert!(chain.members(h).binary_search(&q).is_ok());
@@ -184,12 +194,21 @@ fn himor_on_two_node_graph() {
     let dendro = build_hierarchy(g.csr(), Linkage::Average);
     let lca = LcaIndex::new(&dendro);
     let mut rng = SmallRng::seed_from_u64(8);
-    let index =
-        HimorIndex::build(g.csr(), Model::WeightedCascade, &dendro, &lca, 100, &mut rng);
+    let index = HimorIndex::build(
+        g.csr(),
+        Model::WeightedCascade,
+        &dendro,
+        &lca,
+        100,
+        &mut rng,
+    );
     // Both nodes have exactly one path community (the root) and rank <= 2.
     for v in 0..2u32 {
         assert_eq!(index.ranks_of(v).len(), 1);
         assert!(index.ranks_of(v)[0] <= 2);
     }
-    assert_eq!(index.largest_top_k(&dendro, 0, None, 2), Some(dendro.root()));
+    assert_eq!(
+        index.largest_top_k(&dendro, 0, None, 2),
+        Some(dendro.root())
+    );
 }

@@ -41,7 +41,10 @@ fn all_methods_answer_a_workload() {
             if let Some(ans) = ans {
                 answered[i] += 1;
                 assert!(ans.members.binary_search(&q).is_ok(), "answer contains q");
-                assert!(ans.members.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+                assert!(
+                    ans.members.windows(2).all(|w| w[0] < w[1]),
+                    "sorted, unique"
+                );
                 assert!(ans.rank <= c.k, "reported rank respects k");
                 let quality = answer_quality(g, a, Some(ans));
                 assert!(quality.size >= 2.0, "communities have at least two nodes");

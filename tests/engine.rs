@@ -60,7 +60,8 @@ fn invalid_queries_error_identically_through_every_variant() {
             .unwrap_err()
             .to_string(),
     ];
-    let expected = format!("invalid query: query node {bad_node} out of range (graph has {n} nodes)");
+    let expected =
+        format!("invalid query: query node {bad_node} out of range (graph has {n} nodes)");
     for (i, msg) in node_errors.iter().enumerate() {
         assert_eq!(msg, &expected, "variant {i} diverged");
     }
@@ -84,8 +85,9 @@ fn invalid_queries_error_identically_through_every_variant() {
             .unwrap_err()
             .to_string(),
     ];
-    let expected =
-        format!("invalid query: unknown attribute id {bad_attr} (graph has {m} interned attributes)");
+    let expected = format!(
+        "invalid query: unknown attribute id {bad_attr} (graph has {m} interned attributes)"
+    );
     for (i, msg) in attr_errors.iter().enumerate() {
         assert_eq!(msg, &expected, "variant {i} diverged");
     }

@@ -66,7 +66,8 @@ fn compressed_matches_independent_at_high_theta() {
         if chain.len() > 14 {
             continue; // keep Independent affordable
         }
-        let a = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng).unwrap();
+        let a =
+            compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng).unwrap();
         let b = independent_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng);
         // Compare the top-k verdict per level; allow a one-level slack for
         // borderline ranks.
@@ -168,7 +169,8 @@ fn himor_is_consistent_with_direct_evaluation() {
     let mut total = 0;
     for &(q, _) in &queries {
         let chain = DendroChain::new(&dendro, &lca, q).unwrap();
-        let direct = compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng).unwrap();
+        let direct =
+            compressed_cod(g.csr(), Model::WeightedCascade, &chain, q, k, 60, &mut rng).unwrap();
         let from_index = index.largest_top_k(&dendro, q, None, k);
         let direct_vertex = direct.best_level.map(|h| dendro.root_path(q)[h]);
         total += 1;
@@ -253,10 +255,7 @@ fn budgeted_facades_are_thread_count_invariant() {
     };
     let reference = answers_at_threads(&data, cfg, 1);
     assert!(
-        reference
-            .iter()
-            .flatten()
-            .any(|a| a.uncertain),
+        reference.iter().flatten().any(|a| a.uncertain),
         "budget never tripped — test is not exercising the budgeted path"
     );
     for t in [2usize, 8] {

@@ -112,13 +112,8 @@ fn restricted_rr_estimator_matches_exact_community_influence() {
     let g = tiny();
     let members: Vec<NodeId> = vec![0, 1, 2];
     let mut rng = SmallRng::seed_from_u64(3);
-    let est = InfluenceEstimate::on_community(
-        &g,
-        Model::WeightedCascade,
-        &members,
-        150_000,
-        &mut rng,
-    );
+    let est =
+        InfluenceEstimate::on_community(&g, Model::WeightedCascade, &members, 150_000, &mut rng);
     for &q in &members {
         let exact = exact_influence(&g, Model::WeightedCascade, q, &members);
         let got = est.sigma(q);

@@ -29,7 +29,10 @@ fn nnchain_recovers_planted_partition() {
     let dendro = build_hierarchy(&g, Linkage::Average);
     let cut = dendro.cut(10);
     let score = nmi(&truth, &cut);
-    assert!(score > 0.75, "NMI {score} too low for a clean planted partition");
+    assert!(
+        score > 0.75,
+        "NMI {score} too low for a clean planted partition"
+    );
     assert!(adjusted_rand_index(&truth, &cut) > 0.5);
 }
 
@@ -66,7 +69,11 @@ fn recovery_degrades_with_lfr_mixing() {
         scores[0],
         scores[1]
     );
-    assert!(scores[0] > 0.5, "clean LFR should be recoverable: {}", scores[0]);
+    assert!(
+        scores[0] > 0.5,
+        "clean LFR should be recoverable: {}",
+        scores[0]
+    );
 }
 
 #[test]

@@ -8,9 +8,7 @@
 //! contract; if any of them fails, the per-index seed derivation has leaked
 //! scheduling or chunking into a result.
 
-use pcod::cod::compressed::{
-    compressed_cod_adaptive_seeded, compressed_cod_seeded, CodOutcome,
-};
+use pcod::cod::compressed::{compressed_cod_adaptive_seeded, compressed_cod_seeded, CodOutcome};
 use pcod::cod::recluster::build_hierarchy;
 use pcod::influence::estimate::InfluenceEstimate;
 use pcod::influence::montecarlo;
@@ -469,8 +467,8 @@ fn batched_answers_match_sequential_answers() {
         queries.push(Query::new(q, attr, Method::Codl));
     }
     queries.push(Query::codu(9999)); // out of range: errors in place
-    // Prebuild the index with one fixed setup stream everywhere, so no run
-    // consumes a mid-stream index-build draw and all query streams align.
+                                     // Prebuild the index with one fixed setup stream everywhere, so no run
+                                     // consumes a mid-stream index-build draw and all query streams align.
     let make_engine = |t: usize| {
         let cfg = CodConfig {
             k: 3,
@@ -503,6 +501,9 @@ fn batched_answers_match_sequential_answers() {
         let warm = comparable(engine.query_batch(&queries, &mut rng));
         assert_eq!(warm, reference, "threads {t}: warm batch diverged");
         let stats = engine.cache_stats();
-        assert!(stats.hits > 0, "threads {t}: warm batch never hit the cache");
+        assert!(
+            stats.hits > 0,
+            "threads {t}: warm batch never hit the cache"
+        );
     }
 }

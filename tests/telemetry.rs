@@ -1,0 +1,223 @@
+//! Observability-layer guarantees: counters are exact where the paper's
+//! cost model pins them down, per-query traces sum to the engine registry,
+//! and telemetry never perturbs answers or RNG draw order.
+
+use pcod::prelude::*;
+use rand::prelude::*;
+
+/// An 8-node cycle: connected, so the base hierarchy's root community is
+/// the whole vertex set and a CODU chain spans the graph.
+fn cycle8() -> AttributedGraph {
+    let mut b = GraphBuilder::new(8);
+    for v in 0..8 {
+        b.add_edge(v, (v + 1) % 8);
+    }
+    AttributedGraph::unattributed(b.build())
+}
+
+/// On a chain that spans the graph under `UniformIc(1.0)`, every quantity
+/// of the Θ·ω sampling cost is deterministic: Θ = θ·|V| RR graphs are
+/// drawn (no source can fall outside the chain), each activates every arc
+/// (ω = 2|E| per graph), and HFS classifies exactly |V| nodes per graph.
+#[test]
+fn counters_are_exact_on_a_known_toy_graph() {
+    let g = cycle8();
+    let theta = 3;
+    let cfg = CodConfig {
+        k: 8, // every node is top-8 in an 8-node community: the answer is total
+        theta,
+        model: Model::UniformIc(1.0),
+        trace: true,
+        ..CodConfig::default()
+    };
+    let engine = CodEngine::new(g, cfg);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let ans = engine
+        .query(Query::codu(2), &mut rng)
+        .expect("valid query")
+        .expect("k = 8 answers with the root community");
+    let trace = ans.trace.as_ref().expect("trace requested");
+    let c = &trace.counters;
+
+    let big_theta = (theta * 8) as u64; // Θ = θ·|V|
+    assert_eq!(c.get(Counter::RrGraphsSampled), big_theta);
+    // p = 1.0 activates every arc of the connected graph per sample.
+    assert_eq!(c.get(Counter::RrEdgesTraversed), big_theta * 16);
+    // HFS sees all |V| nodes of every RR graph, each either recorded into
+    // a chain bucket or pruned.
+    assert_eq!(
+        c.get(Counter::HfsNodesVisited) + c.get(Counter::HfsNodesPruned),
+        big_theta * 8
+    );
+    assert!(c.get(Counter::TopKHeapOps) > 0, "top-k scan ran");
+    // CODU touches neither the recluster path nor the HIMOR index.
+    for idle in [
+        Counter::ReclusterBuilds,
+        Counter::HimorBuilds,
+        Counter::HimorBucketMerges,
+        Counter::HimorIndexHits,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+    ] {
+        assert_eq!(c.get(idle), 0, "{} should be idle under CODU", idle.name());
+    }
+
+    // The single query is the engine's whole history, so the registry
+    // holds exactly this trace.
+    let snapshot = engine.metrics();
+    for (counter, value) in c.iter() {
+        assert_eq!(snapshot.counters.get(counter), value);
+    }
+    assert_eq!(snapshot.queries, 1);
+}
+
+fn dataset() -> pcod::datasets::Dataset {
+    pcod::datasets::amazon_like_scaled(120, 5)
+}
+
+fn mixed_queries(g: &AttributedGraph) -> Vec<Query> {
+    let attr_of = |q: NodeId| g.node_attrs(q).first().copied().unwrap_or(0);
+    vec![
+        Query::codu(3),
+        Query::new(3, attr_of(3), Method::Codr),
+        Query::new(17, attr_of(17), Method::CodlMinus),
+        Query::new(17, attr_of(17), Method::Codl),
+        Query::new(40, attr_of(40), Method::Codl),
+        Query::new(17, attr_of(17), Method::Codr),
+    ]
+}
+
+/// Per-query trace deltas sum component-wise to the engine registry: every
+/// counter increment and every phase nanosecond lands in exactly one
+/// query's trace, and the registry records exactly those sinks.
+#[test]
+fn batch_traces_sum_to_registry_aggregates() {
+    let data = dataset();
+    let cfg = CodConfig {
+        k: 30,
+        theta: 6,
+        trace: true,
+        ..CodConfig::default()
+    };
+    let queries = mixed_queries(&data.graph);
+    let engine = CodEngine::new(data.graph, cfg);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let results = engine.query_batch(&queries, &mut rng);
+
+    let mut traces = Vec::new();
+    for r in &results {
+        let ans = r
+            .as_ref()
+            .expect("valid batch")
+            .as_ref()
+            .expect("k = 30 answers every query; tighten params if this trips");
+        traces.push(ans.trace.expect("trace requested"));
+    }
+
+    let snapshot = engine.metrics();
+    assert_eq!(snapshot.queries, queries.len() as u64);
+    assert_eq!(snapshot.errors, 0);
+    for counter in pcod::cod::COUNTERS {
+        let summed: u64 = traces.iter().map(|t| t.counters.get(counter)).sum();
+        assert_eq!(
+            snapshot.counters.get(counter),
+            summed,
+            "counter {} diverged from the sum of per-query deltas",
+            counter.name()
+        );
+    }
+    for phase in pcod::cod::PHASES {
+        let summed: u64 = traces.iter().map(|t| t.phases.get(phase)).sum();
+        assert_eq!(
+            snapshot.phase_nanos.get(phase),
+            summed,
+            "phase {} diverged from the sum of per-query deltas",
+            phase.name()
+        );
+    }
+    // Every traced query contributed one histogram observation.
+    assert_eq!(snapshot.latency_count(), queries.len() as u64);
+
+    // The work happened: sampling ran and phase time accrued somewhere.
+    assert!(snapshot.counters.get(Counter::RrGraphsSampled) > 0);
+    assert!(snapshot.phase_nanos.total() > 0);
+}
+
+/// Seed-replay equivalence: with the seed fixed, enabling telemetry
+/// changes neither any answer nor the RNG draw order, at every thread
+/// count. Counters are identical too — they observe the evaluation, they
+/// never steer it.
+#[test]
+fn telemetry_on_off_is_bit_identical_across_thread_counts() {
+    let data = dataset();
+    let queries = mixed_queries(&data.graph);
+    for threads in [1usize, 2, 8] {
+        let cfg = |trace: bool| CodConfig {
+            k: 30,
+            theta: 6,
+            parallelism: Parallelism::Threads(threads),
+            trace,
+            ..CodConfig::default()
+        };
+        let run = |trace: bool| {
+            let engine = CodEngine::new(data.graph.clone(), cfg(trace));
+            let mut rng = SmallRng::seed_from_u64(99);
+            let results = engine.query_batch(&queries, &mut rng);
+            let answers: Vec<Option<CodAnswer>> = results
+                .into_iter()
+                .map(|r| r.expect("valid batch"))
+                .collect();
+            (answers, rng.next_u64(), engine.metrics())
+        };
+        let (plain_answers, plain_draw, plain_metrics) = run(false);
+        let (traced_answers, traced_draw, traced_metrics) = run(true);
+        // CodAnswer equality ignores the trace diagnostics, so this
+        // compares members, ranks, sources, and uncertainty flags.
+        assert_eq!(
+            plain_answers, traced_answers,
+            "answers diverged at {threads} threads"
+        );
+        assert_eq!(
+            plain_draw, traced_draw,
+            "RNG draw order diverged at {threads} threads"
+        );
+        for counter in pcod::cod::COUNTERS {
+            assert_eq!(
+                plain_metrics.counters.get(counter),
+                traced_metrics.counters.get(counter),
+                "counter {} depends on timer arming at {threads} threads",
+                counter.name()
+            );
+        }
+        // Timers are armed only under trace: the plain run must not have
+        // read the clock at all.
+        assert_eq!(plain_metrics.phase_nanos.total(), 0);
+        assert!(traced_metrics.phase_nanos.total() > 0);
+        // Untimed sinks are excluded from the latency histogram.
+        assert_eq!(plain_metrics.latency_count(), 0);
+        assert_eq!(traced_metrics.latency_count(), queries.len() as u64);
+    }
+}
+
+/// `--trace` answers carry a render-ready line; sanity-check its shape so
+/// the CLI contract (phase timings then counters) stays stable.
+#[test]
+fn trace_render_line_mentions_each_phase_and_counter_group() {
+    let g = cycle8();
+    let cfg = CodConfig {
+        k: 8,
+        theta: 2,
+        trace: true,
+        ..CodConfig::default()
+    };
+    let engine = CodEngine::new(g, cfg);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let ans = engine
+        .query(Query::codu(0), &mut rng)
+        .unwrap()
+        .expect("answer exists");
+    let line = ans.trace.unwrap().render_line();
+    for needle in ["trace:", "plan ", "sample ", "topk ", "rr ", "hfs "] {
+        assert!(line.contains(needle), "{line:?} lacks {needle:?}");
+    }
+}

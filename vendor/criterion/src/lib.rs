@@ -8,6 +8,13 @@
 //! It measures wall-clock medians over a handful of samples and prints one
 //! line per benchmark — enough to compare runs by eye, with none of real
 //! criterion's statistics, plotting, or baseline storage.
+//!
+//! For machine consumption, set `CRITERION_JSONL=FILE` and every completed
+//! benchmark appends one JSON line to `FILE`:
+//! `{"id":"group/name","median_ns":N,"samples":K}`. The append-only format
+//! lets several bench binaries share one sink (the CI bench-regression gate
+//! does exactly that, then folds the lines into a report via
+//! `bench_report`).
 
 use std::time::{Duration, Instant};
 
@@ -70,10 +77,42 @@ impl BenchmarkGroup<'_> {
         times.sort_unstable();
         let median = times[times.len() / 2];
         println!("{}/{}: median {:?} over {} samples", self.name, id, median, times.len());
+        emit_jsonl(&format!("{}/{}", self.name, id), median, times.len());
         self
     }
 
     pub fn finish(&mut self) {}
+}
+
+/// Appends one benchmark result as a JSON line to the file named by the
+/// `CRITERION_JSONL` environment variable, when set. Failures degrade to a
+/// warning — a broken sink must never fail the benchmark run itself.
+fn emit_jsonl(id: &str, median: Duration, samples: usize) {
+    let Some(path) = std::env::var_os("CRITERION_JSONL") else {
+        return;
+    };
+    // Benchmark ids are code-authored identifiers, but escape the two
+    // JSON-breaking characters anyway so the sink stays well-formed.
+    let escaped: String = id
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"median_ns\":{},\"samples\":{samples}}}\n",
+        median.as_nanos()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: CRITERION_JSONL sink {}: {e}", path.to_string_lossy());
+    }
 }
 
 /// Timer passed to each benchmark closure.
@@ -148,5 +187,27 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn jsonl_sink_appends_well_formed_lines() {
+        let path = std::env::temp_dir().join(format!("criterion-jsonl-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CRITERION_JSONL", &path);
+        benches();
+        std::env::remove_var("CRITERION_JSONL");
+        let text = std::fs::read_to_string(&path).expect("sink file written");
+        let _ = std::fs::remove_file(&path);
+        // Other tests may interleave lines; ours must be present and
+        // well-formed (id, a positive-or-zero median, the sample count).
+        for id in ["demo/sum", "demo/batched"] {
+            let line = text
+                .lines()
+                .find(|l| l.contains(&format!("\"id\":\"{id}\"")))
+                .unwrap_or_else(|| panic!("no line for {id} in {text:?}"));
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line:?}");
+            assert!(line.contains("\"median_ns\":"), "{line:?}");
+            assert!(line.contains("\"samples\":3"), "{line:?}");
+        }
     }
 }
