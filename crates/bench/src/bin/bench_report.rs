@@ -4,6 +4,7 @@
 //! ```text
 //! bench_report --input bench.jsonl --out BENCH_PR4.json
 //!              [--baseline BENCH_BASELINE.json] [--max-regression 25]
+//!              [--gate ratio|absolute]
 //! ```
 //!
 //! The input is the append-only sink written by the vendored criterion
@@ -14,10 +15,18 @@
 //! deterministic under a fixed seed, so counter drift in a diff against the
 //! baseline is an algorithmic change, not noise.
 //!
-//! With `--baseline`, every benchmark id present in both files is compared
-//! and the run fails (exit 1) when any median regresses by more than
-//! `--max-regression` percent (default 25). Ids only on one side are
-//! reported but never fail the gate — benchmarks come and go across PRs.
+//! With `--baseline`, the run is gated against the baseline file and exits 1
+//! on a regression past `--max-regression` percent (default 25). The default
+//! `ratio` gate compares *within-run* ratios (compressed vs. independent,
+//! warm vs. cold cache, batch vs. single — see [`RATIOS`]): both sides of
+//! each ratio are measured in the same process on the same machine, so
+//! runner-hardware generation and noisy-neighbor variance cancel and the
+//! gate is meaningful even when the baseline was recorded elsewhere.
+//! Absolute medians are still compared, but as informational output only.
+//! `--gate absolute` restores strict per-id median gating — useful locally
+//! when baseline and run come from the same machine. In either mode, ids
+//! (or ratio legs) present on only one side are reported but never fail the
+//! gate — benchmarks come and go across PRs.
 //!
 //! Report schema (`schema_version` 1), one benchmark entry per line so the
 //! file diffs cleanly and parses line-wise without a JSON library:
@@ -42,6 +51,48 @@ use rand::prelude::*;
 
 const SCHEMA_VERSION: u64 = 1;
 const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
+
+/// Hardware-invariant gate ratios: `(name, numerator id, denominator id)`.
+/// Both legs of a ratio are measured in the same bench process, so absolute
+/// wall-clock shifts (runner generation, noisy neighbors, CPU scaling)
+/// cancel out; a ratio only moves when the *relative* cost the paper argues
+/// about — compressed vs. independent evaluation, warm vs. cold recluster
+/// cache, batch vs. single-query serving — actually changes.
+const RATIOS: &[(&str, &str, &str)] = &[
+    (
+        "compressed_vs_independent_theta10",
+        "cod_evaluation_cora/compressed_theta10",
+        "cod_evaluation_cora/independent_theta10",
+    ),
+    (
+        "compressed_vs_independent_theta40",
+        "cod_evaluation_cora/compressed_theta40",
+        "cod_evaluation_cora/independent_theta40",
+    ),
+    (
+        "warm_vs_cold_cora",
+        "query_throughput/repeat_attr/cora_warm_cache",
+        "query_throughput/repeat_attr/cora_uncached",
+    ),
+    (
+        "warm_vs_cold_citeseer",
+        "query_throughput/repeat_attr/citeseer_warm_cache",
+        "query_throughput/repeat_attr/citeseer_uncached",
+    ),
+    (
+        "batch_vs_single",
+        "query_throughput/single_vs_batch/batch",
+        "query_throughput/single_vs_batch/single",
+    ),
+];
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GateMode {
+    /// Gate on within-run ratios; absolute medians are informational.
+    Ratio,
+    /// Gate on absolute per-id medians (same-machine baselines only).
+    Absolute,
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -84,7 +135,10 @@ fn run() -> Result<bool, String> {
     let baseline_text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
     let baseline = parse_entries(&baseline_text)?;
-    Ok(gate(&benchmarks, &baseline, opts.max_regression_pct))
+    Ok(match opts.gate {
+        GateMode::Ratio => gate_ratio(&benchmarks, &baseline, opts.max_regression_pct),
+        GateMode::Absolute => gate_absolute(&benchmarks, &baseline, opts.max_regression_pct),
+    })
 }
 
 struct Opts {
@@ -92,6 +146,7 @@ struct Opts {
     out: PathBuf,
     baseline: Option<PathBuf>,
     max_regression_pct: f64,
+    gate: GateMode,
 }
 
 impl Opts {
@@ -100,6 +155,7 @@ impl Opts {
         let mut out = None;
         let mut baseline = None;
         let mut max_regression_pct = DEFAULT_MAX_REGRESSION_PCT;
+        let mut gate = GateMode::Ratio;
         let mut i = 0;
         while i < args.len() {
             let value = args
@@ -114,6 +170,13 @@ impl Opts {
                         .parse()
                         .map_err(|_| "--max-regression wants a percentage".to_string())?
                 }
+                "--gate" => {
+                    gate = match value.as_str() {
+                        "ratio" => GateMode::Ratio,
+                        "absolute" => GateMode::Absolute,
+                        _ => return Err("--gate wants ratio or absolute".to_string()),
+                    }
+                }
                 other => return Err(format!("unknown option {other:?}")),
             }
             i += 2;
@@ -123,6 +186,7 @@ impl Opts {
             out: out.ok_or("--out FILE is required")?,
             baseline,
             max_regression_pct,
+            gate,
         })
     }
 }
@@ -241,6 +305,21 @@ fn render_report(
         ));
     }
     out.push_str("\n  ],\n");
+    // The within-run ratios the CI gate actually enforces — recorded so the
+    // artifact shows the gated quantities next to the raw medians.
+    out.push_str("  \"ratios\": {\n");
+    let mut first = true;
+    for (name, num, den) in RATIOS {
+        let Some(ratio) = ratio_of(benchmarks, num, den) else {
+            continue;
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("    \"{name}\": {ratio:.4}"));
+    }
+    out.push_str("\n  },\n");
     out.push_str("  \"counters\": {\n");
     let mut first = true;
     for (name, value) in counters {
@@ -254,13 +333,16 @@ fn render_report(
     out
 }
 
-/// Compares current medians against the baseline. Returns false (gate
-/// failed) when any shared id regressed past the threshold.
-fn gate(
+/// Prints the per-id absolute median comparison. With `enforce`, a change
+/// past the threshold counts as a regression (returned as `true`); without
+/// it the listing is informational and always returns `false`.
+fn absolute_changes(
     current: &BTreeMap<String, Entry>,
     baseline: &BTreeMap<String, Entry>,
     max_regression_pct: f64,
+    enforce: bool,
 ) -> bool {
+    let tag = if enforce { "ok" } else { "info" };
     let mut failed = false;
     for (id, cur) in current {
         let Some(base) = baseline.get(id) else {
@@ -272,7 +354,7 @@ fn gate(
         }
         let change_pct =
             (cur.median_ns as f64 - base.median_ns as f64) / base.median_ns as f64 * 100.0;
-        if change_pct > max_regression_pct {
+        if enforce && change_pct > max_regression_pct {
             eprintln!(
                 "REGRESSION: {id}: {} ns -> {} ns (+{change_pct:.1}% > +{max_regression_pct:.0}%)",
                 base.median_ns, cur.median_ns
@@ -280,7 +362,7 @@ fn gate(
             failed = true;
         } else {
             eprintln!(
-                "ok: {id}: {} ns -> {} ns ({change_pct:+.1}%)",
+                "{tag}: {id}: {} ns -> {} ns ({change_pct:+.1}%)",
                 base.median_ns, cur.median_ns
             );
         }
@@ -290,10 +372,71 @@ fn gate(
             eprintln!("note: {id}: in baseline but not in this run");
         }
     }
+    failed
+}
+
+/// Strict per-id median gate: fails when any shared id regressed past the
+/// threshold. Only meaningful when baseline and run share a machine.
+fn gate_absolute(
+    current: &BTreeMap<String, Entry>,
+    baseline: &BTreeMap<String, Entry>,
+    max_regression_pct: f64,
+) -> bool {
+    let failed = absolute_changes(current, baseline, max_regression_pct, true);
     if failed {
-        eprintln!("bench gate FAILED (threshold +{max_regression_pct:.0}%)");
+        eprintln!("bench gate FAILED (absolute, threshold +{max_regression_pct:.0}%)");
     } else {
-        eprintln!("bench gate passed (threshold +{max_regression_pct:.0}%)");
+        eprintln!("bench gate passed (absolute, threshold +{max_regression_pct:.0}%)");
+    }
+    !failed
+}
+
+/// The within-run ratio named by a [`RATIOS`] entry, when both legs were
+/// measured with a nonzero denominator.
+fn ratio_of(entries: &BTreeMap<String, Entry>, num: &str, den: &str) -> Option<f64> {
+    let n = entries.get(num)?.median_ns;
+    let d = entries.get(den)?.median_ns;
+    (d != 0).then(|| n as f64 / d as f64)
+}
+
+/// Hardware-invariant gate: each [`RATIOS`] entry computable on both sides
+/// must not grow by more than the threshold. Absolute medians are printed
+/// informationally. Fails loudly when *no* ratio is computable — a gate
+/// with nothing to compare is broken, not passing.
+fn gate_ratio(
+    current: &BTreeMap<String, Entry>,
+    baseline: &BTreeMap<String, Entry>,
+    max_regression_pct: f64,
+) -> bool {
+    let mut failed = false;
+    let mut compared = 0usize;
+    for (name, num, den) in RATIOS {
+        let (Some(cur), Some(base)) = (ratio_of(current, num, den), ratio_of(baseline, num, den))
+        else {
+            eprintln!("note: ratio {name}: legs missing on one side; skipped");
+            continue;
+        };
+        compared += 1;
+        let change_pct = (cur - base) / base * 100.0;
+        if change_pct > max_regression_pct {
+            eprintln!(
+                "REGRESSION: ratio {name}: {base:.4} -> {cur:.4} \
+                 (+{change_pct:.1}% > +{max_regression_pct:.0}%)"
+            );
+            failed = true;
+        } else {
+            eprintln!("ok: ratio {name}: {base:.4} -> {cur:.4} ({change_pct:+.1}%)");
+        }
+    }
+    if compared == 0 {
+        eprintln!("REGRESSION GATE BROKEN: no ratio had both legs in both files");
+        failed = true;
+    }
+    absolute_changes(current, baseline, max_regression_pct, false);
+    if failed {
+        eprintln!("bench gate FAILED (ratio, threshold +{max_regression_pct:.0}%)");
+    } else {
+        eprintln!("bench gate passed (ratio, threshold +{max_regression_pct:.0}%)");
     }
     !failed
 }
@@ -341,12 +484,15 @@ not json at all\n\
         assert_eq!(reparsed, benchmarks);
     }
 
-    #[test]
-    fn gate_fails_only_past_threshold() {
-        let entry = |m: u64| Entry {
-            median_ns: m,
+    fn entry(median_ns: u64) -> Entry {
+        Entry {
+            median_ns,
             samples: 1,
-        };
+        }
+    }
+
+    #[test]
+    fn absolute_gate_fails_only_past_threshold() {
         let mut base = BTreeMap::new();
         base.insert("a".to_string(), entry(1000));
         base.insert("gone".to_string(), entry(50));
@@ -354,11 +500,55 @@ not json at all\n\
         cur.insert("a".to_string(), entry(1250));
         cur.insert("new".to_string(), entry(9999));
         // +25% exactly is within the gate; ids on one side never fail it.
-        assert!(gate(&cur, &base, 25.0));
+        assert!(gate_absolute(&cur, &base, 25.0));
         cur.insert("a".to_string(), entry(1251));
-        assert!(!gate(&cur, &base, 25.0));
+        assert!(!gate_absolute(&cur, &base, 25.0));
         // A loosened threshold admits the same medians.
-        assert!(gate(&cur, &base, 30.0));
+        assert!(gate_absolute(&cur, &base, 30.0));
+    }
+
+    /// Entries holding the two legs of the first [`RATIOS`] pair at the
+    /// given medians.
+    fn ratio_legs(num_ns: u64, den_ns: u64) -> BTreeMap<String, Entry> {
+        let (_, num, den) = RATIOS[0];
+        let mut m = BTreeMap::new();
+        m.insert(num.to_string(), entry(num_ns));
+        m.insert(den.to_string(), entry(den_ns));
+        m
+    }
+
+    #[test]
+    fn ratio_gate_tracks_the_ratio_not_absolute_medians() {
+        let base = ratio_legs(500, 1000);
+        // Everything 3x slower (a different machine) but the same ratio:
+        // the absolute gate would fail, the ratio gate must not.
+        let slower = ratio_legs(1500, 3000);
+        assert!(gate_ratio(&slower, &base, 25.0));
+        assert!(!gate_absolute(&slower, &base, 25.0));
+        // Numerator regressed relative to its in-run denominator: 0.5 ->
+        // 0.75 is +50%, past the threshold even though the machine is
+        // uniformly "fast".
+        let regressed = ratio_legs(75, 100);
+        assert!(!gate_ratio(&regressed, &base, 25.0));
+        assert!(gate_ratio(&regressed, &base, 60.0));
+    }
+
+    #[test]
+    fn ratio_gate_fails_loudly_with_no_computable_ratio() {
+        let mut base = BTreeMap::new();
+        base.insert("only/here".to_string(), entry(100));
+        let mut cur = BTreeMap::new();
+        cur.insert("only/there".to_string(), entry(100));
+        assert!(!gate_ratio(&cur, &base, 25.0));
+    }
+
+    #[test]
+    fn report_embeds_gate_ratios() {
+        let report = render_report(&ratio_legs(500, 1000), &BTreeMap::new());
+        assert!(
+            report.contains(&format!("\"{}\": 0.5000", RATIOS[0].0)),
+            "{report}"
+        );
     }
 
     #[test]

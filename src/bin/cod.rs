@@ -423,9 +423,16 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         }
         other => return Err(format!("unknown method {other:?} (codu|codr|codl-|codl)")),
     };
-    match answer.map_err(|e| e.to_string())? {
-        None => println!("no community where node {q} is top-{}", cfg.k),
-        Some(ans) => {
+    // A failed query must still flush --metrics-out before the error
+    // propagates: the registry records the failure (cod_errors_total), and
+    // metrics matter most exactly when something went wrong.
+    let outcome = match answer {
+        Err(e) => Err(e.to_string()),
+        Ok(None) => {
+            println!("no community where node {q} is top-{}", cfg.k);
+            Ok(())
+        }
+        Ok(Some(ans)) => {
             println!(
                 "characteristic community of node {q}: {} members, rank {} (via {:?})",
                 ans.size(),
@@ -448,10 +455,11 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             if let Some(trace) = &ans.trace {
                 println!("{}", trace.render_line());
             }
+            Ok(())
         }
-    }
+    };
     write_metrics(opts, engine)?;
-    Ok(())
+    outcome
 }
 
 /// Writes the engine's Prometheus-style metrics to `--metrics-out`, when
@@ -485,10 +493,44 @@ fn resolve_attr_name(g: &AttributedGraph, name: &str) -> Result<AttrId, String> 
         .map_err(|_| format!("unknown attribute {name:?}"))
 }
 
+/// Parses one non-blank batch line (`node[,attr]`) into a [`Query`].
+fn parse_batch_line(
+    opts: &Opts,
+    g: &AttributedGraph,
+    method: Method,
+    line: &str,
+) -> Result<Query, String> {
+    let mut parts = line.splitn(2, ',');
+    let node: NodeId = parts
+        .next()
+        .unwrap_or("")
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad node id in {line:?}"))?;
+    check_node(g, node)?;
+    // CODU ignores attributes; for the rest, the line's attribute wins,
+    // then --attr, then the node's first attribute.
+    let attr = if method == Method::Codu {
+        None
+    } else {
+        let named = parts.next().map(str::trim).filter(|s| !s.is_empty());
+        let id = match named.or(opts.attr.as_deref()) {
+            Some(name) => resolve_attr_name(g, name)?,
+            None => g.node_attrs(node).first().copied().ok_or_else(|| {
+                format!("node {node} has no attributes; append \",attr\" or pass --attr")
+            })?,
+        };
+        Some(id)
+    };
+    Ok(Query { node, attr, method })
+}
+
 /// Batch query mode: one `node[,attr]` per line, answered through a single
 /// shared [`CodEngine`] so repeat-attribute queries reuse cached
-/// reclusterings. Per-query failures are reported inline; the batch itself
-/// only fails on unreadable or unparsable input.
+/// reclusterings. Malformed lines and per-query failures are reported
+/// inline and never stop the rest of the batch — the valid queries still
+/// run and `--metrics-out` still flushes — but malformed input fails the
+/// exit code once everything has been served.
 fn cmd_query_batch(
     opts: &Opts,
     g: &AttributedGraph,
@@ -500,40 +542,27 @@ fn cmd_query_batch(
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
     let mut queries = Vec::new();
+    let mut bad_lines = 0usize;
     for (no, raw) in text.lines().enumerate() {
-        let at = |msg: String| format!("{}:{}: {msg}", path.display(), no + 1);
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.splitn(2, ',');
-        let node: NodeId = parts
-            .next()
-            .unwrap_or("")
-            .trim()
-            .parse()
-            .map_err(|_| at(format!("bad node id in {line:?}")))?;
-        check_node(g, node).map_err(at)?;
-        // CODU ignores attributes; for the rest, the line's attribute wins,
-        // then --attr, then the node's first attribute.
-        let attr = if method == Method::Codu {
-            None
-        } else {
-            let named = parts.next().map(str::trim).filter(|s| !s.is_empty());
-            let id = match named.or(opts.attr.as_deref()) {
-                Some(name) => resolve_attr_name(g, name).map_err(at)?,
-                None => g.node_attrs(node).first().copied().ok_or_else(|| {
-                    at(format!(
-                        "node {node} has no attributes; append \",attr\" or pass --attr"
-                    ))
-                })?,
-            };
-            Some(id)
-        };
-        queries.push(Query { node, attr, method });
+        match parse_batch_line(opts, g, method, line) {
+            Ok(query) => queries.push(query),
+            Err(msg) => {
+                println!("{}:{}: error: {msg}", path.display(), no + 1);
+                bad_lines += 1;
+            }
+        }
     }
+    let malformed = || format!("{}: {bad_lines} malformed line(s)", path.display());
     if queries.is_empty() {
-        return Err(format!("{}: no queries", path.display()));
+        return Err(if bad_lines == 0 {
+            format!("{}: no queries", path.display())
+        } else {
+            malformed()
+        });
     }
 
     let mut rng = SmallRng::seed_from_u64(opts.seed);
@@ -582,6 +611,9 @@ fn cmd_query_batch(
         stats.len,
     );
     write_metrics(opts, engine)?;
+    if bad_lines > 0 {
+        return Err(malformed());
+    }
     Ok(())
 }
 

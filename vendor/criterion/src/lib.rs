@@ -167,6 +167,14 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// `jsonl_sink_appends_well_formed_lines` mutates the process
+    /// environment while `harness_runs` reads it (via [`emit_jsonl`]), and
+    /// the default test harness runs tests on separate threads; serialise
+    /// the two so `set_var` never races `getenv` (unsound on glibc) and the
+    /// harness test can't observe the sink variable mid-window.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     fn bench_demo(c: &mut Criterion) {
         let mut group = c.benchmark_group("demo");
@@ -186,11 +194,13 @@ mod tests {
 
     #[test]
     fn harness_runs() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         benches();
     }
 
     #[test]
     fn jsonl_sink_appends_well_formed_lines() {
+        let _env = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let path = std::env::temp_dir().join(format!("criterion-jsonl-{}", std::process::id()));
         let _ = std::fs::remove_file(&path);
         std::env::set_var("CRITERION_JSONL", &path);
@@ -198,8 +208,9 @@ mod tests {
         std::env::remove_var("CRITERION_JSONL");
         let text = std::fs::read_to_string(&path).expect("sink file written");
         let _ = std::fs::remove_file(&path);
-        // Other tests may interleave lines; ours must be present and
-        // well-formed (id, a positive-or-zero median, the sample count).
+        // The lock keeps other writers out, but stay lenient about extra
+        // lines; ours must be present and well-formed (id, a
+        // positive-or-zero median, the sample count).
         for id in ["demo/sum", "demo/batched"] {
             let line = text
                 .lines()
