@@ -16,7 +16,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cod_core::{CodConfig, CodEngine, Method, Query};
+use cod_core::{CodConfig, CodEngine, Method, Query, QueryLimits};
 use cod_influence::Parallelism;
 use rand::prelude::*;
 
@@ -104,6 +104,40 @@ fn bench_single_vs_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Governance checkpoint overhead: the same warm workload with query limits
+/// unarmed (no token; checkpoints are no-ops) vs armed with generous caps
+/// that never fire (every checkpoint polls a token and charges budgets).
+/// Answers are bit-identical; `bench_report` gates the armed/unarmed ratio
+/// at ≤ 1.05 — the governance layer may cost at most 5%.
+fn bench_governance_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_throughput/governance");
+    group.sample_size(10);
+
+    let data = cod_datasets::cora_like(1);
+    let queries = repeat_attr_queries(32);
+
+    let unarmed = CodEngine::new(data.graph.clone(), cfg(Parallelism::Threads(1)));
+    run_all(&unarmed, &queries, 42); // warm: measure checkpoints, not builds
+    group.bench_function("limits_unarmed", |b| {
+        b.iter(|| black_box(run_all(&unarmed, &queries, 42)))
+    });
+
+    let armed_cfg = CodConfig {
+        limits: QueryLimits {
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            max_rr_edges: Some(u64::MAX / 2),
+            max_memory_bytes: Some(usize::MAX / 2),
+        },
+        ..cfg(Parallelism::Threads(1))
+    };
+    let armed = CodEngine::new(data.graph.clone(), armed_cfg);
+    run_all(&armed, &queries, 42);
+    group.bench_function("limits_armed", |b| {
+        b.iter(|| black_box(run_all(&armed, &queries, 42)))
+    });
+    group.finish();
+}
+
 /// Prints warm-vs-cold QPS and the measured hit rate so the CI log carries
 /// the acceptance number (warm-cache repeat-attribute queries must beat the
 /// legacy rebuild-every-time path).
@@ -153,6 +187,7 @@ criterion_group!(
     benches,
     bench_cold_vs_warm_cache,
     bench_single_vs_batch,
+    bench_governance_overhead,
     throughput_report
 );
 criterion_main!(benches);

@@ -52,37 +52,52 @@ use rand::prelude::*;
 const SCHEMA_VERSION: u64 = 1;
 const DEFAULT_MAX_REGRESSION_PCT: f64 = 25.0;
 
-/// Hardware-invariant gate ratios: `(name, numerator id, denominator id)`.
-/// Both legs of a ratio are measured in the same bench process, so absolute
-/// wall-clock shifts (runner generation, noisy neighbors, CPU scaling)
-/// cancel out; a ratio only moves when the *relative* cost the paper argues
-/// about — compressed vs. independent evaluation, warm vs. cold recluster
-/// cache, batch vs. single-query serving — actually changes.
-const RATIOS: &[(&str, &str, &str)] = &[
+/// Hardware-invariant gate ratios: `(name, numerator id, denominator id,
+/// absolute cap)`. Both legs of a ratio are measured in the same bench
+/// process, so absolute wall-clock shifts (runner generation, noisy
+/// neighbors, CPU scaling) cancel out; a ratio only moves when the
+/// *relative* cost the paper argues about — compressed vs. independent
+/// evaluation, warm vs. cold recluster cache, batch vs. single-query
+/// serving — actually changes. A `Some` cap additionally bounds the
+/// *current run's* ratio outright, baseline or not: it encodes an
+/// acceptance ceiling (e.g. governance checkpoints may cost at most 5%)
+/// rather than a no-worse-than-before comparison.
+const RATIOS: &[(&str, &str, &str, Option<f64>)] = &[
     (
         "compressed_vs_independent_theta10",
         "cod_evaluation_cora/compressed_theta10",
         "cod_evaluation_cora/independent_theta10",
+        None,
     ),
     (
         "compressed_vs_independent_theta40",
         "cod_evaluation_cora/compressed_theta40",
         "cod_evaluation_cora/independent_theta40",
+        None,
     ),
     (
         "warm_vs_cold_cora",
         "query_throughput/repeat_attr/cora_warm_cache",
         "query_throughput/repeat_attr/cora_uncached",
+        None,
     ),
     (
         "warm_vs_cold_citeseer",
         "query_throughput/repeat_attr/citeseer_warm_cache",
         "query_throughput/repeat_attr/citeseer_uncached",
+        None,
     ),
     (
         "batch_vs_single",
         "query_throughput/single_vs_batch/batch",
         "query_throughput/single_vs_batch/single",
+        None,
+    ),
+    (
+        "governance_overhead",
+        "query_throughput/governance/limits_armed",
+        "query_throughput/governance/limits_unarmed",
+        Some(1.05),
     ),
 ];
 
@@ -309,7 +324,7 @@ fn render_report(
     // artifact shows the gated quantities next to the raw medians.
     out.push_str("  \"ratios\": {\n");
     let mut first = true;
-    for (name, num, den) in RATIOS {
+    for (name, num, den, _cap) in RATIOS {
         let Some(ratio) = ratio_of(benchmarks, num, den) else {
             continue;
         };
@@ -410,9 +425,20 @@ fn gate_ratio(
 ) -> bool {
     let mut failed = false;
     let mut compared = 0usize;
-    for (name, num, den) in RATIOS {
-        let (Some(cur), Some(base)) = (ratio_of(current, num, den), ratio_of(baseline, num, den))
-        else {
+    for (name, num, den, cap) in RATIOS {
+        let cur_ratio = ratio_of(current, num, den);
+        // An absolute cap gates the current run by itself — even on the
+        // first run, before the baseline has these legs.
+        if let (Some(cap), Some(cur)) = (cap, cur_ratio) {
+            compared += 1;
+            if cur > *cap {
+                eprintln!("REGRESSION: ratio {name}: {cur:.4} exceeds absolute cap {cap:.2}");
+                failed = true;
+            } else {
+                eprintln!("ok: ratio {name}: {cur:.4} within absolute cap {cap:.2}");
+            }
+        }
+        let (Some(cur), Some(base)) = (cur_ratio, ratio_of(baseline, num, den)) else {
             eprintln!("note: ratio {name}: legs missing on one side; skipped");
             continue;
         };
@@ -510,7 +536,7 @@ not json at all\n\
     /// Entries holding the two legs of the first [`RATIOS`] pair at the
     /// given medians.
     fn ratio_legs(num_ns: u64, den_ns: u64) -> BTreeMap<String, Entry> {
-        let (_, num, den) = RATIOS[0];
+        let (_, num, den, _) = RATIOS[0];
         let mut m = BTreeMap::new();
         m.insert(num.to_string(), entry(num_ns));
         m.insert(den.to_string(), entry(den_ns));
@@ -531,6 +557,48 @@ not json at all\n\
         let regressed = ratio_legs(75, 100);
         assert!(!gate_ratio(&regressed, &base, 25.0));
         assert!(gate_ratio(&regressed, &base, 60.0));
+    }
+
+    /// Entries holding both legs of the capped `governance_overhead`
+    /// ratio at the given medians.
+    fn governance_legs(num_ns: u64, den_ns: u64) -> BTreeMap<String, Entry> {
+        let (_, num, den, cap) = RATIOS
+            .iter()
+            .find(|(name, ..)| *name == "governance_overhead")
+            .expect("governance_overhead ratio exists");
+        assert_eq!(*cap, Some(1.05), "cap is the 5% acceptance ceiling");
+        let mut m = BTreeMap::new();
+        m.insert(num.to_string(), entry(num_ns));
+        m.insert(den.to_string(), entry(den_ns));
+        m
+    }
+
+    #[test]
+    fn capped_ratio_gates_the_current_run_even_without_baseline_legs() {
+        let empty_baseline = BTreeMap::new();
+        // 4% overhead: inside the cap; the baseline has no legs to compare.
+        assert!(gate_ratio(
+            &governance_legs(1040, 1000),
+            &empty_baseline,
+            25.0
+        ));
+        // 10% overhead: past the absolute cap, so the gate fails outright.
+        assert!(!gate_ratio(
+            &governance_legs(1100, 1000),
+            &empty_baseline,
+            25.0
+        ));
+    }
+
+    #[test]
+    fn capped_ratio_fails_even_when_no_worse_than_baseline() {
+        // Baseline and current agree at 10% overhead — 0% relative change,
+        // but the acceptance ceiling is absolute.
+        let legs = governance_legs(1100, 1000);
+        assert!(!gate_ratio(&legs, &legs.clone(), 25.0));
+        // At 3% overhead the same no-change comparison passes both checks.
+        let fine = governance_legs(1030, 1000);
+        assert!(gate_ratio(&fine, &fine.clone(), 25.0));
     }
 
     #[test]

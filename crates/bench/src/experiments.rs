@@ -218,6 +218,7 @@ impl Fig7Acc {
                 source: cod_core::pipeline::AnswerSource::Compressed,
                 uncertain: false,
                 cache: None,
+                degraded: None,
                 trace: None,
             });
             self.quality[i].push(answer_quality(g, attr, answer.as_ref()));
@@ -651,6 +652,7 @@ pub fn ablation_hgc(opts: &CliOpts) {
                     source: cod_core::pipeline::AnswerSource::Compressed,
                     uncertain: false,
                     cache: None,
+                    degraded: None,
                     trace: None,
                 });
                 qualities.push(answer_quality(g, a, ans.as_ref()));
@@ -739,6 +741,7 @@ pub fn ablation_weights(opts: &CliOpts) {
                 source: cod_core::pipeline::AnswerSource::Compressed,
                 uncertain: false,
                 cache: None,
+                degraded: None,
                 trace: None,
             });
             qualities.push(answer_quality(g, a, ans.as_ref()));

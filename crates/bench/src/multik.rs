@@ -157,6 +157,7 @@ pub fn codl_multi_k<R: Rng>(
                         uncertain: Vec::new(),
                         theta: 0,
                         truncated: false,
+                        cancelled: false,
                     }
                 } else {
                     compressed_cod(g.csr(), cfg.model, &chain, q, k_max, cfg.theta, rng)

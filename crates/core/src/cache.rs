@@ -134,6 +134,29 @@ impl ReclusterCache {
         }
     }
 
+    /// [`ReclusterCache::global`] for interruptible builders: `build`
+    /// returning `None` (a cancelled governed recluster) caches nothing and
+    /// yields `None` — a later uncancelled query rebuilds cleanly. The miss
+    /// is still counted: work was attempted.
+    pub fn try_global(
+        &self,
+        attr: AttrId,
+        beta: f64,
+        linkage: Linkage,
+        build: impl FnOnce() -> Option<Arc<Hierarchy>>,
+    ) -> Option<(Arc<Hierarchy>, bool)> {
+        let key = CacheKey {
+            attr,
+            beta_bits: beta.to_bits(),
+            linkage,
+            scope: Scope::Global,
+        };
+        match self.fetch_or_try_insert(key, || build().map(Artifact::Global))? {
+            (Artifact::Global(h), hit) => Some((h, hit)),
+            (Artifact::Local(_), _) => unreachable!("global key stored a local artifact"),
+        }
+    }
+
     /// Fetches or builds LORE's local recluster of community `c_ell` for
     /// `(attr, beta, linkage)`. Returns the artifact and whether it was a
     /// cache hit.
@@ -157,15 +180,51 @@ impl ReclusterCache {
         }
     }
 
+    /// [`ReclusterCache::local`] for interruptible builders (see
+    /// [`ReclusterCache::try_global`]).
+    pub fn try_local(
+        &self,
+        attr: AttrId,
+        beta: f64,
+        linkage: Linkage,
+        c_ell: VertexId,
+        build: impl FnOnce() -> Option<Arc<LocalRecluster>>,
+    ) -> Option<(Arc<LocalRecluster>, bool)> {
+        let key = CacheKey {
+            attr,
+            beta_bits: beta.to_bits(),
+            linkage,
+            scope: Scope::Local(c_ell),
+        };
+        match self.fetch_or_try_insert(key, || build().map(Artifact::Local))? {
+            (Artifact::Local(l), hit) => Some((l, hit)),
+            (Artifact::Global(_), _) => unreachable!("local key stored a global artifact"),
+        }
+    }
+
     fn fetch_or_insert(&self, key: CacheKey, build: impl FnOnce() -> Artifact) -> (Artifact, bool) {
+        match self.fetch_or_try_insert(key, || Some(build())) {
+            Some(out) => out,
+            None => unreachable!("infallible builder returned None"),
+        }
+    }
+
+    /// Core lookup-or-build: the builder runs *outside* the cache lock and
+    /// may decline (`None`) — nothing is inserted then, so an interrupted
+    /// build can never leave a partial artifact behind.
+    fn fetch_or_try_insert(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> Option<Artifact>,
+    ) -> Option<(Artifact, bool)> {
         if let Some(found) = self.lookup(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return (found, true);
+            return Some((found, true));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let artifact = build();
+        let artifact = build()?;
         self.insert(key, artifact.clone());
-        (artifact, false)
+        Some((artifact, false))
     }
 
     fn lookup(&self, key: CacheKey) -> Option<Artifact> {
@@ -297,6 +356,23 @@ mod tests {
         let (_, hit) = cache.global(0, 1.0, Linkage::Average, hier);
         assert!(!hit);
         assert_eq!(cache.stats().len, 0);
+    }
+
+    #[test]
+    fn declined_build_caches_nothing() {
+        let cache = ReclusterCache::new(4);
+        assert!(cache
+            .try_global(0, 1.0, Linkage::Average, || None)
+            .is_none());
+        let s = cache.stats();
+        assert_eq!((s.misses, s.len), (1, 0), "declined build counts a miss");
+        // A later successful build inserts cleanly and then hits.
+        let (_, hit) = cache
+            .try_global(0, 1.0, Linkage::Average, || Some(hier()))
+            .unwrap();
+        assert!(!hit);
+        let (_, hit) = cache.try_global(0, 1.0, Linkage::Average, || None).unwrap();
+        assert!(hit, "cached artifact served without invoking the builder");
     }
 
     #[test]

@@ -17,11 +17,14 @@
 //! Total cost `O(Θ·ω + |H(q)|)` (Theorem 4).
 
 use cod_graph::{Csr, FxHashMap, NodeId};
-use cod_influence::{par_ranges, Model, Parallelism, RrGraph, RrSampler, SeedPolicy, SeedSequence};
+use cod_influence::{
+    par_ranges, CancelToken, Model, Parallelism, RrGraph, RrSampler, SeedPolicy, SeedSequence,
+};
 use rand::prelude::*;
 
 use crate::chain::Chain;
 use crate::error::{CodError, CodResult};
+use crate::failpoint;
 use crate::scratch::{HfsScratch, QueryScratch, TopKScratch};
 use crate::telemetry::{Counter, Phase, TraceSink};
 use std::time::Instant;
@@ -51,6 +54,11 @@ pub struct CodOutcome {
     /// A sample budget cut the evaluation short of the requested `Θ`: the
     /// answer is best-effort and should be flagged `uncertain` downstream.
     pub truncated: bool,
+    /// Cooperative cancellation (a deadline, a resource cap, or a forced
+    /// failpoint injection) stopped stage 1 at a batch boundary: `theta`
+    /// reports the samples actually drawn and the answer is best-effort.
+    /// Implies [`CodOutcome::truncated`].
+    pub cancelled: bool,
 }
 
 impl CodOutcome {
@@ -62,6 +70,7 @@ impl CodOutcome {
             uncertain: Vec::new(),
             theta: 0,
             truncated: false,
+            cancelled: false,
         }
     }
 }
@@ -140,6 +149,50 @@ pub fn compressed_cod_with<R: Rng>(
     policy: SeedPolicy<'_, R>,
     scratch: Option<&mut QueryScratch>,
 ) -> CodResult<CodOutcome> {
+    compressed_cod_governed(
+        g,
+        model,
+        chain,
+        q,
+        k,
+        theta_per_node,
+        budget,
+        policy,
+        scratch,
+        None,
+    )
+}
+
+/// Stage-1 draws between governance checkpoints. Polls are this coarse so
+/// the ungoverned fast path pays nothing measurable (the ≤5% overhead gate
+/// in `bench_report`), yet a fired token stops within one batch.
+const CHECK_EVERY: usize = 64;
+
+/// [`compressed_cod_with`] under cooperative governance: every
+/// `CHECK_EVERY` draws stage 1 hits the `SampleBatch` failpoint, charges
+/// the RR edges traversed since the last poll (and an estimate of live
+/// stage-1 memory) against `cancel`'s caps, and — once the token fires —
+/// stops at the batch boundary. The partial buckets still run stage 2, so
+/// the caller gets a best-effort outcome with [`CodOutcome::cancelled`]
+/// (and `truncated`) set and `theta` reporting the draws that completed;
+/// a token that fires before the first draw yields an empty outcome
+/// with the flags set.
+///
+/// Checkpoints never touch the RNG, so with `cancel: None` — or a token
+/// that never fires — the outcome is bit-identical to the ungoverned path.
+#[allow(clippy::too_many_arguments)] // the paper's query signature plus budget, policy, workspace, token
+pub fn compressed_cod_governed<R: Rng>(
+    g: &Csr,
+    model: Model,
+    chain: &(impl Chain + Sync),
+    q: NodeId,
+    k: usize,
+    theta_per_node: usize,
+    budget: Option<usize>,
+    policy: SeedPolicy<'_, R>,
+    scratch: Option<&mut QueryScratch>,
+    cancel: Option<&CancelToken>,
+) -> CodResult<CodOutcome> {
     if !validate_chain_query(chain, q, k)? {
         return Ok(CodOutcome::empty());
     }
@@ -155,13 +208,28 @@ pub fn compressed_cod_with<R: Rng>(
     // --- Stage 1: shared sample generation + HFS ------------------------
     // Phase timers are read outside the per-sample loop, and counters are
     // plain integer adds that never touch `rng` — telemetry observes the
-    // evaluation without perturbing the drawn samples.
+    // evaluation without perturbing the drawn samples. Governance polls
+    // are integer/atomic reads at batch boundaries, neutral the same way.
     let t_sample = ws.sink.timing().then(Instant::now);
+    let mut completed = 0usize;
     match policy {
         SeedPolicy::Stream(rng) => {
             let mut sampler = RrSampler::with_scratch(g, model, std::mem::take(&mut ws.sampler));
             let before = sampler.stats();
-            for _ in 0..theta {
+            let mut charged = before;
+            for i in 0..theta {
+                if i % CHECK_EVERY == 0 {
+                    failpoint::hit(failpoint::Site::SampleBatch, cancel);
+                    if let Some(tok) = cancel {
+                        let now = sampler.stats();
+                        tok.charge_rr_edges(now.delta_since(charged).edges);
+                        charged = now;
+                        tok.charge_memory(stage1_memory_estimate(&ws.buckets, &ws.hfs));
+                        if tok.should_stop() {
+                            break;
+                        }
+                    }
+                }
                 draw_and_record(
                     &mut sampler,
                     chain,
@@ -172,7 +240,9 @@ pub fn compressed_cod_with<R: Rng>(
                     &mut ws.hfs,
                     &mut ws.buckets,
                     &mut ws.sink,
+                    cancel,
                 );
+                completed += 1;
             }
             let drawn = sampler.stats().delta_since(before);
             ws.sink.add(Counter::RrGraphsSampled, drawn.graphs);
@@ -182,7 +252,20 @@ pub fn compressed_cod_with<R: Rng>(
         SeedPolicy::PerIndex { seeds, par } if par.thread_count() <= 1 => {
             let mut sampler = RrSampler::with_scratch(g, model, std::mem::take(&mut ws.sampler));
             let before = sampler.stats();
+            let mut charged = before;
             for i in 0..theta {
+                if i % CHECK_EVERY == 0 {
+                    failpoint::hit(failpoint::Site::SampleBatch, cancel);
+                    if let Some(tok) = cancel {
+                        let now = sampler.stats();
+                        tok.charge_rr_edges(now.delta_since(charged).edges);
+                        charged = now;
+                        tok.charge_memory(stage1_memory_estimate(&ws.buckets, &ws.hfs));
+                        if tok.should_stop() {
+                            break;
+                        }
+                    }
+                }
                 let mut rng = seeds.rng_for(i as u64);
                 draw_and_record(
                     &mut sampler,
@@ -194,7 +277,9 @@ pub fn compressed_cod_with<R: Rng>(
                     &mut ws.hfs,
                     &mut ws.buckets,
                     &mut ws.sink,
+                    cancel,
                 );
+                completed += 1;
             }
             let drawn = sampler.stats().delta_since(before);
             ws.sink.add(Counter::RrGraphsSampled, drawn.graphs);
@@ -207,12 +292,29 @@ pub fn compressed_cod_with<R: Rng>(
             // *where* its counts accumulate; count addition commutes, so
             // the merged buckets are independent of the chunking. Each
             // shard also carries its own counter sink, merged the same way.
+            // Workers poll the shared token at the same batch cadence; a
+            // fired token stops every shard at its next boundary, and the
+            // per-shard completion counts sum to the draws actually made.
             let shards = par_ranges(theta, par.thread_count(), |range| {
                 let mut sampler = RrSampler::new(g, model);
                 let mut hfs = HfsScratch::new(m);
                 let mut sink = TraceSink::new(false);
                 let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); m];
-                for i in range {
+                let mut charged = sampler.stats();
+                let mut done = 0usize;
+                for (off, i) in range.enumerate() {
+                    if off % CHECK_EVERY == 0 {
+                        failpoint::hit(failpoint::Site::SampleBatch, cancel);
+                        if let Some(tok) = cancel {
+                            let now = sampler.stats();
+                            tok.charge_rr_edges(now.delta_since(charged).edges);
+                            charged = now;
+                            tok.charge_memory(stage1_memory_estimate(&buckets, &hfs));
+                            if tok.should_stop() {
+                                break;
+                            }
+                        }
+                    }
                     let mut rng = seeds.rng_for(i as u64);
                     draw_and_record(
                         &mut sampler,
@@ -224,26 +326,38 @@ pub fn compressed_cod_with<R: Rng>(
                         &mut hfs,
                         &mut buckets,
                         &mut sink,
+                        cancel,
                     );
+                    done += 1;
                 }
                 let drawn = sampler.stats();
                 sink.add(Counter::RrGraphsSampled, drawn.graphs);
                 sink.add(Counter::RrEdgesTraversed, drawn.edges);
-                (buckets, sink)
+                (buckets, sink, done)
             });
-            for (shard, sink) in shards {
+            for (shard, sink, done) in shards {
                 for (h, bucket) in shard.into_iter().enumerate() {
                     for (v, c) in bucket {
                         *ws.buckets[h].entry(v).or_insert(0) += c;
                     }
                 }
                 ws.sink.merge(&sink);
+                completed += done;
             }
         }
     }
     if let Some(t0) = t_sample {
         ws.sink
             .add_nanos(Phase::Sample, t0.elapsed().as_nanos() as u64);
+    }
+    let cancelled = completed < theta;
+    if cancelled && completed == 0 {
+        // Nothing was drawn: stage 2 over empty buckets would fabricate a
+        // rank-1 verdict from zero evidence. Report "no answer" instead.
+        let mut out = CodOutcome::empty();
+        out.truncated = true;
+        out.cancelled = true;
+        return Ok(out);
     }
 
     // --- Stage 2: incremental top-k evaluation --------------------------
@@ -252,7 +366,7 @@ pub fn compressed_cod_with<R: Rng>(
         &ws.buckets,
         q,
         k,
-        theta,
+        completed,
         universe.len(),
         &mut ws.topk,
         &mut ws.sink,
@@ -261,8 +375,24 @@ pub fn compressed_cod_with<R: Rng>(
         ws.sink
             .add_nanos(Phase::TopK, t0.elapsed().as_nanos() as u64);
     }
-    out.truncated = truncated;
+    out.truncated = truncated || cancelled;
+    out.cancelled = cancelled;
     Ok(out)
+}
+
+/// Approximate live bytes of stage-1 state for [`CancelToken`] memory
+/// accounting: bucket entries (the part that grows with samples) plus the
+/// HFS scratch capacities. Map overhead is folded into a flat per-entry
+/// constant — the cap is a guard rail, not an allocator audit.
+fn stage1_memory_estimate(buckets: &[FxHashMap<NodeId, u32>], hfs: &HfsScratch) -> usize {
+    const BUCKET_ENTRY_BYTES: usize =
+        2 * std::mem::size_of::<NodeId>() + std::mem::size_of::<u32>(); // key + count + control byte slack
+    let entries: usize = buckets.iter().map(FxHashMap::len).sum();
+    let hfs_bytes = hfs.queues.iter().map(Vec::capacity).sum::<usize>()
+        * std::mem::size_of::<u32>()
+        + hfs.explored.capacity()
+        + hfs.level_cache.capacity() * std::mem::size_of::<usize>();
+    entries * BUCKET_ENTRY_BYTES + hfs_bytes
 }
 
 /// The shared per-sample body of stage 1: draw a source, generate its RR
@@ -281,6 +411,7 @@ fn draw_and_record<R: Rng>(
     hfs: &mut HfsScratch,
     buckets: &mut [FxHashMap<NodeId, u32>],
     sink: &mut TraceSink,
+    cancel: Option<&CancelToken>,
 ) {
     let s = universe[rng.random_range(0..universe.len())];
     let Some(ls) = chain.level_of(s) else {
@@ -294,7 +425,7 @@ fn draw_and_record<R: Rng>(
     } else {
         sampler.sample_from(s, rng)
     };
-    hfs_record(chain, &rr, ls, m, hfs, buckets, sink);
+    hfs_record(chain, &rr, ls, m, hfs, buckets, sink, cancel);
 }
 
 /// [`compressed_cod`] with per-index seed derivation and parallel sample
@@ -374,10 +505,12 @@ fn resolve_theta(
     let full_theta = theta_per_node.max(1) * universe_len;
     let theta = match budget {
         Some(0) => {
+            // `required` is the chain-wide draw count `θ·|universe|` the
+            // full evaluation would make — not the per-node θ.
             return Err(CodError::BudgetExhausted {
                 budget: 0,
-                required: universe_len,
-            })
+                required: full_theta,
+            });
         }
         Some(b) => full_theta.min(b),
         None => full_theta,
@@ -388,7 +521,10 @@ fn resolve_theta(
 /// Hierarchical-first search over one RR graph (stage 1 inner loop of
 /// Algorithm 1): every RR node is recorded in the bucket of the deepest
 /// chain community within which it is reachable from the source. `ls` is
-/// the source's chain level. Leaves `scratch.queues` drained for reuse.
+/// the source's chain level. Leaves `scratch.queues` drained for reuse —
+/// including on the cancellation early-exit, which abandons the remaining
+/// levels of this one RR graph (the caller flags the outcome best-effort).
+#[allow(clippy::too_many_arguments)]
 fn hfs_record(
     chain: &impl Chain,
     rr: &RrGraph,
@@ -397,6 +533,7 @@ fn hfs_record(
     scratch: &mut HfsScratch,
     buckets: &mut [FxHashMap<NodeId, u32>],
     sink: &mut TraceSink,
+    cancel: Option<&CancelToken>,
 ) {
     let n = rr.len();
     let mut visited = 0u64;
@@ -408,6 +545,13 @@ fn hfs_record(
     scratch.queues[ls].push(0);
     #[allow(clippy::needless_range_loop)] // h indexes both queues and buckets
     for h in ls..m {
+        failpoint::hit(failpoint::Site::HfsLevel, cancel);
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            for queue in &mut scratch.queues[h..m] {
+                queue.clear();
+            }
+            break;
+        }
         while let Some(v) = scratch.queues[h].pop() {
             if scratch.explored[v as usize] {
                 continue;
@@ -552,6 +696,7 @@ pub(crate) fn incremental_top_k_with(
         uncertain,
         theta,
         truncated: false,
+        cancelled: false,
     }
 }
 
@@ -723,6 +868,7 @@ pub fn incremental_top_k_heap(
         uncertain: vec![false; m_levels],
         theta,
         truncated: false,
+        cancelled: false,
     }
 }
 

@@ -290,6 +290,7 @@ impl DynamicCod {
                     source: AnswerSource::Index,
                     uncertain: false,
                     cache: None,
+                    degraded: None,
                     trace: None,
                 }));
             }

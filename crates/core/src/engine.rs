@@ -34,21 +34,24 @@
 //! streams the caller RNG — byte-compatible with a hand-written facade
 //! loop, at the cost of no cross-query parallelism.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use cod_graph::{AttrId, AttributedGraph, NodeId};
 use cod_hierarchy::{Hierarchy, VertexId};
-use cod_influence::{par_ranges, Parallelism, SeedPolicy, SeedSequence};
+use cod_influence::{par_ranges, CancelToken, Parallelism, SeedPolicy, SeedSequence};
 use rand::prelude::*;
 
 use crate::cache::{LocalRecluster, ReclusterCache};
 use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
-use crate::compressed::compressed_cod_with;
+use crate::compressed::{compressed_cod_governed, CodOutcome};
 use crate::error::{CodError, CodResult};
+use crate::failpoint;
 use crate::himor::HimorIndex;
 use crate::lore::select_recluster_community;
 use crate::pipeline::{validate_query, AnswerSource, CacheOutcome, CodAnswer, CodConfig};
-use crate::recluster::{build_hierarchy, global_recluster, local_recluster};
+use crate::recluster::{build_hierarchy, global_recluster_governed, local_recluster_governed};
 use crate::scratch::QueryScratch;
 use crate::telemetry::{
     Counter, MetricsRegistry, MetricsSnapshot, Phase, QueryOutcome, QueryTrace, TraceSink,
@@ -220,11 +223,27 @@ enum Plan {
         seed: u64,
         artifacts: EvalArtifacts,
         cache: Option<CacheOutcome>,
+        /// The requested method — names the rung an answer degrades from.
+        method: Method,
+        /// The query's governance token (`None` when the config is
+        /// unlimited). Minted at plan time, so the deadline clock covers
+        /// planning, artifact builds and evaluation together.
+        token: Option<CancelToken>,
+        /// Set when planning already degraded the artifacts (an
+        /// interrupted recluster or index build): the rung that will
+        /// actually serve the answer.
+        degraded: Option<Method>,
     },
 }
 
 /// How many recycled [`QueryScratch`] workspaces the pool retains.
 const SCRATCH_POOL_CAP: usize = 64;
+
+/// Sampling budget of the last degradation-ladder rung: when a cancelled
+/// evaluation produced no verdict, the engine retries on the base
+/// hierarchy with this many RR draws and no token — cheap and bounded by
+/// construction, enough for a coarse best-effort verdict.
+const FALLBACK_BUDGET: usize = 256;
 
 /// Default [`ReclusterCache`] capacity.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
@@ -243,6 +262,19 @@ pub struct CodEngine {
     cache: ReclusterCache,
     scratch: Mutex<Vec<QueryScratch>>,
     metrics: MetricsRegistry,
+    /// Concurrent [`CodEngine::query_batch`] calls currently admitted
+    /// (only maintained when [`CodConfig::max_inflight`] is set).
+    inflight: AtomicUsize,
+}
+
+/// RAII in-flight slot: releases the admission counter when the batch
+/// call ends — normally or by unwind.
+struct InflightPermit<'a>(&'a AtomicUsize);
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Release);
+    }
 }
 
 impl CodEngine {
@@ -271,6 +303,7 @@ impl CodEngine {
             cache: ReclusterCache::new(cache_capacity),
             scratch: Mutex::new(Vec::new()),
             metrics: MetricsRegistry::default(),
+            inflight: AtomicUsize::new(0),
         }
     }
 
@@ -345,12 +378,30 @@ impl CodEngine {
     /// under a seeded policy, the full sampling stream under
     /// [`Parallelism::Serial`].
     pub fn ensure_himor<R: Rng>(&self, rng: &mut R) -> Arc<HimorIndex> {
+        match self.ensure_himor_governed(rng, None) {
+            Some(ix) => ix,
+            None => unreachable!("an ungoverned build has no token to cancel it"),
+        }
+    }
+
+    /// [`CodEngine::ensure_himor`] under cooperative governance: the
+    /// `CacheBuild` failpoint fires before a build starts, and a token
+    /// that fires mid-build aborts it — `None` leaves the index unset so
+    /// a later (un-pressured) query can build it cleanly. The seed draw
+    /// happens either way, so replay divergence stays confined to queries
+    /// whose limits actually fired.
+    fn ensure_himor_governed<R: Rng>(
+        &self,
+        rng: &mut R,
+        cancel: Option<&CancelToken>,
+    ) -> Option<Arc<HimorIndex>> {
         if let Some(ix) = self.index.get() {
-            return ix.clone();
+            return Some(ix.clone());
         }
         let base = self.base_hierarchy();
+        failpoint::hit(failpoint::Site::CacheBuild, cancel);
         let built = if self.cfg.parallelism.is_seeded() {
-            HimorIndex::build_seeded(
+            HimorIndex::build_seeded_governed(
                 self.g.csr(),
                 self.cfg.model,
                 &base.dendro,
@@ -358,8 +409,12 @@ impl CodEngine {
                 self.cfg.theta,
                 rng.next_u64(),
                 self.cfg.parallelism,
-            )
+                cancel,
+            )?
         } else {
+            // The serial stream build is the legacy path: interrupting it
+            // would desync the caller RNG anyway, so it runs ungoverned
+            // and the token (if any) is observed at evaluation instead.
             HimorIndex::build(
                 self.g.csr(),
                 self.cfg.model,
@@ -369,59 +424,104 @@ impl CodEngine {
                 rng,
             )
         };
-        self.index.get_or_init(|| Arc::new(built)).clone()
+        Some(self.index.get_or_init(|| Arc::new(built)).clone())
     }
 
-    /// [`CodEngine::ensure_himor`] with build telemetry: when this call is
-    /// the one that constructs the index, the build's sampling effort and
-    /// bucket merges are charged to `sink` — the paper likewise charges
-    /// one-time construction to the query that triggers it.
-    fn ensure_himor_traced<R: Rng>(&self, rng: &mut R, sink: &mut TraceSink) -> Arc<HimorIndex> {
+    /// [`CodEngine::ensure_himor_governed`] with build telemetry: when
+    /// this call is the one that constructs the index, the build's
+    /// sampling effort and bucket merges are charged to `sink` — the
+    /// paper likewise charges one-time construction to the query that
+    /// triggers it. An aborted build records its elapsed time but no
+    /// completed-build counters.
+    fn ensure_himor_traced<R: Rng>(
+        &self,
+        rng: &mut R,
+        sink: &mut TraceSink,
+        cancel: Option<&CancelToken>,
+    ) -> Option<Arc<HimorIndex>> {
         if let Some(ix) = self.index.get() {
-            return ix.clone();
+            return Some(ix.clone());
         }
         let t0 = sink.timing().then(Instant::now);
-        let index = self.ensure_himor(rng);
+        let built = self.ensure_himor_governed(rng, cancel);
+        if let Some(t0) = t0 {
+            sink.add_nanos(Phase::HimorBuild, t0.elapsed().as_nanos() as u64);
+        }
+        let index = built?;
         sink.incr(Counter::HimorBuilds);
         let bs = index.build_stats();
         sink.add(Counter::RrGraphsSampled, bs.rr_graphs);
         sink.add(Counter::RrEdgesTraversed, bs.rr_edges);
         sink.add(Counter::HimorBucketMerges, bs.bucket_merges);
-        if let Some(t0) = t0 {
-            sink.add_nanos(Phase::HimorBuild, t0.elapsed().as_nanos() as u64);
-        }
-        index
+        Some(index)
     }
 
     /// CODR's global hierarchy for `attr`, through the cache.
     pub fn global_hierarchy(&self, attr: AttrId) -> (Arc<Hierarchy>, bool) {
+        match self.global_hierarchy_governed(attr, None) {
+            Some(out) => out,
+            None => unreachable!("an ungoverned build has no token to cancel it"),
+        }
+    }
+
+    /// [`CodEngine::global_hierarchy`] under cooperative governance:
+    /// `None` means the token fired mid-build and nothing was cached.
+    fn global_hierarchy_governed(
+        &self,
+        attr: AttrId,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Arc<Hierarchy>, bool)> {
         self.cache
-            .global(attr, self.cfg.beta, self.cfg.linkage, || {
-                Arc::new(Hierarchy::new(global_recluster(
-                    &self.g,
-                    attr,
-                    self.cfg.beta,
-                    self.cfg.linkage,
-                )))
+            .try_global(attr, self.cfg.beta, self.cfg.linkage, || {
+                failpoint::hit(failpoint::Site::CacheBuild, cancel);
+                global_recluster_governed(&self.g, attr, self.cfg.beta, self.cfg.linkage, cancel)
+                    .map(|d| Arc::new(Hierarchy::new(d)))
             })
     }
 
-    fn local_artifact(
+    /// LORE's local artifact for `(attr, vertex)`, through the cache,
+    /// under cooperative governance (same contract as
+    /// [`CodEngine::global_hierarchy_governed`]).
+    fn local_artifact_governed(
         &self,
         attr: AttrId,
         base: &Hierarchy,
         vertex: VertexId,
-    ) -> (Arc<LocalRecluster>, bool) {
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Arc<LocalRecluster>, bool)> {
         self.cache
-            .local(attr, self.cfg.beta, self.cfg.linkage, vertex, || {
+            .try_local(attr, self.cfg.beta, self.cfg.linkage, vertex, || {
+                failpoint::hit(failpoint::Site::CacheBuild, cancel);
                 let members = base.dendro.members_sorted(vertex);
-                let (sub, sd) =
-                    local_recluster(&self.g, &members, attr, self.cfg.beta, self.cfg.linkage);
-                Arc::new(LocalRecluster {
+                let (sub, sd) = local_recluster_governed(
+                    &self.g,
+                    &members,
+                    attr,
+                    self.cfg.beta,
+                    self.cfg.linkage,
+                    cancel,
+                )?;
+                Some(Arc::new(LocalRecluster {
                     sub,
                     hier: Hierarchy::new(sd),
-                })
+                }))
             })
+    }
+
+    /// Claims an in-flight slot. `Ok(None)` when no cap is configured;
+    /// `Err(cap)` when the cap is already saturated (the call must shed).
+    fn admit(&self) -> Result<Option<InflightPermit<'_>>, usize> {
+        let Some(cap) = self.cfg.max_inflight else {
+            return Ok(None);
+        };
+        match self
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < cap).then_some(n + 1)
+            }) {
+            Ok(_) => Ok(Some(InflightPermit(&self.inflight))),
+            Err(_) => Err(cap),
+        }
     }
 
     fn take_scratch(&self) -> QueryScratch {
@@ -465,6 +565,20 @@ impl CodEngine {
         queries: &[Query],
         rng: &mut R,
     ) -> Vec<CodResult<Option<CodAnswer>>> {
+        // Admission control: with `max_inflight` set, at most that many
+        // batch calls run concurrently; excess calls are shed immediately
+        // with a retriable error instead of queueing behind a stalled
+        // engine. The permit is RAII, so a panicking call releases it.
+        let _permit = match self.admit() {
+            Ok(permit) => permit,
+            Err(max_inflight) => {
+                self.metrics.record_shed(queries.len() as u64);
+                return queries
+                    .iter()
+                    .map(|_| Err(CodError::Overloaded { max_inflight }))
+                    .collect();
+            }
+        };
         // One telemetry sink per query: plan-pass events land here
         // directly; evaluation events are absorbed from the workspace sink
         // afterwards. Per-query deltas therefore sum exactly to what the
@@ -508,11 +622,36 @@ impl CodEngine {
                         seed,
                         ref artifacts,
                         cache,
+                        method,
+                        ref token,
+                        degraded,
                     } = plans[i]
                     {
                         ws.sink.reset(self.cfg.trace);
-                        let result =
-                            self.eval(q, seed, artifacts, cache, self.cfg.parallelism, &mut ws);
+                        let tok = token.as_ref();
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            failpoint::hit(failpoint::Site::EvalWorker, tok);
+                            self.eval(
+                                q,
+                                seed,
+                                artifacts,
+                                cache,
+                                self.cfg.parallelism,
+                                &mut ws,
+                                tok,
+                                degraded,
+                                method,
+                            )
+                        }));
+                        let result = match caught {
+                            Ok(r) => r,
+                            Err(payload) => {
+                                // The workspace may hold torn state; start
+                                // the next query from a fresh one.
+                                ws = QueryScratch::default();
+                                Err(CodError::Internal(panic_message(payload)))
+                            }
+                        };
                         evaluated[i] = Some((result, ws.sink.take()));
                     }
                 }
@@ -532,17 +671,34 @@ impl CodEngine {
                             seed,
                             ref artifacts,
                             cache,
+                            method,
+                            ref token,
+                            degraded,
                         } = plans[i]
                         {
                             ws.sink.reset(self.cfg.trace);
-                            let result = self.eval(
-                                q,
-                                seed,
-                                artifacts,
-                                cache,
-                                Parallelism::Threads(1),
-                                &mut ws,
-                            );
+                            let tok = token.as_ref();
+                            let caught = catch_unwind(AssertUnwindSafe(|| {
+                                failpoint::hit(failpoint::Site::EvalWorker, tok);
+                                self.eval(
+                                    q,
+                                    seed,
+                                    artifacts,
+                                    cache,
+                                    Parallelism::Threads(1),
+                                    &mut ws,
+                                    tok,
+                                    degraded,
+                                    method,
+                                )
+                            }));
+                            let result = match caught {
+                                Ok(r) => r,
+                                Err(payload) => {
+                                    ws = QueryScratch::default();
+                                    Err(CodError::Internal(panic_message(payload)))
+                                }
+                            };
                             out.push((i, result, ws.sink.take()));
                         }
                     }
@@ -576,6 +732,11 @@ impl CodEngine {
                     Ok(None) => QueryOutcome::NoAnswer,
                     Err(_) => QueryOutcome::Error,
                 };
+                if let Ok(Some(a)) = &result {
+                    if a.degraded.is_some() {
+                        self.metrics.record_degraded();
+                    }
+                }
                 self.metrics.record(&sink, outcome);
                 if self.cfg.trace {
                     if let Ok(Some(a)) = &mut result {
@@ -589,9 +750,14 @@ impl CodEngine {
 
     fn plan<R: Rng>(&self, query: Query, rng: &mut R, sink: &mut TraceSink) -> Plan {
         let t0 = sink.timing().then(Instant::now);
-        let plan = match self.plan_inner(query, rng, sink) {
-            Ok(plan) => plan,
-            Err(e) => Plan::Done(Err(e)),
+        // Panic isolation: a planning panic (artifact build, index code,
+        // an armed failpoint) must not take the whole batch down — it
+        // becomes this query's `Internal` error and the engine stays
+        // serviceable. Cache and scratch locks recover from poisoning.
+        let plan = match catch_unwind(AssertUnwindSafe(|| self.plan_inner(query, rng, sink))) {
+            Ok(Ok(plan)) => plan,
+            Ok(Err(e)) => Plan::Done(Err(e)),
+            Err(payload) => Plan::Done(Err(CodError::Internal(panic_message(payload)))),
         };
         if let Some(t0) = t0 {
             // Plan time is everything not attributed to a build or (under
@@ -636,27 +802,14 @@ impl CodEngine {
         };
         validate_query(&self.g, &self.cfg, q, attr)?;
 
+        // Governance: one token per query, minted after validation (the
+        // deadline clock starts here and covers artifact builds and
+        // evaluation together). `None` when the config sets no limits —
+        // the common case, which keeps every checkpoint a no-op.
+        let token = self.cfg.limits.token();
+        let mut degraded: Option<Method> = None;
+
         let mut cache_outcome = None;
-        let hit_to_outcome = |hit: bool| {
-            Some(if hit {
-                CacheOutcome::Hit
-            } else {
-                CacheOutcome::Miss
-            })
-        };
-        // Cache lookups that miss run a recluster build; attribute the
-        // elapsed time to the Recluster phase and tally the outcome.
-        let record_lookup = |sink: &mut TraceSink, hit: bool, t0: Option<Instant>| {
-            if hit {
-                sink.incr(Counter::CacheHits);
-            } else {
-                sink.incr(Counter::CacheMisses);
-                sink.incr(Counter::ReclusterBuilds);
-                if let Some(t0) = t0 {
-                    sink.add_nanos(Phase::Recluster, t0.elapsed().as_nanos() as u64);
-                }
-            }
-        };
         let artifacts = match method {
             Method::Codu => EvalArtifacts::Whole(self.base_hierarchy()),
             Method::Codr => {
@@ -664,66 +817,97 @@ impl CodEngine {
                     unreachable!("validated above: Codr requires an attribute")
                 };
                 let t0 = sink.timing().then(Instant::now);
-                let (h, hit) = self.global_hierarchy(a);
-                record_lookup(sink, hit, t0);
-                cache_outcome = hit_to_outcome(hit);
-                EvalArtifacts::Whole(h)
+                match self.global_hierarchy_governed(a, token.as_ref()) {
+                    Some((h, hit)) => {
+                        record_lookup(sink, hit, t0);
+                        cache_outcome = hit_to_outcome(hit);
+                        EvalArtifacts::Whole(h)
+                    }
+                    // Reclustering interrupted: degrade to the CODU rung
+                    // (the non-attributed hierarchy is an engine-lifetime
+                    // artifact, already built or cheap to share).
+                    None => {
+                        record_lookup(sink, false, t0);
+                        degraded = Some(Method::Codu);
+                        EvalArtifacts::Whole(self.base_hierarchy())
+                    }
+                }
             }
             Method::CodlMinus => {
                 let Some(a) = attr else {
                     unreachable!("validated above: CodlMinus requires an attribute")
                 };
-                let base = self.base_hierarchy();
-                match select_recluster_community(&self.g, &base.dendro, &base.lca, q, a) {
-                    // No attribute signal on the path: evaluate T directly.
-                    None => EvalArtifacts::Whole(base),
-                    Some(choice) => {
-                        let t0 = sink.timing().then(Instant::now);
-                        let (local, hit) = self.local_artifact(a, &base, choice.vertex);
-                        record_lookup(sink, hit, t0);
-                        cache_outcome = hit_to_outcome(hit);
-                        EvalArtifacts::ComposedLocal {
-                            base,
-                            local,
-                            c_ell: choice.vertex,
-                        }
-                    }
-                }
+                self.lore_artifacts(
+                    a,
+                    q,
+                    sink,
+                    token.as_ref(),
+                    &mut cache_outcome,
+                    &mut degraded,
+                )
             }
             Method::Codl => {
                 let Some(a) = attr else {
                     unreachable!("validated above: Codl requires an attribute")
                 };
-                let index = self.ensure_himor_traced(rng, sink);
-                let base = self.base_hierarchy();
-                let choice = select_recluster_community(&self.g, &base.dendro, &base.lca, q, a);
-                let floor: Option<VertexId> = choice.map(|c| c.vertex);
-                // Algorithm 3 lines 1–2: answer from the index if an
-                // ancestor of C_ℓ qualifies. No RNG is consumed.
-                if let Some(c) = index.largest_top_k(&base.dendro, q, floor, self.cfg.k) {
-                    let path = base.dendro.root_path(q);
-                    let Some(j) = path.iter().position(|&v| v == c) else {
-                        unreachable!("largest_top_k only returns vertices on q's root path")
-                    };
-                    sink.incr(Counter::HimorIndexHits);
-                    return Ok(Plan::Done(Ok(Some(CodAnswer {
-                        members: base.dendro.members_sorted(c),
-                        rank: index.ranks_of(q)[j] as usize,
-                        source: AnswerSource::Index,
-                        uncertain: false,
-                        cache: None,
-                        trace: None,
-                    }))));
+                match self.ensure_himor_traced(rng, sink, token.as_ref()) {
+                    // Index build interrupted: fall to the CODL⁻ rung
+                    // (LORE without the index), which may degrade further.
+                    None => {
+                        degraded = Some(Method::CodlMinus);
+                        self.lore_artifacts(
+                            a,
+                            q,
+                            sink,
+                            token.as_ref(),
+                            &mut cache_outcome,
+                            &mut degraded,
+                        )
+                    }
+                    Some(index) => {
+                        let base = self.base_hierarchy();
+                        let choice =
+                            select_recluster_community(&self.g, &base.dendro, &base.lca, q, a);
+                        let floor: Option<VertexId> = choice.map(|c| c.vertex);
+                        // Algorithm 3 lines 1–2: answer from the index if
+                        // an ancestor of C_ℓ qualifies. No RNG is consumed.
+                        if let Some(c) = index.largest_top_k(&base.dendro, q, floor, self.cfg.k) {
+                            let path = base.dendro.root_path(q);
+                            let Some(j) = path.iter().position(|&v| v == c) else {
+                                unreachable!("largest_top_k only returns vertices on q's root path")
+                            };
+                            sink.incr(Counter::HimorIndexHits);
+                            return Ok(Plan::Done(Ok(Some(CodAnswer {
+                                members: base.dendro.members_sorted(c),
+                                rank: index.ranks_of(q)[j] as usize,
+                                source: AnswerSource::Index,
+                                uncertain: false,
+                                cache: None,
+                                degraded: None,
+                                trace: None,
+                            }))));
+                        }
+                        // Line 3: compressed evaluation inside the
+                        // reclustered C_ℓ.
+                        let Some(choice) = choice else {
+                            return Ok(Plan::Done(Ok(None)));
+                        };
+                        let t0 = sink.timing().then(Instant::now);
+                        match self.local_artifact_governed(a, &base, choice.vertex, token.as_ref())
+                        {
+                            Some((local, hit)) => {
+                                record_lookup(sink, hit, t0);
+                                cache_outcome = hit_to_outcome(hit);
+                                EvalArtifacts::SubLocal { local }
+                            }
+                            None => {
+                                record_lookup(sink, false, t0);
+                                degraded = Some(Method::Codu);
+                                EvalArtifacts::Whole(base)
+                            }
+                        }
+                    }
                 }
-                // Line 3: compressed evaluation inside the reclustered C_ℓ.
-                let Some(choice) = choice else {
-                    return Ok(Plan::Done(Ok(None)));
-                };
-                let t0 = sink.timing().then(Instant::now);
-                let (local, hit) = self.local_artifact(a, &base, choice.vertex);
-                record_lookup(sink, hit, t0);
-                cache_outcome = hit_to_outcome(hit);
-                EvalArtifacts::SubLocal { local }
             }
         };
 
@@ -742,12 +926,25 @@ impl CodEngine {
                 seed: rng.next_u64(),
                 artifacts,
                 cache: cache_outcome,
+                method,
+                token,
+                degraded,
             })
         } else {
             // Legacy serial stream: evaluate now, on the caller's RNG.
             let mut ws = self.take_scratch();
             ws.sink.reset(self.cfg.trace);
-            let result = self.eval_stream(q, &artifacts, cache_outcome, rng, &mut ws);
+            failpoint::hit(failpoint::Site::EvalWorker, token.as_ref());
+            let result = self.eval_stream(
+                q,
+                &artifacts,
+                cache_outcome,
+                rng,
+                &mut ws,
+                token.as_ref(),
+                degraded,
+                method,
+            );
             let trace = ws.sink.take();
             self.put_scratch(ws);
             sink.absorb(&trace);
@@ -755,7 +952,48 @@ impl CodEngine {
         }
     }
 
+    /// CODL⁻'s artifact preparation (also the fallback rung when CODL's
+    /// index build is interrupted): LORE community selection plus the
+    /// governed local recluster. An interrupted local build degrades to
+    /// the CODU rung — the whole-graph hierarchy `T` — and records it in
+    /// `degraded`.
+    fn lore_artifacts(
+        &self,
+        a: AttrId,
+        q: NodeId,
+        sink: &mut TraceSink,
+        cancel: Option<&CancelToken>,
+        cache_outcome: &mut Option<CacheOutcome>,
+        degraded: &mut Option<Method>,
+    ) -> EvalArtifacts {
+        let base = self.base_hierarchy();
+        match select_recluster_community(&self.g, &base.dendro, &base.lca, q, a) {
+            // No attribute signal on the path: evaluate T directly.
+            None => EvalArtifacts::Whole(base),
+            Some(choice) => {
+                let t0 = sink.timing().then(Instant::now);
+                match self.local_artifact_governed(a, &base, choice.vertex, cancel) {
+                    Some((local, hit)) => {
+                        record_lookup(sink, hit, t0);
+                        *cache_outcome = hit_to_outcome(hit);
+                        EvalArtifacts::ComposedLocal {
+                            base,
+                            local,
+                            c_ell: choice.vertex,
+                        }
+                    }
+                    None => {
+                        record_lookup(sink, false, t0);
+                        *degraded = Some(Method::Codu);
+                        EvalArtifacts::Whole(base)
+                    }
+                }
+            }
+        }
+    }
+
     /// Seeded evaluation of one planned query.
+    #[allow(clippy::too_many_arguments)]
     fn eval(
         &self,
         q: NodeId,
@@ -764,9 +1002,12 @@ impl CodEngine {
         cache: Option<CacheOutcome>,
         par: Parallelism,
         ws: &mut QueryScratch,
+        cancel: Option<&CancelToken>,
+        degraded: Option<Method>,
+        requested: Method,
     ) -> CodResult<Option<CodAnswer>> {
         let chain = build_chain(artifacts, q)?;
-        let out = compressed_cod_with::<SmallRng>(
+        let out = compressed_cod_governed::<SmallRng>(
             self.g.csr(),
             self.cfg.model,
             &chain,
@@ -779,11 +1020,17 @@ impl CodEngine {
                 par,
             },
             Some(ws),
+            cancel,
         )?;
-        Ok(package(&chain, out, cache))
+        // The fallback seed is a derived child stream: disjoint from the
+        // primary evaluation's per-index streams by construction.
+        self.finish(q, &chain, out, cache, degraded, requested, ws, || {
+            SeedSequence::new(seed).child(1).master()
+        })
     }
 
     /// Serial (caller-RNG-stream) evaluation of one planned query.
+    #[allow(clippy::too_many_arguments)]
     fn eval_stream<R: Rng>(
         &self,
         q: NodeId,
@@ -791,9 +1038,12 @@ impl CodEngine {
         cache: Option<CacheOutcome>,
         rng: &mut R,
         ws: &mut QueryScratch,
+        cancel: Option<&CancelToken>,
+        degraded: Option<Method>,
+        requested: Method,
     ) -> CodResult<Option<CodAnswer>> {
         let chain = build_chain(artifacts, q)?;
-        let out = compressed_cod_with(
+        let out = compressed_cod_governed(
             self.g.csr(),
             self.cfg.model,
             &chain,
@@ -803,8 +1053,94 @@ impl CodEngine {
             self.cfg.budget,
             SeedPolicy::Stream(rng),
             Some(ws),
+            cancel,
         )?;
-        Ok(package(&chain, out, cache))
+        // Only a cancelled evaluation draws the extra fallback seed, so
+        // the no-trigger caller-RNG stream is untouched.
+        self.finish(q, &chain, out, cache, degraded, requested, ws, || {
+            rng.next_u64()
+        })
+    }
+
+    /// Turns a (possibly cancelled) compressed outcome into the final
+    /// result, walking the degradation ladder:
+    ///
+    /// 1. an answer from the planned artifacts — flagged with the serving
+    ///    rung (and `uncertain`) if planning degraded or evaluation was
+    ///    cut short;
+    /// 2. no answer but a cancelled evaluation — one bounded retry on the
+    ///    base hierarchy with [`FALLBACK_BUDGET`] draws and no token;
+    /// 3. still nothing — the hard [`CodError::DeadlineExceeded`].
+    ///
+    /// A clean (non-cancelled, non-degraded) `None` stays `Ok(None)`: the
+    /// chain genuinely has no qualifying community.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        q: NodeId,
+        chain: &impl Chain,
+        out: CodOutcome,
+        cache: Option<CacheOutcome>,
+        degraded: Option<Method>,
+        requested: Method,
+        ws: &mut QueryScratch,
+        fallback_seed: impl FnOnce() -> u64,
+    ) -> CodResult<Option<CodAnswer>> {
+        let cancelled = out.cancelled;
+        let served = degraded.or_else(|| cancelled.then_some(requested));
+        match package(chain, out, cache) {
+            Some(mut a) => {
+                if let Some(rung) = served {
+                    a.degraded = Some(rung);
+                    a.uncertain = true;
+                }
+                Ok(Some(a))
+            }
+            None if cancelled => self.degraded_fallback(q, fallback_seed(), cache, ws),
+            None => Ok(None),
+        }
+    }
+
+    /// The last rung of the degradation ladder (see [`CodEngine::finish`]).
+    fn degraded_fallback(
+        &self,
+        q: NodeId,
+        seed: u64,
+        cache: Option<CacheOutcome>,
+        ws: &mut QueryScratch,
+    ) -> CodResult<Option<CodAnswer>> {
+        let base = self.base_hierarchy();
+        let chain = DendroChain::new(&base.dendro, &base.lca, q)?;
+        if chain.is_empty() {
+            return Err(CodError::DeadlineExceeded);
+        }
+        let budget = self
+            .cfg
+            .budget
+            .map_or(FALLBACK_BUDGET, |b| b.min(FALLBACK_BUDGET));
+        let out = compressed_cod_governed::<SmallRng>(
+            self.g.csr(),
+            self.cfg.model,
+            &chain,
+            q,
+            self.cfg.k,
+            self.cfg.theta,
+            Some(budget),
+            SeedPolicy::PerIndex {
+                seeds: SeedSequence::new(seed),
+                par: Parallelism::Threads(1),
+            },
+            Some(ws),
+            None,
+        )?;
+        match package(&chain, out, cache) {
+            Some(mut a) => {
+                a.degraded = Some(Method::Codu);
+                a.uncertain = true;
+                Ok(Some(a))
+            }
+            None => Err(CodError::DeadlineExceeded),
+        }
     }
 }
 
@@ -819,11 +1155,7 @@ impl std::fmt::Debug for CodEngine {
 }
 
 /// Packages a compressed outcome into a [`CodAnswer`].
-fn package(
-    chain: &impl Chain,
-    out: crate::compressed::CodOutcome,
-    cache: Option<CacheOutcome>,
-) -> Option<CodAnswer> {
+fn package(chain: &impl Chain, out: CodOutcome, cache: Option<CacheOutcome>) -> Option<CodAnswer> {
     let level = out.best_level?;
     Some(CodAnswer {
         members: chain.members(level),
@@ -831,8 +1163,42 @@ fn package(
         source: AnswerSource::Compressed,
         uncertain: out.truncated || out.uncertain[level],
         cache,
+        degraded: None,
         trace: None,
     })
+}
+
+fn hit_to_outcome(hit: bool) -> Option<CacheOutcome> {
+    Some(if hit {
+        CacheOutcome::Hit
+    } else {
+        CacheOutcome::Miss
+    })
+}
+
+/// Cache lookups that miss run a recluster build; attribute the elapsed
+/// time to the Recluster phase and tally the outcome.
+fn record_lookup(sink: &mut TraceSink, hit: bool, t0: Option<Instant>) {
+    if hit {
+        sink.incr(Counter::CacheHits);
+    } else {
+        sink.incr(Counter::CacheMisses);
+        sink.incr(Counter::ReclusterBuilds);
+        if let Some(t0) = t0 {
+            sink.add_nanos(Phase::Recluster, t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query worker panicked".to_owned()
+    }
 }
 
 #[cfg(test)]

@@ -35,10 +35,36 @@ pub enum CodError {
     BudgetExhausted {
         /// The configured total-sample budget.
         budget: usize,
-        /// Samples the query would have needed (one per universe node at
-        /// minimum).
+        /// Samples a full evaluation of this query draws: `θ` per node of
+        /// the chain universe (the chain-wide total, not the per-node θ).
         required: usize,
     },
+    /// The query's deadline (or another [`QueryLimits`] cap) expired and no
+    /// rung of the degradation ladder could produce even a best-effort
+    /// answer in the time left.
+    ///
+    /// [`QueryLimits`]: crate::pipeline::QueryLimits
+    DeadlineExceeded,
+    /// The engine's in-flight admission cap was reached and this query was
+    /// shed instead of queued. Retriable: admitted work keeps draining, so
+    /// resubmitting after a backoff will eventually be admitted.
+    Overloaded {
+        /// The `max_inflight` cap that was hit.
+        max_inflight: usize,
+    },
+    /// A panic escaped a query worker or a build closure and was contained
+    /// at the engine boundary. The engine itself stays serviceable; the
+    /// payload is the panic message.
+    Internal(String),
+}
+
+impl CodError {
+    /// Whether resubmitting the same request later can reasonably succeed
+    /// without any change on the caller's side. Only load shedding
+    /// qualifies: every other variant reflects the request or the data.
+    pub fn is_retriable(&self) -> bool {
+        matches!(self, CodError::Overloaded { .. })
+    }
 }
 
 impl std::fmt::Display for CodError {
@@ -52,6 +78,15 @@ impl std::fmt::Display for CodError {
                 f,
                 "sample budget exhausted: {budget} samples allowed but the query needs at least {required}"
             ),
+            CodError::DeadlineExceeded => write!(
+                f,
+                "deadline exceeded: no degradation-ladder rung produced an answer in time"
+            ),
+            CodError::Overloaded { max_inflight } => write!(
+                f,
+                "engine overloaded: {max_inflight} queries already in flight (retriable)"
+            ),
+            CodError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -92,12 +127,23 @@ mod tests {
                 budget: 0,
                 required: 10,
             },
+            CodError::DeadlineExceeded,
+            CodError::Overloaded { max_inflight: 4 },
+            CodError::Internal("worker panicked: boom".into()),
         ];
         for e in cases {
             let s = e.to_string();
             assert!(!s.contains('\n'), "{s:?}");
             assert!(!s.is_empty());
         }
+    }
+
+    #[test]
+    fn only_overload_is_retriable() {
+        assert!(CodError::Overloaded { max_inflight: 1 }.is_retriable());
+        assert!(!CodError::DeadlineExceeded.is_retriable());
+        assert!(!CodError::Internal("x".into()).is_retriable());
+        assert!(!CodError::InvalidQuery("x".into()).is_retriable());
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Deterministic failpoint harness for governance tests.
+//!
+//! A failpoint is a named checkpoint on the serving path ([`Site`]) that
+//! tests can arm with an [`Action`]: panic (exercising panic isolation),
+//! delay (widening race windows for the stress tests), or forced
+//! cancellation (firing the query's `CancelToken` as if a limit tripped).
+//!
+//! **Compiled out in release builds**: with `debug_assertions` off,
+//! [`hit`] is an empty inline function and [`arm`]/[`disarm_all`] are
+//! no-ops, so production binaries carry zero overhead and zero attack
+//! surface. In debug builds the disarmed fast path is a single relaxed
+//! atomic load.
+//!
+//! Arming happens through the API ([`arm`]) or the `COD_FAILPOINTS`
+//! environment variable, read once per process:
+//!
+//! ```text
+//! COD_FAILPOINTS=all                         # 1ms delay at every site
+//! COD_FAILPOINTS=sample_batch=panic          # one site, one action
+//! COD_FAILPOINTS=hfs_level=delay:5,merge_wave=cancel
+//! ```
+//!
+//! `all` injects only delays — answers must stay bit-identical, so a full
+//! test run under `COD_FAILPOINTS=all` proves every checkpoint is
+//! draw-order-neutral. [`disarm_all`] resets to the env baseline, so tests
+//! that arm sites programmatically can restore whatever the harness
+//! configured. Tests arming failpoints share process-global state and must
+//! serialize behind a lock (see `tests/governance.rs`).
+
+use cod_influence::CancelToken;
+
+/// A named checkpoint on the serving path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Per RR-sample batch inside compressed evaluation and HIMOR's HFS
+    /// stage (every `CHECK_EVERY` draws).
+    SampleBatch,
+    /// Per HFS level while recording one RR graph into the buckets.
+    HfsLevel,
+    /// Per depth wave of HIMOR's bucket merge stage.
+    MergeWave,
+    /// Every 256 merges of an attribute-aware linkage (re)clustering.
+    LinkageRound,
+    /// At the top of each per-query evaluation worker.
+    EvalWorker,
+    /// Before a recluster-cache or index build closure runs.
+    CacheBuild,
+}
+
+/// Every site, for tests that iterate the full surface.
+pub const SITES: [Site; 6] = [
+    Site::SampleBatch,
+    Site::HfsLevel,
+    Site::MergeWave,
+    Site::LinkageRound,
+    Site::EvalWorker,
+    Site::CacheBuild,
+];
+
+impl Site {
+    fn parse(name: &str) -> Option<Site> {
+        match name {
+            "sample_batch" => Some(Site::SampleBatch),
+            "hfs_level" => Some(Site::HfsLevel),
+            "merge_wave" => Some(Site::MergeWave),
+            "linkage_round" => Some(Site::LinkageRound),
+            "eval_worker" => Some(Site::EvalWorker),
+            "cache_build" => Some(Site::CacheBuild),
+            _ => None,
+        }
+    }
+}
+
+/// What an armed failpoint does when hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Panic with a recognizable message (tests panic isolation).
+    Panic,
+    /// Sleep for the given duration (widens race windows).
+    Delay(std::time::Duration),
+    /// Fire the query's [`CancelToken`], as if a limit tripped here.
+    Cancel,
+}
+
+#[cfg(debug_assertions)]
+mod imp {
+    use super::{Action, Site, SITES};
+    use cod_influence::CancelToken;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// Fast-path guard: true iff any site is armed.
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static REGISTRY: Mutex<Option<HashMap<Site, Action>>> = Mutex::new(None);
+
+    /// The baseline parsed from `COD_FAILPOINTS`, read once per process.
+    fn env_baseline() -> &'static HashMap<Site, Action> {
+        static BASELINE: OnceLock<HashMap<Site, Action>> = OnceLock::new();
+        BASELINE.get_or_init(|| {
+            let Ok(spec) = std::env::var("COD_FAILPOINTS") else {
+                return HashMap::new();
+            };
+            parse_spec(&spec)
+        })
+    }
+
+    fn parse_spec(spec: &str) -> HashMap<Site, Action> {
+        let mut map = HashMap::new();
+        if spec.trim() == "all" {
+            for site in SITES {
+                map.insert(site, Action::Delay(std::time::Duration::from_millis(1)));
+            }
+            return map;
+        }
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((site, action)) = part.split_once('=') else {
+                eprintln!("warning: COD_FAILPOINTS entry {part:?} lacks '='; ignored");
+                continue;
+            };
+            let Some(site) = Site::parse(site.trim()) else {
+                eprintln!("warning: COD_FAILPOINTS names unknown site {site:?}; ignored");
+                continue;
+            };
+            let action = match action.trim() {
+                "panic" => Action::Panic,
+                "cancel" => Action::Cancel,
+                a => {
+                    if let Some(ms) = a.strip_prefix("delay:").and_then(|m| m.parse().ok()) {
+                        Action::Delay(std::time::Duration::from_millis(ms))
+                    } else {
+                        eprintln!("warning: COD_FAILPOINTS action {a:?} unknown; ignored");
+                        continue;
+                    }
+                }
+            };
+            map.insert(site, action);
+        }
+        map
+    }
+
+    fn with_registry<T>(f: impl FnOnce(&mut HashMap<Site, Action>) -> T) -> T {
+        let mut guard = match REGISTRY.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let map = guard.get_or_insert_with(|| env_baseline().clone());
+        let out = f(map);
+        ARMED.store(!map.is_empty(), Ordering::Relaxed);
+        out
+    }
+
+    pub fn arm(site: Site, action: Action) {
+        with_registry(|map| {
+            map.insert(site, action);
+        });
+    }
+
+    pub fn disarm_all() {
+        with_registry(|map| {
+            *map = env_baseline().clone();
+        });
+    }
+
+    /// True once the env baseline has been folded into `ARMED`, so the
+    /// disarmed steady state is two relaxed loads.
+    static ENV_LATCHED: AtomicBool = AtomicBool::new(false);
+
+    #[inline]
+    pub fn hit(site: Site, cancel: Option<&CancelToken>) {
+        if !ARMED.load(Ordering::Relaxed) {
+            if ENV_LATCHED.load(Ordering::Relaxed) {
+                return;
+            }
+            // First hit after startup: latch the env baseline in, so an
+            // env-armed process trips without any API call.
+            with_registry(|_| {});
+            ENV_LATCHED.store(true, Ordering::Relaxed);
+            if !ARMED.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+        hit_slow(site, cancel);
+    }
+
+    #[cold]
+    fn hit_slow(site: Site, cancel: Option<&CancelToken>) {
+        let action = with_registry(|map| map.get(&site).copied());
+        match action {
+            None => {}
+            Some(Action::Panic) => panic!("failpoint {site:?} armed to panic"),
+            Some(Action::Delay(d)) => std::thread::sleep(d),
+            Some(Action::Cancel) => {
+                if let Some(token) = cancel {
+                    token.cancel();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    use super::{Action, Site};
+    use cod_influence::CancelToken;
+
+    pub fn arm(_site: Site, _action: Action) {}
+    pub fn disarm_all() {}
+
+    #[inline(always)]
+    pub fn hit(_site: Site, _cancel: Option<&CancelToken>) {}
+}
+
+/// Arms `site` with `action` for the whole process (debug builds only; a
+/// no-op in release).
+pub fn arm(site: Site, action: Action) {
+    imp::arm(site, action);
+}
+
+/// Resets every site to the `COD_FAILPOINTS` environment baseline (debug
+/// builds only; a no-op in release).
+pub fn disarm_all() {
+    imp::disarm_all();
+}
+
+/// Checkpoint: does nothing unless `site` is armed. `cancel` is the query's
+/// token, handed to [`Action::Cancel`] injections.
+#[inline]
+pub fn hit(site: Site, cancel: Option<&CancelToken>) {
+    imp::hit(site, cancel);
+}
+
+/// Whether failpoints are compiled into this build (true in debug builds).
+/// Tests use this to skip injection scenarios in release runs.
+pub const fn compiled_in() -> bool {
+    cfg!(debug_assertions)
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Failpoint state is process-global: serialize these tests.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        match LOCK.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disarmed_hit_is_a_no_op() {
+        let _g = guard();
+        disarm_all();
+        hit(Site::SampleBatch, None); // must not panic or hang
+    }
+
+    #[test]
+    fn cancel_action_fires_the_token() {
+        let _g = guard();
+        arm(Site::MergeWave, Action::Cancel);
+        let token = cod_influence::CancelToken::unlimited();
+        hit(Site::MergeWave, Some(&token));
+        assert!(token.is_cancelled());
+        // Other sites stay disarmed.
+        let other = cod_influence::CancelToken::unlimited();
+        hit(Site::HfsLevel, Some(&other));
+        assert!(!other.is_cancelled());
+        disarm_all();
+    }
+
+    #[test]
+    #[should_panic(expected = "failpoint EvalWorker armed to panic")]
+    fn panic_action_panics() {
+        let _g = guard();
+        arm(Site::EvalWorker, Action::Panic);
+        let out = std::panic::catch_unwind(|| hit(Site::EvalWorker, None));
+        disarm_all();
+        drop(_g);
+        // Re-raise outside the guard so cleanup always ran.
+        if let Err(payload) = out {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

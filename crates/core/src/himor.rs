@@ -18,9 +18,15 @@
 use cod_graph::{Csr, FxHashMap, NodeId};
 use cod_hierarchy::{Dendrogram, LcaIndex, VertexId};
 use cod_influence::{
-    par_ranges, Model, Parallelism, RrGraph, RrSampler, SampleStats, SeedSequence,
+    par_ranges, CancelToken, Model, Parallelism, RrGraph, RrSampler, SampleStats, SeedSequence,
 };
 use rand::prelude::*;
+
+use crate::failpoint;
+
+/// Draws between governance checkpoints of the seeded HFS stage (matches
+/// the compressed-evaluation cadence).
+const CHECK_EVERY: usize = 64;
 
 /// Influence ranks of every node along its root path in `T`.
 #[derive(Clone, Debug)]
@@ -83,7 +89,9 @@ impl HimorIndex {
         assert_eq!(g.num_nodes(), n);
         let theta = theta_per_node.max(1) * n;
         let (buckets, sampled) = Self::hfs_stage(g, model, dendro, lca, theta, rng);
-        let ranks = Self::merge_stage(dendro, buckets, 1);
+        let Some(ranks) = Self::merge_stage(dendro, buckets, 1, None) else {
+            unreachable!("an ungoverned build has no token to cancel it")
+        };
         let build_stats = BuildStats {
             rr_graphs: sampled.graphs,
             rr_edges: sampled.edges,
@@ -112,6 +120,30 @@ impl HimorIndex {
         seed: u64,
         par: Parallelism,
     ) -> Self {
+        match Self::build_seeded_governed(g, model, dendro, lca, theta_per_node, seed, par, None) {
+            Some(idx) => idx,
+            None => unreachable!("an ungoverned build has no token to cancel it"),
+        }
+    }
+
+    /// [`HimorIndex::build_seeded`] under cooperative governance: the HFS
+    /// stage polls `cancel` every `CHECK_EVERY` draws (charging traversed
+    /// RR edges against the token's cap) and the merge stage polls it once
+    /// per depth wave. A fired token aborts the build and returns `None` —
+    /// a half-built index is never observable. `cancel: None` is exactly
+    /// [`HimorIndex::build_seeded`]; checkpoints never touch the RNG, so a
+    /// token that does not fire leaves the index bit-identical.
+    #[allow(clippy::too_many_arguments)] // the build signature plus the token
+    pub fn build_seeded_governed(
+        g: &Csr,
+        model: Model,
+        dendro: &Dendrogram,
+        lca: &LcaIndex,
+        theta_per_node: usize,
+        seed: u64,
+        par: Parallelism,
+        cancel: Option<&CancelToken>,
+    ) -> Option<Self> {
         let n = dendro.num_leaves();
         assert_eq!(g.num_nodes(), n);
         let theta = theta_per_node.max(1) * n;
@@ -124,18 +156,19 @@ impl HimorIndex {
             theta,
             SeedSequence::new(seed),
             threads,
-        );
-        let ranks = Self::merge_stage(dendro, buckets, threads);
+            cancel,
+        )?;
+        let ranks = Self::merge_stage(dendro, buckets, threads, cancel)?;
         let build_stats = BuildStats {
             rr_graphs: sampled.graphs,
             rr_edges: sampled.edges,
             bucket_merges: (dendro.num_vertices() - n) as u64,
         };
-        Self {
+        Some(Self {
             ranks,
             theta,
             build_stats,
-        }
+        })
     }
 
     /// Builds the index with `Θ = θ·|V|` RR graphs over `num_threads` OS
@@ -194,7 +227,9 @@ impl HimorIndex {
 
     /// Stage 1 with per-index seed derivation, sharded over `threads`
     /// contiguous index ranges. Bucket counts are merged by addition, which
-    /// commutes, so chunking cannot affect the result.
+    /// commutes, so chunking cannot affect the result. Returns `None` when
+    /// `cancel` fired: a partially sampled bucket set must not rank anyone.
+    #[allow(clippy::too_many_arguments)] // internal stage: build inputs plus the token
     fn hfs_stage_seeded(
         g: &Csr,
         model: Model,
@@ -203,7 +238,8 @@ impl HimorIndex {
         theta: usize,
         seeds: SeedSequence,
         threads: usize,
-    ) -> (Vec<FxHashMap<NodeId, u32>>, SampleStats) {
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Vec<FxHashMap<NodeId, u32>>, SampleStats)> {
         let nv = dendro.num_vertices();
         let n = dendro.num_leaves();
         let max_depth = (0..n as NodeId)
@@ -215,7 +251,19 @@ impl HimorIndex {
             let mut queues: Vec<Vec<(u32, VertexId)>> = vec![Vec::new(); max_depth + 1];
             let mut explored: Vec<bool> = Vec::new();
             let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); nv];
-            for i in range {
+            let mut charged = sampler.stats();
+            for (off, i) in range.enumerate() {
+                if off % CHECK_EVERY == 0 {
+                    failpoint::hit(failpoint::Site::SampleBatch, cancel);
+                    if let Some(tok) = cancel {
+                        let now = sampler.stats();
+                        tok.charge_rr_edges(now.delta_since(charged).edges);
+                        charged = now;
+                        if tok.should_stop() {
+                            break;
+                        }
+                    }
+                }
                 let mut rng = seeds.rng_for(i as u64);
                 let rr = sampler.sample_uniform(&mut rng);
                 Self::hfs_record_tree(dendro, lca, &rr, &mut queues, &mut explored, &mut buckets);
@@ -232,7 +280,10 @@ impl HimorIndex {
                 }
             }
         }
-        (merged, sampled)
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return None;
+        }
+        Some((merged, sampled))
     }
 
     /// Records one RR graph into the per-vertex buckets: every RR node goes
@@ -286,11 +337,15 @@ impl HimorIndex {
     /// exactly what the serial order would have shown it. Results are
     /// applied in the fixed post-order, so the output is identical for
     /// every thread count.
+    ///
+    /// Polls `cancel` once per depth wave; a fired token abandons the
+    /// half-merged state and returns `None`.
     fn merge_stage(
         dendro: &Dendrogram,
         mut buckets: Vec<FxHashMap<NodeId, u32>>,
         threads: usize,
-    ) -> Vec<Vec<u32>> {
+        cancel: Option<&CancelToken>,
+    ) -> Option<Vec<Vec<u32>>> {
         let n = dendro.num_leaves();
         let nv = dendro.num_vertices();
         // acc[v] = accumulated count of v over the already-folded buckets on
@@ -313,6 +368,12 @@ impl HimorIndex {
 
         let mut wave_start = 0;
         while wave_start < order.len() {
+            failpoint::hit(failpoint::Site::MergeWave, cancel);
+            if let Some(tok) = cancel {
+                if tok.should_stop() {
+                    return None;
+                }
+            }
             let depth = dendro.depth(order[wave_start]);
             let mut wave_end = wave_start + 1;
             while wave_end < order.len() && dendro.depth(order[wave_end]) == depth {
@@ -358,7 +419,7 @@ impl HimorIndex {
             }
             wave_start = wave_end;
         }
-        ranks
+        Some(ranks)
     }
 
     /// Folds one internal vertex's bucket into its children's sorted count

@@ -48,6 +48,7 @@ pub fn independent_cod<R: Rng>(
         uncertain: vec![false; m],
         theta: total_theta,
         truncated: false,
+        cancelled: false,
     }
 }
 

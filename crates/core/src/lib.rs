@@ -35,6 +35,7 @@ pub mod compressed;
 pub mod dynamic;
 pub mod engine;
 pub mod error;
+pub mod failpoint;
 pub mod himor;
 pub mod independent;
 pub mod lore;
@@ -48,15 +49,17 @@ pub mod telemetry;
 pub use cache::{CacheStats, ReclusterCache};
 pub use chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
 pub use compressed::{
-    compressed_cod, compressed_cod_adaptive, compressed_cod_adaptive_seeded, compressed_cod_seeded,
-    compressed_cod_with, CodOutcome,
+    compressed_cod, compressed_cod_adaptive, compressed_cod_adaptive_seeded,
+    compressed_cod_governed, compressed_cod_seeded, compressed_cod_with, CodOutcome,
 };
 pub use dynamic::DynamicCod;
 pub use engine::{CodEngine, Method, Query};
 pub use error::{CodError, CodResult};
 pub use himor::{BuildStats, HimorIndex};
 pub use lore::{select_recluster_community, ReclusterChoice};
-pub use pipeline::{AnswerSource, CacheOutcome, CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu};
+pub use pipeline::{
+    AnswerSource, CacheOutcome, CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu, QueryLimits,
+};
 pub use scratch::QueryScratch;
 pub use telemetry::{
     Counter, CounterSnapshot, MetricsRegistry, MetricsSnapshot, Phase, PhaseNanos, QueryOutcome,

@@ -96,6 +96,7 @@ mod tests {
             source: AnswerSource::Compressed,
             uncertain: false,
             cache: None,
+            degraded: None,
             trace: None,
         }
     }

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use cod_graph::{AttrId, AttributedGraph, NodeId};
 use cod_hierarchy::{Dendrogram, Hierarchy, LcaIndex, Linkage};
-use cod_influence::{Model, Parallelism};
+use cod_influence::{CancelToken, Model, Parallelism};
 use rand::prelude::*;
 
 use crate::chain::Chain;
@@ -32,6 +32,46 @@ use crate::compressed::{compressed_cod_budgeted, compressed_cod_budgeted_seeded}
 use crate::engine::{CodEngine, Method, Query};
 use crate::error::{CodError, CodResult};
 use crate::himor::HimorIndex;
+
+/// Per-query resource limits enforced by cooperative cancellation.
+///
+/// All limits default to `None` (unlimited), and a limit that never
+/// triggers is invisible: the cancellation checkpoints never touch an RNG,
+/// so answers are bit-identical to running without limits (asserted by the
+/// seed-replay suite). When a limit fires mid-query the engine degrades
+/// down the method ladder (CODL → CODL⁻ → CODU) and flags the answer via
+/// [`CodAnswer::degraded`]; if no rung can answer, the query fails with
+/// [`CodError::DeadlineExceeded`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Wall-clock deadline per query, measured from when the engine starts
+    /// planning it.
+    pub deadline: Option<std::time::Duration>,
+    /// Cap on RR-graph edges traversed while sampling for one query.
+    pub max_rr_edges: Option<u64>,
+    /// Cap on the resident bytes of one query's scratch workspace.
+    pub max_memory_bytes: Option<usize>,
+}
+
+impl QueryLimits {
+    /// Whether every limit is unset (the default).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_rr_edges.is_none() && self.max_memory_bytes.is_none()
+    }
+
+    /// A fresh token enforcing these limits, or `None` when unlimited —
+    /// the unlimited serving path carries no token at all.
+    pub(crate) fn token(&self) -> Option<CancelToken> {
+        if self.is_unlimited() {
+            return None;
+        }
+        Some(CancelToken::with(
+            self.deadline,
+            self.max_rr_edges,
+            self.max_memory_bytes,
+        ))
+    }
+}
 
 /// Shared configuration for all COD variants (paper §V-A defaults).
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +106,14 @@ pub struct CodConfig {
     /// way, and neither mode touches the RNG — answers are bit-identical
     /// with tracing on or off (asserted by the seed-replay suite).
     pub trace: bool,
+    /// Per-query deadline and resource caps ([`QueryLimits`]); unlimited by
+    /// default. Limits that never trigger leave answers bit-identical.
+    pub limits: QueryLimits,
+    /// Admission-control cap on concurrent [`CodEngine::query_batch`]
+    /// calls. When the cap is reached, further calls are shed immediately
+    /// with the retriable [`CodError::Overloaded`] instead of queueing.
+    /// `None` (the default) admits everything.
+    pub max_inflight: Option<usize>,
 }
 
 impl Default for CodConfig {
@@ -79,6 +127,8 @@ impl Default for CodConfig {
             budget: None,
             parallelism: Parallelism::Serial,
             trace: false,
+            limits: QueryLimits::default(),
+            max_inflight: None,
         }
     }
 }
@@ -150,6 +200,13 @@ pub struct CodAnswer {
     /// Best-effort flag: the winning level's top-k verdict could flip under
     /// sampling noise, or a sample budget truncated the evaluation.
     pub uncertain: bool,
+    /// Set when a [`QueryLimits`] trigger forced the degradation ladder:
+    /// the method rung that actually served the answer (equal to the
+    /// requested method when the primary rung still answered, lower —
+    /// e.g. [`Method::Codu`] for a CODL query — when the engine fell
+    /// back). `None` for every answer served without a limit firing;
+    /// degraded answers are always also [`CodAnswer::uncertain`].
+    pub degraded: Option<Method>,
     /// Engine diagnostic: artifact-cache outcome for the query's
     /// reclustered hierarchy. `None` when no recluster was involved (CODU,
     /// index hits, degenerate LORE) or the answer predates the engine.
@@ -170,6 +227,7 @@ impl PartialEq for CodAnswer {
             && self.rank == other.rank
             && self.source == other.source
             && self.uncertain == other.uncertain
+            && self.degraded == other.degraded
     }
 }
 
@@ -428,6 +486,7 @@ pub(crate) fn answer_from_chain<R: Rng>(
         uncertain: out.truncated || out.uncertain[level],
         cache: None,
         trace: None,
+        degraded: None,
     }))
 }
 

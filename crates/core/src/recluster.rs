@@ -9,7 +9,30 @@
 
 use cod_graph::subgraph::Subgraph;
 use cod_graph::{AttrId, AttributedGraph, Csr, NodeId};
-use cod_hierarchy::{cluster, cluster_unweighted, Dendrogram, Linkage};
+use cod_hierarchy::{cluster_governed, cluster_unweighted, Dendrogram, Linkage};
+use cod_influence::CancelToken;
+
+use crate::failpoint;
+
+/// Merges between governance polls of a governed (re)clustering. The first
+/// merge also polls, so short clusterings still observe an armed token.
+const LINKAGE_CHECK_EVERY: usize = 256;
+
+/// The per-merge callback a governed clustering hands to
+/// [`cluster_governed`]: every [`LINKAGE_CHECK_EVERY`] merges (and on the
+/// first) it hits the `LinkageRound` failpoint and polls the token.
+fn linkage_keep_going(cancel: Option<&CancelToken>) -> impl FnMut(usize) -> bool + '_ {
+    move |done| {
+        if done != 1 && done % LINKAGE_CHECK_EVERY != 0 {
+            return true;
+        }
+        failpoint::hit(failpoint::Site::LinkageRound, cancel);
+        match cancel {
+            Some(tok) => !tok.should_stop(),
+            None => true,
+        }
+    }
+}
 
 /// Default additional weight `β` for query-attributed edges.
 pub const DEFAULT_BETA: f64 = 1.0;
@@ -96,8 +119,27 @@ pub fn global_recluster(
     beta: f64,
     linkage: Linkage,
 ) -> Dendrogram {
+    match global_recluster_governed(g, attr, beta, linkage, None) {
+        Some(d) => d,
+        None => unreachable!("an ungoverned reclustering has no token to cancel it"),
+    }
+}
+
+/// [`global_recluster`] under cooperative governance: polls `cancel` every
+/// `LINKAGE_CHECK_EVERY` merges and returns `None` when it fired — a
+/// half-clustered hierarchy is never observable. The poll cannot change the
+/// merge order, so `cancel: None` (or a token that never fires) reproduces
+/// [`global_recluster`] exactly.
+pub fn global_recluster_governed(
+    g: &AttributedGraph,
+    attr: AttrId,
+    beta: f64,
+    linkage: Linkage,
+    cancel: Option<&CancelToken>,
+) -> Option<Dendrogram> {
     let w = attribute_weights(g, attr, beta);
-    Dendrogram::from_merges(g.num_nodes(), &cluster(g.csr(), &w, linkage))
+    let merges = cluster_governed(g.csr(), &w, linkage, linkage_keep_going(cancel))?;
+    Some(Dendrogram::from_merges(g.num_nodes(), &merges))
 }
 
 /// LORE's local reclustering: extracts the subgraph induced by `members`
@@ -111,6 +153,22 @@ pub fn local_recluster(
     beta: f64,
     linkage: Linkage,
 ) -> (Subgraph, Dendrogram) {
+    match local_recluster_governed(g, members, attr, beta, linkage, None) {
+        Some(out) => out,
+        None => unreachable!("an ungoverned reclustering has no token to cancel it"),
+    }
+}
+
+/// [`local_recluster`] under cooperative governance (see
+/// [`global_recluster_governed`] for the contract).
+pub fn local_recluster_governed(
+    g: &AttributedGraph,
+    members: &[NodeId],
+    attr: AttrId,
+    beta: f64,
+    linkage: Linkage,
+    cancel: Option<&CancelToken>,
+) -> Option<(Subgraph, Dendrogram)> {
     let sub = Subgraph::induced(g.csr(), members);
     let mut w = vec![1.0; sub.csr.num_half_edges()];
     for lu in 0..sub.len() as NodeId {
@@ -124,8 +182,9 @@ pub fn local_recluster(
             }
         }
     }
-    let dendro = Dendrogram::from_merges(sub.len(), &cluster(&sub.csr, &w, linkage));
-    (sub, dendro)
+    let merges = cluster_governed(&sub.csr, &w, linkage, linkage_keep_going(cancel))?;
+    let dendro = Dendrogram::from_merges(sub.len(), &merges);
+    Some((sub, dendro))
 }
 
 #[cfg(test)]

@@ -398,6 +398,8 @@ pub struct MetricsRegistry {
     answers_compressed: AtomicU64,
     answers_none: AtomicU64,
     errors: AtomicU64,
+    answers_degraded: AtomicU64,
+    queries_shed: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_NS.len() + 1],
     latency_sum_nanos: AtomicU64,
 }
@@ -449,6 +451,20 @@ impl MetricsRegistry {
         }
     }
 
+    /// Tallies one degraded answer (a query limit fired and a lower rung
+    /// of the degradation ladder served the answer). Recorded *in
+    /// addition to* the answer's outcome tally — a degraded answer is
+    /// still an answer.
+    pub fn record_degraded(&self) {
+        self.answers_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies `n` queries shed by admission control. Shed queries never
+    /// reach [`MetricsRegistry::record`]; this is their only trace.
+    pub fn record_shed(&self, n: u64) {
+        self.queries_shed.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot of all aggregates (individual loads are
     /// relaxed; totals lag in-flight queries by at most one update each).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -473,6 +489,8 @@ impl MetricsRegistry {
             answers_compressed: load(&self.answers_compressed),
             answers_none: load(&self.answers_none),
             errors: load(&self.errors),
+            answers_degraded: load(&self.answers_degraded),
+            queries_shed: load(&self.queries_shed),
             latency_buckets,
             latency_sum_nanos: load(&self.latency_sum_nanos),
         }
@@ -496,6 +514,12 @@ pub struct MetricsSnapshot {
     pub answers_none: u64,
     /// Queries that returned an error.
     pub errors: u64,
+    /// Answers served by a lower degradation-ladder rung after a query
+    /// limit fired (a subset of the answer tallies above).
+    pub answers_degraded: u64,
+    /// Queries shed by admission control (not part of `queries`; shed
+    /// queries are rejected before planning).
+    pub queries_shed: u64,
     /// Disjoint latency observations per bucket (traced queries only; the
     /// last bucket is +Inf). The Prometheus rendering cumulates them.
     pub latency_buckets: [u64; LATENCY_BUCKETS_NS.len() + 1],
@@ -528,6 +552,16 @@ impl MetricsSnapshot {
             "errors_total",
             "queries that returned an error",
             self.errors,
+        );
+        counter(
+            "degraded_answers_total",
+            "answers served by a lower degradation-ladder rung after a query limit fired",
+            self.answers_degraded,
+        );
+        counter(
+            "shed_total",
+            "queries shed by admission control before planning",
+            self.queries_shed,
         );
         for (c, v) in self.counters.iter() {
             counter(&format!("{}_total", c.name()), c.help(), v);

@@ -29,4 +29,6 @@ pub use dendrogram::{Dendrogram, DendrogramError, VertexId, NO_VERTEX};
 pub use handle::{Hierarchy, SharedHierarchy};
 pub use lca::LcaIndex;
 pub use linkage::Linkage;
-pub use nnchain::{cluster, cluster_unweighted, Merge};
+pub use nnchain::{
+    cluster, cluster_governed, cluster_unweighted, cluster_unweighted_governed, Merge,
+};

@@ -103,12 +103,29 @@ impl ChainState {
 /// across the two orientations of each edge. Pass [`cluster_unweighted`] for
 /// unit weights.
 pub fn cluster(g: &Csr, weights: &[f64], linkage: Linkage) -> Vec<Merge> {
+    match cluster_governed(g, weights, linkage, |_| true) {
+        Some(m) => m,
+        None => unreachable!("an always-true callback never aborts"),
+    }
+}
+
+/// [`cluster`] with a cooperative-cancellation hook: `keep_going` is called
+/// after every merge with the number of merges made so far; returning
+/// `false` abandons the clustering and yields `None`. Serving layers use it
+/// to poll a deadline token every few hundred merges — the callback cannot
+/// perturb the merge order, only cut it short.
+pub fn cluster_governed(
+    g: &Csr,
+    weights: &[f64],
+    linkage: Linkage,
+    keep_going: impl FnMut(usize) -> bool,
+) -> Option<Vec<Merge>> {
     assert_eq!(
         weights.len(),
         g.num_half_edges(),
         "one weight per half-edge"
     );
-    cluster_impl(g, |idx, _u, _v| weights[idx], linkage)
+    cluster_impl(g, |idx, _u, _v| weights[idx], linkage, keep_going)
 }
 
 /// Clusters `g` with unit edge weights (the non-attributed hierarchy `T`).
@@ -130,16 +147,33 @@ pub fn cluster(g: &Csr, weights: &[f64], linkage: Linkage) -> Vec<Merge> {
 /// assert_eq!(*chain.last().unwrap(), dendro.root());
 /// ```
 pub fn cluster_unweighted(g: &Csr, linkage: Linkage) -> Vec<Merge> {
-    cluster_impl(g, |_idx, _u, _v| 1.0, linkage)
+    match cluster_unweighted_governed(g, linkage, |_| true) {
+        Some(m) => m,
+        None => unreachable!("an always-true callback never aborts"),
+    }
 }
 
-fn cluster_impl<F>(g: &Csr, weight: F, linkage: Linkage) -> Vec<Merge>
+/// [`cluster_unweighted`] with the [`cluster_governed`] cancellation hook.
+pub fn cluster_unweighted_governed(
+    g: &Csr,
+    linkage: Linkage,
+    keep_going: impl FnMut(usize) -> bool,
+) -> Option<Vec<Merge>> {
+    cluster_impl(g, |_idx, _u, _v| 1.0, linkage, keep_going)
+}
+
+fn cluster_impl<F>(
+    g: &Csr,
+    weight: F,
+    linkage: Linkage,
+    mut keep_going: impl FnMut(usize) -> bool,
+) -> Option<Vec<Merge>>
 where
     F: Fn(usize, NodeId, NodeId) -> f64,
 {
     let n = g.num_nodes();
     if n == 0 {
-        return Vec::new();
+        return Some(Vec::new());
     }
     let mut adj: Vec<FxHashMap<VertexId, CrossStats>> = Vec::with_capacity(2 * n);
     for u in 0..n as NodeId {
@@ -211,6 +245,9 @@ where
             let c = state.merge(top, next);
             merges.push(Merge { a: next, b: top });
             debug_assert_eq!(c as usize, n + merges.len() - 1);
+            if !keep_going(merges.len()) {
+                return None;
+            }
         } else {
             chain.push(next);
         }
@@ -224,9 +261,12 @@ where
         let c = state.merge(acc, r);
         merges.push(Merge { a: acc, b: r });
         acc = c;
+        if !keep_going(merges.len()) {
+            return None;
+        }
     }
     debug_assert_eq!(merges.len(), n - 1);
-    merges
+    Some(merges)
 }
 
 #[cfg(test)]
@@ -322,6 +362,21 @@ mod tests {
         let g = GraphBuilder::new(1).build();
         let merges = cluster_unweighted(&g, Linkage::Average);
         assert!(merges.is_empty());
+    }
+
+    #[test]
+    fn governed_abort_stops_at_the_requested_merge() {
+        let g = barbell();
+        let mut calls = Vec::new();
+        let out = cluster_unweighted_governed(&g, Linkage::Average, |done| {
+            calls.push(done);
+            done < 3
+        });
+        assert!(out.is_none(), "callback returning false must abort");
+        assert_eq!(calls, vec![1, 2, 3], "one call per merge, in order");
+        // An always-true callback reproduces the ungoverned merge sequence.
+        let governed = cluster_unweighted_governed(&g, Linkage::Average, |_| true).unwrap();
+        assert_eq!(governed, cluster_unweighted(&g, Linkage::Average));
     }
 
     #[test]

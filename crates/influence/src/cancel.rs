@@ -1,0 +1,183 @@
+//! Cooperative cancellation for long-running query work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a query's
+//! planner and every worker doing sampling / clustering / index work on its
+//! behalf. Workers poll it at coarse checkpoints (per RR-sample batch, per
+//! HFS level, per merge wave, per linkage round); the token never interrupts
+//! anything by itself, it only answers "should this work stop now?".
+//!
+//! Three independent triggers can fire a token:
+//!
+//! * an explicit [`CancelToken::cancel`] call (tests, admission control);
+//! * a wall-clock **deadline** (checked lazily inside
+//!   [`CancelToken::should_stop`], so the fast path is one relaxed atomic
+//!   load);
+//! * exceeding a **resource cap** charged by the workers themselves
+//!   ([`CancelToken::charge_rr_edges`], [`CancelToken::charge_memory`]).
+//!
+//! Determinism contract: polling a token never touches an RNG and never
+//! reorders work, so a token that never fires is invisible — results are
+//! bit-identical to running without one.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    max_rr_edges: Option<u64>,
+    max_memory_bytes: Option<usize>,
+    rr_edges: AtomicU64,
+}
+
+/// Shared cancellation flag with optional deadline and resource caps.
+///
+/// Cloning is an `Arc` bump; all clones observe the same state.
+///
+/// ```
+/// use cod_influence::CancelToken;
+/// use std::time::Duration;
+///
+/// let t = CancelToken::with(Some(Duration::from_secs(3600)), Some(10), None);
+/// assert!(!t.should_stop());
+/// t.charge_rr_edges(11); // blows the edge cap
+/// assert!(t.is_cancelled());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline and no caps: it only fires when
+    /// [`cancel`](Self::cancel) is called explicitly.
+    pub fn unlimited() -> Self {
+        Self::with(None, None, None)
+    }
+
+    /// A token that fires after `deadline` elapses (measured from now), or
+    /// when more than `max_rr_edges` RR-graph edges have been charged, or
+    /// when a single memory charge exceeds `max_memory_bytes`.
+    pub fn with(
+        deadline: Option<Duration>,
+        max_rr_edges: Option<u64>,
+        max_memory_bytes: Option<usize>,
+    ) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: deadline.map(|d| Instant::now() + d),
+                max_rr_edges,
+                max_memory_bytes,
+                rr_edges: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Fires the token. Idempotent; never un-fires.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the token has fired — one relaxed load, no clock read.
+    /// Suitable for the hottest checkpoint loops.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Whether work should stop now: the flag, then (only if one is set)
+    /// the deadline. A passed deadline latches the flag so later
+    /// [`is_cancelled`](Self::is_cancelled) calls see it without re-reading
+    /// the clock.
+    pub fn should_stop(&self) -> bool {
+        if self.is_cancelled() {
+            return true;
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                self.cancel();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Charges `n` traversed RR-graph edges against the edge cap; fires the
+    /// token when the cumulative total exceeds it.
+    pub fn charge_rr_edges(&self, n: u64) {
+        let Some(cap) = self.inner.max_rr_edges else {
+            return;
+        };
+        let total = self.inner.rr_edges.fetch_add(n, Ordering::Relaxed) + n;
+        if total > cap {
+            self.cancel();
+        }
+    }
+
+    /// Charges a high-water scratch-memory reading against the memory cap;
+    /// fires the token when `bytes` exceeds it. Not cumulative: each call
+    /// reports a current resident size, not an allocation delta.
+    pub fn charge_memory(&self, bytes: usize) {
+        if let Some(cap) = self.inner.max_memory_bytes {
+            if bytes > cap {
+                self.cancel();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_latches() {
+        let t = CancelToken::unlimited();
+        assert!(!t.is_cancelled());
+        assert!(!t.should_stop());
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.should_stop());
+    }
+
+    #[test]
+    fn zero_deadline_fires_on_first_poll() {
+        let t = CancelToken::with(Some(Duration::ZERO), None, None);
+        // The cheap check alone never reads the clock.
+        assert!(!t.is_cancelled());
+        assert!(t.should_stop());
+        // ...and the stop latched into the flag.
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn edge_cap_is_cumulative_across_clones() {
+        let t = CancelToken::with(None, Some(100), None);
+        let u = t.clone();
+        t.charge_rr_edges(60);
+        assert!(!t.is_cancelled());
+        u.charge_rr_edges(41);
+        assert!(t.is_cancelled(), "clones share the charge ledger");
+    }
+
+    #[test]
+    fn memory_cap_is_high_water_not_cumulative() {
+        let t = CancelToken::with(None, None, Some(1000));
+        t.charge_memory(600);
+        t.charge_memory(600); // same reading twice: still under the cap
+        assert!(!t.is_cancelled());
+        t.charge_memory(1001);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn uncapped_charges_never_fire() {
+        let t = CancelToken::unlimited();
+        t.charge_rr_edges(u64::MAX / 2);
+        t.charge_memory(usize::MAX);
+        assert!(!t.should_stop());
+    }
+}

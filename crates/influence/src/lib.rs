@@ -21,6 +21,7 @@
 //! of `g` (Theorem 2 couples the community process to possible worlds of
 //! `g`); only traversal is restricted to `C`.
 
+pub mod cancel;
 pub mod estimate;
 pub mod im;
 pub mod model;
@@ -30,6 +31,7 @@ pub mod rrgraph;
 pub mod sampler;
 pub mod seed;
 
+pub use cancel::CancelToken;
 pub use estimate::{rank_in_members, InfluenceEstimate, SourceUniverse};
 pub use im::RrPool;
 pub use model::Model;

@@ -111,6 +111,13 @@ OPTIONS:
                   of rebuilding
   --budget N      cap total RR-graph samples per query; truncated answers
                   are flagged best-effort
+  --deadline-ms N wall-clock deadline per query. A query that overruns it
+                  degrades down the method ladder (codl -> codl- -> codu)
+                  and the answer is tagged [degraded]; if no rung answers
+                  in time the query errors with \"deadline exceeded\"
+  --max-inflight N admission-control cap on concurrent batch calls; excess
+                  calls are shed with a retriable \"engine overloaded\"
+                  error instead of queueing
   --threads T     RR-sampling / index-build execution: serial (default,
                   legacy sequential sampling), auto (thread count from
                   RAYON_NUM_THREADS / COD_THREADS / the machine), or a
@@ -142,6 +149,8 @@ struct Opts {
     index: Option<PathBuf>,
     strict_index: bool,
     budget: Option<usize>,
+    deadline_ms: Option<u64>,
+    max_inflight: Option<usize>,
     threads: Option<Parallelism>,
     trace: bool,
     metrics_out: Option<PathBuf>,
@@ -221,6 +230,20 @@ impl Opts {
                             .map_err(|_| "--budget wants a number")?,
                     )
                 }
+                "--deadline-ms" => {
+                    o.deadline_ms = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--deadline-ms wants a number")?,
+                    )
+                }
+                "--max-inflight" => {
+                    o.max_inflight = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--max-inflight wants a number")?,
+                    )
+                }
                 "--threads" => o.threads = Some(parse_threads(&value(args, i)?)?),
                 "--metrics-out" => o.metrics_out = Some(PathBuf::from(value(args, i)?)),
                 "--out-edges" => o.out_edges = Some(PathBuf::from(value(args, i)?)),
@@ -268,6 +291,11 @@ impl Opts {
             budget: self.budget,
             parallelism: self.threads.unwrap_or(Parallelism::Serial),
             trace: self.trace,
+            limits: QueryLimits {
+                deadline: self.deadline_ms.map(std::time::Duration::from_millis),
+                ..QueryLimits::default()
+            },
+            max_inflight: self.max_inflight,
             ..CodConfig::default()
         }
     }
@@ -439,7 +467,12 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
                 ans.rank,
                 ans.source
             );
-            if ans.uncertain {
+            if let Some(rung) = ans.degraded {
+                println!(
+                    "note: a query limit fired; the answer was served by the \
+                     {rung:?} rung of the degradation ladder (best-effort)"
+                );
+            } else if ans.uncertain {
                 println!(
                     "note: best-effort answer (sample budget truncated the evaluation); \
                      raise or drop --budget for a firm answer"
@@ -578,18 +611,40 @@ fn cmd_query_batch(
         &plain_engine
     };
 
+    // Batch summary tallies: degraded answers are counted separately from
+    // clean answers and from errors — a degraded answer is still served.
+    let (mut answered, mut degraded, mut none, mut errors) = (0usize, 0usize, 0usize, 0usize);
     for (query, result) in queries.iter().zip(engine.query_batch(&queries, &mut rng)) {
         let q = query.node;
         match result {
-            Err(e) => println!("node {q}: error: {e}"),
-            Ok(None) => println!("node {q}: no community where it is top-{}", cfg.k),
+            Err(e) => {
+                errors += 1;
+                println!("node {q}: error: {e}");
+            }
+            Ok(None) => {
+                none += 1;
+                println!("node {q}: no community where it is top-{}", cfg.k);
+            }
             Ok(Some(ans)) => {
                 let cache = match ans.cache {
                     Some(CacheOutcome::Hit) => ", cache hit",
                     Some(CacheOutcome::Miss) => ", cache miss",
                     None => "",
                 };
-                let flag = if ans.uncertain { " [best-effort]" } else { "" };
+                let flag = match ans.degraded {
+                    Some(rung) => {
+                        degraded += 1;
+                        format!(" [degraded: served by {rung:?}]")
+                    }
+                    None => {
+                        answered += 1;
+                        if ans.uncertain {
+                            " [best-effort]".to_string()
+                        } else {
+                            String::new()
+                        }
+                    }
+                };
                 println!(
                     "node {q}: {} members, rank {} (via {:?}{cache}){flag}",
                     ans.size(),
@@ -602,6 +657,10 @@ fn cmd_query_batch(
             }
         }
     }
+    eprintln!(
+        "batch summary: {answered} answered, {degraded} degraded, {none} without community, \
+         {errors} errors"
+    );
     let stats = engine.cache_stats();
     eprintln!(
         "recluster cache: {} hits / {} misses ({:.0}% hit rate, {} resident)",

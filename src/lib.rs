@@ -53,9 +53,9 @@ pub mod prelude {
     pub use cod_core::{
         CacheOutcome, CacheStats, Chain, CodAnswer, CodConfig, CodEngine, CodError, CodResult,
         Codl, CodlMinus, Codr, Codu, ComposedChain, Counter, DendroChain, HimorIndex, Method,
-        MetricsSnapshot, Phase, Query, QueryScratch, QueryTrace,
+        MetricsSnapshot, Phase, Query, QueryLimits, QueryScratch, QueryTrace,
     };
     pub use cod_graph::{AttrId, AttributedGraph, Csr, GraphBuilder, NodeId};
     pub use cod_hierarchy::{Dendrogram, LcaIndex, Linkage};
-    pub use cod_influence::{Model, Parallelism, RrSampler, SeedSequence};
+    pub use cod_influence::{CancelToken, Model, Parallelism, RrSampler, SeedSequence};
 }

@@ -212,3 +212,32 @@ fn himor_on_two_node_graph() {
         Some(dendro.root())
     );
 }
+
+#[test]
+fn zero_budget_reports_the_chain_wide_requirement() {
+    // The `required` figure in BudgetExhausted is the chain-wide draw
+    // count θ·|universe| a full evaluation would make — not the per-node
+    // θ. The two-node graph makes the distinction visible: θ = 7 per node
+    // but the universe has 2 nodes, so the query needs 14 draws.
+    let g = two_node_graph();
+    let cfg = CodConfig {
+        k: 1,
+        theta: 7,
+        budget: Some(0),
+        ..CodConfig::default()
+    };
+    let codu = Codu::new(&g, cfg);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let err = codu.query(0, &mut rng).unwrap_err();
+    match err {
+        CodError::BudgetExhausted { budget, required } => {
+            assert_eq!(budget, 0);
+            assert_eq!(required, 14, "required must be theta * |universe|");
+        }
+        other => panic!("expected BudgetExhausted, got {other}"),
+    }
+    assert_eq!(
+        err.to_string(),
+        "sample budget exhausted: 0 samples allowed but the query needs at least 14"
+    );
+}

@@ -451,6 +451,66 @@ fn engine_answers_match_facade_answers_across_threads() {
     }
 }
 
+/// Query limits that never fire are invisible: an engine with generous
+/// deadline/edge/memory caps armed (so every checkpoint actually polls a
+/// token) answers bit-identically to the unlimited engine, for every
+/// thread count, cold cache and warm. This is the governance layer's
+/// no-trigger determinism contract.
+#[test]
+fn generous_limits_replay_bit_identically_across_threads() {
+    let data = dataset();
+    let g = &data.graph;
+    let mut queries: Vec<Query> = Vec::new();
+    for &q in &[0u32, 9, 42, 133] {
+        let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+        queries.push(Query::codu(q));
+        queries.push(Query::new(q, attr, Method::Codr));
+        queries.push(Query::new(q, attr, Method::CodlMinus));
+        queries.push(Query::new(q, attr, Method::Codl));
+    }
+    // Cold and warm passes are compared *pairwise* between the limited and
+    // unlimited engines at the same cache state (a cold CODL query draws an
+    // index-build seed mid-stream, so cold and warm streams differ by
+    // design — that offset must be identical on both sides).
+    type Passes = (
+        Vec<Result<Option<CodAnswer>, String>>,
+        Vec<Result<Option<CodAnswer>, String>>,
+    );
+    let run = |t: usize, limits: QueryLimits| -> Passes {
+        let cfg = CodConfig {
+            k: 3,
+            theta: 15,
+            parallelism: Parallelism::Threads(t),
+            limits,
+            ..CodConfig::default()
+        };
+        let engine = CodEngine::new(g.clone(), cfg);
+        let mut rng = SmallRng::seed_from_u64(5000);
+        let cold = comparable(engine.query_batch(&queries, &mut rng));
+        let mut rng = SmallRng::seed_from_u64(5000);
+        let warm = comparable(engine.query_batch(&queries, &mut rng));
+        (cold, warm)
+    };
+    let generous = QueryLimits {
+        deadline: Some(std::time::Duration::from_secs(3600)),
+        max_rr_edges: Some(u64::MAX / 2),
+        max_memory_bytes: Some(usize::MAX / 2),
+    };
+    let (ref_cold, ref_warm) = run(1, QueryLimits::default());
+    assert!(ref_cold.iter().any(|r| matches!(r, Ok(Some(_)))));
+    for t in THREADS {
+        let (cold, warm) = run(t, generous);
+        assert_eq!(
+            cold, ref_cold,
+            "threads {t}: generous limits changed cold answers"
+        );
+        assert_eq!(
+            warm, ref_warm,
+            "threads {t}: generous limits changed warm answers"
+        );
+    }
+}
+
 /// Batched answers are bit-identical to one-at-a-time answers with the same
 /// seed, cold cache and warm, for every thread count — including the
 /// positions of per-query errors.
