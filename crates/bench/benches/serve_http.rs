@@ -1,0 +1,79 @@
+//! Serving-tier overhead: what the HTTP layer costs on top of the engine.
+//!
+//! Two legs over the identical warm single-query workload:
+//!
+//! * **engine_direct** — `CodEngine::query` called in-process;
+//! * **http_query** — the same query as a full `GET /query` round trip
+//!   through the serve tier (connect, parse, route, evaluate, serialize,
+//!   close) against an in-process server on a loopback socket.
+//!
+//! `bench_report` gates the `http_query / engine_direct` ratio: both legs
+//! run in the same process on the same machine, so the ratio isolates the
+//! serving tier's overhead (socket + parse + JSON + thread handoff) from
+//! hardware drift. The cache is pre-warmed on both sides — the ratio is
+//! about the HTTP layer, not recluster builds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use cod_core::{CodConfig, CodEngine, Method, Query};
+use rand::prelude::*;
+
+fn warm_engine() -> Arc<CodEngine> {
+    let data = cod_datasets::cora_like(1);
+    let cfg = CodConfig {
+        k: 3,
+        theta: 8,
+        ..CodConfig::default()
+    };
+    let engine = Arc::new(CodEngine::new(data.graph, cfg));
+    let mut rng = SmallRng::seed_from_u64(42);
+    // Warm the recluster cache for attribute 0 so both legs measure the
+    // steady state.
+    let q = Query::new(0, 0, Method::Codr);
+    let _ = engine.query(q, &mut rng);
+    engine
+}
+
+fn http_round_trip(addr: &str) -> usize {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET /query?node=0&attr=0&method=codr HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+    out.len()
+}
+
+fn bench_serve_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_http");
+    group.sample_size(10);
+
+    let engine = warm_engine();
+
+    group.bench_function("engine_direct", |b| {
+        let q = Query::new(0, 0, Method::Codr);
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(42);
+            black_box(engine.query(q, &mut rng).unwrap().map(|a| a.size()))
+        })
+    });
+
+    let handle = cod_serve::serve(Arc::clone(&engine), cod_serve::ServeConfig::default()).unwrap();
+    let addr = handle.addr().to_string();
+    http_round_trip(&addr); // connectivity check outside the timed loop
+    group.bench_function("http_query", |b| {
+        b.iter(|| black_box(http_round_trip(&addr)))
+    });
+    handle.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_overhead);
+criterion_main!(benches);

@@ -99,6 +99,16 @@ const RATIOS: &[(&str, &str, &str, Option<f64>)] = &[
         "query_throughput/governance/limits_unarmed",
         Some(1.05),
     ),
+    // HTTP round trip vs direct engine call on the same warm query: the
+    // serving tier's socket + parse + JSON + handoff overhead. No absolute
+    // cap — the warm query is fast enough that the ratio is loopback-RTT
+    // dominated; the baseline comparison still flags regressions.
+    (
+        "serve_http_overhead",
+        "serve_http/http_query",
+        "serve_http/engine_direct",
+        None,
+    ),
 ];
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

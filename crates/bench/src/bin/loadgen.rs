@@ -1,0 +1,452 @@
+//! `loadgen` — an open-loop HTTP load generator for the `cod serve` tier.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT | --preset cora] --qps 50 --duration-secs 5
+//!         [--deadline-ms 200] [--attrs A,B,C] [--nodes N] [--retries 3]
+//!         [--workers 2] [--max-inflight 4] [--accept-queue 16]
+//!         [--seed 42] [--json]
+//! ```
+//!
+//! Arrival is **open-loop**: request start times are fixed up front at
+//! `1/qps` spacing (with ±30% jitter) and never wait for earlier requests
+//! to finish, so server slowdowns build real queueing pressure instead of
+//! being absorbed by the generator — the honest way to drive a tier whose
+//! whole point is shedding under overload.
+//!
+//! The workload mixes three axes per request, all drawn deterministically
+//! from `--seed`:
+//!
+//! * **node** — uniform over `[0, nodes)`;
+//! * **attribute skew** — when `--attrs` lists names, request `i` picks
+//!   attribute `j` with weight `1/(j+1)` (Zipf-ish, so the recluster cache
+//!   sees a realistic hot head); otherwise the server defaults to the
+//!   node's first attribute;
+//! * **deadline mix** — 25% tight (`base/4`), 50% base, 25% loose
+//!   (`base*4`), exercising the degradation ladder at the tight end.
+//!
+//! A 503 (shed at the socket, at the accept queue, or by the engine's
+//! admission control) is retried up to `--retries` times with jittered
+//! exponential backoff seeded from the response's `Retry-After` hint.
+//! Every other status is terminal.
+//!
+//! Without `--addr`, the generator self-hosts: it builds the `--preset`
+//! dataset, stands up an in-process server on an ephemeral port, drives it,
+//! and reports the server's own shed/panic counters next to the
+//! client-side view — which is what the chaos-soak CI leg asserts against.
+//!
+//! The report gives p50/p90/p99 end-to-end latency (including retries),
+//! shed rate, degraded-answer rate, and error counts; `--json` appends one
+//! machine-readable summary line for scripts.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Opts {
+    addr: Option<String>,
+    preset: String,
+    qps: f64,
+    duration_secs: f64,
+    deadline_ms: u64,
+    attrs: Vec<String>,
+    nodes: Option<u64>,
+    retries: u32,
+    workers: usize,
+    max_inflight: usize,
+    accept_queue: usize,
+    seed: u64,
+    json: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: None,
+            preset: "cora".into(),
+            qps: 50.0,
+            duration_secs: 5.0,
+            deadline_ms: 200,
+            attrs: Vec::new(),
+            nodes: None,
+            retries: 3,
+            workers: 2,
+            max_inflight: 4,
+            accept_queue: 16,
+            seed: 42,
+            json: false,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut i = 0;
+    let value = |args: &[String], i: usize| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[i]))
+    };
+    while i < args.len() {
+        if args[i] == "--json" {
+            o.json = true;
+            i += 1;
+            continue;
+        }
+        let v = value(args, i);
+        match args[i].as_str() {
+            "--addr" => o.addr = Some(v?),
+            "--preset" => o.preset = v?,
+            "--qps" => o.qps = v?.parse().map_err(|_| "--qps wants a number")?,
+            "--duration-secs" => {
+                o.duration_secs = v?.parse().map_err(|_| "--duration-secs wants a number")?
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = v?.parse().map_err(|_| "--deadline-ms wants a number")?
+            }
+            "--attrs" => o.attrs = v?.split(',').map(str::to_owned).collect(),
+            "--nodes" => o.nodes = Some(v?.parse().map_err(|_| "--nodes wants a number")?),
+            "--retries" => o.retries = v?.parse().map_err(|_| "--retries wants a number")?,
+            "--workers" => o.workers = v?.parse().map_err(|_| "--workers wants a number")?,
+            "--max-inflight" => {
+                o.max_inflight = v?.parse().map_err(|_| "--max-inflight wants a number")?
+            }
+            "--accept-queue" => {
+                o.accept_queue = v?.parse().map_err(|_| "--accept-queue wants a number")?
+            }
+            "--seed" => o.seed = v?.parse().map_err(|_| "--seed wants a number")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 2;
+    }
+    if o.qps <= 0.0 || o.duration_secs <= 0.0 {
+        return Err("--qps and --duration-secs must be positive".into());
+    }
+    Ok(o)
+}
+
+/// Final fate of one logical request (after retries).
+#[derive(Clone, Copy, Debug)]
+enum Outcome {
+    /// 200, clean answer (or clean "no community").
+    Ok,
+    /// 200, but the answer was served by a lower rung of the ladder.
+    Degraded,
+    /// Still 503 after all retries.
+    Shed,
+    /// Terminal non-200/503 status (400/404/408/413/422/500/504…).
+    Status(u16),
+    /// Socket-level failure (connect refused, reset, timeout).
+    Io,
+}
+
+struct Sample {
+    outcome: Outcome,
+    /// Arrival-to-final-byte latency, retries and backoff included.
+    latency: Duration,
+    attempts: u32,
+}
+
+/// A minimal `Connection: close` HTTP exchange: writes one GET, reads to
+/// EOF, returns (status, retry_after, body).
+fn http_get(
+    addr: &str,
+    target: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, Option<u64>, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let retry_after = head.lines().find_map(|l| {
+        let (name, val) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("retry-after")
+            .then(|| val.trim().parse().ok())
+            .flatten()
+    });
+    Ok((status, retry_after, body.to_owned()))
+}
+
+/// Issues one logical request, retrying 503s with jittered exponential
+/// backoff (the `Retry-After` hint seeds the first backoff step).
+fn drive_one(addr: &str, target: &str, retries: u32, rng: &mut SmallRng) -> Sample {
+    let started = Instant::now();
+    // Generous socket timeout: the request's own deadline_ms governs the
+    // server side; this only bounds a wedged connection.
+    let socket_timeout = Duration::from_secs(10);
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match http_get(addr, target, socket_timeout) {
+            Ok((200, _, body)) => {
+                let degraded = body.contains("\"degraded\":\"");
+                return Sample {
+                    outcome: if degraded {
+                        Outcome::Degraded
+                    } else {
+                        Outcome::Ok
+                    },
+                    latency: started.elapsed(),
+                    attempts,
+                };
+            }
+            Ok((503, retry_after, _)) => {
+                if attempts > retries {
+                    return Sample {
+                        outcome: Outcome::Shed,
+                        latency: started.elapsed(),
+                        attempts,
+                    };
+                }
+                // Base step: the server's hint when it gave one, else 25ms;
+                // doubled per attempt, jittered to 50–150% to avoid retry
+                // synchronization across the fleet.
+                let base_ms = retry_after.map_or(25, |s| (s * 1000).clamp(25, 2_000));
+                let step = base_ms.saturating_mul(1 << (attempts - 1).min(6)) as f64;
+                let jittered = step * (0.5 + rng.random::<f64>());
+                std::thread::sleep(Duration::from_millis(jittered as u64));
+            }
+            Ok((status, _, _)) => {
+                return Sample {
+                    outcome: Outcome::Status(status),
+                    latency: started.elapsed(),
+                    attempts,
+                };
+            }
+            Err(_) => {
+                return Sample {
+                    outcome: Outcome::Io,
+                    latency: started.elapsed(),
+                    attempts,
+                };
+            }
+        }
+    }
+}
+
+/// Builds request `i`'s target path from the workload mix.
+fn target_for(i: u64, o: &Opts, nodes: u64, rng: &mut SmallRng) -> String {
+    let node = rng.random_range(0..nodes.max(1));
+    let deadline = match rng.random_range(0..4u32) {
+        0 => (o.deadline_ms / 4).max(1),
+        3 => o.deadline_ms.saturating_mul(4),
+        _ => o.deadline_ms,
+    };
+    let attr = if o.attrs.is_empty() {
+        String::new()
+    } else {
+        // Zipf-ish skew: attribute j with weight 1/(j+1).
+        let total: f64 = (0..o.attrs.len()).map(|j| 1.0 / (j + 1) as f64).sum();
+        let mut draw = rng.random::<f64>() * total;
+        let mut pick = 0;
+        for j in 0..o.attrs.len() {
+            let w = 1.0 / (j + 1) as f64;
+            if draw < w {
+                pick = j;
+                break;
+            }
+            draw -= w;
+        }
+        format!("&attr={}", o.attrs[pick])
+    };
+    let _ = i;
+    format!("/query?node={node}&deadline_ms={deadline}{attr}")
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+
+    // Self-host when no --addr: in-process engine + server, torn down (and
+    // its counters reported) after the run.
+    let mut hosted = None;
+    let (addr, nodes) = match &o.addr {
+        Some(addr) => {
+            let nodes = o
+                .nodes
+                .ok_or("--addr mode needs --nodes (max node id bound)")?;
+            (addr.clone(), nodes)
+        }
+        None => {
+            let data = cod_datasets::by_name(&o.preset, o.seed)
+                .ok_or_else(|| format!("unknown preset {:?}", o.preset))?;
+            let nodes = o.nodes.unwrap_or(data.graph.num_nodes() as u64);
+            let cfg = cod_core::CodConfig {
+                k: 3,
+                theta: 8,
+                max_inflight: Some(o.max_inflight),
+                ..cod_core::CodConfig::default()
+            };
+            let engine = Arc::new(cod_core::CodEngine::new(data.graph, cfg));
+            let serve_cfg = cod_serve::ServeConfig {
+                workers: o.workers.max(1),
+                accept_queue: o.accept_queue.max(1),
+                seed: o.seed,
+                ..cod_serve::ServeConfig::default()
+            };
+            let handle = cod_serve::serve(Arc::clone(&engine), serve_cfg)
+                .map_err(|e| format!("starting in-process server: {e}"))?;
+            let addr = handle.addr().to_string();
+            eprintln!("self-hosting {} on http://{addr}", o.preset);
+            hosted = Some((handle, engine));
+            (addr, nodes)
+        }
+    };
+
+    let total = (o.qps * o.duration_secs).ceil() as u64;
+    eprintln!(
+        "open-loop: {total} requests at {} qps over {}s against {addr}",
+        o.qps, o.duration_secs
+    );
+
+    let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::with_capacity(total as usize)));
+    let mut arrival_rng = SmallRng::seed_from_u64(o.seed);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(total as usize);
+    for i in 0..total {
+        // Fixed spacing with ±30% jitter; arrival never waits on completion.
+        let spacing = 1.0 / o.qps;
+        let jitter: f64 = arrival_rng.random::<f64>() * 0.6 - 0.3;
+        let at = Duration::from_secs_f64((spacing * i as f64 + spacing * jitter).max(0.0));
+        if let Some(wait) = at.checked_sub(start.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        let addr = addr.clone();
+        let samples = Arc::clone(&samples);
+        let retries = o.retries;
+        let mut rng = SmallRng::seed_from_u64(o.seed ^ (i + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let target = target_for(i, &o, nodes, &mut rng);
+        handles.push(std::thread::spawn(move || {
+            let s = drive_one(&addr, &target, retries, &mut rng);
+            samples.lock().unwrap().push(s);
+        }));
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let wall = start.elapsed();
+
+    let samples = samples.lock().unwrap();
+    let (mut ok, mut degraded, mut shed, mut io, mut other) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut status_counts: std::collections::BTreeMap<u16, u64> = std::collections::BTreeMap::new();
+    let mut retried_attempts = 0u64;
+    let mut ok_lat: Vec<Duration> = Vec::new();
+    for s in samples.iter() {
+        retried_attempts += (s.attempts - 1) as u64;
+        match s.outcome {
+            Outcome::Ok => {
+                ok += 1;
+                ok_lat.push(s.latency);
+            }
+            Outcome::Degraded => {
+                degraded += 1;
+                ok_lat.push(s.latency);
+            }
+            Outcome::Shed => shed += 1,
+            Outcome::Io => io += 1,
+            Outcome::Status(s) => {
+                other += 1;
+                *status_counts.entry(s).or_default() += 1;
+            }
+        }
+    }
+    ok_lat.sort();
+    let n = samples.len().max(1) as f64;
+    let answered = ok + degraded;
+    println!(
+        "loadgen report ({} requests in {:.2}s, {:.1} qps achieved)",
+        samples.len(),
+        wall.as_secs_f64(),
+        samples.len() as f64 / wall.as_secs_f64()
+    );
+    println!("  answered:  {answered} ({ok} clean, {degraded} degraded)");
+    println!(
+        "  shed:      {shed} ({:.1}% after retries)",
+        shed as f64 / n * 100.0
+    );
+    let status_detail: String = status_counts
+        .iter()
+        .map(|(s, n)| format!(" {s}x{n}"))
+        .collect();
+    println!("  errors:    {other} http{status_detail}, {io} io");
+    println!("  retries:   {retried_attempts} extra attempt(s)");
+    println!(
+        "  latency:   p50 {:.1}ms  p90 {:.1}ms  p99 {:.1}ms (answered only)",
+        percentile(&ok_lat, 0.50).as_secs_f64() * 1e3,
+        percentile(&ok_lat, 0.90).as_secs_f64() * 1e3,
+        percentile(&ok_lat, 0.99).as_secs_f64() * 1e3,
+    );
+    println!(
+        "  rates:     shed {:.3}  degraded {:.3}",
+        shed as f64 / n,
+        degraded as f64 / n
+    );
+    if o.json {
+        println!(
+            "{{\"requests\":{},\"answered\":{answered},\"clean\":{ok},\"degraded\":{degraded},\
+             \"shed\":{shed},\"http_errors\":{other},\"io_errors\":{io},\
+             \"retries\":{retried_attempts},\"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3}}}",
+            samples.len(),
+            percentile(&ok_lat, 0.50).as_secs_f64() * 1e3,
+            percentile(&ok_lat, 0.90).as_secs_f64() * 1e3,
+            percentile(&ok_lat, 0.99).as_secs_f64() * 1e3,
+        );
+    }
+
+    if let Some((handle, engine)) = hosted {
+        let report = handle.shutdown();
+        let st = &report.http_stats;
+        eprintln!(
+            "server: {} request(s), shed {} socket + {} engine, {} draining reject(s), {} panic(s); drained in time: {}",
+            st.requests, st.shed_socket, st.shed_engine, st.draining_rejects, st.panics, report.drained_in_time
+        );
+        let leaked = engine.inflight();
+        if leaked != 0 {
+            return Err(format!(
+                "engine leaked {leaked} inflight permit(s) post-run"
+            ));
+        }
+        if st.panics != 0 {
+            return Err(format!("{} worker panic(s) during the run", st.panics));
+        }
+        if !report.drained_in_time {
+            return Err("shutdown drain overran its deadline".into());
+        }
+        eprintln!("server: 0 leaked permits, 0 panics, clean drain");
+    }
+    Ok(())
+}

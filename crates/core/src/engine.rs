@@ -35,7 +35,7 @@
 //! loop, at the cost of no cross-query parallelism.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use cod_graph::{AttrId, AttributedGraph, NodeId};
@@ -50,13 +50,15 @@ use crate::error::{CodError, CodResult};
 use crate::failpoint;
 use crate::himor::HimorIndex;
 use crate::lore::select_recluster_community;
-use crate::pipeline::{validate_query, AnswerSource, CacheOutcome, CodAnswer, CodConfig};
+use crate::pipeline::{
+    validate_query, AnswerSource, CacheOutcome, CodAnswer, CodConfig, QueryLimits,
+};
 use crate::recluster::{build_hierarchy, global_recluster_governed, local_recluster_governed};
 use crate::scratch::QueryScratch;
 use crate::telemetry::{
     Counter, MetricsRegistry, MetricsSnapshot, Phase, QueryOutcome, QueryTrace, TraceSink,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which COD variant answers a query (paper §V naming).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -248,6 +250,14 @@ const FALLBACK_BUDGET: usize = 256;
 /// Default [`ReclusterCache`] capacity.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 
+/// Base retry-after hint handed out with the first shed of a streak; each
+/// consecutive shed doubles it (capped at `BASE << RETRY_AFTER_MAX_SHIFT`,
+/// 1.6 s), and a successful admission resets the streak. The hint thereby
+/// tracks how persistently the in-flight cap has been saturated — a cheap
+/// stand-in for queue depth the engine doesn't otherwise keep.
+const RETRY_AFTER_BASE_MS: u64 = 25;
+const RETRY_AFTER_MAX_SHIFT: u32 = 6;
+
 /// The shared query-serving engine fronting all four COD variants.
 ///
 /// Construction is cheap: the base hierarchy `T` and the HIMOR index are
@@ -265,6 +275,16 @@ pub struct CodEngine {
     /// Concurrent [`CodEngine::query_batch`] calls currently admitted
     /// (only maintained when [`CodConfig::max_inflight`] is set).
     inflight: AtomicUsize,
+    /// Consecutive sheds since the last successful admission — the input
+    /// to the [`CodError::Overloaded`] retry-after hint.
+    shed_streak: AtomicU32,
+    /// Engine-wide kill switch: the parent of every per-query token. A
+    /// server initiating drain fires it once and every in-flight query
+    /// observes it at its next governance checkpoint.
+    kill: CancelToken,
+    /// Set by [`CodEngine::begin_drain`]. While draining, even unlimited
+    /// queries get a (bare) token so the kill switch can reach them.
+    draining: AtomicBool,
 }
 
 /// RAII in-flight slot: releases the admission counter when the batch
@@ -304,6 +324,9 @@ impl CodEngine {
             scratch: Mutex::new(Vec::new()),
             metrics: MetricsRegistry::default(),
             inflight: AtomicUsize::new(0),
+            shed_streak: AtomicU32::new(0),
+            kill: CancelToken::unlimited(),
+            draining: AtomicBool::new(false),
         }
     }
 
@@ -509,8 +532,9 @@ impl CodEngine {
     }
 
     /// Claims an in-flight slot. `Ok(None)` when no cap is configured;
-    /// `Err(cap)` when the cap is already saturated (the call must shed).
-    fn admit(&self) -> Result<Option<InflightPermit<'_>>, usize> {
+    /// `Err((cap, retry_after))` when the cap is already saturated (the
+    /// call must shed, suggesting the caller retry after the hint).
+    fn admit(&self) -> Result<Option<InflightPermit<'_>>, (usize, Duration)> {
         let Some(cap) = self.cfg.max_inflight else {
             return Ok(None);
         };
@@ -519,8 +543,69 @@ impl CodEngine {
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
                 (n < cap).then_some(n + 1)
             }) {
-            Ok(_) => Ok(Some(InflightPermit(&self.inflight))),
-            Err(_) => Err(cap),
+            Ok(_) => {
+                self.shed_streak.store(0, Ordering::Relaxed);
+                Ok(Some(InflightPermit(&self.inflight)))
+            }
+            Err(_) => {
+                let streak = self.shed_streak.fetch_add(1, Ordering::Relaxed);
+                Err((cap, retry_after_for(streak)))
+            }
+        }
+    }
+
+    /// Batch calls currently holding an admission permit. Only maintained
+    /// when [`CodConfig::max_inflight`] is set; always 0 otherwise. The
+    /// serve tier asserts this returns to zero after a chaos soak — a
+    /// leaked permit would pin it above zero forever.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+
+    /// The retry-after the *next* shed would carry, without shedding. The
+    /// serve tier uses it for `Retry-After` on connections it refuses at
+    /// the socket, before any engine call exists to consult.
+    pub fn retry_after_hint(&self) -> Duration {
+        retry_after_for(self.shed_streak.load(Ordering::Relaxed))
+    }
+
+    /// Marks the engine as draining: still answering, but every query
+    /// planned from now on carries a token linked to the engine kill
+    /// switch — including queries whose limits are unlimited and would
+    /// normally skip tokens entirely. Idempotent; there is no un-drain
+    /// (the engine is expected to be dropped once the drain completes).
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Whether [`CodEngine::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Fires the engine kill switch: every in-flight query carrying a
+    /// token observes it at its next governance checkpoint and walks the
+    /// degradation ladder (degraded answer, or `DeadlineExceeded` when
+    /// even the fallback rung can't finish). Queries planned before
+    /// [`CodEngine::begin_drain`] under an unlimited config carry no
+    /// token and run to completion — callers who need the hard stop call
+    /// `begin_drain` first and give in-flight work a grace period.
+    pub fn cancel_inflight(&self) {
+        self.begin_drain();
+        self.kill.cancel();
+    }
+
+    /// The governance token for one query: the configured limits, linked
+    /// to the engine kill switch. Unlimited queries skip the token (the
+    /// fast path — every checkpoint is then a no-op) unless the engine is
+    /// draining, in which case they get a bare child of the kill switch.
+    fn mint_token(&self, limits: &QueryLimits) -> Option<CancelToken> {
+        match limits.token_with_parent(&self.kill) {
+            Some(t) => Some(t),
+            None if self.is_draining() => {
+                Some(CancelToken::with_parent(None, None, None, &self.kill))
+            }
+            None => None,
         }
     }
 
@@ -551,6 +636,23 @@ impl CodEngine {
         }
     }
 
+    /// [`CodEngine::query`] under per-request limits (see
+    /// [`CodEngine::query_batch_with_limits`]).
+    pub fn query_with_limits<R: Rng>(
+        &self,
+        query: Query,
+        limits: &QueryLimits,
+        rng: &mut R,
+    ) -> CodResult<Option<CodAnswer>> {
+        match self
+            .query_batch_with_limits(std::slice::from_ref(&query), limits, rng)
+            .pop()
+        {
+            Some(result) => result,
+            None => unreachable!("a batch of one yields one result"),
+        }
+    }
+
     /// Answers a batch of COD queries, one result per query, in order.
     ///
     /// Planning runs sequentially in query order (validation, artifact
@@ -565,17 +667,40 @@ impl CodEngine {
         queries: &[Query],
         rng: &mut R,
     ) -> Vec<CodResult<Option<CodAnswer>>> {
+        let limits = self.cfg.limits;
+        self.query_batch_with_limits(queries, &limits, rng)
+    }
+
+    /// [`CodEngine::query_batch`] with the configured [`CodConfig::limits`]
+    /// replaced by per-call `limits` — the serve tier maps each HTTP
+    /// request's deadline here without rebuilding the engine. Admission
+    /// control, caching, telemetry and the determinism contract are
+    /// identical; a query whose limits never fire answers bit-identically
+    /// to an unlimited one.
+    pub fn query_batch_with_limits<R: Rng>(
+        &self,
+        queries: &[Query],
+        limits: &QueryLimits,
+        rng: &mut R,
+    ) -> Vec<CodResult<Option<CodAnswer>>> {
         // Admission control: with `max_inflight` set, at most that many
         // batch calls run concurrently; excess calls are shed immediately
         // with a retriable error instead of queueing behind a stalled
-        // engine. The permit is RAII, so a panicking call releases it.
+        // engine. The permit is RAII and minted *before* the plan pass,
+        // so any panic beyond this point — planning included — releases
+        // it on unwind (regression-tested in tests/governance.rs).
         let _permit = match self.admit() {
             Ok(permit) => permit,
-            Err(max_inflight) => {
+            Err((max_inflight, retry_after)) => {
                 self.metrics.record_shed(queries.len() as u64);
                 return queries
                     .iter()
-                    .map(|_| Err(CodError::Overloaded { max_inflight }))
+                    .map(|_| {
+                        Err(CodError::Overloaded {
+                            max_inflight,
+                            retry_after,
+                        })
+                    })
                     .collect();
             }
         };
@@ -590,7 +715,7 @@ impl CodEngine {
         let plans: Vec<Plan> = queries
             .iter()
             .zip(sinks.iter_mut())
-            .map(|(&query, sink)| self.plan(query, rng, sink))
+            .map(|(&query, sink)| self.plan(query, limits, rng, sink))
             .collect();
 
         // Group pending evaluations by (method, attr), preserving
@@ -748,13 +873,21 @@ impl CodEngine {
             .collect()
     }
 
-    fn plan<R: Rng>(&self, query: Query, rng: &mut R, sink: &mut TraceSink) -> Plan {
+    fn plan<R: Rng>(
+        &self,
+        query: Query,
+        limits: &QueryLimits,
+        rng: &mut R,
+        sink: &mut TraceSink,
+    ) -> Plan {
         let t0 = sink.timing().then(Instant::now);
         // Panic isolation: a planning panic (artifact build, index code,
         // an armed failpoint) must not take the whole batch down — it
         // becomes this query's `Internal` error and the engine stays
         // serviceable. Cache and scratch locks recover from poisoning.
-        let plan = match catch_unwind(AssertUnwindSafe(|| self.plan_inner(query, rng, sink))) {
+        let plan = match catch_unwind(AssertUnwindSafe(|| {
+            self.plan_inner(query, limits, rng, sink)
+        })) {
             Ok(Ok(plan)) => plan,
             Ok(Err(e)) => Plan::Done(Err(e)),
             Err(payload) => Plan::Done(Err(CodError::Internal(panic_message(payload)))),
@@ -780,6 +913,7 @@ impl CodEngine {
     fn plan_inner<R: Rng>(
         &self,
         query: Query,
+        limits: &QueryLimits,
         rng: &mut R,
         sink: &mut TraceSink,
     ) -> CodResult<Plan> {
@@ -804,9 +938,10 @@ impl CodEngine {
 
         // Governance: one token per query, minted after validation (the
         // deadline clock starts here and covers artifact builds and
-        // evaluation together). `None` when the config sets no limits —
-        // the common case, which keeps every checkpoint a no-op.
-        let token = self.cfg.limits.token();
+        // evaluation together). `None` when the limits are unlimited and
+        // the engine isn't draining — the common case, which keeps every
+        // checkpoint a no-op.
+        let token = self.mint_token(limits);
         let mut degraded: Option<Method> = None;
 
         let mut cache_outcome = None;
@@ -1188,6 +1323,12 @@ fn record_lookup(sink: &mut TraceSink, hit: bool, t0: Option<Instant>) {
             sink.add_nanos(Phase::Recluster, t0.elapsed().as_nanos() as u64);
         }
     }
+}
+
+/// The retry-after hint for the given shed streak: exponential from
+/// [`RETRY_AFTER_BASE_MS`], capped at 25 ms × 2⁶ = 1.6 s.
+fn retry_after_for(streak: u32) -> Duration {
+    Duration::from_millis(RETRY_AFTER_BASE_MS << streak.min(RETRY_AFTER_MAX_SHIFT))
 }
 
 /// Best-effort extraction of a panic payload's message.

@@ -51,6 +51,11 @@ pub enum CodError {
     Overloaded {
         /// The `max_inflight` cap that was hit.
         max_inflight: usize,
+        /// How long the engine suggests waiting before a retry, derived
+        /// from how persistently the cap has been saturated (consecutive
+        /// sheds double it, a successful admission resets it). HTTP
+        /// callers surface it as `Retry-After`; CLI callers print it.
+        retry_after: std::time::Duration,
     },
     /// A panic escaped a query worker or a build closure and was contained
     /// at the engine boundary. The engine itself stays serviceable; the
@@ -82,9 +87,14 @@ impl std::fmt::Display for CodError {
                 f,
                 "deadline exceeded: no degradation-ladder rung produced an answer in time"
             ),
-            CodError::Overloaded { max_inflight } => write!(
+            CodError::Overloaded {
+                max_inflight,
+                retry_after,
+            } => write!(
                 f,
-                "engine overloaded: {max_inflight} queries already in flight (retriable)"
+                "engine overloaded: {max_inflight} queries already in flight \
+                 (retriable; suggest waiting {}ms)",
+                retry_after.as_millis()
             ),
             CodError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -128,7 +138,10 @@ mod tests {
                 required: 10,
             },
             CodError::DeadlineExceeded,
-            CodError::Overloaded { max_inflight: 4 },
+            CodError::Overloaded {
+                max_inflight: 4,
+                retry_after: std::time::Duration::from_millis(25),
+            },
             CodError::Internal("worker panicked: boom".into()),
         ];
         for e in cases {
@@ -140,7 +153,11 @@ mod tests {
 
     #[test]
     fn only_overload_is_retriable() {
-        assert!(CodError::Overloaded { max_inflight: 1 }.is_retriable());
+        assert!(CodError::Overloaded {
+            max_inflight: 1,
+            retry_after: std::time::Duration::from_millis(25),
+        }
+        .is_retriable());
         assert!(!CodError::DeadlineExceeded.is_retriable());
         assert!(!CodError::Internal("x".into()).is_retriable());
         assert!(!CodError::InvalidQuery("x".into()).is_retriable());

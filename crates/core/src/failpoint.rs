@@ -45,9 +45,19 @@ pub enum Site {
     EvalWorker,
     /// Before a recluster-cache or index build closure runs.
     CacheBuild,
+    /// Serve tier: after a connection is accepted, before it is handed to
+    /// a worker.
+    Accept,
+    /// Serve tier: before the HTTP request parser runs on a connection.
+    Parse,
+    /// Serve tier: after routing, immediately before the engine call.
+    PreEval,
+    /// Serve tier: before the response bytes are written back.
+    RespWrite,
 }
 
-/// Every site, for tests that iterate the full surface.
+/// Every *engine* site, for tests that iterate the engine query surface
+/// (each of these is reachable from a plain `query_batch` workload).
 pub const SITES: [Site; 6] = [
     Site::SampleBatch,
     Site::HfsLevel,
@@ -56,6 +66,11 @@ pub const SITES: [Site; 6] = [
     Site::EvalWorker,
     Site::CacheBuild,
 ];
+
+/// The serve-tier sites, reachable only through `cod-serve`'s request
+/// path. Kept out of [`SITES`] so engine-only chaos sweeps don't arm
+/// checkpoints their workload can never hit.
+pub const SERVE_SITES: [Site; 4] = [Site::Accept, Site::Parse, Site::PreEval, Site::RespWrite];
 
 impl Site {
     fn parse(name: &str) -> Option<Site> {
@@ -66,6 +81,10 @@ impl Site {
             "linkage_round" => Some(Site::LinkageRound),
             "eval_worker" => Some(Site::EvalWorker),
             "cache_build" => Some(Site::CacheBuild),
+            "accept" => Some(Site::Accept),
+            "parse" => Some(Site::Parse),
+            "pre_eval" => Some(Site::PreEval),
+            "resp_write" => Some(Site::RespWrite),
             _ => None,
         }
     }
@@ -108,7 +127,7 @@ mod imp {
     fn parse_spec(spec: &str) -> HashMap<Site, Action> {
         let mut map = HashMap::new();
         if spec.trim() == "all" {
-            for site in SITES {
+            for site in SITES.into_iter().chain(super::SERVE_SITES) {
                 map.insert(site, Action::Delay(std::time::Duration::from_millis(1)));
             }
             return map;

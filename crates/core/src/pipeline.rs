@@ -59,16 +59,19 @@ impl QueryLimits {
         self.deadline.is_none() && self.max_rr_edges.is_none() && self.max_memory_bytes.is_none()
     }
 
-    /// A fresh token enforcing these limits, or `None` when unlimited —
-    /// the unlimited serving path carries no token at all.
-    pub(crate) fn token(&self) -> Option<CancelToken> {
+    /// A fresh token enforcing these limits, linked to `parent` so an
+    /// engine-wide kill switch (the serve tier's drain hook) reaches this
+    /// query too; `None` when unlimited — the unlimited serving path
+    /// carries no token at all.
+    pub(crate) fn token_with_parent(&self, parent: &CancelToken) -> Option<CancelToken> {
         if self.is_unlimited() {
             return None;
         }
-        Some(CancelToken::with(
+        Some(CancelToken::with_parent(
             self.deadline,
             self.max_rr_edges,
             self.max_memory_bytes,
+            parent,
         ))
     }
 }

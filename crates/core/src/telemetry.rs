@@ -389,7 +389,7 @@ const LATENCY_BUCKETS_NS: [u64; 7] = [
 ///
 /// Exposed by [`crate::CodEngine::metrics`] (a [`MetricsSnapshot`]) and
 /// [`crate::CodEngine::metrics_text`] (Prometheus-style exposition).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
     counters: [AtomicU64; NUM_COUNTERS],
     phase_nanos: [AtomicU64; NUM_PHASES],
@@ -402,6 +402,28 @@ pub struct MetricsRegistry {
     queries_shed: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_NS.len() + 1],
     latency_sum_nanos: AtomicU64,
+    /// When this registry was created — the engine's birth, which the
+    /// `cod_uptime_seconds` gauge measures from.
+    started: Instant,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self {
+            counters: Default::default(),
+            phase_nanos: Default::default(),
+            queries: AtomicU64::new(0),
+            answers_index: AtomicU64::new(0),
+            answers_compressed: AtomicU64::new(0),
+            answers_none: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            answers_degraded: AtomicU64::new(0),
+            queries_shed: AtomicU64::new(0),
+            latency_buckets: Default::default(),
+            latency_sum_nanos: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
 }
 
 /// How one query concluded, for the registry's outcome tallies.
@@ -493,9 +515,20 @@ impl MetricsRegistry {
             queries_shed: load(&self.queries_shed),
             latency_buckets,
             latency_sum_nanos: load(&self.latency_sum_nanos),
+            uptime_nanos: self.started.elapsed().as_nanos() as u64,
         }
     }
 }
+
+/// The crate version baked into `cod_build_info`.
+pub const BUILD_VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// The git hash baked into `cod_build_info` — supplied by CI through the
+/// `COD_GIT_HASH` env var at compile time, `"unknown"` for local builds.
+pub const BUILD_GIT_HASH: &str = match option_env!("COD_GIT_HASH") {
+    Some(h) => h,
+    None => "unknown",
+};
 
 /// A point-in-time copy of a [`MetricsRegistry`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -525,6 +558,8 @@ pub struct MetricsSnapshot {
     pub latency_buckets: [u64; LATENCY_BUCKETS_NS.len() + 1],
     /// Sum of observed traced-query durations, in nanoseconds.
     pub latency_sum_nanos: u64,
+    /// Nanoseconds since the owning registry (≈ the engine) was created.
+    pub uptime_nanos: u64,
 }
 
 impl MetricsSnapshot {
@@ -623,6 +658,25 @@ impl MetricsSnapshot {
             "recluster cache capacity",
             cache.capacity as u64,
         );
+        let _ = writeln!(
+            out,
+            "# HELP cod_uptime_seconds seconds since the engine was created"
+        );
+        let _ = writeln!(out, "# TYPE cod_uptime_seconds gauge");
+        let _ = writeln!(
+            out,
+            "cod_uptime_seconds {:.3}",
+            self.uptime_nanos as f64 / 1e9
+        );
+        let _ = writeln!(
+            out,
+            "# HELP cod_build_info build metadata as labels (value is always 1)"
+        );
+        let _ = writeln!(out, "# TYPE cod_build_info gauge");
+        let _ = writeln!(
+            out,
+            "cod_build_info{{version=\"{BUILD_VERSION}\",git_hash=\"{BUILD_GIT_HASH}\"}} 1"
+        );
         out
     }
 }
@@ -710,9 +764,23 @@ mod tests {
         assert!(text.contains("cod_answers_total{source=\"index\"} 1"));
         assert!(text.contains("cod_query_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("cod_query_seconds_count 1"));
+        assert!(text.contains("cod_uptime_seconds "));
+        assert!(text.contains(&format!(
+            "cod_build_info{{version=\"{BUILD_VERSION}\",git_hash=\"{BUILD_GIT_HASH}\"}} 1"
+        )));
         // Every HELP line is paired with a TYPE line.
         let helps = text.matches("# HELP").count();
         let types = text.matches("# TYPE").count();
         assert_eq!(helps, types);
+    }
+
+    #[test]
+    fn uptime_is_monotone_across_snapshots() {
+        let reg = MetricsRegistry::default();
+        let a = reg.snapshot();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = reg.snapshot();
+        assert!(b.uptime_nanos > a.uptime_nanos);
+        assert!(a.uptime_nanos < 60 * 1_000_000_000, "fresh registry");
     }
 }

@@ -30,6 +30,10 @@ struct Inner {
     max_rr_edges: Option<u64>,
     max_memory_bytes: Option<usize>,
     rr_edges: AtomicU64,
+    /// A parent whose firing cancels this token too (but never the other
+    /// way round). Lets a server fire one engine-wide kill switch that
+    /// reaches every in-flight query without tracking them individually.
+    parent: Option<CancelToken>,
 }
 
 /// Shared cancellation flag with optional deadline and resource caps.
@@ -65,6 +69,34 @@ impl CancelToken {
         max_rr_edges: Option<u64>,
         max_memory_bytes: Option<usize>,
     ) -> Self {
+        Self::build(deadline, max_rr_edges, max_memory_bytes, None)
+    }
+
+    /// Like [`CancelToken::with`], but additionally linked to `parent`:
+    /// when the parent fires (or its deadline passes), this token observes
+    /// it too. Firing the child never fires the parent. One parent can
+    /// back any number of children — the engine uses this to give a server
+    /// a single drain kill switch covering every in-flight query.
+    pub fn with_parent(
+        deadline: Option<Duration>,
+        max_rr_edges: Option<u64>,
+        max_memory_bytes: Option<usize>,
+        parent: &CancelToken,
+    ) -> Self {
+        Self::build(
+            deadline,
+            max_rr_edges,
+            max_memory_bytes,
+            Some(parent.clone()),
+        )
+    }
+
+    fn build(
+        deadline: Option<Duration>,
+        max_rr_edges: Option<u64>,
+        max_memory_bytes: Option<usize>,
+        parent: Option<CancelToken>,
+    ) -> Self {
         Self {
             inner: Arc::new(Inner {
                 cancelled: AtomicBool::new(false),
@@ -72,20 +104,29 @@ impl CancelToken {
                 max_rr_edges,
                 max_memory_bytes,
                 rr_edges: AtomicU64::new(0),
+                parent,
             }),
         }
     }
 
-    /// Fires the token. Idempotent; never un-fires.
+    /// Fires the token. Idempotent; never un-fires. A fired child leaves
+    /// its parent untouched.
     pub fn cancel(&self) {
         self.inner.cancelled.store(true, Ordering::Relaxed);
     }
 
-    /// Whether the token has fired — one relaxed load, no clock read.
-    /// Suitable for the hottest checkpoint loops.
+    /// Whether the token has fired — a relaxed load per ancestor, no clock
+    /// read. Suitable for the hottest checkpoint loops (the common case is
+    /// a parentless token: exactly one load).
     #[inline]
     pub fn is_cancelled(&self) -> bool {
-        self.inner.cancelled.load(Ordering::Relaxed)
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &self.inner.parent {
+            Some(p) => p.is_cancelled(),
+            None => false,
+        }
     }
 
     /// Whether work should stop now: the flag, then (only if one is set)
@@ -99,6 +140,13 @@ impl CancelToken {
         if let Some(deadline) = self.inner.deadline {
             if Instant::now() >= deadline {
                 self.cancel();
+                return true;
+            }
+        }
+        // The parent's own deadline is lazy too; checking it here latches
+        // the parent, so every sibling sees the stop on its next cheap poll.
+        if let Some(p) = &self.inner.parent {
+            if p.should_stop() {
                 return true;
             }
         }
@@ -171,6 +219,33 @@ mod tests {
         assert!(!t.is_cancelled());
         t.charge_memory(1001);
         assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn parent_cancellation_reaches_children_but_not_vice_versa() {
+        let parent = CancelToken::unlimited();
+        let a = CancelToken::with_parent(None, None, None, &parent);
+        let b = CancelToken::with_parent(Some(Duration::from_secs(3600)), None, None, &parent);
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        // A fired child leaves the parent and its siblings untouched.
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!parent.is_cancelled() && !b.is_cancelled());
+        // The parent firing reaches every child.
+        parent.cancel();
+        assert!(b.is_cancelled() && b.should_stop());
+    }
+
+    #[test]
+    fn parent_deadline_latches_through_child_polls() {
+        let parent = CancelToken::with(Some(Duration::ZERO), None, None);
+        let child = CancelToken::with_parent(None, None, None, &parent);
+        // The cheap check alone reads no clock, so nothing fired yet.
+        assert!(!child.is_cancelled());
+        // A full poll consults the parent's deadline and latches it.
+        assert!(child.should_stop());
+        assert!(parent.is_cancelled());
+        assert!(child.is_cancelled());
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! SIGTERM/SIGINT → shutdown flag, without the `libc` crate.
+//!
+//! The workspace is std-only, so the handler is installed through a raw
+//! FFI declaration of `signal(2)` (libc is already linked by std on every
+//! supported platform). The handler body does the only async-signal-safe
+//! thing possible: a relaxed store to a static flag, which the serving
+//! loop polls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+/// Installs handlers for SIGTERM and SIGINT that set the flag read by
+/// [`shutdown_requested`]. Idempotent; a no-op on non-Unix platforms.
+pub fn install_shutdown_handler() {
+    #[cfg(unix)]
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// Whether a shutdown signal has arrived since process start.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Sets the flag from code (tests, or an admin endpoint), as if a signal
+/// had arrived.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_request_sets_the_flag() {
+        // Process-global state: this is the only test that touches it,
+        // so the flag is still clear when we arrive.
+        install_shutdown_handler();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

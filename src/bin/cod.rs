@@ -21,6 +21,8 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use pcod::cod::chain::Chain;
 use pcod::cod::compressed::{compressed_cod, compressed_cod_seeded};
@@ -50,6 +52,7 @@ fn main() -> ExitCode {
         "hierarchy" => cmd_hierarchy(&opts),
         "baseline" => cmd_baseline(&opts),
         "im" => cmd_im(&opts),
+        "serve" => cmd_serve(&opts),
         "generate" => cmd_generate(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -79,6 +82,8 @@ COMMANDS:
   baseline   run a community-search baseline (acq / atc / cac)
   im         greedy influence-maximization seeds (optionally inside the
              characteristic community of --node)
+  serve      HTTP serving tier: /query, /query_batch, /metrics, /healthz,
+             /readyz on --addr; SIGTERM/SIGINT drains and exits cleanly
   generate   write a dataset preset to edge/attribute files
   help       show this text
 
@@ -131,7 +136,21 @@ OPTIONS:
                   Prometheus text format to F (counters, phase seconds,
                   latency histogram, cache gauges)
   --out-edges F   generate: output edge-list path
-  --out-attrs F   generate: output attribute-list path";
+  --out-attrs F   generate: output attribute-list path
+
+SERVE OPTIONS:
+  --addr A:P      bind address (default 127.0.0.1:7700; port 0 = ephemeral)
+  --workers N     HTTP worker threads (default 2)
+  --accept-queue N connections queued ahead of the workers; beyond it new
+                  connections are shed at the socket with 503 + Retry-After
+                  (default 16)
+  --drain-ms N    graceful-shutdown drain deadline: in-flight requests get
+                  this long to finish before the engine kill switch degrades
+                  them to best-effort answers (default 5000)
+  --max-request-bytes N  request body cap, 413 beyond it (default 1048576)
+  serve also honors --deadline-ms (default per-request deadline when the
+  request carries none), --max-inflight, --k, --theta, --budget, --threads,
+  --seed, and --metrics-out (written after drain completes)";
 
 #[derive(Default)]
 struct Opts {
@@ -156,6 +175,11 @@ struct Opts {
     metrics_out: Option<PathBuf>,
     out_edges: Option<PathBuf>,
     out_attrs: Option<PathBuf>,
+    addr: Option<String>,
+    workers: Option<usize>,
+    accept_queue: Option<usize>,
+    drain_ms: Option<u64>,
+    max_request_bytes: Option<usize>,
 }
 
 fn parse_threads(raw: &str) -> Result<Parallelism, String> {
@@ -246,6 +270,35 @@ impl Opts {
                 }
                 "--threads" => o.threads = Some(parse_threads(&value(args, i)?)?),
                 "--metrics-out" => o.metrics_out = Some(PathBuf::from(value(args, i)?)),
+                "--addr" => o.addr = Some(value(args, i)?),
+                "--workers" => {
+                    o.workers = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--workers wants a number")?,
+                    )
+                }
+                "--accept-queue" => {
+                    o.accept_queue = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--accept-queue wants a number")?,
+                    )
+                }
+                "--drain-ms" => {
+                    o.drain_ms = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--drain-ms wants a number")?,
+                    )
+                }
+                "--max-request-bytes" => {
+                    o.max_request_bytes = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--max-request-bytes wants a number")?,
+                    )
+                }
                 "--out-edges" => o.out_edges = Some(PathBuf::from(value(args, i)?)),
                 "--out-attrs" => o.out_attrs = Some(PathBuf::from(value(args, i)?)),
                 other => return Err(format!("unknown option {other:?}")),
@@ -799,6 +852,73 @@ fn cmd_im(opts: &Opts) -> Result<(), String> {
     }
     let total: Vec<NodeId> = seeds.iter().map(|&(v, _)| v).collect();
     println!("joint estimated influence: {:.2}", pool.estimate(&total));
+    Ok(())
+}
+
+/// `cod serve`: stand up the HTTP serving tier on `--addr` and run until a
+/// SIGTERM/SIGINT arrives, then drain gracefully. The bound address is
+/// printed on stdout (`serving on http://…`) so scripts can target an
+/// ephemeral port; the shutdown report (drain outcome + request counters)
+/// goes to stderr, and `--metrics-out` flushes the engine's final metrics
+/// after the drain completes.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use std::io::Write as _;
+
+    let g = opts.load_graph()?;
+    let cfg = opts.cod_config();
+    let engine = Arc::new(CodEngine::new(g, cfg));
+    let serve_cfg = pcod::serve::ServeConfig {
+        addr: opts.addr.clone().unwrap_or_else(|| "127.0.0.1:7700".into()),
+        workers: opts.workers.unwrap_or(2).max(1),
+        accept_queue: opts.accept_queue.unwrap_or(16).max(1),
+        drain_deadline: Duration::from_millis(opts.drain_ms.unwrap_or(5_000)),
+        seed: opts.seed,
+        ..pcod::serve::ServeConfig::default()
+    };
+    let serve_cfg = pcod::serve::ServeConfig {
+        max_request_bytes: opts
+            .max_request_bytes
+            .unwrap_or(serve_cfg.max_request_bytes),
+        // --deadline-ms doubles as the serve default for requests that do
+        // not carry their own deadline (the engine-side limit built by
+        // cod_config() applies regardless, so requests can only tighten it).
+        default_deadline: opts
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(serve_cfg.default_deadline),
+        ..serve_cfg
+    };
+
+    // Install the handler before binding so a signal racing startup still
+    // lands in the flag the loop below polls.
+    pcod::serve::signal::install_shutdown_handler();
+    let handle = pcod::serve::serve(Arc::clone(&engine), serve_cfg)
+        .map_err(|e| format!("binding listener: {e}"))?;
+    println!("serving on http://{}", handle.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!("endpoints: /query /query_batch /metrics /healthz /readyz (SIGTERM drains)");
+
+    while !pcod::serve::signal::shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutdown signal received; draining in-flight requests");
+    let report = handle.shutdown();
+    let stats = &report.http_stats;
+    eprintln!(
+        "drain {}: {} request(s) served, {} shed at socket, {} shed by engine, \
+         {} rejected while draining, {} worker panic(s)",
+        if report.drained_in_time {
+            "completed in time"
+        } else {
+            "overran the deadline (stragglers degraded via the kill switch)"
+        },
+        stats.requests,
+        stats.shed_socket,
+        stats.shed_engine,
+        stats.draining_rejects,
+        stats.panics,
+    );
+    write_metrics(opts, &engine)?;
     Ok(())
 }
 

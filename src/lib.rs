@@ -40,6 +40,7 @@
 //! | [`cod`] | compressed COD evaluation, LORE, HIMOR, method pipelines |
 //! | [`search`] | ACQ / ATC / CAC community-search baselines |
 //! | [`datasets`] | Table-I dataset presets and query workloads |
+//! | [`serve`] | std-only HTTP serving tier with drain + load shedding |
 
 pub use cod_core as cod;
 pub use cod_datasets as datasets;
@@ -47,6 +48,7 @@ pub use cod_graph as graph;
 pub use cod_hierarchy as hierarchy;
 pub use cod_influence as influence;
 pub use cod_search as search;
+pub use cod_serve as serve;
 
 /// The most common imports for COD applications.
 pub mod prelude {

@@ -332,9 +332,18 @@ fn overload_sheds_concurrent_batches_with_retriable_error() {
                         // Shedding is all-or-nothing per batch and retriable.
                         for r in &results {
                             match r {
-                                Err(e @ CodError::Overloaded { max_inflight }) => {
+                                Err(
+                                    e @ CodError::Overloaded {
+                                        max_inflight,
+                                        retry_after,
+                                    },
+                                ) => {
                                     assert_eq!(*max_inflight, 1);
                                     assert!(e.is_retriable());
+                                    assert!(
+                                        *retry_after >= Duration::from_millis(25),
+                                        "hint below the base: {retry_after:?}"
+                                    );
                                 }
                                 other => panic!("mixed shed batch: {other:?}"),
                             }
@@ -441,4 +450,126 @@ fn concurrent_queries_and_cache_clears_stay_consistent() {
     // The engine is still serviceable after the storm.
     let mut rng = SmallRng::seed_from_u64(31);
     assert!(engine.query(Query::codu(0), &mut rng).is_ok());
+}
+
+/// Permit-accounting regression (PR 6): a panic during the **plan pass**
+/// (cache/index build, before any evaluation worker spawns) must release
+/// the admission permit on unwind. The permit is RAII and minted before
+/// planning, so `inflight()` must read 0 afterwards and the very next
+/// call on a `max_inflight = 1` engine must be admitted — a leaked permit
+/// would shed it forever.
+#[test]
+fn plan_pass_panic_releases_the_admission_permit() {
+    let _g = guard();
+    if !failpoint::compiled_in() {
+        return;
+    }
+    let data = dataset();
+    let cfg = CodConfig {
+        max_inflight: Some(1),
+        ..base_cfg()
+    };
+    let engine = CodEngine::new(data.graph.clone(), cfg);
+    let queries = workload(&data.graph);
+
+    // CacheBuild fires inside the plan pass (recluster-cache and HIMOR
+    // builds); EvalWorker fires inside the evaluation fan-out. Both paths
+    // must release the permit whether the panic is swallowed into
+    // `CodError::Internal` or unwinds out of the call.
+    for site in [Site::CacheBuild, Site::EvalWorker] {
+        failpoint::disarm_all();
+        failpoint::arm(site, Action::Panic);
+        let mut rng = SmallRng::seed_from_u64(606);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.query_batch(&queries, &mut rng)
+        }));
+        if let Ok(results) = &outcome {
+            assert!(
+                results.iter().any(|r| r.is_err()),
+                "{site:?}: armed panic changed nothing"
+            );
+            assert!(
+                !results
+                    .iter()
+                    .any(|r| matches!(r, Err(CodError::Overloaded { .. }))),
+                "{site:?}: the panicking batch shed itself"
+            );
+        }
+        failpoint::disarm_all();
+        assert_eq!(
+            engine.inflight(),
+            0,
+            "{site:?}: admission permit leaked across the panic"
+        );
+        // The real proof: the next batch is admitted and serves cleanly.
+        let mut rng = SmallRng::seed_from_u64(607);
+        for r in engine.query_batch(&queries, &mut rng) {
+            assert!(
+                r.is_ok(),
+                "{site:?}: engine unserviceable after panic: {r:?}"
+            );
+        }
+    }
+    failpoint::disarm_all();
+}
+
+/// The shed-streak behind `Overloaded::retry_after` resets once a call is
+/// admitted again: hints grow while pressure persists and fall back to the
+/// base after recovery, so clients are never told to back off forever.
+#[test]
+fn retry_after_hint_grows_under_pressure_and_resets_on_admission() {
+    let _g = guard();
+    if !failpoint::compiled_in() {
+        return;
+    }
+    failpoint::disarm_all();
+    failpoint::arm(Site::EvalWorker, Action::Delay(Duration::from_millis(150)));
+    let data = dataset();
+    let cfg = CodConfig {
+        max_inflight: Some(1),
+        ..base_cfg()
+    };
+    let engine = CodEngine::new(data.graph.clone(), cfg);
+    let queries = vec![Query::codu(0)];
+
+    // Hold the only permit with a slow batch, then shed repeatedly.
+    let hints: Vec<Duration> = std::thread::scope(|scope| {
+        let holder = {
+            let (engine, queries) = (&engine, &queries);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(71);
+                engine.query_batch(queries, &mut rng)
+            })
+        };
+        // Wait until the holder actually occupies the engine.
+        while engine.inflight() == 0 {
+            std::thread::yield_now();
+        }
+        let mut hints = Vec::new();
+        for i in 0..4 {
+            let mut rng = SmallRng::seed_from_u64(80 + i);
+            match engine.query_batch(&queries, &mut rng).remove(0) {
+                Err(CodError::Overloaded { retry_after, .. }) => hints.push(retry_after),
+                other => panic!("expected a shed, got {other:?}"),
+            }
+        }
+        holder.join().unwrap();
+        hints
+    });
+    assert!(
+        hints.windows(2).all(|w| w[0] <= w[1]),
+        "hints shrank under sustained pressure: {hints:?}"
+    );
+    assert!(
+        hints.last().unwrap() > &hints[0],
+        "hints never grew: {hints:?}"
+    );
+
+    // Admission resets the streak: the next shed starts from the base.
+    failpoint::disarm_all();
+    let mut rng = SmallRng::seed_from_u64(90);
+    for r in engine.query_batch(&queries, &mut rng) {
+        assert!(r.is_ok());
+    }
+    assert_eq!(engine.retry_after_hint(), Duration::from_millis(25));
 }
