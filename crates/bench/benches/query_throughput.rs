@@ -73,6 +73,20 @@ fn bench_cold_vs_warm_cache(c: &mut Criterion) {
         group.bench_function(format!("{name}_warm_cache"), |b| {
             b.iter(|| black_box(run_all(&cached, &queries, 42)))
         });
+
+        // The shared RR-pool cache on top: a warm pool skips the Θ·ω
+        // sampling term entirely, leaving only the HFS + top-k fold.
+        // `bench_report` gates cora_pool_warm/cora_uncached at ≤ 0.2
+        // (≥ 5× QPS).
+        let pool_cfg = CodConfig {
+            pool: true,
+            ..cfg(Parallelism::Threads(1))
+        };
+        let pooled = CodEngine::new(data.graph.clone(), pool_cfg);
+        run_all(&pooled, &queries, 42); // pre-warm pools + artifact cache
+        group.bench_function(format!("{name}_pool_warm"), |b| {
+            b.iter(|| black_box(run_all(&pooled, &queries, 42)))
+        });
     }
     group.finish();
 }
@@ -169,6 +183,14 @@ fn throughput_report(_c: &mut Criterion) {
     run_all(&cached, &queries, 42);
     let warm = median_secs(&cached);
 
+    let pool_cfg = CodConfig {
+        pool: true,
+        ..cfg(Parallelism::Threads(1))
+    };
+    let pooled = CodEngine::new(data.graph.clone(), pool_cfg);
+    run_all(&pooled, &queries, 42);
+    let pool_warm = median_secs(&pooled);
+
     let stats = cached.cache_stats();
     let qps = |secs: f64| queries.len() as f64 / secs;
     println!(
@@ -180,6 +202,15 @@ fn throughput_report(_c: &mut Criterion) {
         stats.hits,
         stats.misses,
         stats.hit_rate() * 100.0,
+    );
+    let pstats = pooled.pool_stats();
+    println!(
+        "query_throughput/report: pool-warm {:.1} q/s -> {:.2}x over uncached \
+         (pools: {}, resident {} KiB; gate pool_warm_ratio <= 0.2)",
+        qps(pool_warm),
+        cold / pool_warm,
+        pstats.pools,
+        pstats.resident_bytes / 1024,
     );
 }
 

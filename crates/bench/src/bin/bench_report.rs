@@ -87,6 +87,16 @@ const RATIOS: &[(&str, &str, &str, Option<f64>)] = &[
         "query_throughput/repeat_attr/citeseer_uncached",
         None,
     ),
+    // The cross-query RR-pool cache acceptance gate: a pool-warm engine
+    // (pools and artifact cache resident) must answer the repeat-attribute
+    // workload at ≥ 5× the QPS of the uncached legacy path, i.e. in ≤ 0.2×
+    // the time.
+    (
+        "pool_warm_ratio",
+        "query_throughput/repeat_attr/cora_pool_warm",
+        "query_throughput/repeat_attr/cora_uncached",
+        Some(0.2),
+    ),
     (
         "batch_vs_single",
         "query_throughput/single_vs_batch/batch",

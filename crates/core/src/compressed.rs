@@ -25,6 +25,7 @@ use rand::prelude::*;
 use crate::chain::Chain;
 use crate::error::{CodError, CodResult};
 use crate::failpoint;
+use crate::pool::{PoolView, RrPoolEntry};
 use crate::scratch::{HfsScratch, QueryScratch, TopKScratch};
 use crate::telemetry::{Counter, Phase, TraceSink};
 use std::time::Instant;
@@ -391,7 +392,8 @@ fn stage1_memory_estimate(buckets: &[FxHashMap<NodeId, u32>], hfs: &HfsScratch) 
     let hfs_bytes = hfs.queues.iter().map(Vec::capacity).sum::<usize>()
         * std::mem::size_of::<u32>()
         + hfs.explored.capacity()
-        + hfs.level_cache.capacity() * std::mem::size_of::<usize>();
+        + hfs.level_cache.capacity() * std::mem::size_of::<usize>()
+        + hfs.levels.capacity() * std::mem::size_of::<u32>();
     entries * BUCKET_ENTRY_BYTES + hfs_bytes
 }
 
@@ -496,6 +498,34 @@ fn validate_chain_query(chain: &impl Chain, q: NodeId, k: usize) -> CodResult<bo
     Ok(true)
 }
 
+/// Resolves the effective sample count on the shared-pool path, where the
+/// budget caps *new* draws only — samples already resident in the pool are
+/// paid for. `pooled` is the pool size before this query grows it.
+///
+/// With a zero budget the error's `required` figure is the chain-wide
+/// `θ·|universe|` net of the pooled samples: exactly the draws this query
+/// would still have to make.
+pub fn resolve_theta_pooled(
+    theta_per_node: usize,
+    universe_len: usize,
+    budget: Option<usize>,
+    pooled: usize,
+) -> CodResult<(usize, bool)> {
+    let full_theta = theta_per_node.max(1) * universe_len;
+    let needed_new = full_theta.saturating_sub(pooled);
+    let theta = match budget {
+        Some(0) if needed_new > 0 => {
+            return Err(CodError::BudgetExhausted {
+                budget: 0,
+                required: needed_new,
+            });
+        }
+        Some(b) => full_theta.min(pooled.saturating_add(b)),
+        None => full_theta,
+    };
+    Ok((theta, theta < full_theta))
+}
+
 /// Resolves the effective sample count under an optional budget.
 fn resolve_theta(
     theta_per_node: usize,
@@ -574,6 +604,64 @@ fn hfs_record(
                     scratch.level_cache[u as usize] = l;
                     l
                 };
+                if lu >= m {
+                    continue;
+                }
+                scratch.queues[lu.max(h)].push(u);
+            }
+        }
+    }
+    sink.add(Counter::HfsNodesVisited, visited);
+    sink.add(Counter::HfsNodesPruned, n as u64 - visited);
+}
+
+/// [`hfs_record`] against the dense `node → level` table in
+/// `scratch.levels` instead of live `Chain::level_of` queries. The pooled
+/// fold touches every RR graph of a prebuilt pool back to back, so it
+/// amortizes one `level_of` sweep over the universe (building the table)
+/// across all `Θ` folds — the LCA lookups that dominate a warm fold
+/// collapse to array reads. Bucket updates and traversal order are
+/// identical to [`hfs_record`], so the outcome is bit-identical; only the
+/// lookup path differs.
+fn hfs_record_dense(
+    rr: &RrGraph,
+    ls: usize,
+    m: usize,
+    scratch: &mut HfsScratch,
+    buckets: &mut [FxHashMap<NodeId, u32>],
+    sink: &mut TraceSink,
+    cancel: Option<&CancelToken>,
+) {
+    let n = rr.len();
+    let mut visited = 0u64;
+    scratch.explored.clear();
+    scratch.explored.resize(n, false);
+    scratch.queues[ls].push(0);
+    #[allow(clippy::needless_range_loop)] // h indexes both queues and buckets
+    for h in ls..m {
+        failpoint::hit(failpoint::Site::HfsLevel, cancel);
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            for queue in &mut scratch.queues[h..m] {
+                queue.clear();
+            }
+            break;
+        }
+        while let Some(v) = scratch.queues[h].pop() {
+            if scratch.explored[v as usize] {
+                continue;
+            }
+            scratch.explored[v as usize] = true;
+            visited += 1;
+            *buckets[h].entry(rr.node(v)).or_insert(0) += 1;
+            for &u in rr.out_neighbors(v) {
+                if u == 0 || scratch.explored[u as usize] {
+                    continue;
+                }
+                let lu = scratch
+                    .levels
+                    .get(rr.node(u) as usize)
+                    .copied()
+                    .unwrap_or(u32::MAX) as usize;
                 if lu >= m {
                     continue;
                 }
@@ -762,6 +850,270 @@ pub fn compressed_cod_adaptive_seeded(
         }
         theta *= 2;
         round += 1;
+    }
+}
+
+/// Compressed COD evaluation over a shared RR pool (the cross-query cache
+/// of [`crate::pool`]): stage 1 *folds* pooled RR graphs through HFS
+/// instead of sampling, growing the pool first if it holds fewer than the
+/// resolved `Θ` samples. The sample budget charges only the *new* draws —
+/// pooled samples are already paid for ([`resolve_theta_pooled`]).
+///
+/// Because pool samples are derived from the cache key (not a caller RNG),
+/// the outcome is a pure function of `(g, model, chain, q, k, θ, budget)`
+/// for a given key — identical whether the pool was warm, cold, or grown
+/// in several top-ups, at every thread count. It intentionally differs
+/// from the unpooled paths' outcomes bit-wise (their RNG streams skip
+/// graph generation for out-of-chain sources; a shared pool cannot), which
+/// is why pooling is opt-in per engine.
+#[allow(clippy::too_many_arguments)] // the paper's query signature plus budget, pool, workspace, token
+pub fn compressed_cod_pooled(
+    g: &Csr,
+    model: Model,
+    chain: &impl Chain,
+    q: NodeId,
+    k: usize,
+    theta_per_node: usize,
+    budget: Option<usize>,
+    pool: &RrPoolEntry,
+    par: Parallelism,
+    scratch: Option<&mut QueryScratch>,
+    cancel: Option<&CancelToken>,
+) -> CodResult<CodOutcome> {
+    if !validate_chain_query(chain, q, k)? {
+        return Ok(CodOutcome::empty());
+    }
+    let universe = chain.universe();
+    debug_assert_eq!(
+        pool.universe(),
+        &universe[..],
+        "pool key does not match the chain's universe"
+    );
+    let (theta, truncated) =
+        resolve_theta_pooled(theta_per_node, universe.len(), budget, pool.len())?;
+    let mut own = QueryScratch::new();
+    let ws = scratch.unwrap_or(&mut own);
+    let (view, grown) = pool.ensure(g, model, theta, par, cancel);
+    ws.sink.add(Counter::RrGraphsSampled, grown.graphs);
+    ws.sink.add(Counter::RrEdgesTraversed, grown.edges);
+    if grown.topped_up {
+        ws.sink.incr(Counter::PoolTopups);
+    }
+    pooled_fold(chain, q, k, theta, truncated, &universe, &view, ws, cancel)
+}
+
+/// Stage 1 over an already-sampled pool view plus stage 2: the pooled
+/// counterpart of [`compressed_cod_governed`]'s loop, minus the sampling.
+/// Folds `min(theta, view.len())` graphs; fewer than `theta` (a growth
+/// cancelled mid-way, or a fold stopped at a batch boundary) flags the
+/// outcome cancelled and best-effort, mirroring the sampling path.
+#[allow(clippy::too_many_arguments)] // private driver shared by the fixed-θ and adaptive paths
+fn pooled_fold(
+    chain: &impl Chain,
+    q: NodeId,
+    k: usize,
+    theta: usize,
+    truncated: bool,
+    universe: &[NodeId],
+    view: &PoolView,
+    ws: &mut QueryScratch,
+    cancel: Option<&CancelToken>,
+) -> CodResult<CodOutcome> {
+    let m = chain.len();
+    let universe_len = universe.len();
+    ws.prepare_buckets(m);
+    // One `level_of` sweep over the universe builds the dense table every
+    // fold reads; pool samples never leave the universe, so `u32::MAX`
+    // padding only marks genuinely prunable nodes.
+    let bound = universe.last().map_or(0, |&v| v as usize + 1);
+    ws.hfs.levels.clear();
+    ws.hfs.levels.resize(bound, u32::MAX);
+    for &v in universe {
+        if let Some(l) = chain.level_of(v) {
+            ws.hfs.levels[v as usize] = l as u32;
+        }
+    }
+    let t_sample = ws.sink.timing().then(Instant::now);
+    let take = theta.min(view.len());
+    let mut completed = 0usize;
+    for (i, rr) in view.iter().take(take).enumerate() {
+        if i % CHECK_EVERY == 0 {
+            failpoint::hit(failpoint::Site::PoolFold, cancel);
+            if let Some(tok) = cancel {
+                tok.charge_memory(stage1_memory_estimate(&ws.buckets, &ws.hfs));
+                if tok.should_stop() {
+                    break;
+                }
+            }
+        }
+        let ls = ws
+            .hfs
+            .levels
+            .get(rr.source() as usize)
+            .copied()
+            .unwrap_or(u32::MAX) as usize;
+        if ls >= m {
+            // Source outside every chain community: the induced RR graph
+            // is empty (Example 3) — nothing to record, but the sample
+            // still counts toward Θ, exactly like the sampling path.
+            ws.sink.incr(Counter::HfsNodesPruned);
+        } else {
+            hfs_record_dense(
+                rr,
+                ls,
+                m,
+                &mut ws.hfs,
+                &mut ws.buckets,
+                &mut ws.sink,
+                cancel,
+            );
+        }
+        completed += 1;
+    }
+    if let Some(t0) = t_sample {
+        ws.sink
+            .add_nanos(Phase::Sample, t0.elapsed().as_nanos() as u64);
+    }
+    let cancelled = completed < theta;
+    if cancelled && completed == 0 {
+        let mut out = CodOutcome::empty();
+        out.truncated = true;
+        out.cancelled = true;
+        return Ok(out);
+    }
+    let t_topk = ws.sink.timing().then(Instant::now);
+    let mut out = incremental_top_k_with(
+        &ws.buckets,
+        q,
+        k,
+        completed,
+        universe_len,
+        &mut ws.topk,
+        &mut ws.sink,
+    );
+    if let Some(t0) = t_topk {
+        ws.sink
+            .add_nanos(Phase::TopK, t0.elapsed().as_nanos() as u64);
+    }
+    out.truncated = truncated || cancelled;
+    out.cancelled = cancelled;
+    Ok(out)
+}
+
+/// How an adaptive pooled evaluation escalated and where it stopped.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveReport {
+    /// Doubling rounds executed (≥ 1).
+    pub rounds: usize,
+    /// Total samples folded in the final round.
+    pub theta: usize,
+    /// The requested half-width bound, on the normalized influence scale
+    /// `p̂ = τ_q/Θ ∈ [0, 1]`.
+    pub epsilon: f64,
+    /// The achieved confidence half-width at the final round, read at the
+    /// answer's level ([`influence_half_width`]).
+    pub half_width: f64,
+    /// The loop stopped because the bound was met (every level's top-k
+    /// verdict stable *and* `half_width ≤ epsilon`), not because it ran
+    /// into `θ_max` or a cancellation.
+    pub converged: bool,
+}
+
+/// Confidence half-width of a normalized influence estimate `p̂ = τ_q/Θ`
+/// from `theta` Bernoulli trials, at confidence `1 − delta`: the tighter
+/// of the empirical-Bernstein bound
+/// `√(2·p̂(1−p̂)·ln(3/δ)/Θ) + 3·ln(3/δ)/Θ` (sharp when `p̂` is small, the
+/// common case for influence fractions) and the distribution-free
+/// Hoeffding bound `√(ln(2/δ)/(2Θ))`. With probability at least `1 − δ`,
+/// `|p̂ − p| ≤` this value.
+pub fn influence_half_width(p_hat: f64, theta: usize, delta: f64) -> f64 {
+    if theta == 0 {
+        return f64::INFINITY;
+    }
+    let n = theta as f64;
+    let p = p_hat.clamp(0.0, 1.0);
+    let l3 = (3.0 / delta).ln();
+    let bernstein = (2.0 * p * (1.0 - p) * l3 / n).sqrt() + 3.0 * l3 / n;
+    let hoeffding = ((2.0 / delta).ln() / (2.0 * n)).sqrt();
+    bernstein.min(hoeffding)
+}
+
+/// The half-width governing the adaptive stop, read at the level the
+/// answer comes from (the characteristic community if one was found, else
+/// the deepest level). Empty outcomes are exact by definition.
+fn outcome_half_width(out: &CodOutcome, universe_len: usize, delta: f64) -> f64 {
+    if out.sigma_q.is_empty() || out.theta == 0 || universe_len == 0 {
+        return 0.0;
+    }
+    let h = out.best_level.unwrap_or(0);
+    // sigma_q = p̂·|universe|, so dividing recovers the [0,1] estimate.
+    influence_half_width(out.sigma_q[h] / universe_len as f64, out.theta, delta)
+}
+
+/// Confidence-bound adaptive evaluation over a shared pool: grow the pool
+/// in doubling rounds `θ_0, 2θ_0, …` and stop as soon as **(a)** no
+/// level's top-k verdict is flippable by sampling noise
+/// ([`CodOutcome::uncertain`]) **and (b)** the confidence half-width on
+/// the query's influence estimate is within `epsilon` at confidence
+/// `1 − delta` ([`influence_half_width`]) — instead of running a fixed
+/// `θ`. Rounds are *prefixes of the same pool*: round `r` re-folds the
+/// samples round `r−1` folded plus the top-up, so escalation never
+/// resamples and later queries inherit the grown pool.
+///
+/// Returns the final outcome plus an [`AdaptiveReport`] describing the
+/// escalation. The statistical-equivalence harness in
+/// `tests/pool_adaptive.rs` checks the reported bound against a 4×
+/// fixed-θ reference across a query grid.
+#[allow(clippy::too_many_arguments)] // the paper's query signature plus (θ_0, θ_max, ε, δ) and the pool
+pub fn compressed_cod_adaptive_pooled(
+    g: &Csr,
+    model: Model,
+    chain: &impl Chain,
+    q: NodeId,
+    k: usize,
+    theta_start: usize,
+    theta_max: usize,
+    epsilon: f64,
+    delta: f64,
+    pool: &RrPoolEntry,
+    par: Parallelism,
+    scratch: Option<&mut QueryScratch>,
+    cancel: Option<&CancelToken>,
+) -> CodResult<(CodOutcome, AdaptiveReport)> {
+    let mut own = QueryScratch::new();
+    let ws = scratch.unwrap_or(&mut own);
+    let universe_len = chain.universe().len();
+    let mut theta_pn = theta_start.max(1);
+    let theta_max_pn = theta_max.max(theta_pn);
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let out = compressed_cod_pooled(
+            g,
+            model,
+            chain,
+            q,
+            k,
+            theta_pn,
+            None,
+            pool,
+            par,
+            Some(ws),
+            cancel,
+        )?;
+        let half_width = outcome_half_width(&out, universe_len, delta);
+        let settled = !out.uncertain.iter().any(|&u| u) && half_width <= epsilon;
+        if settled || theta_pn * 2 > theta_max_pn || out.cancelled {
+            let report = AdaptiveReport {
+                rounds,
+                theta: out.theta,
+                epsilon,
+                half_width,
+                converged: settled,
+            };
+            return Ok((out, report));
+        }
+        theta_pn *= 2;
     }
 }
 

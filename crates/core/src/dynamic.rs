@@ -30,7 +30,10 @@ use crate::chain::{ComposedChain, DendroChain, SubgraphChain};
 use crate::error::{CodError, CodResult};
 use crate::himor::HimorIndex;
 use crate::lore::select_recluster_community;
-use crate::pipeline::{answer_from_chain, AnswerSource, CodAnswer, CodConfig};
+use crate::pipeline::{
+    answer_from_chain, answer_from_chain_pooled, AnswerSource, CodAnswer, CodConfig,
+};
+use crate::pool::{PoolCache, PoolCacheStats};
 use crate::recluster::{build_hierarchy, local_recluster};
 
 /// A COD engine over a mutable attributed graph.
@@ -46,6 +49,10 @@ pub struct DynamicCod {
     edits_since_build: usize,
     /// Nodes touched by edits since the last rebuild.
     dirty: FxHashSet<NodeId>,
+    /// Shared RR-pool cache for [`CodConfig::pool`] queries. Invalidated on
+    /// *every* mutation — pooled samples bake in the topology they were
+    /// drawn on, so unlike the hierarchy they can never be served stale.
+    pool: PoolCache,
 }
 
 struct Cache {
@@ -77,6 +84,7 @@ impl DynamicCod {
             cache: None,
             edits_since_build: 0,
             dirty: FxHashSet::default(),
+            pool: PoolCache::new(cfg.pool_budget_bytes),
         };
         me.rebuild(rng);
         me
@@ -147,6 +155,9 @@ impl DynamicCod {
         if let Some(c) = &mut self.cache {
             c.csr_stale = true; // attribute table lives in the cached graph
         }
+        // Attribute edits change LORE's choice and thus which universe a
+        // query's chain spans; stale pools must not shadow the new keys.
+        self.pool.invalidate();
     }
 
     /// Interns an attribute name.
@@ -161,6 +172,9 @@ impl DynamicCod {
         if let Some(c) = &mut self.cache {
             c.csr_stale = true;
         }
+        // Pooled RR graphs were traversed on the pre-edit topology: drop
+        // them all so no query folds samples the current graph disowns.
+        self.pool.invalidate();
         let limit = (self.edges.len() as f64 * self.rebuild_threshold) as usize;
         if self.edits_since_build > limit {
             self.cache = None;
@@ -219,6 +233,9 @@ impl DynamicCod {
         });
         self.edits_since_build = 0;
         self.dirty.clear();
+        // A rebuild reshapes the hierarchy, so chain universes (the pool
+        // keys) may all change; start the pooled generation over.
+        self.pool.invalidate();
     }
 
     fn ensure_cache<R: Rng>(&mut self, rng: &mut R) {
@@ -296,11 +313,16 @@ impl DynamicCod {
             }
         }
         // Compressed evaluation over the (possibly stale) chain with fresh
-        // influence sampling.
+        // influence sampling — pooled (cross-query RR cache) when
+        // `cfg.pool` is on, from the caller's RNG stream otherwise.
         match choice {
             None => {
                 let chain = DendroChain::new(&c.dendro, &c.lca, q)?;
-                answer_from_chain(g, self.cfg, &chain, q, rng)
+                if self.cfg.pool {
+                    answer_from_chain_pooled(g, self.cfg, &chain, q, Some(attr), &self.pool)
+                } else {
+                    answer_from_chain(g, self.cfg, &chain, q, rng)
+                }
             }
             Some(choice) => {
                 let members = c.dendro.members_sorted(choice.vertex);
@@ -308,9 +330,25 @@ impl DynamicCod {
                 let slca = LcaIndex::new(&sd);
                 let lower = SubgraphChain::new(&sub, &sd, &slca, q, true)?;
                 let chain = ComposedChain::new(lower, &c.dendro, &c.lca, choice.vertex)?;
-                answer_from_chain(g, self.cfg, &chain, q, rng)
+                if self.cfg.pool {
+                    answer_from_chain_pooled(g, self.cfg, &chain, q, Some(attr), &self.pool)
+                } else {
+                    answer_from_chain(g, self.cfg, &chain, q, rng)
+                }
             }
         }
+    }
+
+    /// Gauges of the shared RR-pool cache (pools resident, bytes, epoch).
+    pub fn pool_stats(&self) -> PoolCacheStats {
+        self.pool.stats()
+    }
+
+    /// The pool cache's invalidation epoch — bumped by every edge insert
+    /// or removal, attribute edit and rebuild, so tests can assert that no
+    /// mutation path forgets to drop pooled samples.
+    pub fn pool_epoch(&self) -> u64 {
+        self.pool.epoch()
     }
 
     /// The current graph (rebuilding the CSR if edits are pending).

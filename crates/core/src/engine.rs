@@ -45,7 +45,7 @@ use rand::prelude::*;
 
 use crate::cache::{LocalRecluster, ReclusterCache};
 use crate::chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
-use crate::compressed::{compressed_cod_governed, CodOutcome};
+use crate::compressed::{compressed_cod_governed, compressed_cod_pooled, CodOutcome};
 use crate::error::{CodError, CodResult};
 use crate::failpoint;
 use crate::himor::HimorIndex;
@@ -53,6 +53,7 @@ use crate::lore::select_recluster_community;
 use crate::pipeline::{
     validate_query, AnswerSource, CacheOutcome, CodAnswer, CodConfig, QueryLimits,
 };
+use crate::pool::{PoolCache, PoolCacheStats};
 use crate::recluster::{build_hierarchy, global_recluster_governed, local_recluster_governed};
 use crate::scratch::QueryScratch;
 use crate::telemetry::{
@@ -222,6 +223,9 @@ enum Plan {
     /// Needs compressed evaluation with the pre-drawn master seed.
     Pending {
         q: NodeId,
+        /// The resolved query attribute (`None` for CODU) — half of the
+        /// shared RR-pool key when [`CodConfig::pool`] is on.
+        attr: Option<AttrId>,
         seed: u64,
         artifacts: EvalArtifacts,
         cache: Option<CacheOutcome>,
@@ -270,6 +274,9 @@ pub struct CodEngine {
     base: OnceLock<Arc<Hierarchy>>,
     index: OnceLock<Arc<HimorIndex>>,
     cache: ReclusterCache,
+    /// Cross-query shared RR-pool cache, consulted only when
+    /// [`CodConfig::pool`] is on (it stays empty otherwise).
+    pool: PoolCache,
     scratch: Mutex<Vec<QueryScratch>>,
     metrics: MetricsRegistry,
     /// Concurrent [`CodEngine::query_batch`] calls currently admitted
@@ -321,6 +328,7 @@ impl CodEngine {
             base: OnceLock::new(),
             index: OnceLock::new(),
             cache: ReclusterCache::new(cache_capacity),
+            pool: PoolCache::new(cfg.pool_budget_bytes),
             scratch: Mutex::new(Vec::new()),
             metrics: MetricsRegistry::default(),
             inflight: AtomicUsize::new(0),
@@ -359,6 +367,18 @@ impl CodEngine {
         self.cache.stats()
     }
 
+    /// Gauges of the shared RR-pool cache (resident pools and bytes, the
+    /// byte budget, the invalidation epoch).
+    pub fn pool_stats(&self) -> PoolCacheStats {
+        self.pool.stats()
+    }
+
+    /// The RR-pool cache's invalidation epoch (bumped by every
+    /// [`CodEngine::clear_cache`]).
+    pub fn pool_epoch(&self) -> u64 {
+        self.pool.epoch()
+    }
+
     /// A snapshot of the engine-lifetime metrics: counter totals, phase
     /// times, outcome tallies and the traced-query latency histogram.
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -371,12 +391,15 @@ impl CodEngine {
     pub fn metrics_text(&self) -> String {
         self.metrics
             .snapshot()
-            .render_prometheus(&self.cache.stats())
+            .render_prometheus(&self.cache.stats(), &self.pool.stats())
     }
 
-    /// Drops every cached recluster artifact (diagnostics/testing).
+    /// Drops every cached recluster artifact and every shared RR pool
+    /// (diagnostics/testing; also the coarse invalidation hook for callers
+    /// that mutate the graph behind a shared `Arc`).
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.pool.invalidate();
     }
 
     /// The non-attributed base hierarchy `T` (+ LCA), built on first use.
@@ -744,6 +767,7 @@ impl CodEngine {
                 for &i in idxs {
                     if let Plan::Pending {
                         q,
+                        attr,
                         seed,
                         ref artifacts,
                         cache,
@@ -758,6 +782,7 @@ impl CodEngine {
                             failpoint::hit(failpoint::Site::EvalWorker, tok);
                             self.eval(
                                 q,
+                                attr,
                                 seed,
                                 artifacts,
                                 cache,
@@ -793,6 +818,7 @@ impl CodEngine {
                     for &i in &groups[gi].1 {
                         if let Plan::Pending {
                             q,
+                            attr,
                             seed,
                             ref artifacts,
                             cache,
@@ -807,6 +833,7 @@ impl CodEngine {
                                 failpoint::hit(failpoint::Site::EvalWorker, tok);
                                 self.eval(
                                     q,
+                                    attr,
                                     seed,
                                     artifacts,
                                     cache,
@@ -1058,6 +1085,7 @@ impl CodEngine {
             // One master seed per evaluated query, drawn in query order.
             Ok(Plan::Pending {
                 q,
+                attr,
                 seed: rng.next_u64(),
                 artifacts,
                 cache: cache_outcome,
@@ -1072,6 +1100,7 @@ impl CodEngine {
             failpoint::hit(failpoint::Site::EvalWorker, token.as_ref());
             let result = self.eval_stream(
                 q,
+                attr,
                 &artifacts,
                 cache_outcome,
                 rng,
@@ -1132,6 +1161,7 @@ impl CodEngine {
     fn eval(
         &self,
         q: NodeId,
+        attr: Option<AttrId>,
         seed: u64,
         artifacts: &EvalArtifacts,
         cache: Option<CacheOutcome>,
@@ -1142,21 +1172,25 @@ impl CodEngine {
         requested: Method,
     ) -> CodResult<Option<CodAnswer>> {
         let chain = build_chain(artifacts, q)?;
-        let out = compressed_cod_governed::<SmallRng>(
-            self.g.csr(),
-            self.cfg.model,
-            &chain,
-            q,
-            self.cfg.k,
-            self.cfg.theta,
-            self.cfg.budget,
-            SeedPolicy::PerIndex {
-                seeds: SeedSequence::new(seed),
-                par,
-            },
-            Some(ws),
-            cancel,
-        )?;
+        let out = if self.cfg.pool {
+            self.eval_pooled(q, attr, &chain, par, ws, cancel)?
+        } else {
+            compressed_cod_governed::<SmallRng>(
+                self.g.csr(),
+                self.cfg.model,
+                &chain,
+                q,
+                self.cfg.k,
+                self.cfg.theta,
+                self.cfg.budget,
+                SeedPolicy::PerIndex {
+                    seeds: SeedSequence::new(seed),
+                    par,
+                },
+                Some(ws),
+                cancel,
+            )?
+        };
         // The fallback seed is a derived child stream: disjoint from the
         // primary evaluation's per-index streams by construction.
         self.finish(q, &chain, out, cache, degraded, requested, ws, || {
@@ -1169,6 +1203,7 @@ impl CodEngine {
     fn eval_stream<R: Rng>(
         &self,
         q: NodeId,
+        attr: Option<AttrId>,
         artifacts: &EvalArtifacts,
         cache: Option<CacheOutcome>,
         rng: &mut R,
@@ -1178,23 +1213,71 @@ impl CodEngine {
         requested: Method,
     ) -> CodResult<Option<CodAnswer>> {
         let chain = build_chain(artifacts, q)?;
-        let out = compressed_cod_governed(
-            self.g.csr(),
-            self.cfg.model,
-            &chain,
-            q,
-            self.cfg.k,
-            self.cfg.theta,
-            self.cfg.budget,
-            SeedPolicy::Stream(rng),
-            Some(ws),
-            cancel,
-        )?;
+        let out = if self.cfg.pool {
+            // Pooled sampling is key-derived: the caller RNG is consumed
+            // only if the degradation ladder needs a fallback seed.
+            self.eval_pooled(q, attr, &chain, self.cfg.parallelism, ws, cancel)?
+        } else {
+            compressed_cod_governed(
+                self.g.csr(),
+                self.cfg.model,
+                &chain,
+                q,
+                self.cfg.k,
+                self.cfg.theta,
+                self.cfg.budget,
+                SeedPolicy::Stream(rng),
+                Some(ws),
+                cancel,
+            )?
+        };
         // Only a cancelled evaluation draws the extra fallback seed, so
         // the no-trigger caller-RNG stream is untouched.
         self.finish(q, &chain, out, cache, degraded, requested, ws, || {
             rng.next_u64()
         })
+    }
+
+    /// Compressed evaluation served from the shared RR-pool cache: look up
+    /// (or create) the pool for the chain's `(attr, universe)` key, grow it
+    /// to the resolved `Θ` if needed, fold the pooled graphs, and re-apply
+    /// the byte budget afterwards (growth happens outside the cache lock).
+    /// All pool telemetry flows through the query's own sink so per-query
+    /// trace deltas keep summing to the registry aggregates.
+    fn eval_pooled(
+        &self,
+        q: NodeId,
+        attr: Option<AttrId>,
+        chain: &AnyChain<'_>,
+        par: Parallelism,
+        ws: &mut QueryScratch,
+        cancel: Option<&CancelToken>,
+    ) -> CodResult<CodOutcome> {
+        let universe = chain.universe();
+        let restricted = universe.len() < self.g.num_nodes();
+        let (entry, lookup) = self.pool.get_or_create(attr, &universe, restricted);
+        ws.sink.incr(if lookup.hit {
+            Counter::PoolHits
+        } else {
+            Counter::PoolMisses
+        });
+        ws.sink.add(Counter::PoolEvictedBytes, lookup.evicted_bytes);
+        let out = compressed_cod_pooled(
+            self.g.csr(),
+            self.cfg.model,
+            chain,
+            q,
+            self.cfg.k,
+            self.cfg.theta,
+            self.cfg.budget,
+            &entry,
+            par,
+            Some(ws),
+            cancel,
+        )?;
+        ws.sink
+            .add(Counter::PoolEvictedBytes, self.pool.enforce_budget(&entry));
+        Ok(out)
     }
 
     /// Turns a (possibly cancelled) compressed outcome into the final

@@ -54,6 +54,12 @@ pub enum Site {
     PreEval,
     /// Serve tier: before the response bytes are written back.
     RespWrite,
+    /// Shared RR-pool cache: per sample batch while growing a pooled
+    /// generation (every `CHECK_EVERY` draws).
+    PoolGrow,
+    /// Shared RR-pool cache: per sample batch while folding pooled RR
+    /// graphs into a query's HFS buckets.
+    PoolFold,
 }
 
 /// Every *engine* site, for tests that iterate the engine query surface
@@ -72,6 +78,12 @@ pub const SITES: [Site; 6] = [
 /// checkpoints their workload can never hit.
 pub const SERVE_SITES: [Site; 4] = [Site::Accept, Site::Parse, Site::PreEval, Site::RespWrite];
 
+/// The shared RR-pool cache sites, reachable only when `CodConfig::pool`
+/// is enabled. Kept out of [`SITES`] for the same reason as the serve
+/// tier: the engine chaos sweeps run pool-disabled workloads that could
+/// never hit these checkpoints.
+pub const POOL_SITES: [Site; 2] = [Site::PoolGrow, Site::PoolFold];
+
 impl Site {
     fn parse(name: &str) -> Option<Site> {
         match name {
@@ -85,6 +97,8 @@ impl Site {
             "parse" => Some(Site::Parse),
             "pre_eval" => Some(Site::PreEval),
             "resp_write" => Some(Site::RespWrite),
+            "pool_grow" => Some(Site::PoolGrow),
+            "pool_fold" => Some(Site::PoolFold),
             _ => None,
         }
     }
@@ -127,7 +141,11 @@ mod imp {
     fn parse_spec(spec: &str) -> HashMap<Site, Action> {
         let mut map = HashMap::new();
         if spec.trim() == "all" {
-            for site in SITES.into_iter().chain(super::SERVE_SITES) {
+            for site in SITES
+                .into_iter()
+                .chain(super::SERVE_SITES)
+                .chain(super::POOL_SITES)
+            {
                 map.insert(site, Action::Delay(std::time::Duration::from_millis(1)));
             }
             return map;

@@ -22,6 +22,10 @@
 //! * [`engine`] — the **CodEngine** serving layer: prepared artifacts
 //!   behind `Arc`, a bounded recluster cache, reusable query workspaces
 //!   and a batch API, fronting all four method variants;
+//! * [`pool`] — the cross-query shared RR-pool cache: key-derived
+//!   deterministic sampling, incremental top-ups, epoch invalidation and
+//!   LRU byte-budget eviction, plus the confidence-bound adaptive
+//!   evaluation built on it;
 //! * [`pipeline`] — the method facades evaluated in §V: `CODU`, `CODR`,
 //!   `CODL⁻` and `CODL` (thin wrappers over the engine);
 //! * [`measures`] — answer-quality measures (size, `ρ`, `φ`, top-k
@@ -42,6 +46,7 @@ pub mod lore;
 pub mod measures;
 pub mod persist;
 pub mod pipeline;
+pub mod pool;
 pub mod recluster;
 pub mod scratch;
 pub mod telemetry;
@@ -49,8 +54,10 @@ pub mod telemetry;
 pub use cache::{CacheStats, ReclusterCache};
 pub use chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
 pub use compressed::{
-    compressed_cod, compressed_cod_adaptive, compressed_cod_adaptive_seeded,
-    compressed_cod_governed, compressed_cod_seeded, compressed_cod_with, CodOutcome,
+    compressed_cod, compressed_cod_adaptive, compressed_cod_adaptive_pooled,
+    compressed_cod_adaptive_seeded, compressed_cod_governed, compressed_cod_pooled,
+    compressed_cod_seeded, compressed_cod_with, influence_half_width, resolve_theta_pooled,
+    AdaptiveReport, CodOutcome,
 };
 pub use dynamic::DynamicCod;
 pub use engine::{CodEngine, Method, Query};
@@ -59,6 +66,10 @@ pub use himor::{BuildStats, HimorIndex};
 pub use lore::{select_recluster_community, ReclusterChoice};
 pub use pipeline::{
     AnswerSource, CacheOutcome, CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu, QueryLimits,
+};
+pub use pool::{
+    GrowthStats, PoolCache, PoolCacheStats, PoolLookup, PoolView, RrPoolEntry,
+    DEFAULT_POOL_BUDGET_BYTES,
 };
 pub use scratch::QueryScratch;
 pub use telemetry::{

@@ -117,6 +117,17 @@ pub struct CodConfig {
     /// with the retriable [`CodError::Overloaded`] instead of queueing.
     /// `None` (the default) admits everything.
     pub max_inflight: Option<usize>,
+    /// Serve compressed evaluations from the engine's cross-query shared
+    /// RR-pool cache ([`crate::pool`]): queries on the same
+    /// `(attribute, universe)` key re-fold cached RR graphs instead of
+    /// resampling. Off by default because pooled sampling is key-derived —
+    /// answers are deterministic and identical warm or cold, but not
+    /// bit-identical to the unpooled paths' caller-RNG streams.
+    pub pool: bool,
+    /// Byte budget of the shared RR-pool cache before least-recently-used
+    /// pools are evicted ([`crate::pool::DEFAULT_POOL_BUDGET_BYTES`] by
+    /// default). Only consulted when [`CodConfig::pool`] is on.
+    pub pool_budget_bytes: usize,
 }
 
 impl Default for CodConfig {
@@ -132,6 +143,8 @@ impl Default for CodConfig {
             trace: false,
             limits: QueryLimits::default(),
             max_inflight: None,
+            pool: false,
+            pool_budget_bytes: crate::pool::DEFAULT_POOL_BUDGET_BYTES,
         }
     }
 }
@@ -479,6 +492,52 @@ pub(crate) fn answer_from_chain<R: Rng>(
             rng,
         )?
     };
+    let Some(level) = out.best_level else {
+        return Ok(None);
+    };
+    Ok(Some(CodAnswer {
+        members: chain.members(level),
+        rank: out.ranks[level],
+        source: AnswerSource::Compressed,
+        uncertain: out.truncated || out.uncertain[level],
+        cache: None,
+        trace: None,
+        degraded: None,
+    }))
+}
+
+/// [`answer_from_chain`] served from a shared RR-pool cache instead of
+/// fresh sampling: the chain's universe is looked up (or created) in
+/// `cache` under `attr` and the pooled evaluation folds cached RR graphs.
+/// No caller RNG is consumed — pooled sampling is key-derived, so the
+/// answer is a pure function of `(g, cfg, chain, q, attr)`.
+pub(crate) fn answer_from_chain_pooled(
+    g: &AttributedGraph,
+    cfg: CodConfig,
+    chain: &impl Chain,
+    q: NodeId,
+    attr: Option<AttrId>,
+    cache: &crate::pool::PoolCache,
+) -> CodResult<Option<CodAnswer>> {
+    if chain.is_empty() {
+        return Ok(None);
+    }
+    let universe = chain.universe();
+    let restricted = universe.len() < g.num_nodes();
+    let (entry, _) = cache.get_or_create(attr, &universe, restricted);
+    let out = crate::compressed::compressed_cod_pooled(
+        g.csr(),
+        cfg.model,
+        chain,
+        q,
+        cfg.k,
+        cfg.theta,
+        cfg.budget,
+        &entry,
+        cfg.parallelism,
+        None,
+        None,
+    )?;
     let Some(level) = out.best_level else {
         return Ok(None);
     };

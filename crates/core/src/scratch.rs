@@ -27,6 +27,10 @@ pub(crate) struct HfsScratch {
     pub(crate) queues: Vec<Vec<u32>>,
     pub(crate) explored: Vec<bool>,
     pub(crate) level_cache: Vec<usize>,
+    /// Dense per-query `node → chain level` table for pooled folds
+    /// (`u32::MAX` = prune): one `level_of` sweep per query instead of one
+    /// per RR-graph node, which is what makes a warm fold cheap.
+    pub(crate) levels: Vec<u32>,
 }
 
 impl HfsScratch {
@@ -35,6 +39,7 @@ impl HfsScratch {
             queues: vec![Vec::new(); m],
             explored: Vec::new(),
             level_cache: Vec::new(),
+            levels: Vec::new(),
         }
     }
 
@@ -121,7 +126,8 @@ impl QueryScratch {
         let hfs = self.hfs.queues.iter().map(Vec::capacity).sum::<usize>()
             * std::mem::size_of::<u32>()
             + self.hfs.explored.capacity()
-            + self.hfs.level_cache.capacity() * std::mem::size_of::<usize>();
+            + self.hfs.level_cache.capacity() * std::mem::size_of::<usize>()
+            + self.hfs.levels.capacity() * std::mem::size_of::<u32>();
         let topk = (self.topk.pool.capacity() + self.topk.candidates.capacity())
             * std::mem::size_of::<NodeId>()
             + self.topk.taus.capacity() * std::mem::size_of::<u32>();

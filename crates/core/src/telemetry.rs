@@ -68,6 +68,17 @@ pub enum Counter {
     CacheHits,
     /// Recluster-cache misses observed by queries.
     CacheMisses,
+    /// Shared RR-pool cache lookups that found a pool for the query's
+    /// `(attr, universe)` key.
+    PoolHits,
+    /// Shared RR-pool cache lookups that had to create a fresh pool.
+    PoolMisses,
+    /// Incremental pool growths (a query needed θ′ > θ and topped the
+    /// shared pool up in place).
+    PoolTopups,
+    /// Bytes of pooled RR graphs evicted by the byte-budget LRU, charged
+    /// to the query whose insertion forced the eviction.
+    PoolEvictedBytes,
 }
 
 /// All counters, in `repr` order (the order snapshots iterate in).
@@ -83,10 +94,14 @@ pub const COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::HimorIndexHits,
     Counter::CacheHits,
     Counter::CacheMisses,
+    Counter::PoolHits,
+    Counter::PoolMisses,
+    Counter::PoolTopups,
+    Counter::PoolEvictedBytes,
 ];
 
 /// Number of distinct [`Counter`]s.
-pub const NUM_COUNTERS: usize = 11;
+pub const NUM_COUNTERS: usize = 15;
 
 impl Counter {
     /// Stable snake_case name (used by the Prometheus exposition and the
@@ -104,6 +119,10 @@ impl Counter {
             Counter::HimorIndexHits => "himor_index_hits",
             Counter::CacheHits => "recluster_cache_hits",
             Counter::CacheMisses => "recluster_cache_misses",
+            Counter::PoolHits => "pool_hits",
+            Counter::PoolMisses => "pool_misses",
+            Counter::PoolTopups => "pool_topups",
+            Counter::PoolEvictedBytes => "pool_evicted_bytes",
         }
     }
 
@@ -121,6 +140,10 @@ impl Counter {
             Counter::HimorIndexHits => "queries answered from the HIMOR index without sampling",
             Counter::CacheHits => "recluster-cache hits observed by queries",
             Counter::CacheMisses => "recluster-cache misses observed by queries",
+            Counter::PoolHits => "shared RR-pool cache hits observed by queries",
+            Counter::PoolMisses => "shared RR-pool cache misses observed by queries",
+            Counter::PoolTopups => "incremental shared RR-pool growths",
+            Counter::PoolEvictedBytes => "pooled RR-graph bytes evicted by the byte-budget LRU",
         }
     }
 }
@@ -569,8 +592,13 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot in the Prometheus text exposition format.
-    /// `cache` carries the engine's recluster-cache gauges.
-    pub fn render_prometheus(&self, cache: &crate::cache::CacheStats) -> String {
+    /// `cache` carries the engine's recluster-cache gauges; `pool` the
+    /// shared RR-pool cache gauges.
+    pub fn render_prometheus(
+        &self,
+        cache: &crate::cache::CacheStats,
+        pool: &crate::pool::PoolCacheStats,
+    ) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(2048);
         let mut counter = |name: &str, help: &str, value: u64| {
@@ -657,6 +685,26 @@ impl MetricsSnapshot {
             "recluster_cache_capacity",
             "recluster cache capacity",
             cache.capacity as u64,
+        );
+        gauge(
+            "pool_cache_pools",
+            "shared RR pools currently resident",
+            pool.pools as u64,
+        );
+        gauge(
+            "pool_cache_resident_bytes",
+            "bytes of pooled RR graphs currently resident",
+            pool.resident_bytes as u64,
+        );
+        gauge(
+            "pool_cache_budget_bytes",
+            "byte budget of the shared RR-pool cache",
+            pool.budget_bytes as u64,
+        );
+        gauge(
+            "pool_cache_epoch",
+            "invalidation epoch of the shared RR-pool cache",
+            pool.epoch,
         );
         let _ = writeln!(
             out,
@@ -758,8 +806,11 @@ mod tests {
         sink.add_nanos(Phase::TopK, 1_000);
         reg.record(&sink, QueryOutcome::AnswerIndex);
         let cache = crate::cache::CacheStats::default();
-        let text = reg.snapshot().render_prometheus(&cache);
+        let pool = crate::pool::PoolCacheStats::default();
+        let text = reg.snapshot().render_prometheus(&cache, &pool);
         assert!(text.contains("cod_queries_total 1"));
+        assert!(text.contains("cod_pool_hits_total 0"));
+        assert!(text.contains("cod_pool_cache_resident_bytes 0"));
         assert!(text.contains("cod_rr_edges_traversed_total 9"));
         assert!(text.contains("cod_answers_total{source=\"index\"} 1"));
         assert!(text.contains("cod_query_seconds_bucket{le=\"+Inf\"} 1"));

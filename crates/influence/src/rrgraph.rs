@@ -11,7 +11,7 @@ use cod_graph::NodeId;
 /// Definition 3; by Theorem 2 the probability that a node is reachable from
 /// the source inside the restriction estimates its influence in that
 /// community.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RrGraph {
     /// Global node ids, in exploration (BFS) order; `nodes[0]` is the source.
     nodes: Vec<NodeId>,
@@ -83,6 +83,15 @@ impl RrGraph {
     #[inline]
     pub fn node(&self, l: u32) -> NodeId {
         self.nodes[l as usize]
+    }
+
+    /// Heap bytes held by this RR graph's three arrays — the unit the
+    /// shared-pool cache's byte budget is accounted in.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.capacity() * size_of::<NodeId>()
+            + self.offsets.capacity() * size_of::<u32>()
+            + self.targets.capacity() * size_of::<u32>()
     }
 
     /// Out-neighbors (local indices) of local node `l`.

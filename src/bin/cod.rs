@@ -132,6 +132,9 @@ OPTIONS:
   --trace         query: print a per-query phase/counter trace line after
                   each answer (phase timings plus RR-graph, HFS, and top-k
                   work counts). Tracing never changes answers or RNG draws
+  --pool          query/serve: serve compressed evaluations from a shared
+                  cross-query RR-pool cache (deterministic key-derived
+                  sampling with incremental top-ups and LRU eviction)
   --metrics-out F query: after all queries finish, write engine metrics in
                   Prometheus text format to F (counters, phase seconds,
                   latency histogram, cache gauges)
@@ -172,6 +175,7 @@ struct Opts {
     max_inflight: Option<usize>,
     threads: Option<Parallelism>,
     trace: bool,
+    pool: bool,
     metrics_out: Option<PathBuf>,
     out_edges: Option<PathBuf>,
     out_attrs: Option<PathBuf>,
@@ -217,6 +221,11 @@ impl Opts {
             }
             if args[i] == "--trace" {
                 o.trace = true;
+                i += 1;
+                continue;
+            }
+            if args[i] == "--pool" {
+                o.pool = true;
                 i += 1;
                 continue;
             }
@@ -344,6 +353,7 @@ impl Opts {
             budget: self.budget,
             parallelism: self.threads.unwrap_or(Parallelism::Serial),
             trace: self.trace,
+            pool: self.pool,
             limits: QueryLimits {
                 deadline: self.deadline_ms.map(std::time::Duration::from_millis),
                 ..QueryLimits::default()

@@ -241,3 +241,79 @@ fn zero_budget_reports_the_chain_wide_requirement() {
         "sample budget exhausted: 0 samples allowed but the query needs at least 14"
     );
 }
+
+#[test]
+fn pooled_zero_budget_nets_already_pooled_samples() {
+    // On the shared-pool path, `required` is the chain-wide θ·|universe|
+    // *net of samples already pooled*: the budget only has to pay for new
+    // draws. θ = 7 over a 2-node universe needs 14 samples; with 5 pooled,
+    // a zero budget is short exactly 9 — and once the pool holds all 14,
+    // a zero budget answers outright.
+    use pcod::cod::compressed::{compressed_cod_pooled, resolve_theta_pooled};
+    use pcod::cod::pool::RrPoolEntry;
+    use pcod::cod::recluster::build_hierarchy;
+    use std::sync::Arc;
+
+    let g = two_node_graph();
+    let dendro = build_hierarchy(g.csr(), Linkage::Average);
+    let lca = LcaIndex::new(&dendro);
+    let chain = DendroChain::new(&dendro, &lca, 0).unwrap();
+    let universe: Arc<Vec<NodeId>> = Arc::new(chain.universe().to_vec());
+    assert_eq!(universe.len(), 2);
+    let pool = RrPoolEntry::new(None, universe, false);
+    pool.ensure(
+        g.csr(),
+        Model::WeightedCascade,
+        5,
+        Parallelism::Threads(1),
+        None,
+    );
+    let evaluate = |budget: Option<usize>| {
+        compressed_cod_pooled(
+            g.csr(),
+            Model::WeightedCascade,
+            &chain,
+            0,
+            1,
+            7,
+            budget,
+            &pool,
+            Parallelism::Threads(1),
+            None,
+            None,
+        )
+    };
+    match evaluate(Some(0)).unwrap_err() {
+        CodError::BudgetExhausted { budget, required } => {
+            assert_eq!(budget, 0);
+            assert_eq!(required, 9, "required must net the 5 pooled samples");
+        }
+        other => panic!("expected BudgetExhausted, got {other}"),
+    }
+    // The resolver alone, for the exact netting arithmetic.
+    assert_eq!(resolve_theta_pooled(7, 2, None, 5).unwrap(), (14, false));
+    assert_eq!(resolve_theta_pooled(7, 2, Some(4), 5).unwrap(), (9, true));
+    assert_eq!(
+        resolve_theta_pooled(7, 2, Some(0), 14).unwrap(),
+        (14, false)
+    );
+    // A fully stocked pool makes a zero budget sufficient: no new draws.
+    pool.ensure(
+        g.csr(),
+        Model::WeightedCascade,
+        14,
+        Parallelism::Threads(1),
+        None,
+    );
+    let out = evaluate(Some(0)).expect("zero budget suffices on a full pool");
+    assert!(
+        !out.truncated,
+        "nothing was cut: the pool covered θ·|universe|"
+    );
+    assert_eq!(out.theta, 14);
+    assert_eq!(
+        out,
+        evaluate(None).unwrap(),
+        "budgeted ≡ unbudgeted on a full pool"
+    );
+}

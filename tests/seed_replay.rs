@@ -567,3 +567,55 @@ fn batched_answers_match_sequential_answers() {
         );
     }
 }
+
+/// The pool-cache-warm path joins the thread matrix: with the shared
+/// RR-pool cache enabled, cold batches (pools built in-line) and warm
+/// batches (every pool served from cache) are bit-identical to each other
+/// and across 1, 2, and 8 threads — pool growth uses the same per-index
+/// seed derivation as everything else, and the warm fold replays the
+/// identical sample prefix.
+#[test]
+fn pooled_engine_batches_replay_across_threads_cold_and_warm() {
+    let data = dataset();
+    let g = &data.graph;
+    let mut queries: Vec<Query> = Vec::new();
+    for &q in &[0u32, 9, 42, 133] {
+        let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+        queries.push(Query::codu(q));
+        queries.push(Query::new(q, attr, Method::Codr));
+        queries.push(Query::new(q, attr, Method::CodlMinus));
+        queries.push(Query::new(q, attr, Method::Codl));
+    }
+    let make_engine = |t: usize| {
+        let cfg = CodConfig {
+            k: 3,
+            theta: 15,
+            pool: true,
+            parallelism: Parallelism::Threads(t),
+            ..CodConfig::default()
+        };
+        let engine = CodEngine::new(g.clone(), cfg);
+        engine.ensure_himor(&mut SmallRng::seed_from_u64(4000));
+        engine
+    };
+    let reference = {
+        let engine = make_engine(1);
+        let mut rng = SmallRng::seed_from_u64(3000);
+        comparable(engine.query_batch(&queries, &mut rng))
+    };
+    assert!(reference.iter().any(|r| matches!(r, Ok(Some(_)))));
+    for t in THREADS {
+        let engine = make_engine(t);
+        let mut rng = SmallRng::seed_from_u64(3000);
+        let cold = comparable(engine.query_batch(&queries, &mut rng));
+        assert_eq!(cold, reference, "threads {t}: cold pooled batch diverged");
+        assert!(engine.pool_stats().pools > 0, "threads {t}: no pool built");
+        let mut rng = SmallRng::seed_from_u64(3000);
+        let warm = comparable(engine.query_batch(&queries, &mut rng));
+        assert_eq!(warm, reference, "threads {t}: warm pooled batch diverged");
+        assert!(
+            engine.metrics().counters.get(pcod::cod::Counter::PoolHits) > 0,
+            "threads {t}: warm batch never hit the pool cache"
+        );
+    }
+}

@@ -127,6 +127,12 @@ fn all_endpoints_answer_with_documented_statuses() {
         "cod_http_requests_total",
         "cod_http_shed_socket_total",
         "cod_http_worker_panics_total",
+        "cod_pool_hits_total",
+        "cod_pool_misses_total",
+        "cod_pool_topups_total",
+        "cod_pool_evicted_bytes_total",
+        "cod_pool_cache_pools",
+        "cod_pool_cache_epoch",
     ] {
         assert!(b.contains(needle), "metrics missing {needle}: {b}");
     }

@@ -199,6 +199,132 @@ fn telemetry_on_off_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Pool-cache counters ride the same per-query sink as every other
+/// counter: the cold query's trace carries exactly one miss, the warm
+/// repeat exactly one hit, the registry holds their sum, and the
+/// Prometheus exposition names all four pool series plus the cache gauges.
+#[test]
+fn pool_counters_flow_through_traces_and_registry() {
+    let data = dataset();
+    let cfg = CodConfig {
+        k: 30,
+        theta: 6,
+        pool: true,
+        trace: true,
+        ..CodConfig::default()
+    };
+    let engine = CodEngine::new(data.graph, cfg);
+    let mut rng = SmallRng::seed_from_u64(5);
+    let trace_of = |engine: &CodEngine, rng: &mut SmallRng| {
+        engine
+            .query(Query::codu(3), rng)
+            .expect("valid query")
+            .expect("k = 30 answers")
+            .trace
+            .expect("trace requested")
+    };
+    let cold = trace_of(&engine, &mut rng);
+    assert_eq!(
+        cold.counters.get(Counter::PoolMisses),
+        1,
+        "cold query misses once"
+    );
+    assert_eq!(cold.counters.get(Counter::PoolHits), 0);
+    assert!(
+        cold.counters.get(Counter::RrGraphsSampled) > 0,
+        "cold query fills the pool"
+    );
+    let warm = trace_of(&engine, &mut rng);
+    assert_eq!(
+        warm.counters.get(Counter::PoolHits),
+        1,
+        "warm query hits once"
+    );
+    assert_eq!(warm.counters.get(Counter::PoolMisses), 0);
+    assert_eq!(
+        warm.counters.get(Counter::RrGraphsSampled),
+        0,
+        "warm query folds the pool without sampling"
+    );
+    let snapshot = engine.metrics();
+    assert_eq!(snapshot.counters.get(Counter::PoolHits), 1);
+    assert_eq!(snapshot.counters.get(Counter::PoolMisses), 1);
+    assert_eq!(snapshot.counters.get(Counter::PoolEvictedBytes), 0);
+    let text = engine.metrics_text();
+    for needle in [
+        "cod_pool_hits_total 1",
+        "cod_pool_misses_total 1",
+        "cod_pool_topups_total 0",
+        "cod_pool_evicted_bytes_total 0",
+        "cod_pool_cache_pools 1",
+        "cod_pool_cache_budget_bytes",
+        "cod_pool_cache_resident_bytes",
+        "cod_pool_cache_epoch 0",
+    ] {
+        assert!(
+            text.contains(needle),
+            "exposition lacks {needle:?}:\n{text}"
+        );
+    }
+}
+
+/// A query that needs more samples than the pool holds tops it up — and
+/// the trace records the top-up plus only the *new* sampling work, never
+/// a resample of what was already pooled.
+#[test]
+fn pool_topups_are_counted_and_sample_only_the_missing_suffix() {
+    use pcod::cod::compressed::compressed_cod_pooled;
+    use pcod::cod::pool::RrPoolEntry;
+    use pcod::cod::recluster::build_hierarchy;
+    use std::sync::Arc;
+
+    let data = dataset();
+    let g = data.graph.csr();
+    let dendro = build_hierarchy(g, Linkage::Average);
+    let lca = LcaIndex::new(&dendro);
+    let q = 3u32;
+    let chain = DendroChain::new(&dendro, &lca, q).expect("chain exists");
+    let universe: Arc<Vec<NodeId>> = Arc::new(chain.universe().to_vec());
+    let n = universe.len() as u64;
+    let pool = RrPoolEntry::new(None, universe, false);
+    let mut ws = QueryScratch::new();
+    let mut run = |theta_pn: usize| {
+        ws.reset_telemetry(false);
+        compressed_cod_pooled(
+            g,
+            Model::WeightedCascade,
+            &chain,
+            q,
+            3,
+            theta_pn,
+            None,
+            &pool,
+            Parallelism::Threads(1),
+            Some(&mut ws),
+            None,
+        )
+        .expect("valid query");
+        ws.take_trace()
+    };
+    let fill = run(2);
+    assert_eq!(
+        fill.counters.get(Counter::PoolTopups),
+        0,
+        "initial fill is not a top-up"
+    );
+    assert_eq!(fill.counters.get(Counter::RrGraphsSampled), 2 * n);
+    let topup = run(4);
+    assert_eq!(topup.counters.get(Counter::PoolTopups), 1);
+    assert_eq!(
+        topup.counters.get(Counter::RrGraphsSampled),
+        2 * n,
+        "top-up samples only the 2·|V| missing graphs"
+    );
+    let warm = run(4);
+    assert_eq!(warm.counters.get(Counter::PoolTopups), 0);
+    assert_eq!(warm.counters.get(Counter::RrGraphsSampled), 0);
+}
+
 /// `--trace` answers carry a render-ready line; sanity-check its shape so
 /// the CLI contract (phase timings then counters) stays stable.
 #[test]

@@ -95,6 +95,55 @@ pub mod strategy {
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 }
 
+pub mod collection {
+    //! `Vec` strategies, mirroring `proptest::collection::vec`.
+
+    use super::strategy::Strategy;
+
+    /// A length specification: a fixed size or a `start..end` range,
+    /// mirroring proptest's `SizeRange` conversions.
+    pub struct SizeRange(std::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with per-case length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn independently from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into().0,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut super::TestRng) -> Self::Value {
+            let n = if self.len.len() <= 1 {
+                self.len.start
+            } else {
+                Strategy::sample(&self.len.clone(), rng)
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
 #[macro_export]
 macro_rules! prop_assert {
     ($($tt:tt)*) => { assert!($($tt)*) };
