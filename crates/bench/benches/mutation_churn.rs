@@ -1,0 +1,97 @@
+//! Criterion companion to the incremental-mutation pipeline: a ~1% edge
+//! churn stream over the cora-like dataset, applied one event at a time
+//! and flushed after every event — the streaming model where queries
+//! interleave with mutations, so the engine must be consistent after each
+//! edge. The repair leg takes the localized splice + HIMOR patch path
+//! (verification off: that is the production streaming configuration; the
+//! verified mode reruns the full clustering purely to prove equivalence
+//! and is exercised by `tests/mutation.rs` instead). The rebuild leg pins
+//! the rebuild threshold to zero so the identical stream is absorbed by
+//! full from-scratch rebuilds. The `repair_vs_rebuild` ratio gate in
+//! `bench_report` holds the repair leg to a fraction of the rebuild leg.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cod_core::dynamic::DynamicCod;
+use cod_core::CodConfig;
+use cod_graph::NodeId;
+use cod_influence::Parallelism;
+use rand::prelude::*;
+
+/// `count` edges absent from `g`, deterministic in `seed`.
+fn absent_edges(g: &cod_graph::AttributedGraph, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let n = g.num_nodes() as NodeId;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut picked = Vec::with_capacity(count);
+    while picked.len() < count {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        let (u, v) = (a.min(b), a.max(b));
+        if u != v && !g.csr().has_edge(u, v) && !picked.contains(&(u, v)) {
+            picked.push((u, v));
+        }
+    }
+    picked
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let data = cod_datasets::cora_like(1);
+    let g = &data.graph;
+    let cfg = CodConfig {
+        parallelism: Parallelism::Threads(1),
+        ..CodConfig::default()
+    };
+    let batch = (g.num_edges() / 100).max(1); // ~1% of |E| in the stream
+    let edges = absent_edges(g, batch, 0xC0D);
+
+    let mut group = c.benchmark_group("mutation_churn");
+    group.sample_size(10);
+
+    // One iteration = one edge event + one flush through the repair path.
+    // The stream cycles through the 1%-churn edge list, toggling each edge
+    // so the graph never drifts from its seed topology.
+    group.bench_function("repair_per_event", |b| {
+        let mut d = DynamicCod::with_seed(g, cfg, 7);
+        d.set_repair_verification(false);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut present = vec![false; edges.len()];
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = edges[i % edges.len()];
+            if present[i % edges.len()] {
+                d.remove_edge(u, v);
+            } else {
+                d.insert_edge(u, v);
+            }
+            present[i % edges.len()] = !present[i % edges.len()];
+            i += 1;
+            black_box(d.flush(&mut rng).expect("ungoverned flush").outcome)
+        })
+    });
+
+    // The identical stream forced through full from-scratch rebuilds.
+    group.bench_function("rebuild_per_event", |b| {
+        let mut d = DynamicCod::with_seed(g, cfg, 7);
+        d.set_rebuild_threshold(0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut present = vec![false; edges.len()];
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = edges[i % edges.len()];
+            if present[i % edges.len()] {
+                d.remove_edge(u, v);
+            } else {
+                d.insert_edge(u, v);
+            }
+            present[i % edges.len()] = !present[i % edges.len()];
+            i += 1;
+            black_box(d.flush(&mut rng).expect("ungoverned flush").outcome)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -109,6 +109,16 @@ const RATIOS: &[(&str, &str, &str, Option<f64>)] = &[
         "query_throughput/governance/limits_unarmed",
         Some(1.05),
     ),
+    // The incremental-mutation acceptance gate: flushing one edge event of
+    // a 1% churn stream through the localized repair + HIMOR patch must run
+    // in ≤ 1/3 the time of absorbing the same event with a from-scratch
+    // rebuild (i.e. repair ≥ 3× faster; measured headroom is ~7×).
+    (
+        "repair_vs_rebuild",
+        "mutation_churn/repair_per_event",
+        "mutation_churn/rebuild_per_event",
+        Some(0.34),
+    ),
     // HTTP round trip vs direct engine call on the same warm query: the
     // serving tier's socket + parse + JSON + handoff overhead. No absolute
     // cap — the warm query is fast enough that the ratio is loopback-RTT

@@ -288,6 +288,28 @@ impl ReclusterCache {
             guard.0.clear();
         }
     }
+
+    /// Drops only the artifacts a mutation footprint can have invalidated;
+    /// returns how many were dropped.
+    ///
+    /// * A **topology** footprint clears everything — every reclustered
+    ///   hierarchy embeds the adjacency structure.
+    /// * A pure **attribute** footprint drops only the entries keyed by a
+    ///   touched attribute: `g_ℓ`'s edge weights depend solely on which
+    ///   endpoints carry `ℓ`, so artifacts of untouched attributes are
+    ///   bit-identical to what a rebuild would produce and stay resident.
+    pub fn invalidate_scoped(&self, footprint: &crate::mutation::Footprint) -> usize {
+        let Ok(mut guard) = self.slots.lock() else {
+            return 0;
+        };
+        let before = guard.0.len();
+        if footprint.touches_topology() {
+            guard.0.clear();
+        } else {
+            guard.0.retain(|s| !footprint.touches_attr(s.key.attr));
+        }
+        before - guard.0.len()
+    }
 }
 
 impl std::fmt::Debug for ReclusterCache {
@@ -373,6 +395,30 @@ mod tests {
         assert!(!hit);
         let (_, hit) = cache.try_global(0, 1.0, Linkage::Average, || None).unwrap();
         assert!(hit, "cached artifact served without invoking the builder");
+    }
+
+    #[test]
+    fn scoped_invalidation_respects_the_footprint() {
+        use crate::mutation::Footprint;
+        let cache = ReclusterCache::new(8);
+        cache.global(0, 1.0, Linkage::Average, hier);
+        cache.global(1, 1.0, Linkage::Average, hier);
+        cache.global(2, 1.0, Linkage::Average, hier);
+
+        // Attribute footprint: only the touched attribute's entry drops.
+        let mut fp = Footprint::new();
+        fp.add_attr_event(5, [1]);
+        assert_eq!(cache.invalidate_scoped(&fp), 1);
+        let (_, hit0) = cache.global(0, 1.0, Linkage::Average, hier);
+        let (_, hit1) = cache.global(1, 1.0, Linkage::Average, hier);
+        let (_, hit2) = cache.global(2, 1.0, Linkage::Average, hier);
+        assert!(hit0 && !hit1 && hit2, "only attr 1 was invalidated");
+
+        // Topology footprint: everything drops.
+        let mut fp = Footprint::new();
+        fp.add_edge_event(3, 4);
+        assert_eq!(cache.invalidate_scoped(&fp), 3);
+        assert_eq!(cache.stats().len, 0);
     }
 
     #[test]

@@ -4,42 +4,89 @@
 //! The paper observes that "updates to graphs have an impact on the
 //! structure of hierarchical communities and the process of influence
 //! propagation" and that the compressed hierarchy computation "cannot be
-//! updated efficiently". [`DynamicCod`] therefore takes the pragmatic
-//! middle road the paper's discussion suggests:
+//! updated efficiently". [`DynamicCod`] implements an incremental
+//! mutation pipeline on top of that observation:
 //!
-//! * **influence is always fresh** — RR sampling runs on the current
-//!   topology, so ranks inside any evaluated community reflect all edits;
-//! * **the hierarchy and HIMOR index are versioned** — edits accumulate
-//!   against the cached hierarchy; once more than `rebuild_threshold`
-//!   edits (relative to `|E|`) pile up, both are rebuilt lazily on the
-//!   next query;
-//! * between rebuilds, queries run compressed evaluation over the cached
-//!   (slightly stale) hierarchy but on the **current** graph, and the
-//!   HIMOR fast path is disabled for any query node incident to an edit
-//!   (its local structure may have changed) — edits elsewhere cannot
-//!   change the node's own chain membership, only its estimates, which
-//!   are re-sampled anyway.
+//! * **mutations are O(1)** — edge edits land in a [`DeltaCsr`] overlay
+//!   over the last materialized CSR, attribute edits in the attribute
+//!   table; nothing is re-sorted or re-hashed per event;
+//! * **invalidation is scoped** — each mutation carries a [`Footprint`]
+//!   and only evicts the pooled RR graphs it can actually stale (an
+//!   attribute edit leaves disjoint attributes' pools resident; an edge
+//!   edit keeps restricted pools whose universe avoids both endpoints);
+//! * **the hierarchy is repaired, not rebuilt** — on flush, seeded
+//!   configurations re-run linkage only along the leaf-to-root paths of
+//!   touched nodes ([`repair_merges`]) and patch the HIMOR index by
+//!   redrawing only the RR samples whose node sets intersect the
+//!   footprint ([`crate::himor::HimorPatchState::patch`]); a full rebuild happens only
+//!   when the edit volume crosses `rebuild_threshold` or the node range
+//!   grows;
+//! * **replay is deterministic** — every applied mutation is appended to
+//!   a [`MutationLog`]; the HIMOR seed is pinned at construction, so the
+//!   repaired index is bit-identical to a from-scratch build of the
+//!   mutated graph with the same seed, at any thread count.
+//!
+//! Serial (unseeded) configurations keep the legacy behaviour: edits
+//! accumulate against the cached hierarchy, queries run over the slightly
+//! stale chain with fresh influence sampling, and the rebuild threshold
+//! drops the cache wholesale — there is no per-sample seed to patch from.
 
-use cod_graph::{
-    AttrId, AttrInterner, AttrTable, AttributedGraph, FxHashSet, GraphBuilder, NodeId,
-};
-use cod_hierarchy::LcaIndex;
+use cod_graph::{AttrId, AttrInterner, AttrTable, AttributedGraph, DeltaCsr, FxHashSet, NodeId};
+use cod_hierarchy::{match_vertices, repair_merges, Dendrogram, LcaIndex, RepairOutcome};
+use cod_influence::CancelToken;
 use rand::prelude::*;
 
 use crate::chain::{ComposedChain, DendroChain, SubgraphChain};
 use crate::error::{CodError, CodResult};
+use crate::failpoint::{self, Site};
 use crate::himor::HimorIndex;
 use crate::lore::select_recluster_community;
+use crate::mutation::{Footprint, Mutation, MutationKind, MutationLog};
 use crate::pipeline::{
     answer_from_chain, answer_from_chain_pooled, AnswerSource, CodAnswer, CodConfig,
 };
 use crate::pool::{PoolCache, PoolCacheStats};
 use crate::recluster::{build_hierarchy, local_recluster};
+use crate::telemetry::{MetricsRegistry, MetricsSnapshot};
+
+/// How a [`DynamicCod::flush`] brought the cached artifacts current.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushOutcome {
+    /// Nothing was pending; the cache already reflected every mutation.
+    Noop,
+    /// Only the attribute table (or a net-zero edge churn) changed: the
+    /// graph was rematerialized, the hierarchy and index were kept.
+    Refreshed,
+    /// The dendrogram was spliced locally and the HIMOR index patched.
+    Repaired {
+        /// Whether the localized splice survived verification (false
+        /// means verification fell back to recomputed merges).
+        spliced: bool,
+        /// RR samples whose node sets touched the footprint and were
+        /// redrawn on the new topology.
+        samples_redrawn: u64,
+        /// Total retained samples (`Θ`), the redraw denominator.
+        samples_total: u64,
+    },
+    /// The hierarchy and index were rebuilt from scratch.
+    Rebuilt,
+}
+
+/// Result of a [`DynamicCod::flush`]: what happened and how many pending
+/// mutation events it absorbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MutationFlushReport {
+    /// How the cached artifacts were brought current.
+    pub outcome: FlushOutcome,
+    /// Mutation events applied since the previous flush (or rebuild).
+    pub events: usize,
+}
 
 /// A COD engine over a mutable attributed graph.
 pub struct DynamicCod {
-    num_nodes: usize,
-    edges: FxHashSet<(NodeId, NodeId)>,
+    /// Current topology: the last materialized CSR plus a mutable overlay
+    /// of inserted/removed edges (and overlay-grown nodes).
+    topo: DeltaCsr,
     attrs: Vec<Vec<AttrId>>,
     interner: AttrInterner,
     cfg: CodConfig,
@@ -47,36 +94,81 @@ pub struct DynamicCod {
     rebuild_threshold: f64,
     cache: Option<Cache>,
     edits_since_build: usize,
-    /// Nodes touched by edits since the last rebuild.
+    /// Nodes touched by edits since the last rebuild/repair.
     dirty: FxHashSet<NodeId>,
-    /// Shared RR-pool cache for [`CodConfig::pool`] queries. Invalidated on
-    /// *every* mutation — pooled samples bake in the topology they were
-    /// drawn on, so unlike the hierarchy they can never be served stale.
+    /// Shared RR-pool cache for [`CodConfig::pool`] queries. Evicted per
+    /// mutation through the event's [`Footprint`]: pools provably
+    /// untouched by the mutation stay resident.
     pool: PoolCache,
+    /// Pinned HIMOR seed (seeded configurations): rebuilds and patches
+    /// both derive per-sample RNGs from it, so a repaired index is
+    /// bit-identical to a from-scratch build of the mutated graph.
+    himor_seed: u64,
+    /// Every applied mutation, in order — persistable via
+    /// [`MutationLog::save`] and replayable with [`DynamicCod::apply`].
+    log: MutationLog,
+    metrics: MetricsRegistry,
+    /// Run the splice-vs-recluster cross-check on every repair (default
+    /// true; turn off to benchmark the splice alone).
+    verify_repairs: bool,
+    /// Events applied since the last flush (the next report's `events`).
+    unflushed: usize,
 }
 
 struct Cache {
     graph: AttributedGraph,
-    dendro: cod_hierarchy::Dendrogram,
+    dendro: Dendrogram,
     lca: LcaIndex,
     index: HimorIndex,
-    /// Graph edits newer than `graph` (CSR needs refresh before queries).
+    /// Retained seeded-build state that makes `index` patchable across a
+    /// dendrogram repair (`None` for serial builds).
+    patch: Option<crate::himor::HimorPatchState>,
+    /// Graph edits newer than `graph` (CSR/attrs need refresh before
+    /// queries).
     csr_stale: bool,
 }
 
 impl DynamicCod {
-    /// Starts from an existing attributed graph.
+    /// Starts from an existing attributed graph, drawing the pinned HIMOR
+    /// seed (seeded configurations) or the build stream (serial) from
+    /// `rng`.
     pub fn new<R: Rng>(g: &AttributedGraph, cfg: CodConfig, rng: &mut R) -> Self {
-        let mut edges = FxHashSet::default();
-        for (u, v) in g.edges() {
-            edges.insert((u, v));
+        if cfg.parallelism.is_seeded() {
+            Self::with_seed(g, cfg, rng.next_u64())
+        } else {
+            let mut me = Self::shell(g, cfg, 0);
+            me.rebuild_stream(rng);
+            me
         }
+    }
+
+    /// Starts from an existing attributed graph with an explicit HIMOR
+    /// seed. Two instances built with the same seed and fed the same
+    /// mutation log answer every query identically — regardless of how
+    /// many repair/rebuild cycles each went through and at any thread
+    /// count.
+    pub fn with_seed(g: &AttributedGraph, cfg: CodConfig, seed: u64) -> Self {
+        let mut me = Self::shell(g, cfg, seed);
+        if cfg.parallelism.is_seeded() {
+            match me.rebuild_seeded(None) {
+                Ok(()) => {}
+                Err(_) => unreachable!("an ungoverned rebuild has no token to cancel it"),
+            }
+        } else {
+            // Serial builds have no per-sample seeds; derive the legacy
+            // stream from the seed so construction stays deterministic.
+            let mut rng = SmallRng::seed_from_u64(seed);
+            me.rebuild_stream(&mut rng);
+        }
+        me
+    }
+
+    fn shell(g: &AttributedGraph, cfg: CodConfig, himor_seed: u64) -> Self {
         let attrs = (0..g.num_nodes() as NodeId)
             .map(|v| g.node_attrs(v).to_vec())
             .collect();
-        let mut me = Self {
-            num_nodes: g.num_nodes(),
-            edges,
+        Self {
+            topo: DeltaCsr::new(g.csr().clone()),
             attrs,
             interner: g.interner().clone(),
             cfg,
@@ -85,79 +177,132 @@ impl DynamicCod {
             edits_since_build: 0,
             dirty: FxHashSet::default(),
             pool: PoolCache::new(cfg.pool_budget_bytes),
-        };
-        me.rebuild(rng);
-        me
+            himor_seed,
+            log: MutationLog::new(),
+            metrics: MetricsRegistry::default(),
+            verify_repairs: true,
+            unflushed: 0,
+        }
     }
 
     /// Sets the edit fraction that forces a hierarchy + index rebuild
-    /// (default 2% of `|E|`).
+    /// instead of a localized repair (default 2% of `|E|`).
     pub fn set_rebuild_threshold(&mut self, fraction: f64) {
         self.rebuild_threshold = fraction.max(0.0);
     }
 
+    /// Toggles the splice-vs-recluster verification cross-check run on
+    /// every repair (on by default).
+    pub fn set_repair_verification(&mut self, on: bool) {
+        self.verify_repairs = on;
+    }
+
+    /// The pinned HIMOR seed (0 for serial configurations, which stream
+    /// from the caller's RNG instead).
+    pub fn himor_seed(&self) -> u64 {
+        self.himor_seed
+    }
+
     /// Current number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.num_nodes
+        self.topo.num_nodes()
     }
 
     /// Current number of edges.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.topo.num_edges()
     }
 
-    /// Number of edits applied since the hierarchy was last rebuilt.
+    /// Number of edits applied since the hierarchy was last rebuilt or
+    /// repaired.
     pub fn pending_edits(&self) -> usize {
         self.edits_since_build
+    }
+
+    /// Every mutation applied so far, in order.
+    pub fn mutation_log(&self) -> &MutationLog {
+        &self.log
+    }
+
+    /// A point-in-time snapshot of the mutation/repair telemetry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Applies a logged mutation. Returns whether it changed anything
+    /// (duplicate edge inserts and absent-edge removals are no-ops).
+    pub fn apply(&mut self, m: &Mutation) -> CodResult<bool> {
+        match m {
+            Mutation::InsertEdge { u, v } => Ok(self.insert_edge(*u, *v)),
+            Mutation::RemoveEdge { u, v } => Ok(self.remove_edge(*u, *v)),
+            Mutation::SetAttrs { node, attrs } => {
+                self.set_attrs(*node, attrs.clone())?;
+                Ok(true)
+            }
+        }
     }
 
     /// Inserts an undirected edge (growing the node range if needed).
     /// Returns false if it already existed.
     pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        if u == v {
+        if !self.topo.insert(u, v) {
             return false;
         }
-        let key = (u.min(v), u.max(v));
-        let grew = key.1 as usize >= self.num_nodes;
-        if grew {
-            self.num_nodes = key.1 as usize + 1;
-            self.attrs.resize(self.num_nodes, Vec::new());
-            // New nodes invalidate the hierarchy wholesale.
-            self.cache = None;
+        let n = self.topo.num_nodes();
+        if n > self.attrs.len() {
+            self.attrs.resize(n, Vec::new());
+            if !self.cfg.parallelism.is_seeded() {
+                // Serial builds cannot repair: new nodes invalidate the
+                // hierarchy wholesale.
+                self.cache = None;
+            }
         }
-        if self.edges.insert(key) {
-            self.note_edit(u, v);
-            true
-        } else {
-            false
-        }
+        self.record_edge_event(Mutation::InsertEdge { u, v });
+        true
     }
 
     /// Removes an undirected edge. Returns false if absent.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        let key = (u.min(v), u.max(v));
-        if self.edges.remove(&key) {
-            self.note_edit(u, v);
-            true
-        } else {
-            false
+        if !self.topo.remove(u, v) {
+            return false;
         }
+        self.record_edge_event(Mutation::RemoveEdge { u, v });
+        true
     }
 
-    /// Replaces the attribute set of a node.
-    pub fn set_attrs(&mut self, v: NodeId, attrs: Vec<AttrId>) {
-        assert!((v as usize) < self.num_nodes);
-        self.attrs[v as usize] = attrs;
+    /// Replaces the attribute set of a node. Errors with
+    /// [`CodError::InvalidQuery`] if `v` is outside the node range.
+    pub fn set_attrs(&mut self, v: NodeId, attrs: Vec<AttrId>) -> CodResult<()> {
+        if (v as usize) >= self.num_nodes() {
+            return Err(CodError::InvalidQuery(format!(
+                "set_attrs target {v} out of range (graph has {} nodes)",
+                self.num_nodes()
+            )));
+        }
+        // The footprint covers old ∪ new attributes: pools keyed to either
+        // side can see a different LORE choice / g_ℓ weighting, everything
+        // else provably cannot.
+        let mut fp = Footprint::new();
+        fp.add_attr_event(
+            v,
+            self.attrs[v as usize]
+                .iter()
+                .copied()
+                .chain(attrs.iter().copied()),
+        );
+        self.attrs[v as usize] = attrs.clone();
         // Attributes only affect LORE's choice and the g_ℓ weights — no
         // hierarchy invalidation needed, but the node's queries should not
         // take the index fast path blindly.
         self.dirty.insert(v);
+        self.unflushed += 1;
         if let Some(c) = &mut self.cache {
             c.csr_stale = true; // attribute table lives in the cached graph
         }
-        // Attribute edits change LORE's choice and thus which universe a
-        // query's chain spans; stale pools must not shadow the new keys.
-        self.pool.invalidate();
+        self.metrics.record_mutation(MutationKind::SetAttrs);
+        self.log.push(Mutation::SetAttrs { node: v, attrs });
+        self.evict_scoped(&fp);
+        Ok(())
     }
 
     /// Interns an attribute name.
@@ -165,70 +310,89 @@ impl DynamicCod {
         self.interner.intern(name)
     }
 
-    fn note_edit(&mut self, u: NodeId, v: NodeId) {
+    fn record_edge_event(&mut self, m: Mutation) {
+        let (u, v) = match m {
+            Mutation::InsertEdge { u, v } | Mutation::RemoveEdge { u, v } => (u, v),
+            Mutation::SetAttrs { .. } => unreachable!("attribute edits use set_attrs"),
+        };
+        let mut fp = Footprint::new();
+        fp.add_edge_event(u, v);
+        self.metrics.record_mutation(m.kind());
+        self.log.push(m);
         self.edits_since_build += 1;
+        self.unflushed += 1;
         self.dirty.insert(u);
         self.dirty.insert(v);
         if let Some(c) = &mut self.cache {
             c.csr_stale = true;
         }
-        // Pooled RR graphs were traversed on the pre-edit topology: drop
-        // them all so no query folds samples the current graph disowns.
-        self.pool.invalidate();
-        let limit = (self.edges.len() as f64 * self.rebuild_threshold) as usize;
-        if self.edits_since_build > limit {
-            self.cache = None;
+        self.evict_scoped(&fp);
+        if !self.cfg.parallelism.is_seeded() {
+            // Legacy serial behaviour: past the threshold the cache is
+            // dropped eagerly (seeded builds decide repair-vs-rebuild at
+            // flush time instead).
+            let limit = (self.topo.num_edges() as f64 * self.rebuild_threshold) as usize;
+            if self.edits_since_build > limit {
+                self.cache = None;
+            }
         }
     }
 
-    fn materialize_graph(&self) -> AttributedGraph {
-        // The edge set iterates in insertion-history order; sort so the
-        // materialized graph is a pure function of the edge *set*. (The CSR
-        // builder sorts adjacency lists anyway — this keeps the invariant
-        // local and explicit rather than relying on it downstream.)
-        let mut edges: Vec<(NodeId, NodeId)> = self.edges.iter().copied().collect();
-        edges.sort_unstable();
-        let mut b = GraphBuilder::with_capacity(self.num_nodes, edges.len());
-        for (u, v) in edges {
-            b.add_edge(u, v);
-        }
-        AttributedGraph::from_parts(
-            b.build(),
+    /// Drops exactly the pooled RR graphs the footprint can stale:
+    /// topology events evict unrestricted pools plus restricted pools
+    /// whose universe contains a touched endpoint; attribute events evict
+    /// pools keyed to a touched attribute. Everything else keeps its
+    /// samples (they were drawn on a subgraph the mutation cannot reach).
+    fn evict_scoped(&self, fp: &Footprint) {
+        let (pools, _bytes) = if fp.touches_topology() {
+            self.pool.invalidate_scoped(|e| {
+                !e.restricted()
+                    || fp
+                        .nodes()
+                        .iter()
+                        .any(|&v| e.universe().binary_search(&v).is_ok())
+            })
+        } else {
+            self.pool
+                .invalidate_scoped(|e| e.attr().is_some_and(|a| fp.touches_attr(a)))
+        };
+        self.metrics.record_pool_scoped_evictions(pools as u64);
+    }
+
+    /// Rematerializes the cached graph (CSR + attribute table) from the
+    /// overlay without touching the hierarchy or index.
+    fn refresh_graph(&mut self) {
+        let csr = self.topo.materialize();
+        let graph = AttributedGraph::from_parts(
+            csr,
             AttrTable::from_lists(self.attrs.clone()),
             self.interner.clone(),
-        )
+        );
+        if let Some(c) = self.cache.as_mut() {
+            c.graph = graph;
+            c.csr_stale = false;
+        }
     }
 
-    /// Forces an immediate hierarchy + index rebuild.
-    pub fn rebuild<R: Rng>(&mut self, rng: &mut R) {
-        let graph = self.materialize_graph();
-        let dendro = build_hierarchy(graph.csr(), self.cfg.linkage);
+    /// Legacy serial rebuild: consumes the caller's RNG stream and leaves
+    /// no patch state behind.
+    fn rebuild_stream<R: Rng>(&mut self, rng: &mut R) {
+        let csr = self.topo.materialize();
+        let dendro = build_hierarchy(&csr, self.cfg.linkage);
         let lca = LcaIndex::new(&dendro);
-        let index = if self.cfg.parallelism.is_seeded() {
-            HimorIndex::build_seeded(
-                graph.csr(),
-                self.cfg.model,
-                &dendro,
-                &lca,
-                self.cfg.theta,
-                rng.next_u64(),
-                self.cfg.parallelism,
-            )
-        } else {
-            HimorIndex::build(
-                graph.csr(),
-                self.cfg.model,
-                &dendro,
-                &lca,
-                self.cfg.theta,
-                rng,
-            )
-        };
+        let index = HimorIndex::build(&csr, self.cfg.model, &dendro, &lca, self.cfg.theta, rng);
+        let graph = AttributedGraph::from_parts(
+            csr.clone(),
+            AttrTable::from_lists(self.attrs.clone()),
+            self.interner.clone(),
+        );
+        self.topo.rebase(csr);
         self.cache = Some(Cache {
             graph,
             dendro,
             lca,
             index,
+            patch: None,
             csr_stale: false,
         });
         self.edits_since_build = 0;
@@ -238,20 +402,207 @@ impl DynamicCod {
         self.pool.invalidate();
     }
 
-    fn ensure_cache<R: Rng>(&mut self, rng: &mut R) {
-        if self.cache.is_none() {
-            self.rebuild(rng);
-            return;
+    /// Seeded rebuild from the pinned seed, retaining the patch state so
+    /// later mutations can repair instead of rebuilding.
+    fn rebuild_seeded(&mut self, cancel: Option<&CancelToken>) -> CodResult<()> {
+        let csr = self.topo.materialize();
+        let dendro = build_hierarchy(&csr, self.cfg.linkage);
+        let lca = LcaIndex::new(&dendro);
+        let built = HimorIndex::build_seeded_patchable(
+            &csr,
+            self.cfg.model,
+            &dendro,
+            &lca,
+            self.cfg.theta,
+            self.himor_seed,
+            self.cfg.parallelism,
+            cancel,
+        );
+        let Some((index, patch)) = built else {
+            return Err(CodError::DeadlineExceeded);
+        };
+        let graph = AttributedGraph::from_parts(
+            csr.clone(),
+            AttrTable::from_lists(self.attrs.clone()),
+            self.interner.clone(),
+        );
+        self.topo.rebase(csr);
+        self.cache = Some(Cache {
+            graph,
+            dendro,
+            lca,
+            index,
+            patch: Some(patch),
+            csr_stale: false,
+        });
+        self.edits_since_build = 0;
+        self.dirty.clear();
+        Ok(())
+    }
+
+    /// Localized repair: splice the dendrogram along the touched
+    /// leaf-to-root paths and patch the HIMOR index, committing only when
+    /// both succeed (a cancelled repair leaves every artifact as it was).
+    fn repair_seeded(&mut self, cancel: Option<&CancelToken>) -> CodResult<FlushOutcome> {
+        let new_csr = self.topo.materialize();
+        let touched = self.topo.touched_nodes();
+        failpoint::hit(Site::DendroRepair, cancel);
+        if cancel.is_some_and(CancelToken::should_stop) {
+            return Err(CodError::DeadlineExceeded);
         }
-        if self.cache.as_ref().is_some_and(|c| c.csr_stale) {
-            // Refresh the topology without rebuilding hierarchy/index: the
-            // influence process must see current edges.
-            let graph = self.materialize_graph();
-            if let Some(c) = self.cache.as_mut() {
-                c.graph = graph;
-                c.csr_stale = false;
+        let Some(cache) = self.cache.as_mut() else {
+            unreachable!("flush checked the cache before choosing repair")
+        };
+        let rr = repair_merges(
+            &cache.dendro,
+            &new_csr,
+            &touched,
+            self.cfg.linkage,
+            self.verify_repairs,
+        );
+        let new_dendro = Dendrogram::from_merges(new_csr.num_nodes(), &rr.merges);
+        let new_lca = LcaIndex::new(&new_dendro);
+        let diff = match_vertices(&cache.dendro, &new_dendro);
+        let Some(mut patch) = cache.patch.take() else {
+            unreachable!("flush checked the patch state before choosing repair")
+        };
+        let patched = patch.patch(
+            &new_csr,
+            self.cfg.model,
+            &cache.dendro,
+            &cache.lca,
+            &new_dendro,
+            &new_lca,
+            &diff,
+            &touched,
+            self.cfg.parallelism,
+            cancel,
+        );
+        let Some((index, stats)) = patched else {
+            // Commit-at-end: the cancelled patch left the state untouched.
+            cache.patch = Some(patch);
+            return Err(CodError::DeadlineExceeded);
+        };
+        let graph = AttributedGraph::from_parts(
+            new_csr.clone(),
+            AttrTable::from_lists(self.attrs.clone()),
+            self.interner.clone(),
+        );
+        self.topo.rebase(new_csr);
+        self.cache = Some(Cache {
+            graph,
+            dendro: new_dendro,
+            lca: new_lca,
+            index,
+            patch: Some(patch),
+            csr_stale: false,
+        });
+        self.edits_since_build = 0;
+        self.dirty.clear();
+        Ok(FlushOutcome::Repaired {
+            spliced: rr.outcome == RepairOutcome::Spliced,
+            samples_redrawn: stats.samples_redrawn,
+            samples_total: stats.samples_total,
+        })
+    }
+
+    /// Forces an immediate hierarchy + index rebuild.
+    pub fn rebuild<R: Rng>(&mut self, rng: &mut R) {
+        if self.cfg.parallelism.is_seeded() {
+            match self.rebuild_seeded(None) {
+                Ok(()) => {}
+                Err(_) => unreachable!("an ungoverned rebuild has no token to cancel it"),
             }
+            // Explicit rebuilds keep the legacy contract: a fresh pooled
+            // generation (and epoch bump) regardless of footprints.
+            self.pool.invalidate();
+        } else {
+            self.rebuild_stream(rng);
         }
+        self.unflushed = 0;
+    }
+
+    /// Brings every cached artifact current with the pending mutations.
+    /// Seeded configurations choose between a localized repair and a full
+    /// rebuild; serial ones refresh the graph and rebuild only when the
+    /// edit threshold already dropped the cache.
+    pub fn flush<R: Rng>(&mut self, rng: &mut R) -> CodResult<MutationFlushReport> {
+        self.flush_governed(rng, None)
+    }
+
+    /// [`DynamicCod::flush`] under cooperative governance: the repair,
+    /// patch and rebuild stages poll `cancel`, and a fired token returns
+    /// [`CodError::DeadlineExceeded`] with every artifact unchanged (the
+    /// pending mutations stay queued for the next flush).
+    pub fn flush_governed<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        cancel: Option<&CancelToken>,
+    ) -> CodResult<MutationFlushReport> {
+        let events = self.unflushed;
+        if !self.cfg.parallelism.is_seeded() {
+            let outcome = if self.cache.is_none() {
+                if events > 0 {
+                    self.metrics.record_full_rebuild();
+                }
+                self.rebuild_stream(rng);
+                FlushOutcome::Rebuilt
+            } else if self.cache.as_ref().is_some_and(|c| c.csr_stale) {
+                self.refresh_graph();
+                FlushOutcome::Refreshed
+            } else {
+                FlushOutcome::Noop
+            };
+            self.unflushed = 0;
+            return Ok(MutationFlushReport { outcome, events });
+        }
+        if self.cache.is_none() {
+            self.rebuild_seeded(cancel)?;
+            if events > 0 {
+                self.metrics.record_full_rebuild();
+            }
+            self.unflushed = 0;
+            return Ok(MutationFlushReport {
+                outcome: FlushOutcome::Rebuilt,
+                events,
+            });
+        }
+        if !self.cache.as_ref().is_some_and(|c| c.csr_stale) {
+            self.unflushed = 0;
+            return Ok(MutationFlushReport {
+                outcome: FlushOutcome::Noop,
+                events,
+            });
+        }
+        if self.topo.is_clean() {
+            // Attribute-only (or net-zero edge) churn: the hierarchy and
+            // index are still exact, only the attribute table moved.
+            self.refresh_graph();
+            self.edits_since_build = 0;
+            self.dirty.clear();
+            self.unflushed = 0;
+            return Ok(MutationFlushReport {
+                outcome: FlushOutcome::Refreshed,
+                events,
+            });
+        }
+        let grew = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| self.topo.num_nodes() > c.graph.num_nodes());
+        let limit = (self.topo.num_edges() as f64 * self.rebuild_threshold) as usize;
+        let repairable = self.cache.as_ref().is_some_and(|c| c.patch.is_some());
+        let outcome = if grew || !repairable || self.edits_since_build > limit {
+            self.rebuild_seeded(cancel)?;
+            self.metrics.record_full_rebuild();
+            FlushOutcome::Rebuilt
+        } else {
+            let outcome = self.repair_seeded(cancel)?;
+            self.metrics.record_repair();
+            outcome
+        };
+        self.unflushed = 0;
+        Ok(MutationFlushReport { outcome, events })
     }
 
     /// Whether the next query for `q` may answer from the HIMOR fast path
@@ -260,20 +611,22 @@ impl DynamicCod {
         self.edits_since_build == 0 && !self.dirty.contains(&q)
     }
 
-    /// Answers a COD query on the *current* graph. Equivalent to
-    /// [`crate::pipeline::Codl::query`] when no edits are pending; with
-    /// pending edits the hierarchy is up to `rebuild_threshold·|E|` edits
-    /// stale, but all influence estimates are fresh.
+    /// Answers a COD query on the *current* graph. Seeded configurations
+    /// flush pending mutations first (repairing or rebuilding as needed),
+    /// so the answer is identical to a from-scratch instance of the
+    /// mutated graph with the same seed. Serial configurations keep the
+    /// legacy contract: the hierarchy may be up to `rebuild_threshold·|E|`
+    /// edits stale, but all influence estimates are fresh.
     pub fn query<R: Rng>(
         &mut self,
         q: NodeId,
         attr: AttrId,
         rng: &mut R,
     ) -> CodResult<Option<CodAnswer>> {
-        if (q as usize) >= self.num_nodes {
+        if (q as usize) >= self.num_nodes() {
             return Err(CodError::InvalidQuery(format!(
                 "query node {q} out of range (graph has {} nodes)",
-                self.num_nodes
+                self.num_nodes()
             )));
         }
         if (attr as usize) >= self.interner.len() {
@@ -287,10 +640,13 @@ impl DynamicCod {
                 "top-k rank threshold k must be at least 1".into(),
             ));
         }
-        self.ensure_cache(rng);
+        match self.flush_governed(rng, None) {
+            Ok(_) => {}
+            Err(_) => unreachable!("an ungoverned flush has no token to cancel it"),
+        }
         let use_index = self.index_usable_for(q);
         let Some(c) = self.cache.as_ref() else {
-            unreachable!("ensure_cache populates the cache")
+            unreachable!("flush populates the cache")
         };
         let g = &c.graph;
         let choice = select_recluster_community(g, &c.dendro, &c.lca, q, attr);
@@ -346,16 +702,20 @@ impl DynamicCod {
 
     /// The pool cache's invalidation epoch — bumped by every edge insert
     /// or removal, attribute edit and rebuild, so tests can assert that no
-    /// mutation path forgets to drop pooled samples.
+    /// mutation path forgets to revisit pooled samples (scoped eviction
+    /// bumps the epoch even when every pool survives).
     pub fn pool_epoch(&self) -> u64 {
         self.pool.epoch()
     }
 
     /// The current graph (rebuilding the CSR if edits are pending).
     pub fn graph<R: Rng>(&mut self, rng: &mut R) -> &AttributedGraph {
-        self.ensure_cache(rng);
+        match self.flush_governed(rng, None) {
+            Ok(_) => {}
+            Err(_) => unreachable!("an ungoverned flush has no token to cancel it"),
+        }
         let Some(c) = self.cache.as_ref() else {
-            unreachable!("ensure_cache populates the cache")
+            unreachable!("flush populates the cache")
         };
         &c.graph
     }
@@ -386,6 +746,15 @@ mod tests {
             theta: 100,
             model: Model::WeightedCascade,
             ..CodConfig::default()
+        }
+    }
+
+    /// `cfg()` with seeded (deterministic per-sample) parallelism — the
+    /// configuration family that unlocks the repair/patch pipeline.
+    fn seeded_cfg() -> CodConfig {
+        CodConfig {
+            parallelism: cod_influence::Parallelism::Threads(1),
+            ..cfg()
         }
     }
 
@@ -451,12 +820,14 @@ mod tests {
         let g = star_graph();
         let mut rng = SmallRng::seed_from_u64(65);
         let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
-        dyn_cod.set_rebuild_threshold(0.0); // every edit invalidates
+        dyn_cod.set_rebuild_threshold(0.0); // every edit forces a rebuild
         dyn_cod.insert_edge(2, 3);
-        // Cache dropped; next query rebuilds and the fast path returns.
+        // Next query flushes; with a zero threshold that is a full rebuild
+        // and the fast path returns.
         let _ = dyn_cod.query(0, 0, &mut rng).unwrap();
         assert_eq!(dyn_cod.pending_edits(), 0);
         assert!(dyn_cod.index_usable_for(2));
+        assert_eq!(dyn_cod.metrics_snapshot().full_rebuilds, 1);
     }
 
     #[test]
@@ -465,11 +836,98 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(66);
         let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
         let b = dyn_cod.intern_attr("B");
-        dyn_cod.set_attrs(6, vec![b]);
-        dyn_cod.set_attrs(7, vec![b]);
+        dyn_cod.set_attrs(6, vec![b]).unwrap();
+        dyn_cod.set_attrs(7, vec![b]).unwrap();
         // Query on the new attribute works (and returns fresh attributes).
         let _ = dyn_cod.query(6, b, &mut rng).unwrap();
         let graph = dyn_cod.graph(&mut rng);
         assert!(graph.has_attr(6, b));
+    }
+
+    #[test]
+    fn set_attrs_out_of_range_is_a_typed_error() {
+        let g = star_graph();
+        let mut rng = SmallRng::seed_from_u64(67);
+        let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
+        let err = dyn_cod.set_attrs(99, vec![0]).unwrap_err();
+        assert!(matches!(err, CodError::InvalidQuery(_)), "{err}");
+        assert_eq!(dyn_cod.mutation_log().len(), 0, "rejected edits unlogged");
+    }
+
+    #[test]
+    fn mutation_log_and_metrics_track_applied_events_only() {
+        // Duplicate edge inserts and absent removals must not be logged.
+        let g = star_graph();
+        let mut rng = SmallRng::seed_from_u64(68);
+        let mut dyn_cod = DynamicCod::new(&g, cfg(), &mut rng);
+        dyn_cod.set_rebuild_threshold(10.0);
+        assert!(dyn_cod.insert_edge(1, 3));
+        assert!(!dyn_cod.insert_edge(1, 3));
+        assert!(dyn_cod.remove_edge(1, 3));
+        assert!(!dyn_cod.remove_edge(1, 3));
+        dyn_cod.set_attrs(2, vec![0]).unwrap();
+        assert_eq!(dyn_cod.mutation_log().len(), 3);
+        let snap = dyn_cod.metrics_snapshot();
+        assert_eq!(snap.mutations_insert, 1);
+        assert_eq!(snap.mutations_remove, 1);
+        assert_eq!(snap.mutations_set_attrs, 1);
+    }
+
+    #[test]
+    fn repair_flush_matches_a_from_scratch_instance() {
+        let g = star_graph();
+        let mut a = DynamicCod::with_seed(&g, seeded_cfg(), 4242);
+        a.set_rebuild_threshold(10.0); // keep the repair path in play
+        assert!(a.insert_edge(1, 2));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let report = a.flush(&mut rng).unwrap();
+        assert!(
+            matches!(report.outcome, FlushOutcome::Repaired { .. }),
+            "{report:?}"
+        );
+        assert_eq!(report.events, 1);
+        assert_eq!(a.metrics_snapshot().repairs, 1);
+
+        // A from-scratch replica of the mutated graph with the same seed.
+        let mut b = GraphBuilder::new(8);
+        for v in 1..6 {
+            b.add_edge(0, v);
+        }
+        b.add_edge(5, 6);
+        b.add_edge(6, 7);
+        b.add_edge(1, 2);
+        let attrs = AttrTable::from_lists(vec![vec![0]; 8]);
+        let mut interner = AttrInterner::new();
+        interner.intern("A");
+        let g2 = AttributedGraph::from_parts(b.build(), attrs, interner);
+        let mut fresh = DynamicCod::with_seed(&g2, seeded_cfg(), 4242);
+
+        for q in 0..8u32 {
+            let mut r1 = SmallRng::seed_from_u64(100 + u64::from(q));
+            let mut r2 = SmallRng::seed_from_u64(100 + u64::from(q));
+            let x = a.query(q, 0, &mut r1).unwrap();
+            let y = fresh.query(q, 0, &mut r2).unwrap();
+            assert_eq!(
+                x.map(|ans| (ans.members, ans.rank)),
+                y.map(|ans| (ans.members, ans.rank)),
+                "node {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn net_zero_churn_refreshes_without_repair() {
+        let g = star_graph();
+        let mut dyn_cod = DynamicCod::with_seed(&g, seeded_cfg(), 9);
+        dyn_cod.set_rebuild_threshold(10.0);
+        assert!(dyn_cod.insert_edge(1, 2));
+        assert!(dyn_cod.remove_edge(1, 2));
+        let mut rng = SmallRng::seed_from_u64(8);
+        let report = dyn_cod.flush(&mut rng).unwrap();
+        assert_eq!(report.outcome, FlushOutcome::Refreshed);
+        assert_eq!(report.events, 2);
+        let snap = dyn_cod.metrics_snapshot();
+        assert_eq!(snap.repairs, 0);
+        assert_eq!(snap.full_rebuilds, 0);
     }
 }

@@ -402,6 +402,42 @@ impl CodEngine {
         self.pool.invalidate();
     }
 
+    /// Scoped invalidation for graph mutations: drops only the cached
+    /// artifacts and shared RR pools the footprint can have invalidated,
+    /// leaving everything else resident.
+    ///
+    /// * A **topology** footprint clears the recluster cache, the
+    ///   unrestricted pools (they sample the whole graph) and the
+    ///   restricted pools whose universe contains a touched node; a
+    ///   restricted pool disjoint from every touched node samples an
+    ///   unchanged subgraph and stays warm.
+    /// * A pure **attribute** footprint drops only the entries and pools
+    ///   keyed by a touched attribute; attribute-free pools (CODU) and
+    ///   pools of disjoint attributes survive.
+    ///
+    /// Returns `(recluster entries dropped, pools dropped, pool bytes
+    /// dropped)`. An empty footprint is a no-op that does not bump the
+    /// pool epoch.
+    pub fn invalidate_scoped(&self, footprint: &crate::mutation::Footprint) -> (usize, usize, u64) {
+        if footprint.is_empty() {
+            return (0, 0, 0);
+        }
+        let entries = self.cache.invalidate_scoped(footprint);
+        let (pools, bytes) = if footprint.touches_topology() {
+            self.pool.invalidate_scoped(|e| {
+                !e.restricted()
+                    || footprint
+                        .nodes()
+                        .iter()
+                        .any(|&v| e.universe().binary_search(&v).is_ok())
+            })
+        } else {
+            self.pool
+                .invalidate_scoped(|e| e.attr().is_some_and(|a| footprint.touches_attr(a)))
+        };
+        (entries, pools, bytes)
+    }
+
     /// The non-attributed base hierarchy `T` (+ LCA), built on first use.
     pub fn base_hierarchy(&self) -> Arc<Hierarchy> {
         self.base

@@ -60,6 +60,12 @@ pub enum Site {
     /// Shared RR-pool cache: per sample batch while folding pooled RR
     /// graphs into a query's HFS buckets.
     PoolFold,
+    /// Mutation pipeline: before the localized dendrogram repair of a
+    /// flush runs.
+    DendroRepair,
+    /// Mutation pipeline: per redraw batch while patching the HIMOR index
+    /// after a repair (every `CHECK_EVERY` redraws).
+    HimorPatch,
 }
 
 /// Every *engine* site, for tests that iterate the engine query surface
@@ -84,7 +90,15 @@ pub const SERVE_SITES: [Site; 4] = [Site::Accept, Site::Parse, Site::PreEval, Si
 /// never hit these checkpoints.
 pub const POOL_SITES: [Site; 2] = [Site::PoolGrow, Site::PoolFold];
 
+/// The mutation-pipeline sites, reachable only through `DynamicCod`'s
+/// flush path (repair + HIMOR patch). Kept out of [`SITES`] so engine
+/// chaos sweeps over frozen graphs don't arm unreachable checkpoints.
+pub const MUTATION_SITES: [Site; 2] = [Site::DendroRepair, Site::HimorPatch];
+
 impl Site {
+    // Only the debug-build registry parses `COD_FAILPOINTS`; release
+    // builds compile the sites out and never name them.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
     fn parse(name: &str) -> Option<Site> {
         match name {
             "sample_batch" => Some(Site::SampleBatch),
@@ -99,6 +113,8 @@ impl Site {
             "resp_write" => Some(Site::RespWrite),
             "pool_grow" => Some(Site::PoolGrow),
             "pool_fold" => Some(Site::PoolFold),
+            "dendro_repair" => Some(Site::DendroRepair),
+            "himor_patch" => Some(Site::HimorPatch),
             _ => None,
         }
     }
@@ -145,6 +161,7 @@ mod imp {
                 .into_iter()
                 .chain(super::SERVE_SITES)
                 .chain(super::POOL_SITES)
+                .chain(super::MUTATION_SITES)
             {
                 map.insert(site, Action::Delay(std::time::Duration::from_millis(1)));
             }

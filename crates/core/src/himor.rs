@@ -16,7 +16,7 @@
 //! compressed evaluation inside the reclustered `C_ℓ`.
 
 use cod_graph::{Csr, FxHashMap, NodeId};
-use cod_hierarchy::{Dendrogram, LcaIndex, VertexId};
+use cod_hierarchy::{Dendrogram, LcaIndex, TreeDiff, VertexId};
 use cod_influence::{
     par_ranges, CancelToken, Model, Parallelism, RrGraph, RrSampler, SampleStats, SeedSequence,
 };
@@ -54,6 +54,10 @@ pub struct BuildStats {
     /// vertex).
     pub bucket_merges: u64,
 }
+
+/// What the seeded HFS stage hands back: per-vertex buckets, the drawn RR
+/// graphs (empty unless retention was requested), and effort counters.
+type HfsStageOutput = (Vec<FxHashMap<NodeId, u32>>, Vec<RrGraph>, SampleStats);
 
 /// Detached inputs of one vertex's bucket merge (stage 2).
 struct MergeItem {
@@ -148,7 +152,7 @@ impl HimorIndex {
         assert_eq!(g.num_nodes(), n);
         let theta = theta_per_node.max(1) * n;
         let threads = par.thread_count();
-        let (buckets, sampled) = Self::hfs_stage_seeded(
+        let (buckets, _, sampled) = Self::hfs_stage_seeded(
             g,
             model,
             dendro,
@@ -157,6 +161,7 @@ impl HimorIndex {
             SeedSequence::new(seed),
             threads,
             cancel,
+            false,
         )?;
         let ranks = Self::merge_stage(dendro, buckets, threads, cancel)?;
         let build_stats = BuildStats {
@@ -195,6 +200,49 @@ impl HimorIndex {
         )
     }
 
+    /// [`HimorIndex::build_seeded_governed`] variant that additionally
+    /// retains the drawn RR graphs and the master per-vertex buckets, so
+    /// later graph mutations can *patch* the index via
+    /// [`HimorPatchState::patch`] instead of resampling all `Θ` graphs.
+    #[allow(clippy::too_many_arguments)] // the build signature plus the token
+    pub fn build_seeded_patchable(
+        g: &Csr,
+        model: Model,
+        dendro: &Dendrogram,
+        lca: &LcaIndex,
+        theta_per_node: usize,
+        seed: u64,
+        par: Parallelism,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(Self, HimorPatchState)> {
+        let n = dendro.num_leaves();
+        assert_eq!(g.num_nodes(), n);
+        let theta = theta_per_node.max(1) * n;
+        let threads = par.thread_count();
+        let seeds = SeedSequence::new(seed);
+        let (buckets, samples, sampled) =
+            Self::hfs_stage_seeded(g, model, dendro, lca, theta, seeds, threads, cancel, true)?;
+        let ranks = Self::merge_stage(dendro, buckets.clone(), threads, cancel)?;
+        let build_stats = BuildStats {
+            rr_graphs: sampled.graphs,
+            rr_edges: sampled.edges,
+            bucket_merges: (dendro.num_vertices() - n) as u64,
+        };
+        let index = Self {
+            ranks,
+            theta,
+            build_stats,
+        };
+        let state = HimorPatchState {
+            seeds,
+            theta,
+            theta_per_node: theta_per_node.max(1),
+            samples,
+            buckets,
+        };
+        Some((index, state))
+    }
+
     /// Stage 1: HFS over the community tree, producing one bucket of
     /// appearance counts per internal vertex.
     fn hfs_stage<R: Rng>(
@@ -229,6 +277,10 @@ impl HimorIndex {
     /// contiguous index ranges. Bucket counts are merged by addition, which
     /// commutes, so chunking cannot affect the result. Returns `None` when
     /// `cancel` fired: a partially sampled bucket set must not rank anyone.
+    ///
+    /// With `keep_samples` set, the drawn RR graphs are also returned, in
+    /// index order (shard ranges are contiguous and ascending), so a
+    /// [`HimorPatchState`] can later subtract and redraw individual samples.
     #[allow(clippy::too_many_arguments)] // internal stage: build inputs plus the token
     fn hfs_stage_seeded(
         g: &Csr,
@@ -239,7 +291,8 @@ impl HimorIndex {
         seeds: SeedSequence,
         threads: usize,
         cancel: Option<&CancelToken>,
-    ) -> Option<(Vec<FxHashMap<NodeId, u32>>, SampleStats)> {
+        keep_samples: bool,
+    ) -> Option<HfsStageOutput> {
         let nv = dendro.num_vertices();
         let n = dendro.num_leaves();
         let max_depth = (0..n as NodeId)
@@ -251,6 +304,10 @@ impl HimorIndex {
             let mut queues: Vec<Vec<(u32, VertexId)>> = vec![Vec::new(); max_depth + 1];
             let mut explored: Vec<bool> = Vec::new();
             let mut buckets: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); nv];
+            let mut kept: Vec<RrGraph> = Vec::new();
+            if keep_samples {
+                kept.reserve(range.len());
+            }
             let mut charged = sampler.stats();
             for (off, i) in range.enumerate() {
                 if off % CHECK_EVERY == 0 {
@@ -267,23 +324,31 @@ impl HimorIndex {
                 let mut rng = seeds.rng_for(i as u64);
                 let rr = sampler.sample_uniform(&mut rng);
                 Self::hfs_record_tree(dendro, lca, &rr, &mut queues, &mut explored, &mut buckets);
+                if keep_samples {
+                    kept.push(rr);
+                }
             }
-            (buckets, sampler.stats())
+            (buckets, kept, sampler.stats())
         });
         let mut sampled = SampleStats::default();
         let mut merged: Vec<FxHashMap<NodeId, u32>> = vec![FxHashMap::default(); nv];
-        for (shard, stats) in shards {
+        let mut samples: Vec<RrGraph> = Vec::new();
+        if keep_samples {
+            samples.reserve(theta);
+        }
+        for (shard, kept, stats) in shards {
             sampled = sampled.merged(stats);
             for (slot, bucket) in merged.iter_mut().zip(shard) {
                 for (v, c) in bucket {
                     *slot.entry(v).or_insert(0) += c;
                 }
             }
+            samples.extend(kept);
         }
         if cancel.is_some_and(CancelToken::is_cancelled) {
             return None;
         }
-        Some((merged, sampled))
+        Some((merged, samples, sampled))
     }
 
     /// Records one RR graph into the per-vertex buckets: every RR node goes
@@ -297,6 +362,24 @@ impl HimorIndex {
         queues: &mut [Vec<(u32, VertexId)>],
         explored: &mut Vec<bool>,
         buckets: &mut [FxHashMap<NodeId, u32>],
+    ) {
+        Self::hfs_visit_tree(dendro, lca, rr, queues, explored, |tag, node| {
+            *buckets[tag as usize].entry(node).or_insert(0) += 1;
+        });
+    }
+
+    /// The HFS tree traversal of one RR graph, factored out so the
+    /// incremental patch can *subtract* a sample's contributions with the
+    /// same closure shape the build uses to add them. `visit(tag, node)`
+    /// fires exactly once per explored RR node, with `tag` the smallest
+    /// community containing a source path to it.
+    fn hfs_visit_tree(
+        dendro: &Dendrogram,
+        lca: &LcaIndex,
+        rr: &RrGraph,
+        queues: &mut [Vec<(u32, VertexId)>],
+        explored: &mut Vec<bool>,
+        mut visit: impl FnMut(VertexId, NodeId),
     ) {
         let s = rr.source();
         let s_leaf = dendro.leaf(s);
@@ -314,7 +397,7 @@ impl HimorIndex {
                     continue;
                 }
                 explored[v as usize] = true;
-                *buckets[tag as usize].entry(rr.node(v)).or_insert(0) += 1;
+                visit(tag, rr.node(v));
                 for &u in rr.out_neighbors(v) {
                     if explored[u as usize] {
                         continue;
@@ -555,6 +638,238 @@ impl HimorIndex {
     }
 }
 
+/// Effort counters of one incremental HIMOR patch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// RR samples subtracted and redrawn (their node sets touched the
+    /// mutation's footprint).
+    pub samples_redrawn: u64,
+    /// Total retained samples (`Θ`): the denominator of the redraw rate.
+    pub samples_total: u64,
+    /// Old-tree buckets re-keyed onto surviving communities unchanged.
+    pub buckets_rekeyed: u64,
+}
+
+/// Retained construction state of a [`HimorIndex::build_seeded_patchable`]
+/// build: the `Θ` drawn RR graphs plus the master per-vertex buckets, both
+/// keyed to the hierarchy the index was last built against.
+///
+/// After a graph mutation repairs the dendrogram, [`HimorPatchState::patch`]
+/// produces the index a full `build_seeded` on the new graph would produce —
+/// bit-identically, because sample `i` is a pure function of
+/// `(graph, model, seed, i)` and only samples whose node set touches the
+/// mutation footprint can change. Everything else keeps its old draw, and
+/// its bucket contributions are re-keyed through the old→new community
+/// matching of [`cod_hierarchy::repair::match_vertices`].
+#[derive(Clone, Debug)]
+pub struct HimorPatchState {
+    seeds: SeedSequence,
+    theta: usize,
+    theta_per_node: usize,
+    /// Sample `i` as last drawn (index-aligned with the seed sequence).
+    samples: Vec<RrGraph>,
+    /// Master buckets of the current tree (vertex id space of the
+    /// hierarchy the last build/patch ran against).
+    buckets: Vec<FxHashMap<NodeId, u32>>,
+}
+
+impl HimorPatchState {
+    /// Total retained RR graphs (`Θ`).
+    pub fn theta(&self) -> usize {
+        self.theta
+    }
+
+    /// The per-node sampling density the state was built with.
+    pub fn theta_per_node(&self) -> usize {
+        self.theta_per_node
+    }
+
+    /// Heap bytes retained by the samples and master buckets — what keeping
+    /// the index patchable costs over a plain build.
+    pub fn memory_bytes(&self) -> usize {
+        let samples: usize = self.samples.iter().map(RrGraph::memory_bytes).sum();
+        let buckets: usize = self
+            .buckets
+            .iter()
+            .map(|b| b.capacity() * (std::mem::size_of::<NodeId>() + std::mem::size_of::<u32>()))
+            .sum();
+        samples + buckets
+    }
+
+    /// Patches the retained state across a mutation: `g` is the new
+    /// topology, `old_*` the hierarchy the state is keyed to, `new_*` the
+    /// repaired hierarchy, `diff` their structural matching, and `edited`
+    /// the nodes whose adjacency changed. Returns the index a fresh
+    /// [`HimorIndex::build_seeded`] on `(g, new_dendro)` with the same seed
+    /// would return, bit for bit, plus patch-effort counters.
+    ///
+    /// Only RR samples whose node set intersects the footprint (disturbed
+    /// leaves ∪ edited nodes) are subtracted and redrawn; the redraw loop
+    /// polls `cancel` (and the `himor_patch` failpoint) every
+    /// `CHECK_EVERY` samples. On cancellation — or on an internal
+    /// inconsistency — the state is left **unmodified** and `None` is
+    /// returned, so the caller can retry or fall back to a full rebuild.
+    #[allow(clippy::too_many_arguments)] // two hierarchies plus the token
+    pub fn patch(
+        &mut self,
+        g: &Csr,
+        model: Model,
+        old_dendro: &Dendrogram,
+        old_lca: &LcaIndex,
+        new_dendro: &Dendrogram,
+        new_lca: &LcaIndex,
+        diff: &TreeDiff,
+        edited: &[NodeId],
+        par: Parallelism,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(HimorIndex, PatchStats)> {
+        let n = new_dendro.num_leaves();
+        assert_eq!(g.num_nodes(), n, "patch cannot grow nodes");
+        assert_eq!(old_dendro.num_leaves(), n);
+        debug_assert_eq!(self.buckets.len(), old_dendro.num_vertices());
+
+        // Footprint: a sample must be redrawn iff its node set touches a
+        // disturbed leaf (ancestor chain changed in either tree) or an
+        // edited node (its own adjacency draws change).
+        let mut hot = vec![false; n];
+        for (v, slot) in hot.iter_mut().enumerate() {
+            *slot = diff.disturbed[v];
+        }
+        for &v in edited {
+            hot[v as usize] = true;
+        }
+        let affected: Vec<u32> = self
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(_, rr)| rr.nodes().iter().any(|&u| hot[u as usize]))
+            .map(|(i, _)| i as u32)
+            .collect();
+
+        // Shared traversal scratch sized for both trees.
+        let max_depth = (0..n as NodeId)
+            .map(|v| {
+                old_dendro
+                    .depth(old_dendro.leaf(v))
+                    .max(new_dendro.depth(new_dendro.leaf(v)))
+            })
+            .max()
+            .unwrap_or(1) as usize;
+        let mut queues: Vec<Vec<(u32, VertexId)>> = vec![Vec::new(); max_depth + 1];
+        let mut explored: Vec<bool> = Vec::new();
+
+        // Subtract the affected samples' contributions under the old tree.
+        let mut tmp = self.buckets.clone();
+        let mut underflow = false;
+        for &i in &affected {
+            HimorIndex::hfs_visit_tree(
+                old_dendro,
+                old_lca,
+                &self.samples[i as usize],
+                &mut queues,
+                &mut explored,
+                |tag, node| {
+                    let bucket = &mut tmp[tag as usize];
+                    match bucket.get_mut(&node) {
+                        Some(c) if *c > 1 => *c -= 1,
+                        Some(_) => {
+                            bucket.remove(&node);
+                        }
+                        None => underflow = true,
+                    }
+                },
+            );
+        }
+        if underflow {
+            debug_assert!(false, "patch subtraction underflow: state out of sync");
+            return None;
+        }
+
+        // Re-key the surviving buckets into the new tree's vertex space.
+        // Every unmatched old community must have been emptied by the
+        // subtraction (a sample tagging it necessarily contains a node
+        // under it, which the footprint marks disturbed).
+        let mut buckets: Vec<FxHashMap<NodeId, u32>> =
+            vec![FxHashMap::default(); new_dendro.num_vertices()];
+        let mut rekeyed = 0u64;
+        for (v, bucket) in tmp.into_iter().enumerate().skip(n) {
+            if bucket.is_empty() {
+                continue;
+            }
+            match diff.old_to_new[v] {
+                Some(w) => {
+                    buckets[w as usize] = bucket;
+                    rekeyed += 1;
+                }
+                None => {
+                    debug_assert!(false, "nonempty bucket on unmatched vertex {v}");
+                    return None;
+                }
+            }
+        }
+
+        // Redraw the affected samples on the new topology with their
+        // original per-index seeds, recording against the new tree.
+        let mut sampler = RrSampler::new(g, model);
+        let mut charged = sampler.stats();
+        let mut redrawn: Vec<(u32, RrGraph)> = Vec::with_capacity(affected.len());
+        for (off, &i) in affected.iter().enumerate() {
+            if off % CHECK_EVERY == 0 {
+                failpoint::hit(failpoint::Site::HimorPatch, cancel);
+                if let Some(tok) = cancel {
+                    let now = sampler.stats();
+                    tok.charge_rr_edges(now.delta_since(charged).edges);
+                    charged = now;
+                    if tok.should_stop() {
+                        return None;
+                    }
+                }
+            }
+            let mut rng = self.seeds.rng_for(u64::from(i));
+            let rr = sampler.sample_uniform(&mut rng);
+            HimorIndex::hfs_visit_tree(
+                new_dendro,
+                new_lca,
+                &rr,
+                &mut queues,
+                &mut explored,
+                |tag, node| {
+                    *buckets[tag as usize].entry(node).or_insert(0) += 1;
+                },
+            );
+            redrawn.push((i, rr));
+        }
+        if cancel.is_some_and(CancelToken::is_cancelled) {
+            return None;
+        }
+
+        // Rank merge over a copy, keeping the master buckets for the next
+        // patch. Commit only once the whole pipeline succeeded.
+        let ranks =
+            HimorIndex::merge_stage(new_dendro, buckets.clone(), par.thread_count(), cancel)?;
+        for (i, rr) in redrawn {
+            self.samples[i as usize] = rr;
+        }
+        self.buckets = buckets;
+        let stats = PatchStats {
+            samples_redrawn: affected.len() as u64,
+            samples_total: self.theta as u64,
+            buckets_rekeyed: rekeyed,
+        };
+        let sampled = sampler.stats();
+        let index = HimorIndex {
+            ranks,
+            theta: self.theta,
+            build_stats: BuildStats {
+                rr_graphs: sampled.graphs,
+                rr_edges: sampled.edges,
+                bucket_merges: (new_dendro.num_vertices() - n) as u64,
+            },
+        };
+        Some((index, stats))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -728,6 +1043,128 @@ mod tests {
         // A reloaded index carries no provenance.
         let raw = HimorIndex::from_raw(vec![vec![1]], 5);
         assert_eq!(raw.build_stats(), BuildStats::default());
+    }
+
+    #[test]
+    fn patchable_build_matches_plain_seeded_build() {
+        let g = two_stars();
+        let (d, lca) = setup(&g);
+        let plain = HimorIndex::build_seeded(
+            &g,
+            Model::WeightedCascade,
+            &d,
+            &lca,
+            100,
+            42,
+            Parallelism::Threads(3),
+        );
+        let (patchable, state) = HimorIndex::build_seeded_patchable(
+            &g,
+            Model::WeightedCascade,
+            &d,
+            &lca,
+            100,
+            42,
+            Parallelism::Threads(3),
+            None,
+        )
+        .unwrap();
+        for v in 0..10u32 {
+            assert_eq!(plain.ranks_of(v), patchable.ranks_of(v), "node {v}");
+        }
+        assert_eq!(state.theta(), plain.theta());
+        assert!(state.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn patch_reproduces_a_from_scratch_rebuild() {
+        use cod_hierarchy::{match_vertices, repair_merges};
+
+        let mut rng = SmallRng::seed_from_u64(99);
+        for trial in 0..12 {
+            // Random sparse graph, then flip one random edge.
+            let n = 12usize;
+            let mut edges = Vec::new();
+            for u in 0..n as u32 {
+                for v in u + 1..n as u32 {
+                    if rng.random_bool(0.28) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            edges.push((0, 1));
+            edges.sort_unstable();
+            edges.dedup();
+            let mut b = GraphBuilder::new(n);
+            for &(u, v) in &edges {
+                b.add_edge(u, v);
+            }
+            let g0 = b.build();
+            let (d0, lca0) = setup(&g0);
+            let (_, mut state) = HimorIndex::build_seeded_patchable(
+                &g0,
+                Model::WeightedCascade,
+                &d0,
+                &lca0,
+                20,
+                7 + trial,
+                Parallelism::Threads(2),
+                None,
+            )
+            .unwrap();
+
+            let u = rng.random_range(0..n as u32);
+            let v = (u + 1 + rng.random_range(0..(n as u32 - 1))) % n as u32;
+            let (u, v) = (u.min(v), u.max(v));
+            let mut e1: Vec<_> = edges.iter().copied().filter(|&e| e != (u, v)).collect();
+            if e1.len() == edges.len() {
+                e1.push((u, v));
+                e1.sort_unstable();
+            }
+            if e1.is_empty() {
+                continue;
+            }
+            let mut b1 = GraphBuilder::new(n);
+            for &(x, y) in &e1 {
+                b1.add_edge(x, y);
+            }
+            let g1 = b1.build();
+            let repair = repair_merges(&d0, &g1, &[u, v], Linkage::Average, true);
+            let d1 = Dendrogram::from_merges(n, &repair.merges);
+            let lca1 = LcaIndex::new(&d1);
+            let diff = match_vertices(&d0, &d1);
+            let (patched, stats) = state
+                .patch(
+                    &g1,
+                    Model::WeightedCascade,
+                    &d0,
+                    &lca0,
+                    &d1,
+                    &lca1,
+                    &diff,
+                    &[u, v],
+                    Parallelism::Threads(2),
+                    None,
+                )
+                .unwrap();
+            let scratch = HimorIndex::build_seeded(
+                &g1,
+                Model::WeightedCascade,
+                &d1,
+                &lca1,
+                20,
+                7 + trial,
+                Parallelism::Threads(2),
+            );
+            for q in 0..n as u32 {
+                assert_eq!(
+                    patched.ranks_of(q),
+                    scratch.ranks_of(q),
+                    "trial {trial} node {q}: patched index must equal scratch build"
+                );
+            }
+            assert!(stats.samples_redrawn <= stats.samples_total);
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod himor;
 pub mod independent;
 pub mod lore;
 pub mod measures;
+pub mod mutation;
 pub mod persist;
 pub mod pipeline;
 pub mod pool;
@@ -59,11 +60,12 @@ pub use compressed::{
     compressed_cod_seeded, compressed_cod_with, influence_half_width, resolve_theta_pooled,
     AdaptiveReport, CodOutcome,
 };
-pub use dynamic::DynamicCod;
+pub use dynamic::{DynamicCod, FlushOutcome, MutationFlushReport};
 pub use engine::{CodEngine, Method, Query};
 pub use error::{CodError, CodResult};
-pub use himor::{BuildStats, HimorIndex};
+pub use himor::{BuildStats, HimorIndex, HimorPatchState, PatchStats};
 pub use lore::{select_recluster_community, ReclusterChoice};
+pub use mutation::{Footprint, Mutation, MutationKind, MutationLog};
 pub use pipeline::{
     AnswerSource, CacheOutcome, CodAnswer, CodConfig, Codl, CodlMinus, Codr, Codu, QueryLimits,
 };

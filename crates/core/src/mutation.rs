@@ -1,0 +1,714 @@
+//! The replayable mutation log and invalidation footprints for streaming
+//! graphs.
+//!
+//! [`DynamicCod`](crate::dynamic::DynamicCod) applies three kinds of
+//! events — edge insertions, edge deletions and attribute replacements —
+//! and repairs its artifacts incrementally. Two supporting pieces live
+//! here:
+//!
+//! * [`Mutation`] / [`MutationLog`] — an append-only, persistable record
+//!   of every event applied since the seed graph. Replaying the log over
+//!   the same seed graph with the same configuration reproduces every
+//!   artifact and every answer bit-identically (the determinism contract
+//!   extends to 1/2/8-thread replays; see `tests/mutation.rs`).
+//! * [`Footprint`] — the set of nodes and attributes an event (or a batch
+//!   of events) can influence, used for *scoped* cache invalidation: only
+//!   RR pools and recluster-cache entries intersecting the footprint are
+//!   dropped, everything else stays resident.
+//!
+//! # CODM format, version 1
+//!
+//! The on-disk layout mirrors the CODX index format (`persist`): a fixed
+//! header, one CRC-protected section and a total-length footer, all
+//! integers little-endian:
+//!
+//! ```text
+//! header:  magic "CODM" | version u32 = 1
+//! events:  payload_len u64 | payload | crc32 u32
+//!          payload = num_events u64
+//!                  | per event: tag u8
+//!                    tag 0 (insert) / 1 (remove): u u32, v u32
+//!                    tag 2 (set_attrs): node u32, len u32, attrs u32 × len
+//! footer:  total_len u64   (must equal the file's byte length)
+//! ```
+//!
+//! A line-oriented text form (`add u v` / `del u v` / `attrs v a1,a2`)
+//! backs the `cod mutate` CLI subcommand; `#` comments and blank lines are
+//! skipped.
+
+use std::io::Write;
+use std::path::Path;
+
+use cod_graph::{AttrId, NodeId};
+
+use crate::error::{CodError, CodResult};
+use crate::persist::crc32;
+
+const MAGIC: &[u8; 4] = b"CODM";
+const VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Mutations
+// ---------------------------------------------------------------------------
+
+/// The kind of a [`Mutation`], for telemetry labels and summaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MutationKind {
+    /// An undirected edge was inserted.
+    InsertEdge,
+    /// An undirected edge was removed.
+    RemoveEdge,
+    /// A node's attribute set was replaced.
+    SetAttrs,
+}
+
+impl MutationKind {
+    /// The stable label used in Prometheus output and CLI summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            MutationKind::InsertEdge => "insert",
+            MutationKind::RemoveEdge => "remove",
+            MutationKind::SetAttrs => "set_attrs",
+        }
+    }
+}
+
+/// One replayable event applied to a dynamic graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Insert the undirected edge `{u, v}`.
+    InsertEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// Remove the undirected edge `{u, v}`.
+    RemoveEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+    },
+    /// Replace `node`'s attribute set with `attrs`.
+    SetAttrs {
+        /// The node whose attributes change.
+        node: NodeId,
+        /// The new attribute set (order preserved as given).
+        attrs: Vec<AttrId>,
+    },
+}
+
+impl Mutation {
+    /// This event's [`MutationKind`].
+    pub fn kind(&self) -> MutationKind {
+        match self {
+            Mutation::InsertEdge { .. } => MutationKind::InsertEdge,
+            Mutation::RemoveEdge { .. } => MutationKind::RemoveEdge,
+            Mutation::SetAttrs { .. } => MutationKind::SetAttrs,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Footprints
+// ---------------------------------------------------------------------------
+
+/// The region of the cached state a batch of mutations can influence.
+///
+/// Invalidation consults the footprint instead of dropping everything:
+///
+/// * a **topology** footprint (any edge event) invalidates artifacts that
+///   depend on the adjacency structure — every recluster-cache entry, the
+///   unrestricted RR pools, and restricted pools whose universe contains a
+///   touched node;
+/// * an **attribute** footprint (a `set_attrs` event) invalidates only the
+///   recluster-cache entries and RR pools keyed by one of the touched
+///   attributes — pools for disjoint attributes stay resident.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Footprint {
+    nodes: Vec<NodeId>,
+    attrs: Vec<AttrId>,
+    topology: bool,
+}
+
+impl Footprint {
+    /// An empty footprint (invalidates nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether no state can be affected.
+    pub fn is_empty(&self) -> bool {
+        !self.topology && self.nodes.is_empty() && self.attrs.is_empty()
+    }
+
+    /// Whether the adjacency structure changed.
+    pub fn touches_topology(&self) -> bool {
+        self.topology
+    }
+
+    /// The touched nodes, sorted and deduplicated.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The touched attributes, sorted and deduplicated.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Whether `v` is one of the touched nodes.
+    pub fn touches_node(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// Whether `a` is one of the touched attributes.
+    pub fn touches_attr(&self, a: AttrId) -> bool {
+        self.attrs.binary_search(&a).is_ok()
+    }
+
+    /// Records a topology change touching `u` and `v`.
+    pub fn add_edge_event(&mut self, u: NodeId, v: NodeId) {
+        self.topology = true;
+        self.add_node(u);
+        self.add_node(v);
+    }
+
+    /// Records an attribute change on `node`. `attrs` should be the union
+    /// of the node's old and new attribute sets — an influence score
+    /// computed under either weighting may change.
+    pub fn add_attr_event(&mut self, node: NodeId, attrs: impl IntoIterator<Item = AttrId>) {
+        self.add_node(node);
+        for a in attrs {
+            if let Err(pos) = self.attrs.binary_search(&a) {
+                self.attrs.insert(pos, a);
+            }
+        }
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &Footprint) {
+        self.topology |= other.topology;
+        for &v in &other.nodes {
+            self.add_node(v);
+        }
+        for &a in &other.attrs {
+            if let Err(pos) = self.attrs.binary_search(&a) {
+                self.attrs.insert(pos, a);
+            }
+        }
+    }
+
+    fn add_node(&mut self, v: NodeId) {
+        if let Err(pos) = self.nodes.binary_search(&v) {
+            self.nodes.insert(pos, v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The log
+// ---------------------------------------------------------------------------
+
+/// An append-only record of every mutation applied since the seed graph.
+///
+/// The log is the determinism anchor for streaming mode: `seed graph +
+/// config + log` reproduces every artifact bit-identically, regardless of
+/// whether the original run repaired incrementally or rebuilt from
+/// scratch, and regardless of thread count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MutationLog {
+    events: Vec<Mutation>,
+}
+
+impl MutationLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, m: Mutation) {
+        self.events.push(m);
+    }
+
+    /// The recorded events, in application order.
+    pub fn events(&self) -> &[Mutation] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    // -- binary form --------------------------------------------------------
+
+    /// Serializes the log into a complete CODM v1 byte image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(8 + self.events.len() * 9);
+        payload.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for m in &self.events {
+            match m {
+                Mutation::InsertEdge { u, v } => {
+                    payload.push(0);
+                    payload.extend_from_slice(&u.to_le_bytes());
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+                Mutation::RemoveEdge { u, v } => {
+                    payload.push(1);
+                    payload.extend_from_slice(&u.to_le_bytes());
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+                Mutation::SetAttrs { node, attrs } => {
+                    payload.push(2);
+                    payload.extend_from_slice(&node.to_le_bytes());
+                    payload.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+                    for a in attrs {
+                        payload.extend_from_slice(&a.to_le_bytes());
+                    }
+                }
+            }
+        }
+        let total = 4 + 4 + 8 + payload.len() + 4 + 8;
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&(total as u64).to_le_bytes());
+        debug_assert_eq!(out.len(), total);
+        out
+    }
+
+    /// Parses a CODM image. Every validation failure maps to
+    /// [`CodError::IndexCorrupt`]; the bytes are never trusted blindly.
+    pub fn from_bytes(bytes: &[u8]) -> CodResult<Self> {
+        let corrupt = |msg: String| CodError::IndexCorrupt(msg);
+        if bytes.len() < 4 + 4 + 8 + 4 + 8 {
+            return Err(corrupt(format!(
+                "mutation log too short: {} bytes",
+                bytes.len()
+            )));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(corrupt("bad magic; not a COD mutation log".into()));
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != VERSION {
+            return Err(corrupt(format!(
+                "unsupported mutation-log version {version} (expected {VERSION})"
+            )));
+        }
+        let total = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap_or([0; 8]));
+        if total != bytes.len() as u64 {
+            return Err(corrupt(format!(
+                "total-length footer says {total} bytes but the file has {}",
+                bytes.len()
+            )));
+        }
+        let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap_or([0; 8]));
+        let avail = bytes.len() - (4 + 4 + 8 + 4 + 8);
+        if len > avail as u64 {
+            return Err(corrupt(format!(
+                "events section declares {len} bytes but only {avail} are available"
+            )));
+        }
+        let payload = &bytes[16..16 + len as usize];
+        let stored = u32::from_le_bytes(
+            bytes[16 + len as usize..16 + len as usize + 4]
+                .try_into()
+                .unwrap_or([0; 4]),
+        );
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(corrupt(format!(
+                "events section checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+            )));
+        }
+        if 16 + len as usize + 4 + 8 != bytes.len() {
+            return Err(corrupt(format!(
+                "{} stray bytes between the events section and the footer",
+                bytes.len() - (16 + len as usize + 4 + 8)
+            )));
+        }
+
+        // Parse the validated payload with a bounds-checked cursor.
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize, what: &str| -> CodResult<&[u8]> {
+            if *pos + n > payload.len() {
+                return Err(CodError::IndexCorrupt(format!(
+                    "truncated while reading {what}: need {n} bytes, {} remain",
+                    payload.len() - *pos
+                )));
+            }
+            let s = &payload[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let read_u32 = |pos: &mut usize, what: &str| -> CodResult<u32> {
+            let s = take(pos, 4, what)?;
+            Ok(u32::from_le_bytes(s.try_into().unwrap_or([0; 4])))
+        };
+        let count = u64::from_le_bytes(
+            take(&mut pos, 8, "event count")?
+                .try_into()
+                .unwrap_or([0; 8]),
+        );
+        // Each event is at least 9 bytes; validate before sizing the Vec.
+        let fits = ((payload.len() - pos) / 9) as u64;
+        if count > fits {
+            return Err(corrupt(format!(
+                "log declares {count} events but only {fits} fit in the remaining bytes"
+            )));
+        }
+        let mut events = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let tag = take(&mut pos, 1, "event tag")?[0];
+            match tag {
+                0 | 1 => {
+                    let u = read_u32(&mut pos, "edge endpoint")?;
+                    let v = read_u32(&mut pos, "edge endpoint")?;
+                    events.push(if tag == 0 {
+                        Mutation::InsertEdge { u, v }
+                    } else {
+                        Mutation::RemoveEdge { u, v }
+                    });
+                }
+                2 => {
+                    let node = read_u32(&mut pos, "attr node")?;
+                    let alen = read_u32(&mut pos, "attr count")? as usize;
+                    if pos + alen * 4 > payload.len() {
+                        return Err(corrupt(format!(
+                            "event {i} declares {alen} attributes but they overrun the payload"
+                        )));
+                    }
+                    let mut attrs = Vec::with_capacity(alen);
+                    for _ in 0..alen {
+                        attrs.push(read_u32(&mut pos, "attr id")?);
+                    }
+                    events.push(Mutation::SetAttrs { node, attrs });
+                }
+                other => {
+                    return Err(corrupt(format!("event {i} has unknown tag {other}")));
+                }
+            }
+        }
+        if pos != payload.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after the last event",
+                payload.len() - pos
+            )));
+        }
+        Ok(Self { events })
+    }
+
+    /// Writes the log to `path` atomically (unique temp sibling, fsync,
+    /// rename), matching the CODX index discipline: a failure mid-save
+    /// leaves any previous log intact.
+    pub fn save(&self, path: &Path) -> CodResult<()> {
+        let bytes = self.to_bytes();
+        let tmp = temp_sibling(path);
+        let result = (|| -> CodResult<()> {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return result;
+        }
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a log written by [`MutationLog::save`].
+    pub fn load(path: &Path) -> CodResult<Self> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+
+    // -- text form -----------------------------------------------------------
+
+    /// Parses the line-oriented text form used by `cod mutate`:
+    ///
+    /// ```text
+    /// add u v          # insert edge {u, v}
+    /// del u v          # remove edge {u, v}
+    /// attrs v a1,a2    # replace v's attributes (omit the list to clear)
+    /// ```
+    ///
+    /// Blank lines and lines starting with `#` are skipped; a trailing
+    /// `# comment` on any line is ignored.
+    pub fn parse_text(text: &str) -> CodResult<Self> {
+        let bad = |line_no: usize, msg: String| {
+            CodError::GraphFormat(format!("mutation log line {line_no}: {msg}"))
+        };
+        let mut events = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let op = parts.next().unwrap_or("");
+            let parse_node = |tok: Option<&str>, what: &str| -> CodResult<NodeId> {
+                let tok = tok.ok_or_else(|| bad(line_no, format!("missing {what}")))?;
+                tok.parse::<NodeId>()
+                    .map_err(|_| bad(line_no, format!("bad {what} {tok:?}")))
+            };
+            match op {
+                "add" | "del" => {
+                    let u = parse_node(parts.next(), "endpoint")?;
+                    let v = parse_node(parts.next(), "endpoint")?;
+                    if parts.next().is_some() {
+                        return Err(bad(
+                            line_no,
+                            format!("trailing tokens after '{op} {u} {v}'"),
+                        ));
+                    }
+                    events.push(if op == "add" {
+                        Mutation::InsertEdge { u, v }
+                    } else {
+                        Mutation::RemoveEdge { u, v }
+                    });
+                }
+                "attrs" => {
+                    let node = parse_node(parts.next(), "node")?;
+                    let attrs = match parts.next() {
+                        None => Vec::new(),
+                        Some(list) => {
+                            let mut attrs = Vec::new();
+                            for tok in list.split(',').filter(|t| !t.is_empty()) {
+                                attrs.push(tok.parse::<AttrId>().map_err(|_| {
+                                    bad(line_no, format!("bad attribute id {tok:?}"))
+                                })?);
+                            }
+                            attrs
+                        }
+                    };
+                    if parts.next().is_some() {
+                        return Err(bad(
+                            line_no,
+                            "attribute list must be one comma-separated token".into(),
+                        ));
+                    }
+                    events.push(Mutation::SetAttrs { node, attrs });
+                }
+                other => {
+                    return Err(bad(
+                        line_no,
+                        format!("unknown operation {other:?} (expected add, del or attrs)"),
+                    ));
+                }
+            }
+        }
+        Ok(Self { events })
+    }
+
+    /// Renders the log in the text form accepted by [`MutationLog::parse_text`].
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for m in &self.events {
+            match m {
+                Mutation::InsertEdge { u, v } => out.push_str(&format!("add {u} {v}\n")),
+                Mutation::RemoveEdge { u, v } => out.push_str(&format!("del {u} {v}\n")),
+                Mutation::SetAttrs { node, attrs } => {
+                    let list = attrs
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    if list.is_empty() {
+                        out.push_str(&format!("attrs {node}\n"));
+                    } else {
+                        out.push_str(&format!("attrs {node} {list}\n"));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seq = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "mutations".to_string());
+    path.with_file_name(format!(".{name}.tmp.{pid}.{seq}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> MutationLog {
+        let mut log = MutationLog::new();
+        log.push(Mutation::InsertEdge { u: 3, v: 9 });
+        log.push(Mutation::RemoveEdge { u: 0, v: 4 });
+        log.push(Mutation::SetAttrs {
+            node: 7,
+            attrs: vec![2, 5, 5],
+        });
+        log.push(Mutation::SetAttrs {
+            node: 1,
+            attrs: vec![],
+        });
+        log
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_events() {
+        let log = sample_log();
+        let bytes = log.to_bytes();
+        let back = MutationLog::from_bytes(&bytes).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_events() {
+        let log = sample_log();
+        let text = log.render_text();
+        let back = MutationLog::parse_text(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn text_parser_skips_comments_and_reports_line_numbers() {
+        let log = MutationLog::parse_text(
+            "# header comment\n\nadd 1 2   # trailing comment\n  del 2 3\nattrs 4 0,1\n",
+        )
+        .unwrap();
+        assert_eq!(log.len(), 3);
+        let err = MutationLog::parse_text("add 1 2\nfrobnicate 3\n").unwrap_err();
+        assert!(matches!(err, CodError::GraphFormat(m) if m.contains("line 2")));
+        let err = MutationLog::parse_text("add 1\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn binary_parser_rejects_corruption() {
+        let log = sample_log();
+        let bytes = log.to_bytes();
+
+        // Bad magic.
+        let mut b = bytes.clone();
+        b[0] = b'X';
+        assert!(matches!(
+            MutationLog::from_bytes(&b),
+            Err(CodError::IndexCorrupt(m)) if m.contains("magic")
+        ));
+
+        // Payload bit flip → checksum mismatch.
+        let mut b = bytes.clone();
+        b[20] ^= 0x01;
+        assert!(matches!(
+            MutationLog::from_bytes(&b),
+            Err(CodError::IndexCorrupt(m)) if m.contains("checksum")
+        ));
+
+        // Appended garbage → footer mismatch.
+        let mut b = bytes.clone();
+        b.push(0);
+        assert!(matches!(
+            MutationLog::from_bytes(&b),
+            Err(CodError::IndexCorrupt(m)) if m.contains("footer")
+        ));
+
+        // Truncations never panic.
+        for keep in [0, 5, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                MutationLog::from_bytes(&bytes[..keep]).is_err(),
+                "truncation to {keep} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_declared_count_errors_instead_of_allocating() {
+        // Hand-build an image declaring u64::MAX events over a tiny payload.
+        let payload = u64::MAX.to_le_bytes().to_vec();
+        let total = 4 + 4 + 8 + payload.len() + 4 + 8;
+        let mut b = Vec::new();
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&VERSION.to_le_bytes());
+        b.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        b.extend_from_slice(&payload);
+        b.extend_from_slice(&crc32(&payload).to_le_bytes());
+        b.extend_from_slice(&(total as u64).to_le_bytes());
+        assert!(matches!(
+            MutationLog::from_bytes(&b),
+            Err(CodError::IndexCorrupt(m)) if m.contains("events")
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let log = sample_log();
+        let path = std::env::temp_dir().join(format!(
+            "cod_mutation_log_{}_{:x}.codm",
+            std::process::id(),
+            &log as *const _ as usize
+        ));
+        log.save(&path).unwrap();
+        let back = MutationLog::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn footprint_tracks_nodes_attrs_and_topology() {
+        let mut fp = Footprint::new();
+        assert!(fp.is_empty());
+        fp.add_edge_event(4, 2);
+        fp.add_edge_event(2, 9);
+        assert!(fp.touches_topology());
+        assert_eq!(fp.nodes(), &[2, 4, 9]);
+        assert!(fp.touches_node(4) && !fp.touches_node(3));
+
+        let mut attrs = Footprint::new();
+        attrs.add_attr_event(7, [3, 1, 3]);
+        assert!(!attrs.touches_topology());
+        assert_eq!(attrs.attrs(), &[1, 3]);
+        assert!(attrs.touches_attr(1) && !attrs.touches_attr(2));
+
+        fp.merge(&attrs);
+        assert!(fp.touches_topology());
+        assert_eq!(fp.nodes(), &[2, 4, 7, 9]);
+        assert_eq!(fp.attrs(), &[1, 3]);
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(MutationKind::InsertEdge.label(), "insert");
+        assert_eq!(MutationKind::RemoveEdge.label(), "remove");
+        assert_eq!(MutationKind::SetAttrs.label(), "set_attrs");
+        assert_eq!(
+            Mutation::SetAttrs {
+                node: 0,
+                attrs: vec![]
+            }
+            .kind(),
+            MutationKind::SetAttrs
+        );
+    }
+}

@@ -142,6 +142,12 @@ impl RrPoolEntry {
         &self.universe
     }
 
+    /// Whether sampling is restricted to the universe (the universe is a
+    /// strict subset of the graph the pool samples).
+    pub fn restricted(&self) -> bool {
+        self.restricted
+    }
+
     /// Samples currently resident.
     pub fn len(&self) -> usize {
         self.samples.load(Ordering::Acquire)
@@ -409,6 +415,33 @@ impl PoolCache {
         }
     }
 
+    /// Drops only the pools matching `pred`, leaving the rest resident.
+    /// Returns `(pools dropped, bytes dropped)`.
+    ///
+    /// This is the scoped-invalidation path used by `DynamicCod`: a
+    /// mutation's [`Footprint`](crate::mutation::Footprint) translates to a
+    /// predicate over `(attr, universe, restricted)`, so a `set_attrs` on
+    /// one attribute no longer evicts pools of unrelated attributes. The
+    /// epoch is bumped unconditionally — an invalidation event occurred
+    /// even when no resident pool matched it.
+    pub fn invalidate_scoped(&self, pred: impl Fn(&RrPoolEntry) -> bool) -> (usize, u64) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        let Ok(mut guard) = self.slots.lock() else {
+            return (0, 0);
+        };
+        let before = guard.0.len();
+        let mut bytes = 0u64;
+        guard.0.retain(|s| {
+            if pred(&s.entry) {
+                bytes += s.entry.memory_bytes() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        (before - guard.0.len(), bytes)
+    }
+
     /// The current invalidation epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
@@ -645,6 +678,50 @@ mod tests {
         assert_eq!(cache.stats().pools, 1);
         let (_, l) = cache.get_or_create(Some(2), &ub, true);
         assert!(l.hit, "the kept pool is the recently used one");
+    }
+
+    #[test]
+    fn scoped_invalidation_drops_only_matching_pools() {
+        let g = ring(12);
+        let cache = PoolCache::new(usize::MAX);
+        let full: Vec<NodeId> = (0..12).collect();
+        let sub: Vec<NodeId> = (0..6).collect();
+        let (a, _) = cache.get_or_create(Some(1), &full, false);
+        let (b, _) = cache.get_or_create(Some(2), &sub, true);
+        a.ensure(
+            &g,
+            Model::WeightedCascade,
+            20,
+            Parallelism::Threads(1),
+            None,
+        );
+        b.ensure(
+            &g,
+            Model::WeightedCascade,
+            20,
+            Parallelism::Threads(1),
+            None,
+        );
+        let e0 = cache.epoch();
+        let (dropped, bytes) = cache.invalidate_scoped(|e| e.attr() == Some(1));
+        assert_eq!(dropped, 1);
+        assert!(bytes > 0);
+        assert_eq!(cache.epoch(), e0 + 1);
+        assert_eq!(cache.stats().pools, 1);
+        let (_, l) = cache.get_or_create(Some(2), &sub, true);
+        assert!(l.hit, "the unmatched pool stays resident");
+        // A predicate that matches nothing still bumps the epoch (an
+        // invalidation event happened) but drops nothing.
+        let (d2, b2) = cache.invalidate_scoped(|e| e.attr() == Some(9));
+        assert_eq!((d2, b2), (0, 0));
+        assert_eq!(cache.epoch(), e0 + 2);
+        assert_eq!(cache.stats().pools, 1);
+        // Universe-scoped predicate: a restricted pool whose universe
+        // contains a touched endpoint is dropped.
+        let (d3, _) =
+            cache.invalidate_scoped(|e| !e.restricted() || e.universe().binary_search(&3).is_ok());
+        assert_eq!(d3, 1);
+        assert_eq!(cache.stats().pools, 0);
     }
 
     #[test]

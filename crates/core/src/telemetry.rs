@@ -423,6 +423,12 @@ pub struct MetricsRegistry {
     errors: AtomicU64,
     answers_degraded: AtomicU64,
     queries_shed: AtomicU64,
+    mutations_insert: AtomicU64,
+    mutations_remove: AtomicU64,
+    mutations_set_attrs: AtomicU64,
+    repairs: AtomicU64,
+    full_rebuilds: AtomicU64,
+    pool_scoped_evictions: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_NS.len() + 1],
     latency_sum_nanos: AtomicU64,
     /// When this registry was created — the engine's birth, which the
@@ -442,6 +448,12 @@ impl Default for MetricsRegistry {
             errors: AtomicU64::new(0),
             answers_degraded: AtomicU64::new(0),
             queries_shed: AtomicU64::new(0),
+            mutations_insert: AtomicU64::new(0),
+            mutations_remove: AtomicU64::new(0),
+            mutations_set_attrs: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
+            full_rebuilds: AtomicU64::new(0),
+            pool_scoped_evictions: AtomicU64::new(0),
             latency_buckets: Default::default(),
             latency_sum_nanos: AtomicU64::new(0),
             started: Instant::now(),
@@ -510,6 +522,37 @@ impl MetricsRegistry {
         self.queries_shed.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Tallies one applied graph mutation of the given kind.
+    pub fn record_mutation(&self, kind: crate::mutation::MutationKind) {
+        use crate::mutation::MutationKind::*;
+        let tally = match kind {
+            InsertEdge => &self.mutations_insert,
+            RemoveEdge => &self.mutations_remove,
+            SetAttrs => &self.mutations_set_attrs,
+        };
+        tally.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one localized repair (dendrogram splice + HIMOR patch)
+    /// absorbing a batch of mutations without a from-scratch rebuild.
+    pub fn record_repair(&self) {
+        self.repairs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one full from-scratch rebuild (the touched fraction crossed
+    /// the rebuild threshold, the node count grew, or no artifacts existed
+    /// to repair).
+    pub fn record_full_rebuild(&self) {
+        self.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies `n` RR pools dropped by scoped (footprint-driven)
+    /// invalidation — pools that survived a mutation are the difference
+    /// between this and the mutation count.
+    pub fn record_pool_scoped_evictions(&self, n: u64) {
+        self.pool_scoped_evictions.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot of all aggregates (individual loads are
     /// relaxed; totals lag in-flight queries by at most one update each).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -536,6 +579,12 @@ impl MetricsRegistry {
             errors: load(&self.errors),
             answers_degraded: load(&self.answers_degraded),
             queries_shed: load(&self.queries_shed),
+            mutations_insert: load(&self.mutations_insert),
+            mutations_remove: load(&self.mutations_remove),
+            mutations_set_attrs: load(&self.mutations_set_attrs),
+            repairs: load(&self.repairs),
+            full_rebuilds: load(&self.full_rebuilds),
+            pool_scoped_evictions: load(&self.pool_scoped_evictions),
             latency_buckets,
             latency_sum_nanos: load(&self.latency_sum_nanos),
             uptime_nanos: self.started.elapsed().as_nanos() as u64,
@@ -576,6 +625,19 @@ pub struct MetricsSnapshot {
     /// Queries shed by admission control (not part of `queries`; shed
     /// queries are rejected before planning).
     pub queries_shed: u64,
+    /// Edge insertions applied to a dynamic graph.
+    pub mutations_insert: u64,
+    /// Edge removals applied to a dynamic graph.
+    pub mutations_remove: u64,
+    /// Attribute replacements applied to a dynamic graph.
+    pub mutations_set_attrs: u64,
+    /// Mutation batches absorbed by localized repair (dendrogram splice +
+    /// HIMOR patch) instead of a from-scratch rebuild.
+    pub repairs: u64,
+    /// Mutation batches that forced a full from-scratch rebuild.
+    pub full_rebuilds: u64,
+    /// RR pools dropped by scoped (footprint-driven) invalidation.
+    pub pool_scoped_evictions: u64,
     /// Disjoint latency observations per bucket (traced queries only; the
     /// last bucket is +Inf). The Prometheus rendering cumulates them.
     pub latency_buckets: [u64; LATENCY_BUCKETS_NS.len() + 1],
@@ -626,8 +688,35 @@ impl MetricsSnapshot {
             "queries shed by admission control before planning",
             self.queries_shed,
         );
+        counter(
+            "repairs_total",
+            "mutation batches absorbed by localized repair (splice + HIMOR patch)",
+            self.repairs,
+        );
+        counter(
+            "full_rebuilds_total",
+            "mutation batches that forced a full from-scratch rebuild",
+            self.full_rebuilds,
+        );
+        counter(
+            "pool_scoped_evictions_total",
+            "RR pools dropped by scoped footprint-driven invalidation",
+            self.pool_scoped_evictions,
+        );
         for (c, v) in self.counters.iter() {
             counter(&format!("{}_total", c.name()), c.help(), v);
+        }
+        let _ = writeln!(
+            out,
+            "# HELP cod_mutations_total graph mutations applied, by kind"
+        );
+        let _ = writeln!(out, "# TYPE cod_mutations_total counter");
+        for (kind, v) in [
+            ("insert", self.mutations_insert),
+            ("remove", self.mutations_remove),
+            ("set_attrs", self.mutations_set_attrs),
+        ] {
+            let _ = writeln!(out, "cod_mutations_total{{kind=\"{kind}\"}} {v}");
         }
         let _ = writeln!(out, "# HELP cod_answers_total answers by serving path");
         let _ = writeln!(out, "# TYPE cod_answers_total counter");
@@ -820,6 +909,39 @@ mod tests {
             "cod_build_info{{version=\"{BUILD_VERSION}\",git_hash=\"{BUILD_GIT_HASH}\"}} 1"
         )));
         // Every HELP line is paired with a TYPE line.
+        let helps = text.matches("# HELP").count();
+        let types = text.matches("# TYPE").count();
+        assert_eq!(helps, types);
+    }
+
+    #[test]
+    fn mutation_metrics_are_tallied_and_rendered() {
+        use crate::mutation::MutationKind;
+        let reg = MetricsRegistry::default();
+        reg.record_mutation(MutationKind::InsertEdge);
+        reg.record_mutation(MutationKind::InsertEdge);
+        reg.record_mutation(MutationKind::RemoveEdge);
+        reg.record_mutation(MutationKind::SetAttrs);
+        reg.record_repair();
+        reg.record_full_rebuild();
+        reg.record_full_rebuild();
+        reg.record_pool_scoped_evictions(3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.mutations_insert, 2);
+        assert_eq!(snap.mutations_remove, 1);
+        assert_eq!(snap.mutations_set_attrs, 1);
+        assert_eq!(snap.repairs, 1);
+        assert_eq!(snap.full_rebuilds, 2);
+        assert_eq!(snap.pool_scoped_evictions, 3);
+        let cache = crate::cache::CacheStats::default();
+        let pool = crate::pool::PoolCacheStats::default();
+        let text = snap.render_prometheus(&cache, &pool);
+        assert!(text.contains("cod_mutations_total{kind=\"insert\"} 2"));
+        assert!(text.contains("cod_mutations_total{kind=\"remove\"} 1"));
+        assert!(text.contains("cod_mutations_total{kind=\"set_attrs\"} 1"));
+        assert!(text.contains("cod_repairs_total 1"));
+        assert!(text.contains("cod_full_rebuilds_total 2"));
+        assert!(text.contains("cod_pool_scoped_evictions_total 3"));
         let helps = text.matches("# HELP").count();
         let types = text.matches("# TYPE").count();
         assert_eq!(helps, types);

@@ -13,6 +13,8 @@
 //!   Barabási–Albert, Erdős–Rényi) used to emulate the paper's datasets;
 //! * [`measures`] — the quality measures of the paper's §V (topology density
 //!   `ρ`, attribute density `φ`, conductance);
+//! * [`overlay`] — a delta-overlay adjacency layer ([`DeltaCsr`]) that lets
+//!   streaming mutations ride on an immutable CSR base;
 //! * [`subgraph`] — induced-subgraph extraction with node remapping;
 //! * [`fxhash`] — a fast non-cryptographic hasher (in-tree FxHash) used for
 //!   all hot hash maps, per the workspace performance guidelines.
@@ -33,6 +35,7 @@ pub mod fxhash;
 pub mod generators;
 pub mod io;
 pub mod measures;
+pub mod overlay;
 pub mod partition;
 pub mod stats;
 pub mod subgraph;
@@ -41,6 +44,7 @@ pub use attr::{AttrInterner, AttrTable};
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use overlay::DeltaCsr;
 
 /// Dense node identifier. Nodes of a graph with `n` nodes are `0..n`.
 pub type NodeId = u32;

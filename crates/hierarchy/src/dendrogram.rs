@@ -251,6 +251,19 @@ impl Dendrogram {
         sb <= sa && ea <= eb
     }
 
+    /// The half-open interval of positions community `v`'s leaves occupy in
+    /// the DFS leaf order (the span backing [`Dendrogram::members`]).
+    #[inline]
+    pub fn leaf_span(&self, v: VertexId) -> (u32, u32) {
+        self.range[v as usize]
+    }
+
+    /// The DFS leaf order backing the membership intervals.
+    #[inline]
+    pub fn leaf_order(&self) -> &[NodeId] {
+        &self.leaf_order
+    }
+
     /// The graph nodes of community `v`, in DFS order (not sorted by id).
     #[inline]
     pub fn members(&self, v: VertexId) -> &[NodeId] {

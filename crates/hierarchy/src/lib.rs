@@ -23,6 +23,7 @@ pub mod handle;
 pub mod lca;
 pub mod linkage;
 pub mod nnchain;
+pub mod repair;
 
 pub use bisect::bisect;
 pub use dendrogram::{Dendrogram, DendrogramError, VertexId, NO_VERTEX};
@@ -32,3 +33,4 @@ pub use linkage::Linkage;
 pub use nnchain::{
     cluster, cluster_governed, cluster_unweighted, cluster_unweighted_governed, Merge,
 };
+pub use repair::{match_vertices, repair_merges, RepairOutcome, RepairResult, TreeDiff};

@@ -57,7 +57,7 @@ fn main() {
     let base = g.num_nodes() as NodeId;
     for i in 0..6 {
         dynamic.insert_edge(q, base + i);
-        dynamic.set_attrs(base + i, vec![attr]);
+        dynamic.set_attrs(base + i, vec![attr]).expect("in range");
     }
     for i in 0..6 {
         for j in i + 1..6 {

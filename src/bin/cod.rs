@@ -53,6 +53,7 @@ fn main() -> ExitCode {
         "baseline" => cmd_baseline(&opts),
         "im" => cmd_im(&opts),
         "serve" => cmd_serve(&opts),
+        "mutate" => cmd_mutate(&opts),
         "generate" => cmd_generate(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -84,6 +85,8 @@ COMMANDS:
              characteristic community of --node)
   serve      HTTP serving tier: /query, /query_batch, /metrics, /healthz,
              /readyz on --addr; SIGTERM/SIGINT drains and exits cleanly
+  mutate     replay a mutation log against the incremental pipeline,
+             printing a per-event repair/rebuild summary
   generate   write a dataset preset to edge/attribute files
   help       show this text
 
@@ -140,6 +143,14 @@ OPTIONS:
                   latency histogram, cache gauges)
   --out-edges F   generate: output edge-list path
   --out-attrs F   generate: output attribute-list path
+  --log FILE      mutate: mutation log to replay, one event per line:
+                  \"add u v\", \"del u v\", or \"attrs v a1,a2\" (blank lines
+                  and # comments are skipped). Each applied event is
+                  flushed immediately and the line reports whether the
+                  hierarchy was repaired in place, rebuilt, or merely
+                  refreshed. mutate honors --k, --theta, --seed, and
+                  --threads (default 1; any seeded setting replays
+                  bit-identically at every thread count)
 
 SERVE OPTIONS:
   --addr A:P      bind address (default 127.0.0.1:7700; port 0 = ephemeral)
@@ -177,6 +188,7 @@ struct Opts {
     trace: bool,
     pool: bool,
     metrics_out: Option<PathBuf>,
+    log: Option<PathBuf>,
     out_edges: Option<PathBuf>,
     out_attrs: Option<PathBuf>,
     addr: Option<String>,
@@ -308,6 +320,7 @@ impl Opts {
                             .map_err(|_| "--max-request-bytes wants a number")?,
                     )
                 }
+                "--log" => o.log = Some(PathBuf::from(value(args, i)?)),
                 "--out-edges" => o.out_edges = Some(PathBuf::from(value(args, i)?)),
                 "--out-attrs" => o.out_attrs = Some(PathBuf::from(value(args, i)?)),
                 other => return Err(format!("unknown option {other:?}")),
@@ -929,6 +942,91 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         stats.panics,
     );
     write_metrics(opts, &engine)?;
+    Ok(())
+}
+
+fn cmd_mutate(opts: &Opts) -> Result<(), String> {
+    use pcod::cod::mutation::{Mutation, MutationLog};
+    use pcod::cod::{DynamicCod, FlushOutcome};
+
+    let g = opts.load_graph()?;
+    let log_path = opts.log.as_ref().ok_or("mutate needs --log FILE")?;
+    let text = std::fs::read_to_string(log_path)
+        .map_err(|e| format!("reading {}: {e}", log_path.display()))?;
+    let log = MutationLog::parse_text(&text).map_err(|e| e.to_string())?;
+    // Seeded by default: the replay is then a pure function of the log and
+    // --seed, bit-identical at every thread count, and single edits repair
+    // the hierarchy in place instead of rebuilding it.
+    let cfg = CodConfig {
+        parallelism: opts.threads.unwrap_or(Parallelism::Threads(1)),
+        ..opts.cod_config()
+    };
+    let mut dyn_cod = DynamicCod::with_seed(&g, cfg, opts.seed);
+    println!(
+        "replaying {} events from {} against {} nodes / {} edges (seed {})",
+        log.len(),
+        log_path.display(),
+        g.num_nodes(),
+        g.num_edges(),
+        opts.seed
+    );
+    let started = std::time::Instant::now();
+    for (i, m) in log.events().iter().enumerate() {
+        let label = match m {
+            Mutation::InsertEdge { u, v } => format!("add {u} {v}"),
+            Mutation::RemoveEdge { u, v } => format!("del {u} {v}"),
+            Mutation::SetAttrs { node, attrs } => format!(
+                "attrs {node} {}",
+                attrs
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        };
+        let applied = dyn_cod
+            .apply(m)
+            .map_err(|e| format!("event {}: {e}", i + 1))?;
+        if !applied {
+            println!(
+                "[{:>4}] {label:<24} -> no-op (edge already in that state)",
+                i + 1
+            );
+            continue;
+        }
+        let mut rng = SmallRng::seed_from_u64(opts.seed);
+        let report = dyn_cod
+            .flush(&mut rng)
+            .map_err(|e| format!("event {}: {e}", i + 1))?;
+        let outcome = match report.outcome {
+            FlushOutcome::Noop => "no-op".to_string(),
+            FlushOutcome::Refreshed => "refreshed (hierarchy + index untouched)".to_string(),
+            FlushOutcome::Repaired {
+                spliced,
+                samples_redrawn,
+                samples_total,
+            } => format!(
+                "repaired ({}, {samples_redrawn}/{samples_total} samples redrawn)",
+                if spliced { "spliced" } else { "recomputed" }
+            ),
+            FlushOutcome::Rebuilt => "full rebuild".to_string(),
+        };
+        println!("[{:>4}] {label:<24} -> {outcome}", i + 1);
+    }
+    let snap = dyn_cod.metrics_snapshot();
+    println!(
+        "\nreplayed {} events in {:.2?}: {} repairs, {} full rebuilds, {} pools evicted (scoped)",
+        log.len(),
+        started.elapsed(),
+        snap.repairs,
+        snap.full_rebuilds,
+        snap.pool_scoped_evictions
+    );
+    println!(
+        "final graph: {} nodes, {} edges",
+        dyn_cod.num_nodes(),
+        dyn_cod.num_edges()
+    );
     Ok(())
 }
 

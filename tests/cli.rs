@@ -355,3 +355,62 @@ fn zero_budget_fails_cleanly_and_tight_budget_flags_the_answer() {
         "unexpected output: {out}"
     );
 }
+
+#[test]
+fn mutate_replays_a_log_with_per_event_outcomes() {
+    let dir = std::env::temp_dir().join(format!("cod-mutate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("events.txt");
+    std::fs::write(
+        &log,
+        "# churn burst\nadd 0 1500\ndel 0 1500\nadd 3 900\nadd 3 900\nattrs 7 0,2\n",
+    )
+    .unwrap();
+    let o = run(&[
+        "mutate",
+        "--preset",
+        "citeseer",
+        "--log",
+        log.to_str().unwrap(),
+        "--theta",
+        "2",
+        "--k",
+        "2",
+        "--seed",
+        "9",
+    ]);
+    assert!(o.status.success(), "stderr: {}", stderr(&o));
+    let out = stdout(&o);
+    assert!(out.contains("add 0 1500"), "{out}");
+    assert!(out.contains("repaired"), "{out}");
+    assert!(out.contains("no-op"), "{out}"); // the duplicate insert
+    assert!(out.contains("refreshed"), "{out}"); // the attrs event
+    assert!(out.contains("repairs"), "{out}");
+    assert!(out.contains("full rebuilds"), "{out}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mutate_without_log_fails_cleanly() {
+    let o = run(&["mutate", "--preset", "citeseer"]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("--log"));
+}
+
+#[test]
+fn mutate_rejects_a_malformed_log_with_a_line_number() {
+    let dir = std::env::temp_dir().join(format!("cod-mutate-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let log = dir.join("bad.txt");
+    std::fs::write(&log, "add 0 1\nfrobnicate 2 3\n").unwrap();
+    let o = run(&[
+        "mutate",
+        "--preset",
+        "citeseer",
+        "--log",
+        log.to_str().unwrap(),
+    ]);
+    assert!(!o.status.success());
+    assert!(stderr(&o).contains("line 2"), "{}", stderr(&o));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,557 @@
+//! Incremental-mutation pipeline suite: the determinism and invalidation
+//! contracts of [`DynamicCod`]'s repair/patch path.
+//!
+//! The contracts under test:
+//!
+//! * **repaired ≡ rebuilt-from-scratch** — a seeded instance that flushes
+//!   every mutation through the localized dendrogram repair + HIMOR patch
+//!   answers every query bit-identically to an instance that rebuilds from
+//!   scratch after every event (and to a fresh instance fed the whole
+//!   mutation log at once), at 1, 2 and 8 threads, over a randomized
+//!   200-event schedule on the cora-like dataset;
+//! * **scoped invalidation** — an attribute edit evicts exactly the pooled
+//!   RR graphs keyed to a touched attribute: disjoint attributes' pools
+//!   stay resident (and still bump the invalidation epoch);
+//! * **cooperative cancellation** — a token fired at the `dendro_repair`
+//!   or `himor_patch` failpoint returns [`CodError::DeadlineExceeded`]
+//!   with every artifact unchanged; the queued mutations survive and the
+//!   next flush repairs normally;
+//! * **property sweep** — on small random attributed graphs, the repair
+//!   path matches the rebuild path for *every* node after *every* event,
+//!   including node-growth events that force the rebuild fallback.
+//!
+//! Failpoint state is process-global, so the cancellation tests serialize
+//! behind one lock and are gated on `failpoint::compiled_in()`.
+
+use pcod::cod::dynamic::{DynamicCod, FlushOutcome};
+use pcod::cod::failpoint::{self, Action, Site};
+use pcod::cod::Mutation;
+use pcod::graph::{AttrTable, FxHashSet};
+use pcod::prelude::*;
+use proptest::prelude::*;
+use rand::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes the failpoint tests: the registry is process-global.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn guard() -> std::sync::MutexGuard<'static, ()> {
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// `COD_FAILPOINTS=all` (the CI chaos leg) injects a 1ms delay at every
+/// site; shrink the long schedule so the run stays bounded.
+fn chaos_armed() -> bool {
+    std::env::var_os("COD_FAILPOINTS").is_some()
+}
+
+/// Seeded configuration — the family that unlocks the repair/patch path.
+fn seeded_cfg(threads: usize) -> CodConfig {
+    CodConfig {
+        k: 2,
+        theta: 2,
+        parallelism: Parallelism::Threads(threads),
+        ..CodConfig::default()
+    }
+}
+
+/// The answer fields that define bit-identity (source/trace metadata is
+/// allowed to differ between serving paths; membership and rank are not).
+fn comparable(ans: Option<CodAnswer>) -> Option<(Vec<NodeId>, usize, bool)> {
+    ans.map(|a| (a.members, a.rank, a.uncertain))
+}
+
+/// A deterministic mutation schedule over a mirrored edge set: inserts
+/// draw fresh non-edges, removals draw resident edges (so every event
+/// applies), attribute edits re-key a random node within the interned
+/// attribute range.
+fn random_schedule(g: &AttributedGraph, events: usize, seed: u64) -> Vec<Mutation> {
+    let n = g.num_nodes() as NodeId;
+    let num_attrs = g.interner().len() as AttrId;
+    let mut edges: Vec<(NodeId, NodeId)> = g.csr().edges().collect();
+    let mut present: FxHashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut schedule = Vec::with_capacity(events);
+    for _ in 0..events {
+        let kind = rng.random_range(0..10u32);
+        let m = if kind < 4 || (kind < 7 && edges.is_empty()) {
+            loop {
+                let a = rng.random_range(0..n);
+                let b = rng.random_range(0..n);
+                let (u, v) = (a.min(b), a.max(b));
+                if u != v && !present.contains(&(u, v)) {
+                    present.insert((u, v));
+                    edges.push((u, v));
+                    break Mutation::InsertEdge { u, v };
+                }
+            }
+        } else if kind < 7 {
+            let i = rng.random_range(0..edges.len());
+            let (u, v) = edges.swap_remove(i);
+            present.remove(&(u, v));
+            Mutation::RemoveEdge { u, v }
+        } else {
+            let node = rng.random_range(0..n);
+            let take = rng.random_range(1..3usize);
+            let mut attrs: Vec<AttrId> =
+                (0..take).map(|_| rng.random_range(0..num_attrs)).collect();
+            attrs.sort_unstable();
+            attrs.dedup();
+            Mutation::SetAttrs { node, attrs }
+        };
+        schedule.push(m);
+    }
+    schedule
+}
+
+/// The flagship equivalence run (the tentpole's acceptance schedule): a
+/// randomized mutation stream on cora-like, served four ways —
+///
+/// * `a1`/`a2`/`a8`: repair-path instances at 1, 2 and 8 threads, flushed
+///   at three *different* cadences (every event / every 3rd / every 7th),
+/// * `r`: a `rebuild_threshold = 0` reference whose every flush is a full
+///   from-scratch rebuild with the same pinned seed.
+///
+/// All four must answer probe queries bit-identically after every event,
+/// and a fresh instance fed the accumulated mutation log in one batch must
+/// agree too. Flush RNG streams are deliberately *different* per instance:
+/// the seeded pipeline must never consume them.
+#[test]
+fn randomized_cora_schedule_repairs_match_rebuilds_across_threads() {
+    // The CI chaos leg (1ms delay at every checkpoint) charges every query
+    // `samples × |H(q)|` hfs_level sleeps, so realistic graph sizes turn
+    // each probe into seconds; the paper's 10-node example still crosses
+    // every failpoint site while keeping the leg feasible.
+    let (data, events) = if chaos_armed() {
+        (pcod::datasets::paper_example(), 16)
+    } else {
+        (pcod::datasets::cora_like(7), 200)
+    };
+    let g = &data.graph;
+    const SEED: u64 = 0xC0DA;
+    let mut a1 = DynamicCod::with_seed(g, seeded_cfg(1), SEED);
+    let mut a2 = DynamicCod::with_seed(g, seeded_cfg(2), SEED);
+    let mut a8 = DynamicCod::with_seed(g, seeded_cfg(8), SEED);
+    for a in [&mut a1, &mut a2, &mut a8] {
+        a.set_rebuild_threshold(10.0); // keep the repair path in play
+    }
+    let mut r = DynamicCod::with_seed(g, seeded_cfg(1), SEED);
+    r.set_rebuild_threshold(0.0); // every flush rebuilds from scratch
+
+    let schedule = random_schedule(g, events, 0xEE);
+    let edge_events = schedule
+        .iter()
+        .filter(|m| !matches!(m, Mutation::SetAttrs { .. }))
+        .count();
+    let probes: [NodeId; 4] = if chaos_armed() {
+        [0, 3, 7, 9]
+    } else {
+        [0, 17, 401, 1234]
+    };
+    for (i, m) in schedule.iter().enumerate() {
+        let applied = a1.apply(m).unwrap();
+        assert!(applied, "schedule draws from the mirror, so events apply");
+        assert!(a2.apply(m).unwrap());
+        assert!(a8.apply(m).unwrap());
+        assert!(r.apply(m).unwrap());
+
+        let ev = i as u64;
+        let rep = a1.flush(&mut SmallRng::seed_from_u64(ev)).unwrap();
+        let ref_rep = r.flush(&mut SmallRng::seed_from_u64(7700 + ev)).unwrap();
+        assert_eq!(rep.events, 1);
+        if matches!(m, Mutation::SetAttrs { .. }) {
+            // Attribute churn never touches the hierarchy on either path.
+            assert_eq!(rep.outcome, FlushOutcome::Refreshed, "event {i}");
+            assert_eq!(ref_rep.outcome, FlushOutcome::Refreshed, "event {i}");
+        } else {
+            assert!(
+                matches!(rep.outcome, FlushOutcome::Repaired { .. }),
+                "event {i}: {rep:?}"
+            );
+            assert_eq!(ref_rep.outcome, FlushOutcome::Rebuilt, "event {i}");
+        }
+        // Staggered cadences: a2 and a8 accumulate events across flushes.
+        if i % 3 == 2 {
+            a2.flush(&mut SmallRng::seed_from_u64(31 + ev)).unwrap();
+        }
+        if i % 7 == 6 {
+            a8.flush(&mut SmallRng::seed_from_u64(77 + ev)).unwrap();
+        }
+
+        // Rotating probe after every event: repaired ≡ from-scratch.
+        let q = probes[i % probes.len()];
+        let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+        let qseed = 100_000 + ev;
+        let x = a1
+            .query(q, attr, &mut SmallRng::seed_from_u64(qseed))
+            .unwrap();
+        let y = r
+            .query(q, attr, &mut SmallRng::seed_from_u64(qseed))
+            .unwrap();
+        assert_eq!(
+            comparable(x),
+            comparable(y),
+            "event {i} ({m:?}): repaired diverged from from-scratch at node {q}"
+        );
+
+        // Checkpoint: bring every cadence current and sweep the full probe
+        // set across all four instances.
+        if (i + 1) % 25 == 0 || i + 1 == schedule.len() {
+            a2.flush(&mut SmallRng::seed_from_u64(43 + ev)).unwrap();
+            a8.flush(&mut SmallRng::seed_from_u64(83 + ev)).unwrap();
+            for &q in &probes {
+                let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+                let qseed = 900_000 + ev * 10 + u64::from(q % 10);
+                let reference = comparable(
+                    a1.query(q, attr, &mut SmallRng::seed_from_u64(qseed))
+                        .unwrap(),
+                );
+                for (inst, name) in [
+                    (&mut a2, "2 threads"),
+                    (&mut a8, "8 threads"),
+                    (&mut r, "rebuild"),
+                ] {
+                    let got = comparable(
+                        inst.query(q, attr, &mut SmallRng::seed_from_u64(qseed))
+                            .unwrap(),
+                    );
+                    assert_eq!(got, reference, "checkpoint {i}, node {q}: {name} diverged");
+                }
+            }
+        }
+    }
+
+    // The repair instance never fell back; the reference never repaired.
+    let snap = a1.metrics_snapshot();
+    assert_eq!(snap.repairs as usize, edge_events);
+    assert_eq!(snap.full_rebuilds, 0);
+    let snap = r.metrics_snapshot();
+    assert_eq!(snap.repairs, 0);
+    assert_eq!(snap.full_rebuilds as usize, edge_events);
+
+    // Every instance logged the identical event stream.
+    let log_text = a1.mutation_log().render_text();
+    assert_eq!(a1.mutation_log().len(), events);
+    assert_eq!(log_text, r.mutation_log().render_text());
+    assert_eq!(log_text, a8.mutation_log().render_text());
+
+    // Seed + log replay: a fresh instance fed the whole log in one batch
+    // (one big repair) agrees with the instance that lived through it.
+    let mut fresh = DynamicCod::with_seed(g, seeded_cfg(1), SEED);
+    fresh.set_rebuild_threshold(10.0);
+    let log = a1.mutation_log().events().to_vec();
+    for m in &log {
+        assert!(fresh.apply(m).unwrap());
+    }
+    let rep = fresh.flush(&mut SmallRng::seed_from_u64(424_242)).unwrap();
+    assert_eq!(rep.events, events);
+    assert!(
+        matches!(rep.outcome, FlushOutcome::Repaired { .. }),
+        "{rep:?}"
+    );
+    for &q in &probes {
+        let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+        let x = comparable(a1.query(q, attr, &mut SmallRng::seed_from_u64(5)).unwrap());
+        let y = comparable(
+            fresh
+                .query(q, attr, &mut SmallRng::seed_from_u64(5))
+                .unwrap(),
+        );
+        assert_eq!(x, y, "log replay diverged at node {q}");
+    }
+}
+
+/// Scoped invalidation (the ISSUE's acceptance case): with pools resident
+/// for two disjoint attributes, re-keying a node to one of them evicts
+/// exactly that attribute's pools — the other attribute's stay resident —
+/// and an edit touching neither leaves every pool untouched. Every
+/// mutation still bumps the invalidation epoch.
+#[test]
+fn attribute_edits_evict_only_the_touched_attributes_pools() {
+    // Pool-warming queries pay minutes of injected sleeps under the CI
+    // chaos leg, and this test crosses no mutation failpoint site (the
+    // pool sites have their own chaos coverage in tests/pool_reuse.rs) —
+    // the eviction accounting it checks is delay-independent. Skip it.
+    if chaos_armed() {
+        return;
+    }
+    let data = pcod::datasets::amazon_like_scaled(300, 9);
+    let g = &data.graph;
+    let cfg = CodConfig {
+        k: 3,
+        theta: 15,
+        pool: true,
+        parallelism: Parallelism::Threads(1),
+        ..CodConfig::default()
+    };
+    let mut d = DynamicCod::with_seed(g, cfg, 77);
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    // Warm the pool cache until at least two distinct attributes own
+    // pools (index-fast-path queries build none; the compressed fallback
+    // does).
+    let mut per_attr: Vec<(AttrId, usize)> = Vec::new();
+    for q in 0..g.num_nodes() as NodeId {
+        let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+        if per_attr.iter().any(|&(a, _)| a == attr) {
+            continue;
+        }
+        let before = d.pool_stats().pools;
+        let _ = d.query(q, attr, &mut rng).unwrap();
+        let after = d.pool_stats().pools;
+        if after > before {
+            per_attr.push((attr, after - before));
+            if per_attr.len() >= 2 {
+                break;
+            }
+        }
+    }
+    let [(attr_a, pools_a), (attr_b, _)] = per_attr[..] else {
+        panic!("no two attributes built pools on this dataset");
+    };
+    let total = d.pool_stats().pools;
+    let num_attrs = g.interner().len() as AttrId;
+    let attr_c = (0..num_attrs)
+        .find(|a| *a != attr_a && *a != attr_b)
+        .expect("a third attribute exists");
+
+    // 1. An edit touching neither pooled attribute: all pools survive,
+    //    the epoch still moves (readers must revisit, and may keep).
+    let x = (0..g.num_nodes() as NodeId)
+        .find(|&v| g.node_attrs(v).iter().all(|&a| a != attr_a && a != attr_b))
+        .expect("a node keyed away from both pooled attributes");
+    let epoch = d.pool_epoch();
+    d.set_attrs(x, vec![attr_c]).unwrap();
+    assert_eq!(
+        d.pool_stats().pools,
+        total,
+        "disjoint attribute edit must leave every pool resident"
+    );
+    assert_eq!(d.pool_epoch(), epoch + 1);
+    let evictions_before = d.metrics_snapshot().pool_scoped_evictions;
+
+    // 2. An edit touching `attr_a`: exactly its pools go, `attr_b`'s stay.
+    let y = (0..g.num_nodes() as NodeId)
+        .find(|&v| v != x && g.node_attrs(v).iter().all(|&a| a != attr_b))
+        .expect("a node keyed away from attr_b");
+    d.set_attrs(y, vec![attr_a]).unwrap();
+    let after = d.pool_stats().pools;
+    assert_eq!(
+        after,
+        total - pools_a,
+        "exactly attr {attr_a}'s pools must be evicted"
+    );
+    assert!(after > 0, "attr {attr_b}'s pools must survive");
+    assert_eq!(
+        d.metrics_snapshot().pool_scoped_evictions,
+        evictions_before + pools_a as u64
+    );
+
+    // 3. A topology edit: the unrestricted pools (drawn on the whole
+    //    graph) can all be staled by one edge, so residency drops again.
+    let before = d.pool_stats().pools;
+    let epoch = d.pool_epoch();
+    assert!(d.insert_edge(290, 295));
+    assert!(
+        d.pool_stats().pools < before,
+        "an edge edit must evict the unrestricted pools"
+    );
+    assert_eq!(d.pool_epoch(), epoch + 1);
+}
+
+/// A small path-plus-star graph for the cancellation tests (cheap builds,
+/// and a single edge edit stays on the repair path).
+fn small_graph() -> AttributedGraph {
+    let mut b = GraphBuilder::new(10);
+    for v in 1..6 {
+        b.add_edge(0, v);
+    }
+    b.add_edge(5, 6);
+    b.add_edge(6, 7);
+    b.add_edge(7, 8);
+    b.add_edge(8, 9);
+    let attrs = AttrTable::from_lists(vec![vec![0]; 10]);
+    let mut interner = pcod::graph::AttrInterner::new();
+    interner.intern("A");
+    AttributedGraph::from_parts(b.build(), attrs, interner)
+}
+
+/// Drives one failpoint site through the cancel-then-recover cycle:
+/// a fired token surfaces as `DeadlineExceeded` with the mutation still
+/// queued, and after disarming the same instance repairs and answers
+/// exactly like a from-scratch build of the mutated graph.
+fn cancelled_flush_recovers(site: Site) {
+    if !failpoint::compiled_in() {
+        return;
+    }
+    let _lock = guard();
+    let g = small_graph();
+    let mut d = DynamicCod::with_seed(&g, seeded_cfg(1), 4242);
+    d.set_rebuild_threshold(10.0);
+    assert!(d.insert_edge(2, 9));
+
+    failpoint::disarm_all();
+    failpoint::arm(site, Action::Cancel);
+    let token = CancelToken::unlimited();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let err = d.flush_governed(&mut rng, Some(&token)).unwrap_err();
+    assert!(
+        matches!(err, CodError::DeadlineExceeded),
+        "{site:?}: fired token must surface as DeadlineExceeded, got {err}"
+    );
+    assert_eq!(
+        d.pending_edits(),
+        1,
+        "{site:?}: a cancelled flush must keep the mutation queued"
+    );
+    failpoint::disarm_all();
+
+    // Recovery: the same instance, a fresh (unfired) token, a clean repair.
+    let rep = d
+        .flush_governed(&mut rng, Some(&CancelToken::unlimited()))
+        .unwrap();
+    assert!(
+        matches!(rep.outcome, FlushOutcome::Repaired { .. }),
+        "{site:?}: {rep:?}"
+    );
+    assert_eq!(rep.events, 1, "{site:?}: queued event count survived");
+
+    let mut fresh = {
+        let mut b = GraphBuilder::new(10);
+        for v in 1..6 {
+            b.add_edge(0, v);
+        }
+        b.add_edge(5, 6);
+        b.add_edge(6, 7);
+        b.add_edge(7, 8);
+        b.add_edge(8, 9);
+        b.add_edge(2, 9);
+        let attrs = AttrTable::from_lists(vec![vec![0]; 10]);
+        let mut interner = pcod::graph::AttrInterner::new();
+        interner.intern("A");
+        let g2 = AttributedGraph::from_parts(b.build(), attrs, interner);
+        DynamicCod::with_seed(&g2, seeded_cfg(1), 4242)
+    };
+    for q in 0..10u32 {
+        let x = comparable(d.query(q, 0, &mut SmallRng::seed_from_u64(9)).unwrap());
+        let y = comparable(fresh.query(q, 0, &mut SmallRng::seed_from_u64(9)).unwrap());
+        assert_eq!(x, y, "{site:?}: node {q} diverged after recovery");
+    }
+}
+
+#[test]
+fn cancelled_dendro_repair_keeps_mutations_queued_and_recovers() {
+    cancelled_flush_recovers(Site::DendroRepair);
+}
+
+#[test]
+fn cancelled_himor_patch_keeps_mutations_queued_and_recovers() {
+    cancelled_flush_recovers(Site::HimorPatch);
+}
+
+/// A random connected attributed graph: spanning tree + extra edges,
+/// three interned attributes assigned round-robin with a seeded twist.
+fn random_attributed(n: usize, extra: usize, seed: u64) -> AttributedGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as NodeId {
+        let u = rng.random_range(0..v);
+        b.add_edge(u, v);
+    }
+    for _ in 0..extra {
+        let u = rng.random_range(0..n as NodeId);
+        let v = rng.random_range(0..n as NodeId);
+        b.add_edge(u, v);
+    }
+    let lists = (0..n)
+        .map(|v| vec![((v as u64 + seed) % 3) as AttrId])
+        .collect();
+    let mut interner = pcod::graph::AttrInterner::new();
+    for name in ["A", "B", "C"] {
+        interner.intern(name);
+    }
+    AttributedGraph::from_parts(b.build(), AttrTable::from_lists(lists), interner)
+}
+
+proptest! {
+    // 12 cases normally; 3 under the delay-everywhere CI chaos leg, where
+    // each case pays ~25s of injected checkpoint sleeps.
+    #![proptest_config(ProptestConfig::with_cases(if chaos_armed() { 3 } else { 12 }))]
+
+    /// On random small graphs, the repair path and the rebuild-every-time
+    /// path answer identically for **every** node after **every** event —
+    /// including node-growth inserts, which force the repair instance
+    /// through its rebuild fallback.
+    #[test]
+    fn repaired_equals_rebuilt_for_every_node_after_every_event(
+        n in 12usize..28,
+        extra in 0usize..20,
+        seed in 0u64..500,
+    ) {
+        let g = random_attributed(n, extra, seed);
+        let cfg = CodConfig {
+            k: 2,
+            theta: 8,
+            parallelism: Parallelism::Threads(2),
+            ..CodConfig::default()
+        };
+        let mut a = DynamicCod::with_seed(&g, cfg, 0xBEEF);
+        a.set_rebuild_threshold(10.0);
+        let mut r = DynamicCod::with_seed(&g, cfg, 0xBEEF);
+        r.set_rebuild_threshold(0.0);
+
+        let mut edges: Vec<(NodeId, NodeId)> = g.csr().edges().collect();
+        let mut present: FxHashSet<(NodeId, NodeId)> = edges.iter().copied().collect();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xABCD);
+        let mut nodes = n as NodeId;
+        for i in 0..6u64 {
+            let kind = rng.random_range(0..10u32);
+            let m = if kind < 3 {
+                // Growth: a brand-new node attaches — repair must fall
+                // back to a rebuild and still agree.
+                let u = rng.random_range(0..nodes);
+                let v = nodes;
+                nodes += 1;
+                present.insert((u, v));
+                edges.push((u, v));
+                Mutation::InsertEdge { u, v }
+            } else if kind < 6 {
+                loop {
+                    let a0 = rng.random_range(0..nodes);
+                    let b0 = rng.random_range(0..nodes);
+                    let (u, v) = (a0.min(b0), a0.max(b0));
+                    if u != v && !present.contains(&(u, v)) {
+                        present.insert((u, v));
+                        edges.push((u, v));
+                        break Mutation::InsertEdge { u, v };
+                    }
+                }
+            } else if kind < 8 && !edges.is_empty() {
+                let j = rng.random_range(0..edges.len());
+                let (u, v) = edges.swap_remove(j);
+                present.remove(&(u, v));
+                Mutation::RemoveEdge { u, v }
+            } else {
+                let node = rng.random_range(0..nodes);
+                Mutation::SetAttrs { node, attrs: vec![rng.random_range(0..3)] }
+            };
+            prop_assert!(a.apply(&m).unwrap());
+            prop_assert!(r.apply(&m).unwrap());
+            a.flush(&mut SmallRng::seed_from_u64(i)).unwrap();
+            r.flush(&mut SmallRng::seed_from_u64(1000 + i)).unwrap();
+            // Every node normally; every 5th under the CI chaos leg, where
+            // each probe pays injected checkpoint sleeps on both instances.
+            let stride = if chaos_armed() { 5 } else { 1 };
+            for q in (0..nodes).step_by(stride) {
+                let attr = (u64::from(q) % 3) as AttrId;
+                let qseed = i * 1000 + u64::from(q);
+                let x = comparable(a.query(q, attr, &mut SmallRng::seed_from_u64(qseed)).unwrap());
+                let y = comparable(r.query(q, attr, &mut SmallRng::seed_from_u64(qseed)).unwrap());
+                prop_assert_eq!(x, y, "event {} node {}: {:?}", i, q, m);
+            }
+        }
+    }
+}

@@ -262,19 +262,32 @@ fn clear_cache_invalidates_pools_and_rebuilds_identically() {
 // DynamicCod: every mutation invalidates, a stale pool is never served.
 // ---------------------------------------------------------------------------
 
+/// `pooled_cfg` with serial parallelism: `DynamicCod` then keeps the
+/// legacy lazy contract (no flush-on-query repair), so queries on a dirty
+/// node take the pooled compressed path — exactly the window this test
+/// observes. The seeded flush pipeline's scoped eviction is covered by
+/// `tests/mutation.rs`.
+fn serial_pooled_cfg() -> CodConfig {
+    CodConfig {
+        parallelism: Parallelism::Serial,
+        ..pooled_cfg(1)
+    }
+}
+
 /// Every `DynamicCod` mutation path — edge insert, edge removal, attribute
-/// edit, explicit rebuild — bumps the pool epoch and drops every resident
-/// pool, and the next query repopulates and then reuses the fresh pool
-/// with identical answers. Dropping on *every* mutation is the mechanism
-/// that makes serving a stale pool impossible: a pool sampled on the old
-/// graph does not survive to the first post-mutation lookup.
+/// edit, explicit rebuild — bumps the pool epoch, and scoped eviction
+/// drops every pool the mutation could stale. All pools in this workload
+/// span the query node (edge edits) or are keyed to its attribute
+/// (attribute edits), so each mutation must leave zero pools resident: a
+/// pool sampled on the old graph does not survive to the first
+/// post-mutation lookup.
 #[test]
 fn dynamic_mutations_invalidate_the_pool() {
     let _g = guard();
     failpoint::disarm_all();
     let data = dataset();
     let g = &data.graph;
-    let mut dyn_cod = DynamicCod::new(g, pooled_cfg(1), &mut SmallRng::seed_from_u64(11));
+    let mut dyn_cod = DynamicCod::new(g, serial_pooled_cfg(), &mut SmallRng::seed_from_u64(11));
     let q: NodeId = 9;
     let attr = g.node_attrs(q).first().copied().unwrap_or(0);
     let ask = |d: &mut DynamicCod| {
@@ -321,7 +334,7 @@ fn dynamic_mutations_invalidate_the_pool() {
     ask(&mut dyn_cod);
     assert!(dyn_cod.pool_stats().pools > 0);
     let epoch = dyn_cod.pool_epoch();
-    dyn_cod.set_attrs(q, vec![attr]);
+    dyn_cod.set_attrs(q, vec![attr]).expect("q is in range");
     assert_eq!(dyn_cod.pool_epoch(), epoch + 1, "set_attrs must invalidate");
     assert_eq!(dyn_cod.pool_stats().pools, 0);
 

@@ -619,3 +619,76 @@ fn pooled_engine_batches_replay_across_threads_cold_and_warm() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// DynamicCod: the mutation pipeline joins the thread matrix.
+// ---------------------------------------------------------------------------
+
+/// Randomized mutate+query interleavings replay bit-identically at 1, 2
+/// and 8 threads: instances built with the same pinned HIMOR seed and fed
+/// the same event stream — edge inserts/removals, attribute re-keys,
+/// interleaved queries, and a mid-stream explicit rebuild — answer every
+/// query identically no matter how many repair cycles each thread count
+/// went through. The per-flush RNGs differ on purpose: seeded flushes
+/// must not consume them.
+#[test]
+fn dynamic_mutation_interleavings_replay_across_threads() {
+    use pcod::cod::dynamic::DynamicCod;
+    let data = dataset();
+    let g = &data.graph;
+    let run = |t: usize| {
+        let cfg = CodConfig {
+            k: 3,
+            theta: 15,
+            parallelism: Parallelism::Threads(t),
+            ..CodConfig::default()
+        };
+        let mut d = DynamicCod::with_seed(g, cfg, 0xD15C);
+        d.set_rebuild_threshold(10.0); // exercise the repair path
+        let mut script = SmallRng::seed_from_u64(31);
+        let n = g.num_nodes() as NodeId;
+        let mut answers: Vec<Option<(Vec<NodeId>, usize)>> = Vec::new();
+        for step in 0..30u64 {
+            match script.random_range(0..4u32) {
+                0 => {
+                    let u = script.random_range(0..n);
+                    let v = script.random_range(0..n);
+                    if u != v {
+                        d.insert_edge(u, v);
+                    }
+                }
+                1 => {
+                    let u = script.random_range(0..n);
+                    for &v in g.csr().neighbors(u) {
+                        if d.remove_edge(u, v) {
+                            break;
+                        }
+                    }
+                }
+                2 => {
+                    let v = script.random_range(0..n);
+                    let a = script.random_range(0..g.interner().len() as AttrId);
+                    d.set_attrs(v, vec![a]).unwrap();
+                }
+                _ => {}
+            }
+            if step == 15 {
+                // An explicit rebuild mid-stream must not desynchronize
+                // anything either (same pinned seed).
+                d.rebuild(&mut SmallRng::seed_from_u64(900 + step + t as u64));
+            }
+            let q = script.random_range(0..n);
+            let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+            let ans = d
+                .query(q, attr, &mut SmallRng::seed_from_u64(5000 + step))
+                .unwrap();
+            answers.push(ans.map(|a| (a.members, a.rank)));
+        }
+        answers
+    };
+    let reference = run(1);
+    assert!(reference.iter().any(|a| a.is_some()), "no query answered");
+    for t in THREADS {
+        assert_eq!(run(t), reference, "threads {t}: interleaving diverged");
+    }
+}

@@ -133,6 +133,11 @@ fn all_endpoints_answer_with_documented_statuses() {
         "cod_pool_evicted_bytes_total",
         "cod_pool_cache_pools",
         "cod_pool_cache_epoch",
+        "cod_mutations_total{kind=\"insert\"}",
+        "cod_mutations_total{kind=\"set_attrs\"}",
+        "cod_repairs_total",
+        "cod_full_rebuilds_total",
+        "cod_pool_scoped_evictions_total",
     ] {
         assert!(b.contains(needle), "metrics missing {needle}: {b}");
     }

@@ -347,3 +347,54 @@ fn trace_render_line_mentions_each_phase_and_counter_group() {
         assert!(line.contains(needle), "{line:?} lacks {needle:?}");
     }
 }
+
+/// Mutation telemetry flows end to end: applied events, repair/rebuild
+/// decisions and scoped pool evictions all land in the registry snapshot
+/// and come out of the Prometheus exposition under their stable names —
+/// the same families `cod-serve`'s `/metrics` publishes (there with zero
+/// values, asserted in the serve suite).
+#[test]
+fn mutation_counters_flow_through_the_exposition() {
+    use pcod::cod::dynamic::DynamicCod;
+    let data = pcod::datasets::amazon_like_scaled(120, 8);
+    let g = &data.graph;
+    let cfg = CodConfig {
+        k: 3,
+        theta: 10,
+        parallelism: Parallelism::Threads(1),
+        ..CodConfig::default()
+    };
+    let mut d = DynamicCod::with_seed(g, cfg, 5);
+    d.set_rebuild_threshold(10.0);
+    let mut rng = SmallRng::seed_from_u64(1);
+    assert!(d.insert_edge(0, 60));
+    assert!(d.insert_edge(1, 61));
+    assert!(d.remove_edge(0, 60));
+    d.set_attrs(5, vec![0]).unwrap();
+    let _ = d.flush(&mut rng).unwrap(); // one localized repair
+    d.set_rebuild_threshold(0.0);
+    assert!(d.insert_edge(2, 62));
+    let _ = d.flush(&mut rng).unwrap(); // one forced full rebuild
+
+    let snap = d.metrics_snapshot();
+    assert_eq!(snap.mutations_insert, 3);
+    assert_eq!(snap.mutations_remove, 1);
+    assert_eq!(snap.mutations_set_attrs, 1);
+    assert_eq!(snap.repairs, 1);
+    assert_eq!(snap.full_rebuilds, 1);
+
+    let text = snap.render_prometheus(&CacheStats::default(), &d.pool_stats());
+    for needle in [
+        "cod_mutations_total{kind=\"insert\"} 3",
+        "cod_mutations_total{kind=\"remove\"} 1",
+        "cod_mutations_total{kind=\"set_attrs\"} 1",
+        "cod_repairs_total 1",
+        "cod_full_rebuilds_total 1",
+        "cod_pool_scoped_evictions_total",
+    ] {
+        assert!(
+            text.contains(needle),
+            "exposition lacks {needle:?}:\n{text}"
+        );
+    }
+}
