@@ -214,11 +214,146 @@ fn throughput_report(_c: &mut Criterion) {
     );
 }
 
+/// Out-of-core startup: opening a CODX v3 file as a memory mapping and
+/// serving a cold batch vs eagerly deserializing the same file first.
+/// The mmap path defers section loads (and their CRC sweeps) to first
+/// touch, so cold start-to-first-answer should never be slower than the
+/// parse-everything path; `bench_report` tracks `mmap_cold_vs_eager`.
+fn bench_mmap_cold_vs_eager(c: &mut Criterion) {
+    use cod_core::MappedArtifacts;
+
+    let mut group = c.benchmark_group("query_throughput/mmap");
+    group.sample_size(10);
+
+    let data = cod_datasets::cora_like(1);
+    let g = &data.graph;
+    let engine = CodEngine::new(g.clone(), cfg(Parallelism::Threads(1)));
+    let base = engine.base_hierarchy();
+    let index = engine.ensure_himor(&mut SmallRng::seed_from_u64(4242));
+    let path = std::env::temp_dir().join(format!("bench_mmap_{}.codx", std::process::id()));
+    cod_core::save_artifacts(&path, g, &base.dendro, &index).expect("save artifacts");
+    let queries = repeat_attr_queries(16);
+    let limits = QueryLimits::default();
+    let run_cold = |arts: MappedArtifacts| {
+        let engine = CodEngine::from_mapped(&arts, cfg(Parallelism::Threads(1))).expect("engine");
+        let mut rng = SmallRng::seed_from_u64(42);
+        engine
+            .query_batch_with_limits(&queries, &limits, &mut rng)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .map(|a| a.size())
+            .sum::<usize>()
+    };
+
+    group.bench_function("mmap_cold", |b| {
+        b.iter(|| black_box(run_cold(MappedArtifacts::open(&path).expect("open"))))
+    });
+    group.bench_function("eager_cold", |b| {
+        b.iter(|| black_box(run_cold(MappedArtifacts::open_eager(&path).expect("open"))))
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Scatter-gather overhead: the same warm batch through a two-shard
+/// `ShardedEngine` (route → per-shard sub-batches → gather) vs one
+/// unsharded engine over identical shared artifacts. Answers are
+/// bit-identical by the positional-seed contract; `bench_report` tracks
+/// `shard_batch_ratio` so routing can never silently become a tax.
+fn bench_sharded_vs_single_batch(c: &mut Criterion) {
+    use cod_core::ShardedEngine;
+    use cod_graph::{AttrTable, AttributedGraph, GraphBuilder, NodeId};
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("query_throughput/sharded");
+    group.sample_size(10);
+
+    // Two disjoint copies of the dataset, so the partitioner has real
+    // components to spread and the batch genuinely fans out.
+    let data = cod_datasets::cora_like(1);
+    let src = &data.graph;
+    let n = src.num_nodes();
+    let mut b = GraphBuilder::new(2 * n);
+    for v in 0..n as NodeId {
+        for &u in src.csr().neighbors(v) {
+            if u > v {
+                b.add_edge(v, u);
+                b.add_edge(v + n as NodeId, u + n as NodeId);
+            }
+        }
+    }
+    let lists: Vec<Vec<cod_graph::AttrId>> = (0..2 * n)
+        .map(|v| src.node_attrs((v % n) as NodeId).to_vec())
+        .collect();
+    let g = Arc::new(AttributedGraph::from_parts(
+        b.build(),
+        AttrTable::from_lists(lists),
+        src.interner().clone(),
+    ));
+
+    let config = cfg(Parallelism::Threads(2));
+    let builder = CodEngine::from_shared(Arc::clone(&g), config);
+    let base = builder.base_hierarchy();
+    let index = builder.ensure_himor(&mut SmallRng::seed_from_u64(4242));
+    let queries: Vec<Query> = (0..32u32)
+        .map(|i| {
+            let q = (i as usize % 2 * n + (i as usize / 2) % n) as NodeId;
+            Query::new(q, (i % 2) as cod_graph::AttrId, Method::Codr)
+        })
+        .collect();
+    let limits = QueryLimits::default();
+
+    let single = CodEngine::from_shared_parts(
+        Arc::clone(&g),
+        config,
+        Arc::clone(&base),
+        Arc::clone(&index),
+    );
+    let sharded = ShardedEngine::from_shared_parts(Arc::clone(&g), config, base, index, 2);
+    // Warm both sides: measure routing + evaluation, not artifact builds.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let _ = single.query_batch_with_limits(&queries, &limits, &mut rng);
+    let _ = sharded.query_batch_with_limits(&queries, &limits, &mut rng);
+
+    group.bench_function("single_batch", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            black_box(
+                single
+                    .query_batch_with_limits(&queries, &limits, &mut rng)
+                    .into_iter()
+                    .flatten()
+                    .flatten()
+                    .map(|a| a.size())
+                    .sum::<usize>(),
+            )
+        })
+    });
+    group.bench_function("sharded_batch", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            black_box(
+                sharded
+                    .query_batch_with_limits(&queries, &limits, &mut rng)
+                    .into_iter()
+                    .flatten()
+                    .flatten()
+                    .map(|a| a.size())
+                    .sum::<usize>(),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cold_vs_warm_cache,
     bench_single_vs_batch,
     bench_governance_overhead,
+    bench_mmap_cold_vs_eager,
+    bench_sharded_vs_single_batch,
     throughput_report
 );
 criterion_main!(benches);

@@ -129,6 +129,28 @@ const RATIOS: &[(&str, &str, &str, Option<f64>)] = &[
         "serve_http/engine_direct",
         None,
     ),
+    // Out-of-core acceptance gate: opening a CODX v3 file as a memory
+    // mapping and answering a cold batch must never be slower than eagerly
+    // deserializing the whole file first — the mmap path skips the parse
+    // and defers section CRC sweeps to first touch. The 1.10 cap leaves
+    // room for page-fault noise on the shared sections the batch does
+    // touch.
+    (
+        "mmap_cold_vs_eager",
+        "query_throughput/mmap/mmap_cold",
+        "query_throughput/mmap/eager_cold",
+        Some(1.10),
+    ),
+    // Scatter-gather routing tax: a two-shard batch over shared artifacts
+    // vs the same batch on one engine. No absolute cap — on small graphs
+    // the ratio is dominated by per-sub-batch dispatch, which varies by
+    // core count; the baseline comparison still flags regressions.
+    (
+        "shard_batch_ratio",
+        "query_throughput/sharded/sharded_batch",
+        "query_throughput/sharded/single_batch",
+        None,
+    ),
 ];
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -352,6 +352,33 @@ impl CodEngine {
         engine
     }
 
+    /// An engine adopting *shared* prebuilt artifacts. Several engines can
+    /// point at one base hierarchy and one HIMOR index without copying —
+    /// this is how [`crate::shard::ShardedEngine`] keeps one engine per
+    /// shard over a single set of (possibly memory-mapped) artifacts.
+    pub fn from_shared_parts(
+        g: Arc<AttributedGraph>,
+        cfg: CodConfig,
+        base: Arc<Hierarchy>,
+        index: Arc<HimorIndex>,
+    ) -> Self {
+        let engine = Self::with_cache_capacity(g, cfg, DEFAULT_CACHE_CAPACITY);
+        let _ = engine.base.set(base);
+        let _ = engine.index.set(index);
+        engine
+    }
+
+    /// An engine over the artifacts persisted in a CODX v3 file (see
+    /// [`crate::codx::MappedArtifacts`]): graph, hierarchy and index are
+    /// materialized once — zero-copy views of the mapping where the
+    /// platform allows — and shared with the engine.
+    pub fn from_mapped(arts: &crate::codx::MappedArtifacts, cfg: CodConfig) -> CodResult<Self> {
+        let g = arts.graph()?;
+        let base = arts.hierarchy()?;
+        let index = arts.himor()?;
+        Ok(Self::from_shared_parts(g, cfg, base, index))
+    }
+
     /// The graph being served.
     pub fn graph(&self) -> &AttributedGraph {
         &self.g
@@ -742,6 +769,56 @@ impl CodEngine {
         limits: &QueryLimits,
         rng: &mut R,
     ) -> Vec<CodResult<Option<CodAnswer>>> {
+        self.query_batch_impl(queries, limits, rng, None)
+    }
+
+    /// [`CodEngine::query_batch_with_limits`] with every master seed
+    /// *derived* from `seq` by global query position instead of drawn from
+    /// a streaming RNG: query `i` evaluates on `seq.seed_for(offset + i +
+    /// 1)` (stream 0 is reserved for the one-time HIMOR build). Because a
+    /// query's seed depends only on its position, a batch split across
+    /// engines — the [`crate::shard::ShardedEngine`] scatter — answers
+    /// bit-identically to the whole batch on one engine, regardless of how
+    /// the split interleaves. Queries that settle without evaluation
+    /// (validation errors, index hits, empty chains) simply leave their
+    /// derived seed unused; unlike the streaming path, this cannot shift
+    /// any later query's seed.
+    pub fn query_batch_seeded(
+        &self,
+        queries: &[Query],
+        seq: &SeedSequence,
+        offset: u64,
+        limits: &QueryLimits,
+    ) -> Vec<CodResult<Option<CodAnswer>>> {
+        let seeds: Vec<u64> = (0..queries.len() as u64)
+            .map(|i| seq.seed_for(offset + i + 1))
+            .collect();
+        self.query_batch_derived(queries, &seeds, seq, limits)
+    }
+
+    /// The scatter half of the sharded batch: `queries[i]` evaluates on
+    /// `seeds[i]` (already derived from the batch's [`SeedSequence`] by
+    /// *global* position), and `seq` stream 0 seeds the RNG any lazy
+    /// artifact build would consume.
+    pub(crate) fn query_batch_derived(
+        &self,
+        queries: &[Query],
+        seeds: &[u64],
+        seq: &SeedSequence,
+        limits: &QueryLimits,
+    ) -> Vec<CodResult<Option<CodAnswer>>> {
+        debug_assert_eq!(queries.len(), seeds.len());
+        let mut build_rng = seq.rng_for(0);
+        self.query_batch_impl(queries, limits, &mut build_rng, Some(seeds))
+    }
+
+    fn query_batch_impl<R: Rng>(
+        &self,
+        queries: &[Query],
+        limits: &QueryLimits,
+        rng: &mut R,
+        derived: Option<&[u64]>,
+    ) -> Vec<CodResult<Option<CodAnswer>>> {
         // Admission control: with `max_inflight` set, at most that many
         // batch calls run concurrently; excess calls are shed immediately
         // with a retriable error instead of queueing behind a stalled
@@ -774,7 +851,10 @@ impl CodEngine {
         let plans: Vec<Plan> = queries
             .iter()
             .zip(sinks.iter_mut())
-            .map(|(&query, sink)| self.plan(query, limits, rng, sink))
+            .enumerate()
+            .map(|(i, (&query, sink))| {
+                self.plan(query, limits, rng, derived.map(|seeds| seeds[i]), sink)
+            })
             .collect();
 
         // Group pending evaluations by (method, attr), preserving
@@ -941,6 +1021,7 @@ impl CodEngine {
         query: Query,
         limits: &QueryLimits,
         rng: &mut R,
+        derived: Option<u64>,
         sink: &mut TraceSink,
     ) -> Plan {
         let t0 = sink.timing().then(Instant::now);
@@ -949,7 +1030,7 @@ impl CodEngine {
         // becomes this query's `Internal` error and the engine stays
         // serviceable. Cache and scratch locks recover from poisoning.
         let plan = match catch_unwind(AssertUnwindSafe(|| {
-            self.plan_inner(query, limits, rng, sink)
+            self.plan_inner(query, limits, rng, derived, sink)
         })) {
             Ok(Ok(plan)) => plan,
             Ok(Err(e)) => Plan::Done(Err(e)),
@@ -978,6 +1059,7 @@ impl CodEngine {
         query: Query,
         limits: &QueryLimits,
         rng: &mut R,
+        derived: Option<u64>,
         sink: &mut TraceSink,
     ) -> CodResult<Plan> {
         let Query {
@@ -1117,6 +1199,22 @@ impl CodEngine {
             return Ok(Plan::Done(Ok(None)));
         }
 
+        if let Some(seed) = derived {
+            // Position-derived seed: the caller fixed this query's master
+            // seed up front, so the Pending path is mandatory — streaming
+            // evaluation here would consume the build RNG and break the
+            // scatter-invariance contract of `query_batch_seeded`.
+            return Ok(Plan::Pending {
+                q,
+                attr,
+                seed,
+                artifacts,
+                cache: cache_outcome,
+                method,
+                token,
+                degraded,
+            });
+        }
         if self.cfg.parallelism.is_seeded() {
             // One master seed per evaluated query, drawn in query order.
             Ok(Plan::Pending {

@@ -66,6 +66,12 @@ pub enum Site {
     /// Mutation pipeline: per redraw batch while patching the HIMOR index
     /// after a repair (every `CHECK_EVERY` redraws).
     HimorPatch,
+    /// Out-of-core artifacts: before a mapped CODX v3 section's lazy CRC
+    /// verification runs (first access of that section).
+    MmapSection,
+    /// Sharded engine: per shard, after its slice of a scattered batch
+    /// completes and before results are gathered into global order.
+    ShardGather,
 }
 
 /// Every *engine* site, for tests that iterate the engine query surface
@@ -95,6 +101,13 @@ pub const POOL_SITES: [Site; 2] = [Site::PoolGrow, Site::PoolFold];
 /// chaos sweeps over frozen graphs don't arm unreachable checkpoints.
 pub const MUTATION_SITES: [Site; 2] = [Site::DendroRepair, Site::HimorPatch];
 
+/// The out-of-core + sharded sites, reachable only through mapped CODX v3
+/// artifacts ([`crate::codx::MappedArtifacts`]) and the
+/// [`crate::shard::ShardedEngine`] scatter-gather path. Kept out of
+/// [`SITES`] so single-engine in-RAM chaos sweeps don't arm checkpoints
+/// their workload can never hit.
+pub const OOC_SITES: [Site; 2] = [Site::MmapSection, Site::ShardGather];
+
 impl Site {
     // Only the debug-build registry parses `COD_FAILPOINTS`; release
     // builds compile the sites out and never name them.
@@ -115,6 +128,8 @@ impl Site {
             "pool_fold" => Some(Site::PoolFold),
             "dendro_repair" => Some(Site::DendroRepair),
             "himor_patch" => Some(Site::HimorPatch),
+            "mmap_section" => Some(Site::MmapSection),
+            "shard_gather" => Some(Site::ShardGather),
             _ => None,
         }
     }
@@ -162,6 +177,7 @@ mod imp {
                 .chain(super::SERVE_SITES)
                 .chain(super::POOL_SITES)
                 .chain(super::MUTATION_SITES)
+                .chain(super::OOC_SITES)
             {
                 map.insert(site, Action::Delay(std::time::Duration::from_millis(1)));
             }

@@ -15,7 +15,7 @@
 //! `≤ k` is returned directly; only if none exists does CODL fall back to
 //! compressed evaluation inside the reclustered `C_ℓ`.
 
-use cod_graph::{Csr, FxHashMap, NodeId};
+use cod_graph::{Csr, FxHashMap, NodeId, Segment};
 use cod_hierarchy::{Dendrogram, LcaIndex, TreeDiff, VertexId};
 use cod_influence::{
     par_ranges, CancelToken, Model, Parallelism, RrGraph, RrSampler, SampleStats, SeedSequence,
@@ -28,12 +28,76 @@ use crate::failpoint;
 /// the compressed-evaluation cadence).
 const CHECK_EVERY: usize = 64;
 
+/// Flattened per-node rank rows in CSR-like storage: `of(v)` is node `v`'s
+/// rank vector, aligned with its root path (index 0 = deepest community).
+///
+/// Stored in [`Segment`]s so a memory-mapped CODX v3 artifact can back the
+/// table zero-copy; in-RAM builds own their vectors as before.
+#[derive(Clone, Debug, Default)]
+pub struct RankTable {
+    offsets: Segment<usize>,
+    values: Segment<u32>,
+}
+
+impl RankTable {
+    /// Flattens per-node rank rows (the merge stage's output shape).
+    pub fn from_nested(rows: Vec<Vec<u32>>) -> Self {
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut values = Vec::new();
+        offsets.push(0);
+        for row in &rows {
+            values.extend_from_slice(row);
+            offsets.push(values.len());
+        }
+        Self {
+            offsets: offsets.into(),
+            values: values.into(),
+        }
+    }
+
+    /// Assembles a table over pre-validated storage (owned or mapped).
+    /// `offsets` must have length `n + 1`, start at 0, end at
+    /// `values.len()`, and be non-decreasing.
+    pub fn from_segments(offsets: Segment<usize>, values: Segment<u32>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets.first().copied(), Some(0));
+        debug_assert_eq!(offsets.last().copied(), Some(values.len()));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self { offsets, values }
+    }
+
+    /// Number of nodes covered.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The rank row of node `v`.
+    #[inline]
+    pub fn of(&self, v: NodeId) -> &[u32] {
+        let v = v as usize;
+        &self.values[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The raw offset array (`n + 1` entries), for persistence.
+    #[inline]
+    pub fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated rank array, for persistence.
+    #[inline]
+    pub fn raw_values(&self) -> &[u32] {
+        &self.values
+    }
+}
+
 /// Influence ranks of every node along its root path in `T`.
 #[derive(Clone, Debug)]
 pub struct HimorIndex {
-    /// `ranks[v][j]` = 1-based estimated influence rank of node `v` in its
-    /// `j`-th root-path community (0 = the deepest, its leaf's parent).
-    ranks: Vec<Vec<u32>>,
+    /// `ranks.of(v)[j]` = 1-based estimated influence rank of node `v` in
+    /// its `j`-th root-path community (0 = the deepest, its leaf's parent).
+    ranks: RankTable,
     /// Total RR graphs used.
     theta: usize,
     /// Construction-effort counters recorded while building.
@@ -102,7 +166,7 @@ impl HimorIndex {
             bucket_merges: (dendro.num_vertices() - n) as u64,
         };
         Self {
-            ranks,
+            ranks: RankTable::from_nested(ranks),
             theta,
             build_stats,
         }
@@ -170,7 +234,7 @@ impl HimorIndex {
             bucket_merges: (dendro.num_vertices() - n) as u64,
         };
         Some(Self {
-            ranks,
+            ranks: RankTable::from_nested(ranks),
             theta,
             build_stats,
         })
@@ -229,7 +293,7 @@ impl HimorIndex {
             bucket_merges: (dendro.num_vertices() - n) as u64,
         };
         let index = Self {
-            ranks,
+            ranks: RankTable::from_nested(ranks),
             theta,
             build_stats,
         };
@@ -572,11 +636,22 @@ impl HimorIndex {
     /// `ranks[v]` must align with the root path of `v` in the hierarchy the
     /// index will be queried against.
     pub fn from_raw(ranks: Vec<Vec<u32>>, theta: usize) -> Self {
+        Self::from_table(RankTable::from_nested(ranks), theta)
+    }
+
+    /// Reassembles an index from a prebuilt (possibly memory-mapped) rank
+    /// table — the CODX v3 zero-copy load path.
+    pub fn from_table(ranks: RankTable, theta: usize) -> Self {
         Self {
             ranks,
             theta,
             build_stats: BuildStats::default(),
         }
+    }
+
+    /// The rank table (for persistence).
+    pub fn rank_table(&self) -> &RankTable {
+        &self.ranks
     }
 
     /// Construction-effort counters ([`BuildStats`]); all zero for an index
@@ -587,7 +662,7 @@ impl HimorIndex {
 
     /// Number of indexed nodes.
     pub fn num_nodes(&self) -> usize {
-        self.ranks.len()
+        self.ranks.num_nodes()
     }
 
     /// Number of RR graphs used for construction.
@@ -598,7 +673,7 @@ impl HimorIndex {
     /// The stored rank vector of `v`, aligned with
     /// [`Dendrogram::root_path`] (index 0 = deepest community).
     pub fn ranks_of(&self, v: NodeId) -> &[u32] {
-        &self.ranks[v as usize]
+        self.ranks.of(v)
     }
 
     /// Algorithm 3, lines 1–2: the *largest* community on `q`'s root path
@@ -631,10 +706,8 @@ impl HimorIndex {
     /// Approximate index memory in bytes (rank entries only) — the
     /// Table II "index size" metric.
     pub fn memory_bytes(&self) -> usize {
-        self.ranks
-            .iter()
-            .map(|r| r.len() * std::mem::size_of::<u32>() + std::mem::size_of::<Vec<u32>>())
-            .sum()
+        std::mem::size_of_val(self.ranks.raw_values())
+            + std::mem::size_of_val(self.ranks.raw_offsets())
     }
 }
 
@@ -858,7 +931,7 @@ impl HimorPatchState {
         };
         let sampled = sampler.stats();
         let index = HimorIndex {
-            ranks,
+            ranks: RankTable::from_nested(ranks),
             theta: self.theta,
             build_stats: BuildStats {
                 rr_graphs: sampled.graphs,

@@ -35,6 +35,7 @@
 
 pub mod cache;
 pub mod chain;
+pub mod codx;
 pub mod compressed;
 pub mod dynamic;
 pub mod engine;
@@ -50,10 +51,12 @@ pub mod pipeline;
 pub mod pool;
 pub mod recluster;
 pub mod scratch;
+pub mod shard;
 pub mod telemetry;
 
 pub use cache::{CacheStats, ReclusterCache};
 pub use chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
+pub use codx::{save_artifacts, serialize_artifacts, MappedArtifacts, CODX_V3};
 pub use compressed::{
     compressed_cod, compressed_cod_adaptive, compressed_cod_adaptive_pooled,
     compressed_cod_adaptive_seeded, compressed_cod_governed, compressed_cod_pooled,
@@ -74,6 +77,7 @@ pub use pool::{
     DEFAULT_POOL_BUDGET_BYTES,
 };
 pub use scratch::QueryScratch;
+pub use shard::ShardedEngine;
 pub use telemetry::{
     Counter, CounterSnapshot, MetricsRegistry, MetricsSnapshot, Phase, PhaseNanos, QueryOutcome,
     QueryTrace, TraceSink, COUNTERS, PHASES,

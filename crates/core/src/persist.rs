@@ -56,6 +56,7 @@ use crate::himor::HimorIndex;
 const MAGIC: &[u8; 4] = b"CODX";
 const VERSION: u32 = 2;
 const V1: u32 = 1;
+const V3: u32 = crate::codx::CODX_V3;
 
 // ---------------------------------------------------------------------------
 // CRC32 (IEEE 802.3, polynomial 0xEDB88320), table-driven, no dependencies.
@@ -163,10 +164,37 @@ static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// previously existing index file untouched.
 pub fn save_index(path: &Path, dendro: &Dendrogram, index: &HimorIndex) -> CodResult<()> {
     let bytes = serialize_index(dendro, index)?;
+    write_atomically(path, &bytes)
+}
+
+/// Writes the artifacts in the requested CODX version: `3` (the default
+/// writer, out-of-core layout with the graph embedded — see
+/// [`crate::codx`]) or `2` (compatibility; graph-free, eager-parse). Any
+/// other version is rejected up front.
+pub fn save_index_versioned(
+    path: &Path,
+    g: &cod_graph::AttributedGraph,
+    dendro: &Dendrogram,
+    index: &HimorIndex,
+    version: u32,
+) -> CodResult<()> {
+    match version {
+        VERSION => save_index(path, dendro, index),
+        V3 => crate::codx::save_artifacts(path, g, dendro, index),
+        other => Err(CodError::GraphFormat(format!(
+            "cannot write CODX version {other} (supported: {VERSION}, {V3})"
+        ))),
+    }
+}
+
+/// Atomically replaces `path` with `bytes`: unique temp sibling, write,
+/// fsync, rename. Shared by the v2 and v3 writers; a failure at any point
+/// leaves a previously existing file untouched.
+pub(crate) fn write_atomically(path: &Path, bytes: &[u8]) -> CodResult<()> {
     let tmp = temp_sibling(path);
     let result = (|| -> CodResult<()> {
         let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(&bytes)?;
+        f.write_all(bytes)?;
         f.sync_all()?;
         std::fs::rename(&tmp, path)?;
         Ok(())
@@ -284,8 +312,17 @@ pub fn load_index_bytes(bytes: &[u8]) -> CodResult<(Dendrogram, HimorIndex)> {
     match version {
         V1 => parse_body(&mut c, false),
         VERSION => parse_v2(&mut c, bytes.len()),
+        // v3 fallback: parse the out-of-core layout eagerly (views into a
+        // private owned buffer) and clone out the pair this API promises.
+        // Zero-copy v3 serving goes through `codx::MappedArtifacts`.
+        V3 => {
+            let arts = crate::codx::MappedArtifacts::from_vec(bytes.to_vec())?;
+            let hier = arts.hierarchy()?;
+            let index = arts.himor()?;
+            Ok((hier.dendro.clone(), (*index).clone()))
+        }
         other => Err(corrupt(format!(
-            "unsupported version {other} (expected {V1} or {VERSION})"
+            "unsupported version {other} (expected {V1}, {VERSION} or {V3})"
         ))),
     }
 }

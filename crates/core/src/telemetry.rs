@@ -240,6 +240,16 @@ impl PhaseNanos {
     pub fn total(&self) -> u64 {
         self.0.iter().sum()
     }
+
+    /// Component-wise sum (used when aggregating per-shard snapshots).
+    #[must_use]
+    pub fn saturating_add(&self, other: &PhaseNanos) -> PhaseNanos {
+        let mut out = *self;
+        for (slot, v) in out.0.iter_mut().zip(other.0) {
+            *slot = slot.saturating_add(v);
+        }
+        out
+    }
 }
 
 /// One query's finalized telemetry: counter deltas plus per-phase
@@ -651,6 +661,39 @@ impl MetricsSnapshot {
     /// Total latency observations (traced queries recorded so far).
     pub fn latency_count(&self) -> u64 {
         self.latency_buckets.iter().sum()
+    }
+
+    /// Component-wise sum of two snapshots; uptime keeps the maximum (the
+    /// oldest registry). The sharded engine aggregates its per-shard
+    /// registries through this before rendering one exposition.
+    #[must_use]
+    pub fn merged(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = *self;
+        out.counters = out.counters.saturating_add(&other.counters);
+        out.phase_nanos = out.phase_nanos.saturating_add(&other.phase_nanos);
+        out.queries += other.queries;
+        out.answers_index += other.answers_index;
+        out.answers_compressed += other.answers_compressed;
+        out.answers_none += other.answers_none;
+        out.errors += other.errors;
+        out.answers_degraded += other.answers_degraded;
+        out.queries_shed += other.queries_shed;
+        out.mutations_insert += other.mutations_insert;
+        out.mutations_remove += other.mutations_remove;
+        out.mutations_set_attrs += other.mutations_set_attrs;
+        out.repairs += other.repairs;
+        out.full_rebuilds += other.full_rebuilds;
+        out.pool_scoped_evictions += other.pool_scoped_evictions;
+        for (slot, v) in out
+            .latency_buckets
+            .iter_mut()
+            .zip(other.latency_buckets.iter())
+        {
+            *slot += v;
+        }
+        out.latency_sum_nanos += other.latency_sum_nanos;
+        out.uptime_nanos = out.uptime_nanos.max(other.uptime_nanos);
+        out
     }
 
     /// Renders the snapshot in the Prometheus text exposition format.

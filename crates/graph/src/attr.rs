@@ -1,5 +1,6 @@
 //! Categorical node attributes: dense id interning and per-node storage.
 
+use crate::bytes::Segment;
 use crate::fxhash::FxHashMap;
 use crate::{AttrId, NodeId};
 
@@ -54,17 +55,40 @@ impl AttrInterner {
 /// membership tests.
 #[derive(Clone, Debug, Default)]
 pub struct AttrTable {
-    offsets: Vec<usize>,
-    values: Vec<AttrId>,
+    offsets: Segment<usize>,
+    values: Segment<AttrId>,
 }
 
 impl AttrTable {
     /// A table with no attributes for `num_nodes` nodes.
     pub fn empty(num_nodes: usize) -> Self {
         Self {
-            offsets: vec![0; num_nodes + 1],
-            values: Vec::new(),
+            offsets: vec![0; num_nodes + 1].into(),
+            values: Segment::new(),
         }
+    }
+
+    /// Builds a table over pre-validated storage (owned or mapped).
+    /// `offsets` must have length `n + 1`, start at 0, end at
+    /// `values.len()`, and be non-decreasing.
+    pub fn from_segments(offsets: Segment<usize>, values: Segment<AttrId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets.first().copied(), Some(0));
+        debug_assert_eq!(offsets.last().copied(), Some(values.len()));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self { offsets, values }
+    }
+
+    /// The raw offset array (`n + 1` entries), for persistence.
+    #[inline]
+    pub fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated attribute array, for persistence.
+    #[inline]
+    pub fn raw_values(&self) -> &[AttrId] {
+        &self.values
     }
 
     /// Builds from per-node attribute lists (deduplicated and sorted here).
@@ -78,7 +102,10 @@ impl AttrTable {
             values.extend_from_slice(&list);
             offsets.push(values.len());
         }
-        Self { offsets, values }
+        Self {
+            offsets: offsets.into(),
+            values: values.into(),
+        }
     }
 
     /// Builds a table where every node has exactly one attribute.
@@ -89,8 +116,8 @@ impl AttrTable {
             offsets.push(i);
         }
         Self {
-            offsets,
-            values: labels.to_vec(),
+            offsets: offsets.into(),
+            values: labels.to_vec().into(),
         }
     }
 

@@ -1,0 +1,416 @@
+//! Byte-backed array storage: an `mmap` wrapper and typed [`Segment`]s.
+//!
+//! The out-of-core artifact path (CODX v3) persists every large array —
+//! CSR offsets/targets, attribute tables, HIMOR level tables — as an
+//! 8-byte-aligned section of one file. A [`Bytes`] buffer holds the whole
+//! file either owned in RAM or memory-mapped read-only, and a
+//! [`Segment<T>`] is a typed view into it that derefs to `&[T]` exactly
+//! like the `Vec<T>` it replaces. In-RAM construction paths keep using
+//! owned vectors (`Segment::from(vec)`); the mapped loader hands out
+//! zero-copy views into the shared mapping, so N processes serving the
+//! same artifact file share one page-cache copy of the index.
+//!
+//! # Safety invariants (see DESIGN §15)
+//!
+//! * Mapped views are only created over sections whose byte range lies
+//!   inside the buffer and whose start is aligned to `align_of::<T>()`;
+//!   [`Segment::view`] checks both and refuses otherwise.
+//! * Element types are [`Pod`]: plain-old-data with no invalid bit
+//!   patterns, so arbitrary (CRC-verified) file bytes are always a valid
+//!   `[T]`.
+//! * Mappings are `PROT_READ`/`MAP_PRIVATE`: nothing in-process can write
+//!   through them. Truncating the artifact file *externally* while mapped
+//!   is undefined (SIGBUS on touch), which is why saves go through an
+//!   atomic temp+rename — the old inode stays valid for live mappings.
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Marker for plain-old-data element types safe to reinterpret from
+/// arbitrary aligned bytes.
+///
+/// # Safety
+///
+/// Implementors must have no padding, no invalid bit patterns, and no
+/// drop glue: every properly aligned byte sequence of `size_of::<T>()`
+/// bytes is a valid `T`.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {}
+
+// Safety: fixed-width unsigned integers accept every bit pattern.
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+// Safety: on 64-bit targets `usize` is layout-identical to `u64`. The
+// mapped CODX v3 path reinterprets persisted little-endian u64 offset
+// arrays as `&[usize]` and is only compiled where that holds; other
+// targets fall back to eager (owned) loads.
+#[cfg(target_pointer_width = "64")]
+unsafe impl Pod for usize {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 0x1;
+    pub const MAP_PRIVATE: i32 = 0x2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed(p: *mut c_void) -> bool {
+        p as isize == -1
+    }
+}
+
+/// A read-only private memory mapping of an entire file.
+///
+/// Unmapped on drop. The mapping outlives the `File` used to create it
+/// (POSIX keeps the pages valid after `close`).
+#[cfg(unix)]
+struct MmapRegion {
+    ptr: *const u8,
+    len: usize,
+}
+
+#[cfg(unix)]
+impl MmapRegion {
+    fn map(file: &File, len: usize) -> io::Result<Self> {
+        use std::os::unix::io::AsRawFd;
+        debug_assert!(len > 0, "zero-length maps are rejected by mmap");
+        // Safety: we request a fresh PROT_READ/MAP_PRIVATE mapping of a
+        // file we hold open; the kernel picks the address. Failure is
+        // reported via MAP_FAILED and checked below.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if sys::map_failed(ptr) {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        // Safety: ptr/len describe a live PROT_READ mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        // Safety: ptr/len came from a successful mmap and are unmapped
+        // exactly once. munmap failure on a valid region is unreachable;
+        // ignore the return value rather than panic in drop.
+        unsafe {
+            let _ = sys::munmap(self.ptr as *mut _, self.len);
+        }
+    }
+}
+
+// Safety: the mapping is immutable (PROT_READ, MAP_PRIVATE) for its whole
+// lifetime, so shared references from any thread are sound.
+#[cfg(unix)]
+unsafe impl Send for MmapRegion {}
+#[cfg(unix)]
+unsafe impl Sync for MmapRegion {}
+
+enum Backing {
+    Owned(Vec<u8>),
+    #[cfg(unix)]
+    Mapped(MmapRegion),
+}
+
+/// An immutable byte buffer, either owned or memory-mapped.
+pub struct Bytes {
+    backing: Backing,
+}
+
+impl Bytes {
+    /// Wraps an owned byte vector.
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        Self {
+            backing: Backing::Owned(v),
+        }
+    }
+
+    /// Maps `path` read-only. On unix this is a true `mmap` (page-cache
+    /// backed, demand-paged); elsewhere the file is read into RAM, which
+    /// keeps the API total at the cost of residency.
+    pub fn map_file(path: &Path) -> io::Result<Self> {
+        #[cfg(unix)]
+        {
+            let file = File::open(path)?;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(Self::from_vec(Vec::new()));
+            }
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+            Ok(Self {
+                backing: Backing::Mapped(MmapRegion::map(&file, len)?),
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(Self::from_vec(std::fs::read(path)?))
+        }
+    }
+
+    /// Whether the buffer is a true memory mapping (demand-paged) rather
+    /// than an owned in-RAM copy.
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            Backing::Owned(_) => false,
+            #[cfg(unix)]
+            Backing::Mapped(_) => true,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.backing {
+            Backing::Owned(v) => v,
+            #[cfg(unix)]
+            Backing::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bytes")
+            .field("len", &self.len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// A typed immutable array: an owned `Vec<T>` or a zero-copy view into a
+/// shared [`Bytes`] buffer. Derefs to `&[T]` either way, so the structs
+/// that hold one ([`crate::Csr`], [`crate::AttrTable`], HIMOR tables) are
+/// oblivious to where their storage lives.
+pub enum Segment<T: Pod> {
+    /// Heap-owned storage — the in-RAM construction path.
+    Owned(Vec<T>),
+    /// A view into `bytes[byte_off ..]` of `len` elements. Construction
+    /// via [`Segment::view`] guarantees bounds and alignment.
+    View {
+        bytes: Arc<Bytes>,
+        byte_off: usize,
+        len: usize,
+    },
+}
+
+impl<T: Pod> Segment<T> {
+    /// An empty owned segment.
+    pub fn new() -> Self {
+        Segment::Owned(Vec::new())
+    }
+
+    /// A zero-copy view of `len` elements starting at `byte_off` in
+    /// `bytes`. Fails (with a static reason) when the range escapes the
+    /// buffer or the start is misaligned for `T` — the caller maps that
+    /// into its corruption-error taxonomy.
+    pub fn view(bytes: Arc<Bytes>, byte_off: usize, len: usize) -> Result<Self, &'static str> {
+        let elem = std::mem::size_of::<T>();
+        let nbytes = elem.checked_mul(len).ok_or("section length overflow")?;
+        let end = byte_off
+            .checked_add(nbytes)
+            .ok_or("section offset overflow")?;
+        if end > bytes.len() {
+            return Err("section extends past end of buffer");
+        }
+        let ptr = bytes.as_ptr() as usize + byte_off;
+        if ptr % std::mem::align_of::<T>() != 0 {
+            return Err("section misaligned for element type");
+        }
+        Ok(Segment::View {
+            bytes,
+            byte_off,
+            len,
+        })
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Segment::Owned(v) => v,
+            Segment::View {
+                bytes,
+                byte_off,
+                len,
+            } => {
+                // Safety: `view` checked bounds and alignment at
+                // construction; T is Pod so any bytes are a valid value;
+                // the Arc keeps the buffer alive for the borrow.
+                unsafe {
+                    std::slice::from_raw_parts(bytes.as_ptr().add(*byte_off) as *const T, *len)
+                }
+            }
+        }
+    }
+
+    /// Whether this segment borrows a mapped buffer (vs owning its data).
+    pub fn is_view(&self) -> bool {
+        matches!(self, Segment::View { .. })
+    }
+
+    /// Mutable access, converting a view into owned storage by copying
+    /// first (the mutation pipeline patches in place; patched indexes are
+    /// owned from then on).
+    pub fn to_mut(&mut self) -> &mut Vec<T> {
+        if let Segment::View { .. } = self {
+            *self = Segment::Owned(self.as_slice().to_vec());
+        }
+        match self {
+            Segment::Owned(v) => v,
+            Segment::View { .. } => unreachable!("converted to owned above"),
+        }
+    }
+
+    /// Extracts an owned vector (copying if this is a view).
+    pub fn into_vec(self) -> Vec<T> {
+        match self {
+            Segment::Owned(v) => v,
+            view @ Segment::View { .. } => view.as_slice().to_vec(),
+        }
+    }
+}
+
+impl<T: Pod> Default for Segment<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Segment<T> {
+    fn from(v: Vec<T>) -> Self {
+        Segment::Owned(v)
+    }
+}
+
+impl<T: Pod> Deref for Segment<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> Clone for Segment<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Segment::Owned(v) => Segment::Owned(v.clone()),
+            Segment::View {
+                bytes,
+                byte_off,
+                len,
+            } => Segment::View {
+                bytes: Arc::clone(bytes),
+                byte_off: *byte_off,
+                len: *len,
+            },
+        }
+    }
+}
+
+// Debug shows the elements, not the backing, so derived Debug on the
+// structs that hold a Segment prints the same whether owned or mapped.
+impl<T: Pod + fmt::Debug> fmt::Debug for Segment<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for Segment<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_round_trip() {
+        let s: Segment<u32> = vec![1, 2, 3].into();
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert!(!s.is_view());
+        assert_eq!(s.clone().into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn view_reads_aligned_bytes() {
+        let mut raw = Vec::new();
+        for x in [7u32, 8, 9] {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        let bytes = Arc::new(Bytes::from_vec(raw));
+        let s: Segment<u32> = Segment::view(bytes, 0, 3).unwrap();
+        assert!(s.is_view());
+        assert_eq!(&s[..], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn view_rejects_out_of_bounds_and_misalignment() {
+        let bytes = Arc::new(Bytes::from_vec(vec![0u8; 16]));
+        assert!(Segment::<u64>::view(Arc::clone(&bytes), 0, 3).is_err());
+        // An offset of 1 can never be 8-aligned regardless of the base
+        // pointer — but 4-byte types at offset 2 may or may not align, so
+        // only assert the always-misaligned case.
+        assert!(Segment::<u64>::view(Arc::clone(&bytes), 1, 1).is_err());
+    }
+
+    #[test]
+    fn to_mut_detaches_view() {
+        let mut raw = Vec::new();
+        for x in [1u32, 2] {
+            raw.extend_from_slice(&x.to_le_bytes());
+        }
+        let bytes = Arc::new(Bytes::from_vec(raw));
+        let mut s: Segment<u32> = Segment::view(bytes, 0, 2).unwrap();
+        s.to_mut().push(3);
+        assert!(!s.is_view());
+        assert_eq!(&s[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn map_file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cod_bytes_test_{}.bin", std::process::id()));
+        std::fs::write(&path, [1u8, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let b = Bytes::map_file(&path).unwrap();
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6, 7, 8]);
+        drop(b);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,5 +1,6 @@
 //! Compressed sparse-row adjacency storage for undirected graphs.
 
+use crate::bytes::Segment;
 use crate::NodeId;
 
 /// An immutable undirected graph in compressed sparse-row form.
@@ -7,12 +8,16 @@ use crate::NodeId;
 /// Each undirected edge `{u, v}` is stored twice (once in each endpoint's
 /// neighbor list); neighbor lists are sorted ascending, enabling binary-search
 /// adjacency tests and deterministic iteration.
+///
+/// Storage lives in [`Segment`]s: heap-owned when built in RAM, zero-copy
+/// views when loaded from a memory-mapped CODX v3 artifact. Every accessor
+/// behaves identically either way.
 #[derive(Clone, Debug, Default)]
 pub struct Csr {
     /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for node `v`.
-    offsets: Vec<usize>,
+    offsets: Segment<usize>,
     /// Concatenated, per-node-sorted neighbor lists.
-    neighbors: Vec<NodeId>,
+    neighbors: Segment<NodeId>,
 }
 
 impl Csr {
@@ -24,6 +29,14 @@ impl Csr {
     /// checked with debug assertions (the [`crate::builder::GraphBuilder`]
     /// establishes them by construction).
     pub fn from_raw(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+        Self::from_segments(offsets.into(), neighbors.into())
+    }
+
+    /// Builds a CSR over pre-validated storage (owned or mapped). Same
+    /// invariants as [`Csr::from_raw`], checked with debug assertions;
+    /// the mapped loader additionally validates them eagerly so corrupt
+    /// files surface as typed errors, not debug panics.
+    pub fn from_segments(offsets: Segment<usize>, neighbors: Segment<NodeId>) -> Self {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(offsets.first().copied(), Some(0));
         debug_assert_eq!(offsets.last().copied(), Some(neighbors.len()));
@@ -35,6 +48,19 @@ impl Csr {
             debug_assert!(!s.contains(&(v as NodeId)), "self-loop");
         }
         Self { offsets, neighbors }
+    }
+
+    /// The raw offset array (`n + 1` entries), for persistence.
+    #[inline]
+    pub fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbor array (`2 |E|` entries), for
+    /// persistence.
+    #[inline]
+    pub fn raw_neighbors(&self) -> &[NodeId] {
+        &self.neighbors
     }
 
     /// Number of nodes.

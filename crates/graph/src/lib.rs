@@ -29,6 +29,7 @@
 
 pub mod attr;
 pub mod builder;
+pub mod bytes;
 pub mod components;
 pub mod csr;
 pub mod fxhash;
@@ -42,6 +43,7 @@ pub mod subgraph;
 
 pub use attr::{AttrInterner, AttrTable};
 pub use builder::GraphBuilder;
+pub use bytes::{Bytes, Segment};
 pub use csr::Csr;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use overlay::DeltaCsr;

@@ -42,4 +42,6 @@ pub mod json;
 mod server;
 pub mod signal;
 
-pub use server::{serve, HttpStats, ServeConfig, ServerHandle, ShutdownReport};
+pub use server::{
+    serve, serve_handle, EngineHandle, HttpStats, ServeConfig, ServerHandle, ShutdownReport,
+};

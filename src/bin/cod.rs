@@ -26,11 +26,14 @@ use std::time::Duration;
 
 use pcod::cod::chain::Chain;
 use pcod::cod::compressed::{compressed_cod, compressed_cod_seeded};
-use pcod::cod::persist::{load_index, save_index};
+use pcod::cod::persist::{load_index, save_index_versioned};
 use pcod::cod::recluster::build_hierarchy;
+use pcod::cod::shard::ShardedEngine;
+use pcod::cod::MappedArtifacts;
 use pcod::graph::io;
 use pcod::graph::measures;
 use pcod::prelude::*;
+use pcod::serve::EngineHandle;
 use rand::prelude::*;
 
 fn main() -> ExitCode {
@@ -48,6 +51,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd.as_str() {
         "stats" => cmd_stats(&opts),
+        "index" => cmd_index(&opts),
         "query" => cmd_query(&opts),
         "hierarchy" => cmd_hierarchy(&opts),
         "baseline" => cmd_baseline(&opts),
@@ -78,6 +82,8 @@ USAGE:
 
 COMMANDS:
   stats      print graph statistics
+  index      build the hierarchy + HIMOR index and persist them to --index
+             (CODX v3 by default; --codx-version 2 for the legacy format)
   query      find the characteristic community of a node
   hierarchy  print a node's hierarchical communities and influence ranks
   baseline   run a community-search baseline (acq / atc / cac)
@@ -117,6 +123,17 @@ OPTIONS:
                   a warning on stderr
   --strict-index  treat an unusable --index file as a fatal error instead
                   of rebuilding
+  --codx-version V index/query: CODX format written by `cod index` and by
+                  the corrupt-index rebuild path (3 = sectioned, mmap-able
+                  artifact file, the default; 2 = legacy hierarchy+index)
+  --mmap          query/serve: serve the --index CODX v3 artifacts from a
+                  memory mapping (zero-copy, lazily CRC-verified) instead
+                  of loading them eagerly. The graph source may be
+                  omitted; the graph inside the artifact file is served
+  --shards N      serve: partition the graph by connected component onto N
+                  shards, one engine per shard over the shared artifacts;
+                  batches scatter-gather with per-shard admission control.
+                  Answers are bit-identical to --shards 1 for any N
   --budget N      cap total RR-graph samples per query; truncated answers
                   are flagged best-effort
   --deadline-ms N wall-clock deadline per query. A query that overruns it
@@ -196,6 +213,9 @@ struct Opts {
     accept_queue: Option<usize>,
     drain_ms: Option<u64>,
     max_request_bytes: Option<usize>,
+    shards: Option<usize>,
+    mmap: bool,
+    codx_version: Option<u32>,
 }
 
 fn parse_threads(raw: &str) -> Result<Parallelism, String> {
@@ -238,6 +258,11 @@ impl Opts {
             }
             if args[i] == "--pool" {
                 o.pool = true;
+                i += 1;
+                continue;
+            }
+            if args[i] == "--mmap" {
+                o.mmap = true;
                 i += 1;
                 continue;
             }
@@ -318,6 +343,20 @@ impl Opts {
                         value(args, i)?
                             .parse()
                             .map_err(|_| "--max-request-bytes wants a number")?,
+                    )
+                }
+                "--shards" => {
+                    o.shards = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--shards wants a number")?,
+                    )
+                }
+                "--codx-version" => {
+                    o.codx_version = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--codx-version wants 2 or 3")?,
                     )
                 }
                 "--log" => o.log = Some(PathBuf::from(value(args, i)?)),
@@ -414,10 +453,19 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The CODX version `--codx-version` asks for (default: v3, the
+/// sectioned mmap-able format). Shared by `cod index` and the
+/// corrupt-index rebuild path, so a rebuild resaves in the version the
+/// user originally requested.
+fn requested_codx_version(opts: &Opts) -> u32 {
+    opts.codx_version.unwrap_or(pcod::cod::CODX_V3)
+}
+
 /// Builds a CODL engine, loading the HIMOR index from `--index` when one is
 /// given and usable. Unusable index files (missing, corrupt, stale version,
 /// wrong graph) are fatal under `--strict-index`; otherwise they trigger a
-/// rebuild and an atomic resave, with a warning on stderr.
+/// rebuild and an atomic resave (in the `--codx-version` the caller
+/// requested), with a warning on stderr.
 fn build_codl<'g, R: Rng>(
     g: &'g AttributedGraph,
     cfg: CodConfig,
@@ -427,7 +475,7 @@ fn build_codl<'g, R: Rng>(
     let Some(path) = &opts.index else {
         return Ok(Codl::new(g, cfg, rng));
     };
-    match try_load_codl(g, cfg, path) {
+    match try_load_codl(g, cfg, path, opts.mmap) {
         Ok(codl) => {
             eprintln!("loaded HIMOR index from {}", path.display());
             Ok(codl)
@@ -442,7 +490,8 @@ fn build_codl<'g, R: Rng>(
             );
             let codl = Codl::new(g, cfg, rng);
             let (dendro, _) = codl.hierarchy();
-            match save_index(path, dendro, codl.index()) {
+            match save_index_versioned(path, g, dendro, codl.index(), requested_codx_version(opts))
+            {
                 Ok(()) => eprintln!("saved rebuilt index to {}", path.display()),
                 Err(e) => eprintln!("warning: could not save rebuilt index: {e}"),
             }
@@ -451,13 +500,23 @@ fn build_codl<'g, R: Rng>(
     }
 }
 
-/// Loads a saved index and validates it against the loaded graph.
+/// Loads a saved index and validates it against the loaded graph. With
+/// `mmap`, a CODX v3 file is memory-mapped and its sections are verified
+/// lazily; otherwise the bytes are read eagerly (either format).
 fn try_load_codl<'g>(
     g: &'g AttributedGraph,
     cfg: CodConfig,
     path: &Path,
+    mmap: bool,
 ) -> Result<Codl<'g>, String> {
-    let (dendro, index) = load_index(path).map_err(|e| e.to_string())?;
+    let (dendro, index) = if mmap {
+        let arts = MappedArtifacts::open(path).map_err(|e| e.to_string())?;
+        let hier = arts.hierarchy().map_err(|e| e.to_string())?;
+        let index = arts.himor().map_err(|e| e.to_string())?;
+        (hier.dendro.clone(), (*index).clone())
+    } else {
+        load_index(path).map_err(|e| e.to_string())?
+    };
     if index.num_nodes() != g.num_nodes() {
         return Err(format!(
             "index covers {} nodes but the graph has {}",
@@ -467,6 +526,30 @@ fn try_load_codl<'g>(
     }
     let lca = LcaIndex::new(&dendro);
     Ok(Codl::from_parts(g, cfg, dendro, lca, index))
+}
+
+/// `cod index`: build the hierarchy + HIMOR index for a graph and persist
+/// them to `--index` in the requested CODX version (v3 by default — the
+/// sectioned format `--mmap` serving requires).
+fn cmd_index(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .index
+        .as_ref()
+        .ok_or("index needs --index FILE (the output path)")?;
+    let g = opts.load_graph()?;
+    let cfg = opts.cod_config();
+    let version = requested_codx_version(opts);
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let codl = Codl::new(&g, cfg, &mut rng);
+    let (dendro, _) = codl.hierarchy();
+    save_index_versioned(path, &g, dendro, codl.index(), version).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "saved CODX v{version} index to {} ({bytes} bytes, {} nodes)",
+        path.display(),
+        g.num_nodes()
+    );
+    Ok(())
 }
 
 /// Node-range check shared by the commands that index per-node data (the
@@ -483,8 +566,24 @@ fn check_node(g: &AttributedGraph, q: NodeId) -> Result<(), String> {
     }
 }
 
+/// Graph source for `cod query`: the usual `--edges`/`--preset` ladder,
+/// or — with `--mmap` and no graph source — the graph section of the
+/// `--index` CODX v3 artifact itself (the same rung `cod serve` uses).
+/// The clone shares the file mapping; no eager copy is made.
+fn load_query_graph(opts: &Opts) -> Result<AttributedGraph, String> {
+    if opts.mmap && opts.edges.is_none() && opts.preset.is_none() {
+        let path = opts
+            .index
+            .as_ref()
+            .ok_or("--mmap needs --index FILE (a CODX v3 artifact)")?;
+        let arts = MappedArtifacts::open(path).map_err(|e| e.to_string())?;
+        return Ok((*arts.graph().map_err(|e| e.to_string())?).clone());
+    }
+    opts.load_graph()
+}
+
 fn cmd_query(opts: &Opts) -> Result<(), String> {
-    let g = opts.load_graph()?;
+    let g = load_query_graph(opts)?;
     let cfg = opts.cod_config();
     let method = opts.method.as_deref().unwrap_or("codl");
     if opts.index.is_some() && method != "codl" {
@@ -574,11 +673,16 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
 /// Writes the engine's Prometheus-style metrics to `--metrics-out`, when
 /// given.
 fn write_metrics(opts: &Opts, engine: &CodEngine) -> Result<(), String> {
+    write_metrics_text(opts, engine.metrics_text())
+}
+
+/// [`write_metrics`] over an already-rendered exposition (the sharded
+/// handle renders its own, with the `cod_shard_*` series appended).
+fn write_metrics_text(opts: &Opts, text: String) -> Result<(), String> {
     let Some(path) = &opts.metrics_out else {
         return Ok(());
     };
-    std::fs::write(path, engine.metrics_text())
-        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
     eprintln!("wrote metrics to {}", path.display());
     Ok(())
 }
@@ -887,9 +991,55 @@ fn cmd_im(opts: &Opts) -> Result<(), String> {
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     use std::io::Write as _;
 
-    let g = opts.load_graph()?;
     let cfg = opts.cod_config();
-    let engine = Arc::new(CodEngine::new(g, cfg));
+    let shards = opts.shards.unwrap_or(1).max(1);
+    // Engine source ladder: --mmap serves straight out of a CODX v3
+    // artifact file (graph included — no --edges/--preset needed);
+    // otherwise the graph loads from its usual source and artifacts build
+    // in-process. --shards picks the sharded fleet either way.
+    let engine = if opts.mmap {
+        let path = opts
+            .index
+            .as_ref()
+            .ok_or("--mmap needs --index FILE (a CODX v3 artifact)")?;
+        let arts = MappedArtifacts::open(path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "mapped {} ({} bytes, {} nodes, {})",
+            path.display(),
+            arts.file_bytes(),
+            arts.num_nodes(),
+            if arts.is_mapped() {
+                "zero-copy"
+            } else {
+                "eager-load fallback"
+            }
+        );
+        if shards > 1 {
+            let sharded =
+                ShardedEngine::from_mapped(&arts, cfg, shards).map_err(|e| e.to_string())?;
+            EngineHandle::Sharded(Arc::new(sharded))
+        } else {
+            EngineHandle::Single(Arc::new(
+                CodEngine::from_mapped(&arts, cfg).map_err(|e| e.to_string())?,
+            ))
+        }
+    } else {
+        let g = opts.load_graph()?;
+        if shards > 1 {
+            let mut rng = SmallRng::seed_from_u64(opts.seed);
+            let sharded = ShardedEngine::build(Arc::new(g), cfg, shards, &mut rng);
+            EngineHandle::Sharded(Arc::new(sharded))
+        } else {
+            EngineHandle::Single(Arc::new(CodEngine::new(g, cfg)))
+        }
+    };
+    if let EngineHandle::Sharded(s) = &engine {
+        eprintln!(
+            "sharded serving: {} shard(s), node distribution {:?}",
+            s.num_shards(),
+            s.partition().shard_sizes()
+        );
+    }
     let serve_cfg = pcod::serve::ServeConfig {
         addr: opts.addr.clone().unwrap_or_else(|| "127.0.0.1:7700".into()),
         workers: opts.workers.unwrap_or(2).max(1),
@@ -915,7 +1065,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     // Install the handler before binding so a signal racing startup still
     // lands in the flag the loop below polls.
     pcod::serve::signal::install_shutdown_handler();
-    let handle = pcod::serve::serve(Arc::clone(&engine), serve_cfg)
+    let handle = pcod::serve::serve_handle(engine.clone(), serve_cfg)
         .map_err(|e| format!("binding listener: {e}"))?;
     println!("serving on http://{}", handle.addr());
     let _ = std::io::stdout().flush();
@@ -941,7 +1091,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         stats.draining_rejects,
         stats.panics,
     );
-    write_metrics(opts, &engine)?;
+    write_metrics_text(opts, engine.metrics_text())?;
     Ok(())
 }
 

@@ -620,6 +620,80 @@ fn pooled_engine_batches_replay_across_threads_cold_and_warm() {
     }
 }
 
+/// Shard routing joins the thread matrix: a [`ShardedEngine`] scattering
+/// the batch over component shards and gathering the results answers
+/// bit-identically to one unsharded engine over the same shared artifacts
+/// and master seed — for every (shards, threads) combination, including
+/// the in-place position of a routed error.
+#[test]
+fn sharded_engine_matches_unsharded_seeded_batch_across_threads() {
+    use pcod::cod::shard::ShardedEngine;
+    use std::sync::Arc;
+
+    let data = dataset();
+    let g = Arc::new(data.graph);
+    let cfg = |t: usize| CodConfig {
+        k: 3,
+        theta: 15,
+        parallelism: Parallelism::Threads(t),
+        ..CodConfig::default()
+    };
+    // Shared prebuilt artifacts, so every engine under comparison sees the
+    // exact same hierarchy and index.
+    let builder = CodEngine::from_shared(Arc::clone(&g), cfg(1));
+    let base = builder.base_hierarchy();
+    let index = builder.ensure_himor(&mut SmallRng::seed_from_u64(4242));
+
+    let mut queries: Vec<Query> = Vec::new();
+    for &q in &[0u32, 9, 42, 133] {
+        let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+        queries.push(Query::codu(q));
+        queries.push(Query::new(q, attr, Method::Codr));
+        queries.push(Query::new(q, attr, Method::CodlMinus));
+        queries.push(Query::new(q, attr, Method::Codl));
+    }
+    queries.push(Query::codu(99_999)); // out of range: errors stay in place
+
+    let limits = QueryLimits::default();
+    let master = 0xAB5_EEDu64;
+    let single = CodEngine::from_shared_parts(
+        Arc::clone(&g),
+        cfg(1),
+        Arc::clone(&base),
+        Arc::clone(&index),
+    );
+    let reference =
+        comparable(single.query_batch_seeded(&queries, &SeedSequence::new(master), 0, &limits));
+    assert!(reference.iter().any(|r| matches!(r, Ok(Some(_)))));
+    assert!(reference.iter().any(|r| r.is_err()));
+
+    /// Pins the single master-seed draw a sharded batch makes.
+    struct Fixed(u64);
+    impl rand::RngCore for Fixed {
+        fn next_u64(&mut self) -> u64 {
+            self.0
+        }
+    }
+
+    for t in THREADS {
+        for shards in [1usize, 2, 8] {
+            let sharded = ShardedEngine::from_shared_parts(
+                Arc::clone(&g),
+                cfg(t),
+                Arc::clone(&base),
+                Arc::clone(&index),
+                shards,
+            );
+            let got =
+                comparable(sharded.query_batch_with_limits(&queries, &limits, &mut Fixed(master)));
+            assert_eq!(
+                got, reference,
+                "shards {shards} threads {t}: routed batch diverged"
+            );
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // DynamicCod: the mutation pipeline joins the thread matrix.
 // ---------------------------------------------------------------------------

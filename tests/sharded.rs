@@ -1,0 +1,358 @@
+//! Multi-shard engine suite: scatter-gather bit-identity, routing,
+//! per-shard admission control, and invalidation forwarding.
+//!
+//! The contract under test (see `cod_core::shard`): a sharded batch over
+//! shared artifacts answers **bit-identically** to the same batch on one
+//! engine with the same master seed, for every shard count and thread
+//! count — positional seed derivation makes the scatter split
+//! unobservable. The suite drives a genuinely multi-component graph (two
+//! disjoint copies of a generated dataset) so scatter actually fans out.
+
+use std::sync::Arc;
+
+use pcod::cod::shard::ShardedEngine;
+use pcod::cod::QueryLimits;
+use pcod::prelude::*;
+use rand::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const SHARDS: [usize; 3] = [1, 2, 8];
+
+/// The matrix legs exercised under chaos (see [`chaos_armed`]): the full
+/// 8-way spread stays in the plain leg and in `tests/seed_replay.rs`.
+fn matrix() -> (&'static [usize], &'static [usize]) {
+    if chaos_armed() {
+        (&SHARDS[..2], &THREADS[..2])
+    } else {
+        (&SHARDS, &THREADS)
+    }
+}
+
+/// Two disjoint copies of `g` in one graph: component structure the
+/// partitioner can actually spread over shards.
+fn doubled(g: &AttributedGraph) -> AttributedGraph {
+    let n = g.num_nodes();
+    let mut b = GraphBuilder::new(2 * n);
+    for v in 0..n as NodeId {
+        for &u in g.csr().neighbors(v) {
+            if u > v {
+                b.add_edge(v, u);
+                b.add_edge(v + n as NodeId, u + n as NodeId);
+            }
+        }
+    }
+    let lists: Vec<Vec<AttrId>> = (0..2 * n)
+        .map(|v| g.node_attrs((v % n) as NodeId).to_vec())
+        .collect();
+    AttributedGraph::from_parts(
+        b.build(),
+        pcod::graph::AttrTable::from_lists(lists),
+        g.interner().clone(),
+    )
+}
+
+/// `COD_FAILPOINTS=all` (the CI chaos leg) injects a 1ms delay at *every*
+/// compiled-in site, so RR-sampling cost scales with Θ·|U|·delay. The
+/// contracts here — bit-identity, routing, admission, invalidation — are
+/// size-independent, so the chaos leg runs them on a smaller graph with a
+/// smaller Θ to stay CI-feasible; plain `cargo test` keeps the full size
+/// (same idiom as `tests/pool_reuse.rs`).
+fn chaos_armed() -> bool {
+    std::env::var_os("COD_FAILPOINTS").is_some()
+}
+
+fn dataset_graph() -> AttributedGraph {
+    let n = if chaos_armed() { 60 } else { 150 };
+    doubled(&pcod::datasets::amazon_like_scaled(n, 9).graph)
+}
+
+fn cfg(threads: usize) -> CodConfig {
+    CodConfig {
+        k: 3,
+        theta: if chaos_armed() { 4 } else { 12 },
+        parallelism: Parallelism::Threads(threads),
+        ..CodConfig::default()
+    }
+}
+
+/// Every method for a spread of nodes across both components, plus an
+/// invalid query mixed in (errors must gather back in position too).
+fn workload(g: &AttributedGraph) -> Vec<Query> {
+    let n = g.num_nodes() as NodeId;
+    let nodes: &[NodeId] = if chaos_armed() {
+        &[0, n / 2, n - 1]
+    } else {
+        &[0, 3, 17, n / 2, n / 2 + 3, n / 2 + 17, n - 1]
+    };
+    let mut queries = Vec::new();
+    for &q in nodes {
+        let attr = g.node_attrs(q).first().copied().unwrap_or(0);
+        queries.push(Query::codu(q));
+        queries.push(Query::new(q, attr, Method::Codr));
+        queries.push(Query::new(q, attr, Method::CodlMinus));
+        queries.push(Query::new(q, attr, Method::Codl));
+    }
+    queries.push(Query::codu(n + 5)); // out of range → InvalidQuery
+    queries
+}
+
+/// `(members, rank, uncertain)` projection of one answer — the equatable
+/// core compared across engines.
+type Projected = Option<(Vec<NodeId>, usize, bool)>;
+
+fn comparable(results: Vec<CodResult<Option<CodAnswer>>>) -> Vec<Result<Projected, String>> {
+    results
+        .into_iter()
+        .map(|r| {
+            r.map(|opt| opt.map(|a| (a.members, a.rank, a.uncertain)))
+                .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+/// An RNG whose every `next_u64` is the same fixed value: pins the single
+/// master-seed draw a sharded batch makes.
+struct FixedMaster(u64);
+impl rand::RngCore for FixedMaster {
+    fn next_u64(&mut self) -> u64 {
+        self.0
+    }
+}
+
+/// Shared prebuilt artifacts, so every engine under comparison sees the
+/// exact same hierarchy and index. Built once for the whole binary:
+/// hierarchy + HIMOR construction is bit-identical at any thread count
+/// (the seed-replay guarantee), so a single build serves every test —
+/// which matters under the chaos leg, where each build pays the per-site
+/// delay tax.
+type Shared = (
+    Arc<AttributedGraph>,
+    Arc<pcod::hierarchy::Hierarchy>,
+    Arc<HimorIndex>,
+);
+
+fn shared() -> &'static Shared {
+    static SHARED: std::sync::OnceLock<Shared> = std::sync::OnceLock::new();
+    SHARED.get_or_init(|| {
+        let g = Arc::new(dataset_graph());
+        let builder = CodEngine::from_shared(Arc::clone(&g), cfg(1));
+        let mut rng = SmallRng::seed_from_u64(4242);
+        let base = builder.base_hierarchy();
+        let index = builder.ensure_himor(&mut rng);
+        (g, base, index)
+    })
+}
+
+/// The acceptance gate: sharded scatter-gather over every (shards,
+/// threads) combination is bit-identical to the single-engine seeded
+/// batch with the same master seed.
+#[test]
+fn sharded_batch_is_bit_identical_to_single_engine() {
+    let (g, base, index) = shared().clone();
+    let queries = workload(&g);
+    let limits = QueryLimits::default();
+    let master = 0x05EE_DC0D;
+
+    let single = CodEngine::from_shared_parts(
+        Arc::clone(&g),
+        cfg(1),
+        Arc::clone(&base),
+        Arc::clone(&index),
+    );
+    let reference =
+        comparable(single.query_batch_seeded(&queries, &SeedSequence::new(master), 0, &limits));
+    assert!(
+        reference.iter().any(|r| matches!(r, Ok(Some(_)))),
+        "workload must produce real answers"
+    );
+    assert!(
+        reference.iter().any(|r| r.is_err()),
+        "workload must produce the out-of-range error"
+    );
+
+    let (shard_legs, thread_legs) = matrix();
+    for &shards in shard_legs {
+        for &threads in thread_legs {
+            let sharded = ShardedEngine::from_shared_parts(
+                Arc::clone(&g),
+                cfg(threads),
+                Arc::clone(&base),
+                Arc::clone(&index),
+                shards,
+            );
+            let got = comparable(sharded.query_batch_with_limits(
+                &queries,
+                &limits,
+                &mut FixedMaster(master),
+            ));
+            assert_eq!(
+                got, reference,
+                "sharded answers diverged at {shards} shards, {threads} threads"
+            );
+        }
+    }
+}
+
+/// Repeated sharded runs replay identically (warm caches included).
+#[test]
+fn sharded_batch_replays_identically() {
+    let (g, base, index) = shared().clone();
+    let sharded = ShardedEngine::from_shared_parts(Arc::clone(&g), cfg(2), base, index, 2);
+    let queries = workload(&g);
+    let limits = QueryLimits::default();
+    let first =
+        comparable(sharded.query_batch_with_limits(&queries, &limits, &mut FixedMaster(99)));
+    for run in 0..2 {
+        let again =
+            comparable(sharded.query_batch_with_limits(&queries, &limits, &mut FixedMaster(99)));
+        assert_eq!(again, first, "sharded replay {run} diverged");
+    }
+}
+
+/// Components never straddle shards: every query's answer members stay in
+/// the query node's own shard.
+#[test]
+fn answers_stay_within_the_seed_nodes_shard() {
+    let (g, base, index) = shared().clone();
+    let sharded = ShardedEngine::from_shared_parts(Arc::clone(&g), cfg(1), base, index, 4);
+    let queries = workload(&g);
+    let results =
+        sharded.query_batch_with_limits(&queries, &QueryLimits::default(), &mut FixedMaster(7));
+    let mut checked = 0;
+    for (q, r) in queries.iter().zip(results) {
+        if let Ok(Some(a)) = r {
+            let home = sharded.shard_of(q.node).expect("in range");
+            for &m in &a.members {
+                assert_eq!(
+                    sharded.shard_of(m),
+                    Some(home),
+                    "member {m} of node {}'s community left shard {home}",
+                    q.node
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no answers to check");
+}
+
+/// Per-shard admission: saturating one shard sheds only queries routed to
+/// it; the other shard keeps answering. (A shard's `max_inflight` is
+/// consumed by holding its engine's only permit with a concurrent batch.)
+#[test]
+fn admission_is_per_shard() {
+    use std::sync::Barrier;
+
+    let (g, base, index) = shared().clone();
+    let sharded = Arc::new(ShardedEngine::from_shared_parts(
+        Arc::clone(&g),
+        CodConfig {
+            max_inflight: Some(1),
+            ..cfg(1)
+        },
+        base,
+        index,
+        2,
+    ));
+    let n = g.num_nodes() as NodeId;
+    // One node per component → one per shard.
+    let (a, b) = (0 as NodeId, n / 2);
+    let (shard_a, shard_b) = (
+        sharded.shard_of(a).expect("in range"),
+        sharded.shard_of(b).expect("in range"),
+    );
+    assert_ne!(shard_a, shard_b, "components must land on distinct shards");
+
+    // Occupy shard A's single permit from another thread, parked on a
+    // barrier inside the engine via a long batch; then hit both shards.
+    let barrier = Arc::new(Barrier::new(2));
+    let holder = {
+        let sharded = Arc::clone(&sharded);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            // A wide batch against shard A only: the permit is held for
+            // its whole duration.
+            let wide = if chaos_armed() { 40 } else { 200 };
+            let queries: Vec<Query> = (0..wide)
+                .map(|i| Query::codu((i % (n / 2)) as NodeId))
+                .collect();
+            barrier.wait();
+            sharded.query_batch_with_limits(&queries, &QueryLimits::default(), &mut FixedMaster(1))
+        })
+    };
+    barrier.wait();
+    // Give the holder a moment to be admitted.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let probe = sharded.query_batch_with_limits(
+        &[Query::codu(a), Query::codu(b)],
+        &QueryLimits::default(),
+        &mut FixedMaster(2),
+    );
+    // Shard B must answer regardless of shard A's saturation. Shard A may
+    // or may not have shed depending on timing; the invariant is that a
+    // B-side answer never turns into Overloaded because A is busy.
+    assert!(
+        !matches!(&probe[1], Err(CodError::Overloaded { .. })),
+        "shard B shed because shard A was saturated: {:?}",
+        probe[1]
+    );
+    let _ = holder.join().expect("holder thread");
+}
+
+/// Scoped invalidation forwards to every shard: after an attribute-scoped
+/// footprint, each shard's pool epoch advanced and answers still replay.
+#[test]
+fn invalidation_forwards_to_all_shards() {
+    use pcod::cod::Footprint;
+
+    let (g, base, index) = shared().clone();
+    let sharded = ShardedEngine::from_shared_parts(
+        Arc::clone(&g),
+        CodConfig {
+            pool: true,
+            ..cfg(1)
+        },
+        base,
+        index,
+        2,
+    );
+    let queries = workload(&g);
+    let limits = QueryLimits::default();
+    let before =
+        comparable(sharded.query_batch_with_limits(&queries, &limits, &mut FixedMaster(5)));
+    // Warm pools exist on both shards now; a topology footprint drops them.
+    let mut footprint = Footprint::new();
+    footprint.add_edge_event(0, 1);
+    let (_, pools_dropped, _) = sharded.invalidate_scoped(&footprint);
+    assert!(pools_dropped > 0, "warm pools should have been dropped");
+    let after = comparable(sharded.query_batch_with_limits(&queries, &limits, &mut FixedMaster(5)));
+    assert_eq!(after, before, "invalidation changed answers");
+}
+
+/// `clear_cache` reaches every shard's caches.
+#[test]
+fn clear_cache_reaches_every_shard() {
+    let (g, base, index) = shared().clone();
+    let sharded = ShardedEngine::from_shared_parts(
+        Arc::clone(&g),
+        CodConfig {
+            pool: true,
+            ..cfg(1)
+        },
+        base,
+        index,
+        2,
+    );
+    let queries = workload(&g);
+    let _ = sharded.query_batch_with_limits(&queries, &QueryLimits::default(), &mut FixedMaster(3));
+    let epochs_before: Vec<u64> = (0..sharded.num_shards())
+        .map(|s| sharded.shard_engine(s).pool_epoch())
+        .collect();
+    sharded.clear_cache();
+    for (s, &before) in epochs_before.iter().enumerate() {
+        assert!(
+            sharded.shard_engine(s).pool_epoch() > before,
+            "shard {s} epoch did not advance"
+        );
+    }
+}
