@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cod_core::dynamic::DynamicCod;
-use cod_core::CodConfig;
+use cod_core::{CodConfig, DurabilityConfig, DurableCod, FsyncPolicy, Mutation};
 use cod_graph::NodeId;
 use cod_influence::Parallelism;
 use rand::prelude::*;
@@ -68,6 +68,43 @@ fn bench_churn(c: &mut Criterion) {
             i += 1;
             black_box(d.flush(&mut rng).expect("ungoverned flush").outcome)
         })
+    });
+
+    // The identical stream through the durable wrapper: every event is
+    // appended to a group-commit WAL (fsync'd every 32 records / 10 ms)
+    // before the same repair-path flush. The `wal_append_overhead` gate in
+    // `bench_report` holds this leg to ≤ 1.25× the bare repair leg.
+    group.bench_function("wal_group_commit_per_event", |b| {
+        let dir = std::env::temp_dir().join(format!("cod_bench_wal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dcfg = DurabilityConfig {
+            fsync: FsyncPolicy::GroupCommit {
+                max_records: 32,
+                max_delay: std::time::Duration::from_millis(10),
+            },
+            // Never checkpoint mid-measurement: the leg isolates append +
+            // apply + flush, the checkpoint cost has its own cadence.
+            checkpoint_every_events: u64::MAX,
+            checkpoint_wal_bytes: u64::MAX,
+        };
+        let mut d = DurableCod::create(&dir, g, cfg, 7, dcfg).expect("create durable dir");
+        d.set_repair_verification(false);
+        let mut present = vec![false; edges.len()];
+        let mut i = 0usize;
+        b.iter(|| {
+            let (u, v) = edges[i % edges.len()];
+            let m = if present[i % edges.len()] {
+                Mutation::RemoveEdge { u, v }
+            } else {
+                Mutation::InsertEdge { u, v }
+            };
+            present[i % edges.len()] = !present[i % edges.len()];
+            i += 1;
+            d.apply(&m).expect("durable apply");
+            black_box(d.flush().expect("durable flush").outcome)
+        });
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
     });
 
     // The identical stream forced through full from-scratch rebuilds.

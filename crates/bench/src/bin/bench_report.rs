@@ -119,6 +119,15 @@ const RATIOS: &[(&str, &str, &str, Option<f64>)] = &[
         "mutation_churn/rebuild_per_event",
         Some(0.34),
     ),
+    // The durability acceptance gate: appending each event to the
+    // group-commit WAL before the identical repair-path flush may cost at
+    // most 25% over the bare in-memory pipeline.
+    (
+        "wal_append_overhead",
+        "mutation_churn/wal_group_commit_per_event",
+        "mutation_churn/repair_per_event",
+        Some(1.25),
+    ),
     // HTTP round trip vs direct engine call on the same warm query: the
     // serving tier's socket + parse + JSON + handoff overhead. No absolute
     // cap — the warm query is fast enough that the ratio is loopback-RTT

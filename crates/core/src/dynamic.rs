@@ -163,6 +163,71 @@ impl DynamicCod {
         me
     }
 
+    /// Rehydrates a dynamic engine from checkpointed artifacts (a CODX v3
+    /// snapshot) without rebuilding anything — the recovery path.
+    ///
+    /// Requires a seeded configuration: the artifacts are only replayable
+    /// because every rebuild derives from the pinned `himor_seed`, so a
+    /// serial (unseeded) instance could not reconcile a WAL suffix with
+    /// them. The restored cache carries no patch state — the first
+    /// topology flush takes the seeded rebuild branch, which the
+    /// determinism contract proves bit-identical to a from-scratch build
+    /// (see `tests/mutation.rs`).
+    pub fn from_artifacts(
+        g: &AttributedGraph,
+        dendro: Dendrogram,
+        index: HimorIndex,
+        cfg: CodConfig,
+        himor_seed: u64,
+    ) -> CodResult<Self> {
+        if !cfg.parallelism.is_seeded() {
+            return Err(CodError::InvalidQuery(
+                "recovery from artifacts requires seeded parallelism \
+                 (serial builds have no replayable seed)"
+                    .into(),
+            ));
+        }
+        let n = g.num_nodes();
+        if dendro.num_leaves() != n || index.num_nodes() != n {
+            return Err(CodError::IndexCorrupt(format!(
+                "artifact size mismatch: graph has {n} nodes, dendrogram {} leaves, index {}",
+                dendro.num_leaves(),
+                index.num_nodes()
+            )));
+        }
+        let mut me = Self::shell(g, cfg, himor_seed);
+        let lca = LcaIndex::new(&dendro);
+        me.cache = Some(Cache {
+            graph: g.clone(),
+            dendro,
+            lca,
+            index,
+            patch: None,
+            csr_stale: false,
+        });
+        Ok(me)
+    }
+
+    /// Flushes pending mutations and returns the current artifacts
+    /// `(graph, dendrogram, index)` — the inputs of
+    /// [`crate::codx::serialize_artifacts`], used by checkpointing and the
+    /// recovery bit-identity proofs. Seeded configurations only (the
+    /// flush would otherwise need a caller RNG stream).
+    pub fn artifacts(&mut self) -> CodResult<(&AttributedGraph, &Dendrogram, &HimorIndex)> {
+        if !self.cfg.parallelism.is_seeded() {
+            return Err(CodError::InvalidQuery(
+                "artifact snapshots require seeded parallelism".into(),
+            ));
+        }
+        // The seeded flush path never touches the RNG; any stream works.
+        let mut rng = SmallRng::seed_from_u64(self.himor_seed);
+        self.flush(&mut rng)?;
+        let Some(c) = self.cache.as_ref() else {
+            unreachable!("flush populates the cache")
+        };
+        Ok((&c.graph, &c.dendro, &c.index))
+    }
+
     fn shell(g: &AttributedGraph, cfg: CodConfig, himor_seed: u64) -> Self {
         let attrs = (0..g.num_nodes() as NodeId)
             .map(|v| g.node_attrs(v).to_vec())
@@ -227,6 +292,12 @@ impl DynamicCod {
     /// A point-in-time snapshot of the mutation/repair telemetry.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Registry handle so the durability layer ([`crate::recovery`])
+    /// records WAL/recovery counters into the same exposition.
+    pub(crate) fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Applies a logged mutation. Returns whether it changed anything

@@ -61,6 +61,18 @@ pub enum CodError {
     /// at the engine boundary. The engine itself stays serviceable; the
     /// payload is the panic message.
     Internal(String),
+    /// A mutation replay (`cod mutate --log`, WAL recovery) stopped partway:
+    /// `applied` events landed before 1-based event `failed_event` raised
+    /// `cause`. Everything before the failure is applied and durable, so an
+    /// operator can fix the offending record and resume from it.
+    ReplayHalted {
+        /// Events successfully applied before the failure.
+        applied: usize,
+        /// 1-based index of the event that failed.
+        failed_event: usize,
+        /// The underlying failure.
+        cause: Box<CodError>,
+    },
 }
 
 impl CodError {
@@ -97,6 +109,14 @@ impl std::fmt::Display for CodError {
                 retry_after.as_millis()
             ),
             CodError::Internal(m) => write!(f, "internal error: {m}"),
+            CodError::ReplayHalted {
+                applied,
+                failed_event,
+                cause,
+            } => write!(
+                f,
+                "replay halted at event {failed_event}: {applied} event(s) applied; {cause}"
+            ),
         }
     }
 }
@@ -143,6 +163,11 @@ mod tests {
                 retry_after: std::time::Duration::from_millis(25),
             },
             CodError::Internal("worker panicked: boom".into()),
+            CodError::ReplayHalted {
+                applied: 3,
+                failed_event: 4,
+                cause: Box::new(CodError::InvalidQuery("node 99 out of range".into())),
+            },
         ];
         for e in cases {
             let s = e.to_string();
@@ -161,6 +186,12 @@ mod tests {
         assert!(!CodError::DeadlineExceeded.is_retriable());
         assert!(!CodError::Internal("x".into()).is_retriable());
         assert!(!CodError::InvalidQuery("x".into()).is_retriable());
+        assert!(!CodError::ReplayHalted {
+            applied: 0,
+            failed_event: 1,
+            cause: Box::new(CodError::DeadlineExceeded),
+        }
+        .is_retriable());
     }
 
     #[test]

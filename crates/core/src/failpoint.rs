@@ -72,6 +72,19 @@ pub enum Site {
     /// Sharded engine: per shard, after its slice of a scattered batch
     /// completes and before results are gathered into global order.
     ShardGather,
+    /// Durability: after a WAL record's bytes reach the file, before the
+    /// fsync-policy decision (a crash here leaves an un-fsynced tail).
+    WalAppend,
+    /// Durability: immediately before the WAL `sync_data` call (a crash
+    /// here loses the whole unsynced group).
+    WalFsync,
+    /// Durability: after the checkpoint snapshot + fresh WAL are written,
+    /// before the manifest swap begins (a crash here leaves unreferenced
+    /// files for GC).
+    CheckpointCommit,
+    /// Durability: immediately before the manifest's atomic rename (a
+    /// crash here must leave the *old* manifest authoritative).
+    ManifestSwap,
 }
 
 /// Every *engine* site, for tests that iterate the engine query surface
@@ -108,6 +121,17 @@ pub const MUTATION_SITES: [Site; 2] = [Site::DendroRepair, Site::HimorPatch];
 /// their workload can never hit.
 pub const OOC_SITES: [Site; 2] = [Site::MmapSection, Site::ShardGather];
 
+/// The durability sites, reachable only through the write-ahead log and
+/// checkpoint path ([`crate::wal`] / [`crate::recovery`]). Kept out of
+/// [`SITES`] so engine chaos sweeps over frozen graphs don't arm
+/// checkpoints their workload can never hit.
+pub const DURABILITY_SITES: [Site; 4] = [
+    Site::WalAppend,
+    Site::WalFsync,
+    Site::CheckpointCommit,
+    Site::ManifestSwap,
+];
+
 impl Site {
     // Only the debug-build registry parses `COD_FAILPOINTS`; release
     // builds compile the sites out and never name them.
@@ -130,6 +154,10 @@ impl Site {
             "himor_patch" => Some(Site::HimorPatch),
             "mmap_section" => Some(Site::MmapSection),
             "shard_gather" => Some(Site::ShardGather),
+            "wal_append" => Some(Site::WalAppend),
+            "wal_fsync" => Some(Site::WalFsync),
+            "checkpoint_commit" => Some(Site::CheckpointCommit),
+            "manifest_swap" => Some(Site::ManifestSwap),
             _ => None,
         }
     }
@@ -178,6 +206,7 @@ mod imp {
                 .chain(super::POOL_SITES)
                 .chain(super::MUTATION_SITES)
                 .chain(super::OOC_SITES)
+                .chain(super::DURABILITY_SITES)
             {
                 map.insert(site, Action::Delay(std::time::Duration::from_millis(1)));
             }

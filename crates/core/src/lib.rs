@@ -50,9 +50,11 @@ pub mod persist;
 pub mod pipeline;
 pub mod pool;
 pub mod recluster;
+pub mod recovery;
 pub mod scratch;
 pub mod shard;
 pub mod telemetry;
+pub mod wal;
 
 pub use cache::{CacheStats, ReclusterCache};
 pub use chain::{Chain, ComposedChain, DendroChain, SubgraphChain};
@@ -76,9 +78,11 @@ pub use pool::{
     GrowthStats, PoolCache, PoolCacheStats, PoolLookup, PoolView, RrPoolEntry,
     DEFAULT_POOL_BUDGET_BYTES,
 };
+pub use recovery::{DurabilityConfig, DurableCod, Manifest, RecoveryReport, MANIFEST_NAME};
 pub use scratch::QueryScratch;
 pub use shard::ShardedEngine;
 pub use telemetry::{
     Counter, CounterSnapshot, MetricsRegistry, MetricsSnapshot, Phase, PhaseNanos, QueryOutcome,
     QueryTrace, TraceSink, COUNTERS, PHASES,
 };
+pub use wal::{AppendReceipt, FsyncPolicy, TornTail, WalWriter};

@@ -110,6 +110,86 @@ impl Mutation {
     }
 }
 
+/// Appends one event in the CODM tag encoding (`tag u8` + fields). The
+/// CODW write-ahead log reuses the same per-event layout, so the two
+/// formats stay byte-compatible at the record level.
+pub(crate) fn encode_event(m: &Mutation, out: &mut Vec<u8>) {
+    match m {
+        Mutation::InsertEdge { u, v } => {
+            out.push(0);
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Mutation::RemoveEdge { u, v } => {
+            out.push(1);
+            out.extend_from_slice(&u.to_le_bytes());
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Mutation::SetAttrs { node, attrs } => {
+            out.push(2);
+            out.extend_from_slice(&node.to_le_bytes());
+            out.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+            for a in attrs {
+                out.extend_from_slice(&a.to_le_bytes());
+            }
+        }
+    }
+}
+
+/// Decodes one event from `payload` starting at `*pos`, advancing `pos`
+/// past it. Every malformation maps to [`CodError::IndexCorrupt`]; the
+/// bytes are never trusted blindly.
+pub(crate) fn decode_event(payload: &[u8], pos: &mut usize) -> CodResult<Mutation> {
+    let take = |pos: &mut usize, n: usize, what: &str| -> CodResult<&[u8]> {
+        if *pos + n > payload.len() {
+            return Err(CodError::IndexCorrupt(format!(
+                "truncated while reading {what}: need {n} bytes, {} remain",
+                payload.len() - *pos
+            )));
+        }
+        let s = &payload[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let read_u32 = |pos: &mut usize, what: &str| -> CodResult<u32> {
+        let s = take(pos, 4, what)?;
+        Ok(u32::from_le_bytes(s.try_into().unwrap_or([0; 4])))
+    };
+    let tag = take(pos, 1, "event tag")?[0];
+    match tag {
+        0 | 1 => {
+            let u = read_u32(pos, "edge endpoint")?;
+            let v = read_u32(pos, "edge endpoint")?;
+            Ok(if tag == 0 {
+                Mutation::InsertEdge { u, v }
+            } else {
+                Mutation::RemoveEdge { u, v }
+            })
+        }
+        2 => {
+            let node = read_u32(pos, "attr node")?;
+            let alen = read_u32(pos, "attr count")? as usize;
+            if alen
+                .checked_mul(4)
+                .map(|bytes| *pos + bytes > payload.len())
+                .unwrap_or(true)
+            {
+                return Err(CodError::IndexCorrupt(format!(
+                    "event declares {alen} attributes but they overrun the payload"
+                )));
+            }
+            let mut attrs = Vec::with_capacity(alen);
+            for _ in 0..alen {
+                attrs.push(read_u32(pos, "attr id")?);
+            }
+            Ok(Mutation::SetAttrs { node, attrs })
+        }
+        other => Err(CodError::IndexCorrupt(format!(
+            "event has unknown tag {other}"
+        ))),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Footprints
 // ---------------------------------------------------------------------------
@@ -255,26 +335,7 @@ impl MutationLog {
         let mut payload = Vec::with_capacity(8 + self.events.len() * 9);
         payload.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
         for m in &self.events {
-            match m {
-                Mutation::InsertEdge { u, v } => {
-                    payload.push(0);
-                    payload.extend_from_slice(&u.to_le_bytes());
-                    payload.extend_from_slice(&v.to_le_bytes());
-                }
-                Mutation::RemoveEdge { u, v } => {
-                    payload.push(1);
-                    payload.extend_from_slice(&u.to_le_bytes());
-                    payload.extend_from_slice(&v.to_le_bytes());
-                }
-                Mutation::SetAttrs { node, attrs } => {
-                    payload.push(2);
-                    payload.extend_from_slice(&node.to_le_bytes());
-                    payload.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
-                    for a in attrs {
-                        payload.extend_from_slice(&a.to_le_bytes());
-                    }
-                }
-            }
+            encode_event(m, &mut payload);
         }
         let total = 4 + 4 + 8 + payload.len() + 4 + 8;
         let mut out = Vec::with_capacity(total);
@@ -342,26 +403,14 @@ impl MutationLog {
 
         // Parse the validated payload with a bounds-checked cursor.
         let mut pos = 0usize;
-        let take = |pos: &mut usize, n: usize, what: &str| -> CodResult<&[u8]> {
-            if *pos + n > payload.len() {
-                return Err(CodError::IndexCorrupt(format!(
-                    "truncated while reading {what}: need {n} bytes, {} remain",
-                    payload.len() - *pos
-                )));
-            }
-            let s = &payload[*pos..*pos + n];
-            *pos += n;
-            Ok(s)
-        };
-        let read_u32 = |pos: &mut usize, what: &str| -> CodResult<u32> {
-            let s = take(pos, 4, what)?;
-            Ok(u32::from_le_bytes(s.try_into().unwrap_or([0; 4])))
-        };
-        let count = u64::from_le_bytes(
-            take(&mut pos, 8, "event count")?
-                .try_into()
-                .unwrap_or([0; 8]),
-        );
+        if payload.len() < 8 {
+            return Err(corrupt(format!(
+                "truncated while reading event count: need 8 bytes, {} remain",
+                payload.len()
+            )));
+        }
+        let count = u64::from_le_bytes(payload[..8].try_into().unwrap_or([0; 8]));
+        pos += 8;
         // Each event is at least 9 bytes; validate before sizing the Vec.
         let fits = ((payload.len() - pos) / 9) as u64;
         if count > fits {
@@ -371,35 +420,11 @@ impl MutationLog {
         }
         let mut events = Vec::with_capacity(count as usize);
         for i in 0..count {
-            let tag = take(&mut pos, 1, "event tag")?[0];
-            match tag {
-                0 | 1 => {
-                    let u = read_u32(&mut pos, "edge endpoint")?;
-                    let v = read_u32(&mut pos, "edge endpoint")?;
-                    events.push(if tag == 0 {
-                        Mutation::InsertEdge { u, v }
-                    } else {
-                        Mutation::RemoveEdge { u, v }
-                    });
-                }
-                2 => {
-                    let node = read_u32(&mut pos, "attr node")?;
-                    let alen = read_u32(&mut pos, "attr count")? as usize;
-                    if pos + alen * 4 > payload.len() {
-                        return Err(corrupt(format!(
-                            "event {i} declares {alen} attributes but they overrun the payload"
-                        )));
-                    }
-                    let mut attrs = Vec::with_capacity(alen);
-                    for _ in 0..alen {
-                        attrs.push(read_u32(&mut pos, "attr id")?);
-                    }
-                    events.push(Mutation::SetAttrs { node, attrs });
-                }
-                other => {
-                    return Err(corrupt(format!("event {i} has unknown tag {other}")));
-                }
-            }
+            let m = decode_event(payload, &mut pos).map_err(|e| match e {
+                CodError::IndexCorrupt(msg) => corrupt(format!("event {i}: {msg}")),
+                other => other,
+            })?;
+            events.push(m);
         }
         if pos != payload.len() {
             return Err(corrupt(format!(

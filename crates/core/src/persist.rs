@@ -224,6 +224,48 @@ fn temp_sibling(path: &Path) -> std::path::PathBuf {
     path.with_file_name(format!(".{name}.tmp.{pid}.{seq}"))
 }
 
+/// Removes stale atomic-save temp siblings (`.{name}.tmp.{pid}.{seq}`)
+/// left in `dir` by processes that crashed between the write and the
+/// rename. A temp file is removed only when its embedded pid is not this
+/// process *and* provably dead (`/proc/{pid}` absent); anything
+/// ambiguous — a live pid, an unparsable name, a platform without procfs —
+/// is left alone, so a concurrent save can never lose its in-flight temp.
+/// Returns how many files were removed.
+pub fn sweep_temp_files(dir: &Path) -> CodResult<usize> {
+    let mut removed = 0usize;
+    let me = std::process::id();
+    let procfs = Path::new("/proc").is_dir();
+    for entry in std::fs::read_dir(dir)? {
+        let Ok(entry) = entry else { continue };
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        // `.{orig}.tmp.{pid}.{seq}` — parse from the right, since `orig`
+        // may itself contain dots.
+        let Some(stripped) = name.strip_prefix('.') else {
+            continue;
+        };
+        let Some((_orig, rest)) = stripped.split_once(".tmp.") else {
+            continue;
+        };
+        let Some((pid, seq)) = rest.split_once('.') else {
+            continue;
+        };
+        let (Ok(pid), Ok(_seq)) = (pid.parse::<u32>(), seq.parse::<u64>()) else {
+            continue;
+        };
+        if pid == me || !procfs {
+            continue;
+        }
+        if Path::new(&format!("/proc/{pid}")).exists() {
+            continue; // owner still alive; its save may be in flight
+        }
+        if std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
 // ---------------------------------------------------------------------------
 // Deserialization
 // ---------------------------------------------------------------------------

@@ -439,6 +439,10 @@ pub struct MetricsRegistry {
     repairs: AtomicU64,
     full_rebuilds: AtomicU64,
     pool_scoped_evictions: AtomicU64,
+    wal_appended_records: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    recovery_replayed_records: AtomicU64,
+    recovery_nanos: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_NS.len() + 1],
     latency_sum_nanos: AtomicU64,
     /// When this registry was created — the engine's birth, which the
@@ -464,6 +468,10 @@ impl Default for MetricsRegistry {
             repairs: AtomicU64::new(0),
             full_rebuilds: AtomicU64::new(0),
             pool_scoped_evictions: AtomicU64::new(0),
+            wal_appended_records: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
+            recovery_replayed_records: AtomicU64::new(0),
+            recovery_nanos: AtomicU64::new(0),
             latency_buckets: Default::default(),
             latency_sum_nanos: AtomicU64::new(0),
             started: Instant::now(),
@@ -563,6 +571,32 @@ impl MetricsRegistry {
         self.pool_scoped_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Tallies one record appended to the write-ahead log.
+    pub fn record_wal_append(&self) {
+        self.wal_appended_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one WAL fsync (policy-triggered or explicit flush).
+    pub fn record_wal_fsync(&self) {
+        self.wal_fsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a batch of WAL activity observed elsewhere (e.g. before this
+    /// registry existed) into the counters.
+    pub fn record_wal_activity(&self, appended: u64, fsyncs: u64) {
+        self.wal_appended_records
+            .fetch_add(appended, Ordering::Relaxed);
+        self.wal_fsyncs.fetch_add(fsyncs, Ordering::Relaxed);
+    }
+
+    /// Records one completed recovery: how many WAL records were replayed
+    /// and the wall-clock nanoseconds the whole recovery took.
+    pub fn record_recovery(&self, replayed: u64, nanos: u64) {
+        self.recovery_replayed_records
+            .fetch_add(replayed, Ordering::Relaxed);
+        self.recovery_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
     /// A consistent-enough snapshot of all aggregates (individual loads are
     /// relaxed; totals lag in-flight queries by at most one update each).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -595,6 +629,10 @@ impl MetricsRegistry {
             repairs: load(&self.repairs),
             full_rebuilds: load(&self.full_rebuilds),
             pool_scoped_evictions: load(&self.pool_scoped_evictions),
+            wal_appended_records: load(&self.wal_appended_records),
+            wal_fsyncs: load(&self.wal_fsyncs),
+            recovery_replayed_records: load(&self.recovery_replayed_records),
+            recovery_nanos: load(&self.recovery_nanos),
             latency_buckets,
             latency_sum_nanos: load(&self.latency_sum_nanos),
             uptime_nanos: self.started.elapsed().as_nanos() as u64,
@@ -648,6 +686,14 @@ pub struct MetricsSnapshot {
     pub full_rebuilds: u64,
     /// RR pools dropped by scoped (footprint-driven) invalidation.
     pub pool_scoped_evictions: u64,
+    /// Records appended to the write-ahead log.
+    pub wal_appended_records: u64,
+    /// WAL fsyncs performed (policy-triggered or explicit flush).
+    pub wal_fsyncs: u64,
+    /// WAL records replayed by crash recovery.
+    pub recovery_replayed_records: u64,
+    /// Wall-clock nanoseconds spent in crash recovery.
+    pub recovery_nanos: u64,
     /// Disjoint latency observations per bucket (traced queries only; the
     /// last bucket is +Inf). The Prometheus rendering cumulates them.
     pub latency_buckets: [u64; LATENCY_BUCKETS_NS.len() + 1],
@@ -684,6 +730,10 @@ impl MetricsSnapshot {
         out.repairs += other.repairs;
         out.full_rebuilds += other.full_rebuilds;
         out.pool_scoped_evictions += other.pool_scoped_evictions;
+        out.wal_appended_records += other.wal_appended_records;
+        out.wal_fsyncs += other.wal_fsyncs;
+        out.recovery_replayed_records += other.recovery_replayed_records;
+        out.recovery_nanos += other.recovery_nanos;
         for (slot, v) in out
             .latency_buckets
             .iter_mut()
@@ -745,6 +795,21 @@ impl MetricsSnapshot {
             "pool_scoped_evictions_total",
             "RR pools dropped by scoped footprint-driven invalidation",
             self.pool_scoped_evictions,
+        );
+        counter(
+            "wal_appended_records_total",
+            "mutation records appended to the write-ahead log",
+            self.wal_appended_records,
+        );
+        counter(
+            "wal_fsyncs_total",
+            "write-ahead log fsyncs (policy-triggered or explicit)",
+            self.wal_fsyncs,
+        );
+        counter(
+            "recovery_replayed_records_total",
+            "WAL records replayed by crash recovery",
+            self.recovery_replayed_records,
         );
         for (c, v) in self.counters.iter() {
             counter(&format!("{}_total", c.name()), c.help(), v);
@@ -837,6 +902,16 @@ impl MetricsSnapshot {
             "pool_cache_epoch",
             "invalidation epoch of the shared RR-pool cache",
             pool.epoch,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP cod_recovery_seconds wall-clock time crash recovery took at startup"
+        );
+        let _ = writeln!(out, "# TYPE cod_recovery_seconds gauge");
+        let _ = writeln!(
+            out,
+            "cod_recovery_seconds {:.9}",
+            self.recovery_nanos as f64 / 1e9
         );
         let _ = writeln!(
             out,
@@ -985,6 +1060,34 @@ mod tests {
         assert!(text.contains("cod_repairs_total 1"));
         assert!(text.contains("cod_full_rebuilds_total 2"));
         assert!(text.contains("cod_pool_scoped_evictions_total 3"));
+        let helps = text.matches("# HELP").count();
+        let types = text.matches("# TYPE").count();
+        assert_eq!(helps, types);
+    }
+
+    #[test]
+    fn wal_and_recovery_metrics_are_tallied_and_rendered() {
+        let reg = MetricsRegistry::default();
+        reg.record_wal_append();
+        reg.record_wal_append();
+        reg.record_wal_append();
+        reg.record_wal_fsync();
+        reg.record_recovery(2, 1_500_000_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.wal_appended_records, 3);
+        assert_eq!(snap.wal_fsyncs, 1);
+        assert_eq!(snap.recovery_replayed_records, 2);
+        assert_eq!(snap.recovery_nanos, 1_500_000_000);
+        let merged = snap.merged(&snap);
+        assert_eq!(merged.wal_appended_records, 6);
+        assert_eq!(merged.recovery_nanos, 3_000_000_000);
+        let cache = crate::cache::CacheStats::default();
+        let pool = crate::pool::PoolCacheStats::default();
+        let text = snap.render_prometheus(&cache, &pool);
+        assert!(text.contains("cod_wal_appended_records_total 3"));
+        assert!(text.contains("cod_wal_fsyncs_total 1"));
+        assert!(text.contains("cod_recovery_replayed_records_total 2"));
+        assert!(text.contains("cod_recovery_seconds 1.500000000"));
         let helps = text.matches("# HELP").count();
         let types = text.matches("# TYPE").count();
         assert_eq!(helps, types);

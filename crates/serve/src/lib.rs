@@ -43,5 +43,6 @@ mod server;
 pub mod signal;
 
 pub use server::{
-    serve, serve_handle, EngineHandle, HttpStats, ServeConfig, ServerHandle, ShutdownReport,
+    serve, serve_handle, serve_recovering, EngineHandle, HttpStats, RecoveringServer, ServeConfig,
+    ServerHandle, ShutdownReport,
 };

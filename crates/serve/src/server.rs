@@ -302,6 +302,17 @@ pub fn serve(engine: Arc<CodEngine>, cfg: ServeConfig) -> std::io::Result<Server
 pub fn serve_handle(engine: EngineHandle, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
+    serve_handle_on(listener, engine, cfg)
+}
+
+/// Starts the server on an already-bound (nonblocking) listener — the
+/// recovery front hands its listener over through here, so the port never
+/// closes between "recovering" and "serving".
+fn serve_handle_on(
+    listener: TcpListener,
+    engine: EngineHandle,
+    cfg: ServeConfig,
+) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let workers = cfg.workers.max(1);
     let queue = cfg.accept_queue.max(1);
@@ -340,6 +351,119 @@ pub fn serve_handle(engine: EngineHandle, cfg: ServeConfig) -> std::io::Result<S
         acceptor: Some(acceptor),
         workers: worker_handles,
     })
+}
+
+/// A server that is still replaying its WAL. The listener is already
+/// bound and answering — `/healthz` with 200, `/readyz` with
+/// `503 RECOVERING`, everything else with 503 — so orchestrators can
+/// watch the pod come up without routing traffic to it. Once recovery
+/// completes, the same listener is handed to the full serving loop and
+/// [`RecoveringServer::wait_ready`] yields the [`ServerHandle`].
+pub struct RecoveringServer {
+    addr: SocketAddr,
+    rx: Receiver<Result<ServerHandle, CodError>>,
+}
+
+impl RecoveringServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until recovery finishes and the full server is running (or
+    /// recovery failed, in which case the error is returned and the
+    /// listener is closed).
+    pub fn wait_ready(self) -> Result<ServerHandle, CodError> {
+        match self.rx.recv() {
+            Ok(res) => res,
+            Err(_) => Err(CodError::Internal(
+                "recovery front thread exited without a result".into(),
+            )),
+        }
+    }
+}
+
+/// Binds the listener immediately and runs `recover` on a background
+/// thread while a minimal front loop answers health probes with
+/// `503 RECOVERING`. When `recover` returns an engine, the listener is
+/// handed to the normal serving loop ([`serve_handle`] semantics).
+pub fn serve_recovering<F>(cfg: ServeConfig, recover: F) -> std::io::Result<RecoveringServer>
+where
+    F: FnOnce() -> Result<EngineHandle, CodError> + Send + 'static,
+{
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let (engine_tx, engine_rx) = std::sync::mpsc::channel::<Result<EngineHandle, CodError>>();
+    std::thread::Builder::new()
+        .name("cod-serve-recover".into())
+        .spawn(move || {
+            let _ = engine_tx.send(recover());
+        })?;
+    let (handle_tx, handle_rx) = std::sync::mpsc::channel::<Result<ServerHandle, CodError>>();
+    std::thread::Builder::new()
+        .name("cod-serve-recovering-front".into())
+        .spawn(move || recovering_front(listener, cfg, &engine_rx, &handle_tx))?;
+    Ok(RecoveringServer {
+        addr,
+        rx: handle_rx,
+    })
+}
+
+/// The accept loop of a recovering server: answer probes, watch for the
+/// recovered engine, then promote the listener to the full server.
+fn recovering_front(
+    listener: TcpListener,
+    cfg: ServeConfig,
+    engine_rx: &Receiver<Result<EngineHandle, CodError>>,
+    handle_tx: &std::sync::mpsc::Sender<Result<ServerHandle, CodError>>,
+) {
+    use std::sync::mpsc::TryRecvError;
+    loop {
+        match engine_rx.try_recv() {
+            Ok(Ok(engine)) => {
+                let res = serve_handle_on(listener, engine, cfg).map_err(CodError::from);
+                let _ = handle_tx.send(res);
+                return;
+            }
+            Ok(Err(e)) => {
+                let _ = handle_tx.send(Err(e));
+                return;
+            }
+            Err(TryRecvError::Disconnected) => {
+                let _ = handle_tx.send(Err(CodError::Internal(
+                    "recovery thread died before producing an engine".into(),
+                )));
+                return;
+            }
+            Err(TryRecvError::Empty) => {}
+        }
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+                let resp = match http::read_request(&mut stream, cfg.max_request_bytes) {
+                    Ok(req) if req.method == "GET" && req.path == "/healthz" => {
+                        Response::text(200, "ok\n")
+                    }
+                    Ok(req) if req.method == "GET" && req.path == "/metrics" => Response {
+                        status: 200,
+                        content_type: "text/plain; version=0.0.4",
+                        retry_after_secs: None,
+                        body: b"# HELP cod_recovering whether WAL replay is in progress\n\
+                               # TYPE cod_recovering gauge\ncod_recovering 1\n"
+                            .to_vec(),
+                    },
+                    _ => Response::text(503, "RECOVERING\n"),
+                };
+                let _ = resp.write_to(&mut stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
 }
 
 impl ServerHandle {
@@ -662,6 +786,7 @@ fn error_json(e: &CodError) -> String {
         CodError::BudgetExhausted { .. } => "budget_exhausted",
         CodError::DeadlineExceeded => "deadline_exceeded",
         CodError::Overloaded { .. } => "overloaded",
+        CodError::ReplayHalted { .. } => "replay_halted",
         CodError::Internal(_) => "internal",
     };
     let mut out = format!(
@@ -683,7 +808,10 @@ fn error_status(e: &CodError) -> u16 {
         CodError::BudgetExhausted { .. } => 422,
         CodError::DeadlineExceeded => 504,
         CodError::Overloaded { .. } => 503,
-        CodError::IndexCorrupt(_) | CodError::Io(_) | CodError::Internal(_) => 500,
+        CodError::IndexCorrupt(_)
+        | CodError::Io(_)
+        | CodError::ReplayHalted { .. }
+        | CodError::Internal(_) => 500,
     }
 }
 

@@ -58,6 +58,7 @@ fn main() -> ExitCode {
         "im" => cmd_im(&opts),
         "serve" => cmd_serve(&opts),
         "mutate" => cmd_mutate(&opts),
+        "recover" => cmd_recover(&opts),
         "generate" => cmd_generate(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -92,7 +93,11 @@ COMMANDS:
   serve      HTTP serving tier: /query, /query_batch, /metrics, /healthz,
              /readyz on --addr; SIGTERM/SIGINT drains and exits cleanly
   mutate     replay a mutation log against the incremental pipeline,
-             printing a per-event repair/rebuild summary
+             printing a per-event repair/rebuild summary; with --wal DIR
+             every event is WAL-logged and checkpointed (crash-safe)
+  recover    recover a --wal DIR (replay the WAL over the last checkpoint)
+             and print what recovery observed; --index FILE additionally
+             writes the recovered artifacts as a standalone CODX v3 file
   generate   write a dataset preset to edge/attribute files
   help       show this text
 
@@ -169,6 +174,18 @@ OPTIONS:
                   --threads (default 1; any seeded setting replays
                   bit-identically at every thread count)
 
+DURABILITY OPTIONS (mutate / recover / serve):
+  --wal DIR       durable state directory: an fsync'd write-ahead log of
+                  every mutation plus periodic checkpoint snapshots and a
+                  crash-safe MANIFEST. mutate creates or recovers it;
+                  recover replays it; serve recovers it on startup
+                  (/readyz answers 503 RECOVERING until replay completes)
+  --fsync P       WAL fsync policy: always (fsync every record), os (leave
+                  it to the page cache), or group[:N:MS] (group commit:
+                  fsync after N records or MS milliseconds, default 32:10)
+  --checkpoint-events N     events between checkpoint snapshots (4096)
+  --checkpoint-wal-bytes N  WAL bytes that force a checkpoint (16 MiB)
+
 SERVE OPTIONS:
   --addr A:P      bind address (default 127.0.0.1:7700; port 0 = ephemeral)
   --workers N     HTTP worker threads (default 2)
@@ -216,6 +233,10 @@ struct Opts {
     shards: Option<usize>,
     mmap: bool,
     codx_version: Option<u32>,
+    wal: Option<PathBuf>,
+    fsync: Option<String>,
+    checkpoint_events: Option<u64>,
+    checkpoint_wal_bytes: Option<u64>,
 }
 
 fn parse_threads(raw: &str) -> Result<Parallelism, String> {
@@ -360,6 +381,22 @@ impl Opts {
                     )
                 }
                 "--log" => o.log = Some(PathBuf::from(value(args, i)?)),
+                "--wal" => o.wal = Some(PathBuf::from(value(args, i)?)),
+                "--fsync" => o.fsync = Some(value(args, i)?),
+                "--checkpoint-events" => {
+                    o.checkpoint_events = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--checkpoint-events wants a number")?,
+                    )
+                }
+                "--checkpoint-wal-bytes" => {
+                    o.checkpoint_wal_bytes = Some(
+                        value(args, i)?
+                            .parse()
+                            .map_err(|_| "--checkpoint-wal-bytes wants a number")?,
+                    )
+                }
                 "--out-edges" => o.out_edges = Some(PathBuf::from(value(args, i)?)),
                 "--out-attrs" => o.out_attrs = Some(PathBuf::from(value(args, i)?)),
                 other => return Err(format!("unknown option {other:?}")),
@@ -395,6 +432,30 @@ impl Opts {
                 .first()
                 .copied()
                 .ok_or_else(|| format!("node {q} has no attributes; pass --attr")),
+        }
+    }
+
+    fn durability_config(&self) -> Result<pcod::cod::DurabilityConfig, String> {
+        let mut dcfg = pcod::cod::DurabilityConfig::default();
+        if let Some(spec) = &self.fsync {
+            dcfg.fsync = pcod::cod::FsyncPolicy::parse(spec)?;
+        }
+        if let Some(n) = self.checkpoint_events {
+            dcfg.checkpoint_every_events = n.max(1);
+        }
+        if let Some(n) = self.checkpoint_wal_bytes {
+            dcfg.checkpoint_wal_bytes = n.max(1);
+        }
+        Ok(dcfg)
+    }
+
+    /// The COD configuration for durable commands: seeded by default
+    /// (Threads(1) unless --threads says otherwise) because WAL replay
+    /// requires deterministic rebuilds.
+    fn seeded_cod_config(&self) -> CodConfig {
+        CodConfig {
+            parallelism: self.threads.unwrap_or(Parallelism::Threads(1)),
+            ..self.cod_config()
         }
     }
 
@@ -991,6 +1052,53 @@ fn cmd_im(opts: &Opts) -> Result<(), String> {
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     use std::io::Write as _;
 
+    let serve_cfg = serve_config(opts);
+
+    // Durable serving: recover the --wal directory on a background thread
+    // while /readyz answers 503 RECOVERING, then promote the listener to
+    // the full server over the recovered artifacts.
+    if let Some(dir) = &opts.wal {
+        if opts.mmap || opts.shards.unwrap_or(1) > 1 {
+            return Err("--wal serving is single-engine: drop --mmap and --shards".into());
+        }
+        let cfg = opts.seeded_cod_config();
+        let dcfg = opts.durability_config()?;
+        let dir = dir.clone();
+        pcod::serve::signal::install_shutdown_handler();
+        let recovering = pcod::serve::serve_recovering(serve_cfg, move || {
+            let (mut durable, report) = pcod::cod::DurableCod::open(&dir, cfg, dcfg)?;
+            let bytes = durable.snapshot_bytes()?;
+            let arts = MappedArtifacts::from_vec(bytes)?;
+            let engine =
+                CodEngine::from_shared_parts(arts.graph()?, cfg, arts.hierarchy()?, arts.himor()?);
+            engine.record_recovery(report.replayed, report.wall_time.as_nanos() as u64);
+            eprintln!(
+                "recovered {} event(s) over checkpoint {} in {:.2?}{}{}",
+                report.replayed,
+                durable.manifest().snapshot,
+                report.wall_time,
+                match report.torn_tail {
+                    Some(t) => format!(" (torn tail: {} byte(s) truncated)", t.dropped_bytes),
+                    None => String::new(),
+                },
+                if report.swept_temps > 0 {
+                    format!(" ({} stale temp file(s) swept)", report.swept_temps)
+                } else {
+                    String::new()
+                },
+            );
+            Ok(EngineHandle::Single(Arc::new(engine)))
+        })
+        .map_err(|e| format!("binding listener: {e}"))?;
+        println!("recovering; serving on http://{}", recovering.addr());
+        let _ = std::io::stdout().flush();
+        eprintln!("endpoints: /query /query_batch /metrics /healthz /readyz (SIGTERM drains)");
+        let handle = recovering
+            .wait_ready()
+            .map_err(|e| format!("recovery failed: {e}"))?;
+        return run_until_shutdown(handle, opts);
+    }
+
     let cfg = opts.cod_config();
     let shards = opts.shards.unwrap_or(1).max(1);
     // Engine source ladder: --mmap serves straight out of a CODX v3
@@ -1040,6 +1148,18 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             s.partition().shard_sizes()
         );
     }
+    // Install the handler before binding so a signal racing startup still
+    // lands in the flag the loop below polls.
+    pcod::serve::signal::install_shutdown_handler();
+    let handle = pcod::serve::serve_handle(engine, serve_cfg)
+        .map_err(|e| format!("binding listener: {e}"))?;
+    println!("serving on http://{}", handle.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!("endpoints: /query /query_batch /metrics /healthz /readyz (SIGTERM drains)");
+    run_until_shutdown(handle, opts)
+}
+
+fn serve_config(opts: &Opts) -> pcod::serve::ServeConfig {
     let serve_cfg = pcod::serve::ServeConfig {
         addr: opts.addr.clone().unwrap_or_else(|| "127.0.0.1:7700".into()),
         workers: opts.workers.unwrap_or(2).max(1),
@@ -1048,7 +1168,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         seed: opts.seed,
         ..pcod::serve::ServeConfig::default()
     };
-    let serve_cfg = pcod::serve::ServeConfig {
+    pcod::serve::ServeConfig {
         max_request_bytes: opts
             .max_request_bytes
             .unwrap_or(serve_cfg.max_request_bytes),
@@ -1060,17 +1180,13 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
             .map(Duration::from_millis)
             .or(serve_cfg.default_deadline),
         ..serve_cfg
-    };
+    }
+}
 
-    // Install the handler before binding so a signal racing startup still
-    // lands in the flag the loop below polls.
-    pcod::serve::signal::install_shutdown_handler();
-    let handle = pcod::serve::serve_handle(engine.clone(), serve_cfg)
-        .map_err(|e| format!("binding listener: {e}"))?;
-    println!("serving on http://{}", handle.addr());
-    let _ = std::io::stdout().flush();
-    eprintln!("endpoints: /query /query_batch /metrics /healthz /readyz (SIGTERM drains)");
-
+/// The serve main loop shared by the plain and durable startup paths:
+/// wait for the shutdown signal, drain, report, flush metrics.
+fn run_until_shutdown(handle: pcod::serve::ServerHandle, opts: &Opts) -> Result<(), String> {
+    let engine = handle.engine().clone();
     while !pcod::serve::signal::shutdown_requested() {
         std::thread::sleep(Duration::from_millis(50));
     }
@@ -1095,9 +1211,42 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// The replay target behind `cod mutate`: the plain in-memory pipeline or
+/// the WAL-backed durable wrapper (`--wal DIR`).
+enum Replayer {
+    Plain(Box<pcod::cod::DynamicCod>),
+    Durable(Box<pcod::cod::DurableCod>),
+}
+
+impl Replayer {
+    fn apply(&mut self, m: &pcod::cod::mutation::Mutation) -> Result<bool, pcod::cod::CodError> {
+        match self {
+            Replayer::Plain(d) => d.apply(m),
+            Replayer::Durable(d) => d.apply(m),
+        }
+    }
+
+    fn flush(&mut self, seed: u64) -> Result<pcod::cod::MutationFlushReport, pcod::cod::CodError> {
+        match self {
+            Replayer::Plain(d) => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                d.flush(&mut rng)
+            }
+            Replayer::Durable(d) => d.flush(),
+        }
+    }
+
+    fn inner(&self) -> &pcod::cod::DynamicCod {
+        match self {
+            Replayer::Plain(d) => d,
+            Replayer::Durable(d) => d.engine(),
+        }
+    }
+}
+
 fn cmd_mutate(opts: &Opts) -> Result<(), String> {
     use pcod::cod::mutation::{Mutation, MutationLog};
-    use pcod::cod::{DynamicCod, FlushOutcome};
+    use pcod::cod::{CodError, DurableCod, DynamicCod, FlushOutcome};
 
     let g = opts.load_graph()?;
     let log_path = opts.log.as_ref().ok_or("mutate needs --log FILE")?;
@@ -1107,11 +1256,29 @@ fn cmd_mutate(opts: &Opts) -> Result<(), String> {
     // Seeded by default: the replay is then a pure function of the log and
     // --seed, bit-identical at every thread count, and single edits repair
     // the hierarchy in place instead of rebuilding it.
-    let cfg = CodConfig {
-        parallelism: opts.threads.unwrap_or(Parallelism::Threads(1)),
-        ..opts.cod_config()
+    let cfg = opts.seeded_cod_config();
+    let mut replayer = match &opts.wal {
+        None => Replayer::Plain(Box::new(DynamicCod::with_seed(&g, cfg, opts.seed))),
+        Some(dir) => {
+            let dcfg = opts.durability_config()?;
+            if DurableCod::exists(dir) {
+                let (d, report) = DurableCod::open(dir, cfg, dcfg).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "recovered {} ({} checkpointed + {} replayed event(s)) in {:.2?}",
+                    dir.display(),
+                    report.checkpoint_events,
+                    report.replayed,
+                    report.wall_time
+                );
+                Replayer::Durable(Box::new(d))
+            } else {
+                let d =
+                    DurableCod::create(dir, &g, cfg, opts.seed, dcfg).map_err(|e| e.to_string())?;
+                eprintln!("created durable state in {}", dir.display());
+                Replayer::Durable(Box::new(d))
+            }
+        }
     };
-    let mut dyn_cod = DynamicCod::with_seed(&g, cfg, opts.seed);
     println!(
         "replaying {} events from {} against {} nodes / {} edges (seed {})",
         log.len(),
@@ -1121,6 +1288,16 @@ fn cmd_mutate(opts: &Opts) -> Result<(), String> {
         opts.seed
     );
     let started = std::time::Instant::now();
+    // On failure, report exactly how far the replay got — which event
+    // failed and how many landed — via the typed ReplayHalted error.
+    let halt = |applied: usize, failed_event: usize, cause: CodError| {
+        CodError::ReplayHalted {
+            applied,
+            failed_event,
+            cause: Box::new(cause),
+        }
+        .to_string()
+    };
     for (i, m) in log.events().iter().enumerate() {
         let label = match m {
             Mutation::InsertEdge { u, v } => format!("add {u} {v}"),
@@ -1134,9 +1311,7 @@ fn cmd_mutate(opts: &Opts) -> Result<(), String> {
                     .join(",")
             ),
         };
-        let applied = dyn_cod
-            .apply(m)
-            .map_err(|e| format!("event {}: {e}", i + 1))?;
+        let applied = replayer.apply(m).map_err(|e| halt(i, i + 1, e))?;
         if !applied {
             println!(
                 "[{:>4}] {label:<24} -> no-op (edge already in that state)",
@@ -1144,10 +1319,9 @@ fn cmd_mutate(opts: &Opts) -> Result<(), String> {
             );
             continue;
         }
-        let mut rng = SmallRng::seed_from_u64(opts.seed);
-        let report = dyn_cod
-            .flush(&mut rng)
-            .map_err(|e| format!("event {}: {e}", i + 1))?;
+        let report = replayer
+            .flush(opts.seed)
+            .map_err(|e| halt(i + 1, i + 1, e))?;
         let outcome = match report.outcome {
             FlushOutcome::Noop => "no-op".to_string(),
             FlushOutcome::Refreshed => "refreshed (hierarchy + index untouched)".to_string(),
@@ -1163,7 +1337,7 @@ fn cmd_mutate(opts: &Opts) -> Result<(), String> {
         };
         println!("[{:>4}] {label:<24} -> {outcome}", i + 1);
     }
-    let snap = dyn_cod.metrics_snapshot();
+    let snap = replayer.inner().metrics_snapshot();
     println!(
         "\nreplayed {} events in {:.2?}: {} repairs, {} full rebuilds, {} pools evicted (scoped)",
         log.len(),
@@ -1174,9 +1348,60 @@ fn cmd_mutate(opts: &Opts) -> Result<(), String> {
     );
     println!(
         "final graph: {} nodes, {} edges",
-        dyn_cod.num_nodes(),
-        dyn_cod.num_edges()
+        replayer.inner().num_nodes(),
+        replayer.inner().num_edges()
     );
+    if let Replayer::Durable(d) = &mut replayer {
+        d.flush_wal().map_err(|e| e.to_string())?;
+        println!(
+            "durable state: {} event(s) total, {} in the live WAL over {} \
+             ({} WAL append(s), {} fsync(s))",
+            d.events_total(),
+            d.wal_records(),
+            d.manifest().snapshot,
+            snap.wal_appended_records,
+            snap.wal_fsyncs,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_recover(opts: &Opts) -> Result<(), String> {
+    use pcod::cod::DurableCod;
+
+    let dir = opts.wal.as_ref().ok_or("recover needs --wal DIR")?;
+    let cfg = opts.seeded_cod_config();
+    let dcfg = opts.durability_config()?;
+    let (mut durable, report) = DurableCod::open(dir, cfg, dcfg).map_err(|e| e.to_string())?;
+    println!(
+        "recovered {}: checkpoint {} ({} event(s)) + {} WAL event(s) replayed in {:.2?}",
+        dir.display(),
+        durable.manifest().snapshot,
+        report.checkpoint_events,
+        report.replayed,
+        report.wall_time
+    );
+    if let Some(t) = report.torn_tail {
+        println!(
+            "torn tail truncated: {} byte(s) dropped past offset {}",
+            t.dropped_bytes, t.valid_offset
+        );
+    }
+    if report.swept_temps > 0 {
+        println!("swept {} stale temp file(s)", report.swept_temps);
+    }
+    let bytes = durable.snapshot_bytes().map_err(|e| e.to_string())?;
+    println!(
+        "recovered state: {} nodes, {} edges, {} event(s) total ({} bytes canonical)",
+        durable.engine().num_nodes(),
+        durable.engine().num_edges(),
+        durable.events_total(),
+        bytes.len()
+    );
+    if let Some(path) = &opts.index {
+        std::fs::write(path, &bytes).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("wrote recovered artifacts to {}", path.display());
+    }
     Ok(())
 }
 

@@ -554,3 +554,72 @@ fn chaos_soak_under_global_failpoints_recovers_clean() {
     assert!(report.drained_in_time, "drain failed after chaos");
     assert_eq!(engine.inflight(), 0);
 }
+
+/// Startup recovery: while the WAL replays, the listener is already up —
+/// `/readyz` answers `503 RECOVERING`, `/healthz` stays 200, queries are
+/// refused — and once recovery completes the same port serves normally
+/// with the `cod_recovery_*` / `cod_wal_*` series exported.
+#[test]
+fn recovering_server_gates_readiness_until_replay_completes() {
+    let _g = guard();
+    failpoint::disarm_all();
+    let engine = engine(None);
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let cfg = ServeConfig {
+        default_deadline: Some(Duration::from_secs(30)),
+        ..ServeConfig::default()
+    };
+    let recovering = pcod::serve::serve_recovering(cfg, move || {
+        // Stand in for WAL replay: hold recovery open until the test has
+        // probed the recovering surface, then surface replay telemetry.
+        release_rx.recv().ok();
+        engine.record_recovery(5, 2_000_000);
+        engine.record_wal_activity(5, 3);
+        Ok(pcod::serve::EngineHandle::Single(engine))
+    })
+    .expect("bind ephemeral port");
+    let addr = recovering.addr().to_string();
+
+    let (s, _, b) = get(&addr, "/readyz").unwrap();
+    assert_eq!(s, 503, "not ready while recovering");
+    assert!(
+        b.contains("RECOVERING"),
+        "readyz body must say RECOVERING: {b:?}"
+    );
+    let (s, _, b) = get(&addr, "/healthz").unwrap();
+    assert_eq!(
+        (s, b.as_str()),
+        (200, "ok\n"),
+        "liveness holds during recovery"
+    );
+    let (s, _, _) = get(&addr, "/query?node=0").unwrap();
+    assert_eq!(s, 503, "queries are refused during recovery");
+    let (s, _, b) = get(&addr, "/metrics").unwrap();
+    assert_eq!(s, 200);
+    assert!(b.contains("cod_recovering 1"), "{b}");
+
+    release_tx.send(()).unwrap();
+    let handle = recovering.wait_ready().expect("recovery completes");
+    assert_eq!(
+        handle.addr().to_string(),
+        addr,
+        "same port across promotion"
+    );
+    let (s, _, b) = get(&addr, "/readyz").unwrap();
+    assert_eq!((s, b.as_str()), (200, "ready\n"));
+    let (s, _, b) = get(&addr, "/metrics").unwrap();
+    assert_eq!(s, 200);
+    for needle in [
+        "cod_recovery_replayed_records_total 5",
+        "cod_recovery_seconds 0.002000000",
+        "cod_wal_appended_records_total 5",
+        "cod_wal_fsyncs_total 3",
+    ] {
+        assert!(b.contains(needle), "promoted /metrics missing {needle}");
+    }
+    let (s, _, b) = get(&addr, "/query?node=0&method=codu").unwrap();
+    assert_eq!(s, 200, "promoted server must serve queries: {b}");
+
+    let report = handle.shutdown();
+    assert_eq!(report.http_stats.panics, 0);
+}

@@ -398,3 +398,33 @@ fn mutation_counters_flow_through_the_exposition() {
         );
     }
 }
+
+/// The durability telemetry rides the same registry → snapshot →
+/// exposition path as every other counter: a recovered engine's WAL and
+/// recovery tallies land in `/metrics` with the documented names.
+#[test]
+fn durability_counters_flow_through_engine_exposition() {
+    let g = cycle8();
+    let engine = CodEngine::new(g, CodConfig::default());
+    engine.record_wal_activity(12, 4);
+    engine.record_recovery(7, 3_500_000_000);
+
+    let snap = engine.metrics();
+    assert_eq!(snap.wal_appended_records, 12);
+    assert_eq!(snap.wal_fsyncs, 4);
+    assert_eq!(snap.recovery_replayed_records, 7);
+    assert_eq!(snap.recovery_nanos, 3_500_000_000);
+
+    let text = engine.metrics_text();
+    for needle in [
+        "cod_wal_appended_records_total 12",
+        "cod_wal_fsyncs_total 4",
+        "cod_recovery_replayed_records_total 7",
+        "cod_recovery_seconds 3.500000000",
+    ] {
+        assert!(
+            text.contains(needle),
+            "exposition lacks {needle:?}:\n{text}"
+        );
+    }
+}
